@@ -1,0 +1,24 @@
+//! # dspgemm-baselines — architectural emulations of the paper's competitors
+//!
+//! The paper compares against CombBLAS 2.0, CTF 1.35 and PETSc 3.17. Those
+//! C/C++ frameworks cannot be linked here, so this crate re-implements the
+//! *architectural decisions* the paper attributes to each — the decisions
+//! that explain the measured gaps — on top of the same simulated MPI runtime
+//! and the same local kernels, so that every difference in a benchmark is a
+//! difference in algorithm/data-structure design, not in implementation
+//! polish:
+//!
+//! | system | storage | update path | redistribution | SpGEMM |
+//! |---|---|---|---|---|
+//! | [`combblas`] | static doubly-compressed blocks on a 2D grid | full rebuild per batch | comparison sort + one global alltoall | sparse SUMMA (full operands broadcast) |
+//! | [`ctf`] | cyclic element layout | full re-shuffle of the tensor per write epoch | comparison sort + global alltoall | redistribute operands to blocked layout, then SUMMA |
+//! | [`petsc`] | 1D row-block CSR | stash + assembly (rebuild) | single alltoall to row owners | 1D row algorithm fetching remote B rows; `(+,·)` only, no deletions |
+//!
+//! See `DESIGN.md` for the full substitution argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combblas;
+pub mod ctf;
+pub mod petsc;

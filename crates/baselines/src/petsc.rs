@@ -1,0 +1,374 @@
+//! PETSc-like baseline: 1D row-block CSR with stash/assembly updates.
+//!
+//! Models PETSc's `MatMPIAIJ` as characterized by the paper:
+//!
+//! * **1D row-block distribution** — each rank owns a contiguous band of
+//!   rows in CSR (no 2D grid);
+//! * updates go through a **stash + assembly** cycle (`MatSetValues` +
+//!   `MatAssemblyBegin/End`): tuples are routed to their row owner with a
+//!   single alltoall, comparison-sorted, and the CSR is **rebuilt**;
+//! * **no efficient deletions** (the paper excludes PETSc from the deletion
+//!   experiment) — no `delete` method exists here either;
+//! * SpGEMM with the 1D algorithm: each rank fetches the remote rows of `B`
+//!   that its `A` columns reference (request/response alltoalls), then
+//!   multiplies locally. Real PETSc supports only the numeric `(+,·)`
+//!   semiring; the emulation is generic for testing convenience but the
+//!   benchmarks use `(+,·)` for it, as the paper does.
+
+use dspgemm_mpi::Comm;
+use dspgemm_sparse::semiring::Semiring;
+use dspgemm_sparse::{Csr, Index, Triple};
+use dspgemm_util::stats::PhaseTimer;
+use dspgemm_util::WireSize;
+use std::ops::Range;
+
+/// Phase names for PETSc breakdowns.
+pub mod phase {
+    /// Stash exchange (alltoall to row owners).
+    pub const STASH: &str = "petsc stash";
+    /// Comparison sort + CSR rebuild.
+    pub const ASSEMBLY: &str = "petsc assembly";
+    /// Remote-row fetch during MatMatMult.
+    pub const FETCH: &str = "petsc fetch";
+    /// Local multiplication.
+    pub const MULT: &str = "petsc mult";
+    /// Local assembly of fetched rows / results.
+    pub const ASSEMBLY_LOCAL: &str = "petsc local assembly";
+}
+
+/// A PETSc-like distributed matrix: 1D row-band CSR.
+#[derive(Debug, Clone)]
+pub struct PetscMatrix<V> {
+    /// Global shape.
+    pub nrows: Index,
+    /// Global shape.
+    pub ncols: Index,
+    /// Rows owned by this rank.
+    pub row_range: Range<Index>,
+    block: Csr<V>,
+}
+
+/// The 1D row decomposition (same near-equal contiguous split as the grid).
+fn row_band(nrows: Index, p: usize, rank: usize) -> Range<Index> {
+    dspgemm_core::grid::block_range(nrows, p, rank)
+}
+
+fn row_owner(nrows: Index, p: usize, r: Index) -> usize {
+    dspgemm_core::grid::owner_block(nrows, p, r).0
+}
+
+impl<V> PetscMatrix<V>
+where
+    V: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 'static,
+{
+    /// An empty matrix.
+    pub fn empty(comm: &Comm, nrows: Index, ncols: Index) -> Self {
+        let row_range = row_band(nrows, comm.size(), comm.rank());
+        Self {
+            nrows,
+            ncols,
+            block: Csr::empty(row_range.end - row_range.start, ncols),
+            row_range,
+        }
+    }
+
+    /// Constructs from rank-local tuples via stash + assembly; duplicates
+    /// combine with the semiring addition (`ADD_VALUES`).
+    pub fn construct<S: Semiring<Elem = V>>(
+        comm: &Comm,
+        nrows: Index,
+        ncols: Index,
+        tuples: Vec<Triple<V>>,
+        timer: &mut PhaseTimer,
+    ) -> Self {
+        let mut m = Self::empty(comm, nrows, ncols);
+        m.set_values_add::<S>(comm, tuples, timer);
+        m
+    }
+
+    fn stash_exchange(
+        &self,
+        comm: &Comm,
+        tuples: Vec<Triple<V>>,
+        timer: &mut PhaseTimer,
+    ) -> Vec<Triple<V>> {
+        let p = comm.size();
+        let nrows = self.nrows;
+        let received = timer.time(phase::STASH, || {
+            let mut chunks: Vec<Vec<Triple<V>>> = (0..p).map(|_| Vec::new()).collect();
+            for t in tuples {
+                chunks[row_owner(nrows, p, t.row)].push(t);
+            }
+            comm.alltoallv(chunks)
+        });
+        received.into_iter().flatten().collect()
+    }
+
+    /// `MatSetValues(ADD_VALUES)` + assembly: routes tuples to row owners
+    /// and **rebuilds** the CSR band with add-combine.
+    pub fn set_values_add<S: Semiring<Elem = V>>(
+        &mut self,
+        comm: &Comm,
+        tuples: Vec<Triple<V>>,
+        timer: &mut PhaseTimer,
+    ) {
+        let mine = self.stash_exchange(comm, tuples, timer);
+        timer.time(phase::ASSEMBLY, || {
+            let mut local: Vec<Triple<V>> = self.block.to_triples();
+            local.extend(mine.into_iter().map(|t| {
+                Triple::new(t.row - self.row_range.start, t.col, t.val)
+            }));
+            // PETSc assembly comparison-sorts the stash.
+            local.sort_by_key(Triple::key);
+            dspgemm_sparse::triple::dedup_add::<S>(&mut local);
+            self.block = Csr::from_sorted_triples(
+                self.row_range.end - self.row_range.start,
+                self.ncols,
+                &local,
+            );
+        });
+    }
+
+    /// `MatSetValues(INSERT_VALUES)` + assembly: replacement semantics.
+    pub fn set_values_insert(
+        &mut self,
+        comm: &Comm,
+        tuples: Vec<Triple<V>>,
+        timer: &mut PhaseTimer,
+    ) {
+        let mine = self.stash_exchange(comm, tuples, timer);
+        timer.time(phase::ASSEMBLY, || {
+            let mut incoming: Vec<Triple<V>> = mine
+                .into_iter()
+                .map(|t| Triple::new(t.row - self.row_range.start, t.col, t.val))
+                .collect();
+            incoming.sort_by_key(Triple::key);
+            dspgemm_sparse::triple::dedup_last_wins(&mut incoming);
+            let mut local = self.block.to_triples();
+            // Replace coinciding entries, keep the rest.
+            let keys: std::collections::BTreeSet<u64> =
+                incoming.iter().map(Triple::key).collect();
+            local.retain(|t| !keys.contains(&t.key()));
+            local.extend(incoming);
+            local.sort_by_key(Triple::key);
+            self.block = Csr::from_sorted_triples(
+                self.row_range.end - self.row_range.start,
+                self.ncols,
+                &local,
+            );
+        });
+    }
+
+    /// Element-wise `self += other` on aligned local bands (no
+    /// communication).
+    pub fn merge_add_local<S: Semiring<Elem = V>>(&mut self, other: &PetscMatrix<V>) {
+        assert_eq!(self.row_range, other.row_range, "distribution mismatch");
+        self.block = self.block.add::<S>(&other.block);
+    }
+
+    /// Local nnz.
+    pub fn local_nnz(&self) -> usize {
+        self.block.nnz()
+    }
+
+    /// Global nnz (collective).
+    pub fn global_nnz(&self, comm: &Comm) -> u64 {
+        comm.allreduce(self.block.nnz() as u64, |a, b| a + b)
+    }
+
+    /// Globally-indexed triples of this rank's band.
+    pub fn to_global_triples(&self) -> Vec<Triple<V>> {
+        self.block
+            .to_triples()
+            .into_iter()
+            .map(|t| Triple::new(t.row + self.row_range.start, t.col, t.val))
+            .collect()
+    }
+
+    /// Gathers to rank 0 (testing; collective).
+    pub fn gather_to_root(&self, comm: &Comm) -> Option<Vec<Triple<V>>> {
+        comm.gather(0, self.to_global_triples()).map(|parts| {
+            let mut all: Vec<Triple<V>> = parts.into_iter().flatten().collect();
+            dspgemm_sparse::triple::sort_row_major(&mut all);
+            all
+        })
+    }
+}
+
+/// PETSc-like 1D SpGEMM: every rank determines which remote rows of `B` its
+/// `A` columns touch, fetches them (request + response alltoalls), and
+/// multiplies locally. Communication is `O(nnz(B-rows-needed))` per rank —
+/// for dense column coverage this approaches replicating `B`, the 1D
+/// algorithm's known weakness on skewed graphs.
+pub fn spgemm<S: Semiring>(
+    comm: &Comm,
+    a: &PetscMatrix<S::Elem>,
+    b: &PetscMatrix<S::Elem>,
+    threads: usize,
+    timer: &mut PhaseTimer,
+) -> (PetscMatrix<S::Elem>, u64) {
+    assert_eq!(a.ncols, b.nrows, "dimension mismatch");
+    let p = comm.size();
+    // Which global rows of B do I need? (= distinct columns of my A band.)
+    let mut needed: Vec<Index> = Vec::new();
+    {
+        let nrows_local = a.row_range.end - a.row_range.start;
+        for r in 0..nrows_local {
+            let (cols, _) = a.block.row(r);
+            needed.extend_from_slice(cols);
+        }
+        needed.sort_unstable();
+        needed.dedup();
+    }
+    // Request phase: send each owner the list of rows I need from it.
+    let responses = timer.time(phase::FETCH, || {
+        let mut requests: Vec<Vec<Index>> = (0..p).map(|_| Vec::new()).collect();
+        for &gr in &needed {
+            requests[row_owner(b.nrows, p, gr)].push(gr);
+        }
+        let incoming = comm.alltoallv(requests);
+        // Response phase: ship the requested rows as triples.
+        let mut replies: Vec<Vec<Triple<S::Elem>>> = (0..p).map(|_| Vec::new()).collect();
+        for (src, rows) in incoming.iter().enumerate() {
+            for &gr in rows {
+                let lr = gr - b.row_range.start;
+                let (cols, vals) = b.block.row(lr);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    replies[src].push(Triple::new(gr, c, v));
+                }
+            }
+        }
+        comm.alltoallv(replies)
+    });
+    // Build my local copy of the needed B rows.
+    let b_rows: Csr<S::Elem> = timer.time(phase::ASSEMBLY_LOCAL, || {
+        let mut triples: Vec<Triple<S::Elem>> =
+            responses.into_iter().flatten().collect();
+        triples.sort_by_key(Triple::key);
+        Csr::from_sorted_triples(b.nrows, b.ncols, &triples)
+    });
+    // Local multiply: my A band times the fetched B rows.
+    let partial = timer.time(phase::MULT, || {
+        dspgemm_sparse::local_mm::spgemm::<S, _, _>(&a.block, &b_rows, threads)
+    });
+    let flops = partial.flops;
+    let mut c = PetscMatrix::empty(comm, a.nrows, b.ncols);
+    timer.time(phase::ASSEMBLY_LOCAL, || {
+        let triples: Vec<Triple<S::Elem>> = partial.result.to_triples();
+        c.block = Csr::from_sorted_triples(
+            c.row_range.end - c.row_range.start,
+            c.ncols,
+            &triples,
+        );
+    });
+    (c, flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspgemm_mpi::run;
+    use dspgemm_sparse::dense::Dense;
+    use dspgemm_sparse::semiring::U64Plus;
+    use dspgemm_util::rng::{Rng, SplitMix64};
+
+    fn random_triples(seed: u64, n: Index, count: usize) -> Vec<Triple<u64>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..count)
+            .map(|_| {
+                Triple::new(
+                    rng.gen_range(n as u64) as Index,
+                    rng.gen_range(n as u64) as Index,
+                    rng.gen_range(5) + 1,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_1d_bands() {
+        let out = run(4, |comm| {
+            let mut timer = PhaseTimer::new();
+            let mine = random_triples(1 + comm.rank() as u64, 40, 60);
+            let m = PetscMatrix::construct::<U64Plus>(comm, 40, 40, mine, &mut timer);
+            // Every local row is inside my band.
+            m.to_global_triples()
+                .iter()
+                .all(|t| m.row_range.contains(&t.row))
+        });
+        assert!(out.results.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn add_then_insert_semantics() {
+        let out = run(2, |comm| {
+            let mut timer = PhaseTimer::new();
+            let mut m = PetscMatrix::empty(comm, 10, 10);
+            let mine = if comm.rank() == 0 {
+                vec![Triple::new(0, 0, 5u64), Triple::new(9, 9, 1)]
+            } else {
+                vec![]
+            };
+            m.set_values_add::<U64Plus>(comm, mine, &mut timer);
+            let more = if comm.rank() == 1 {
+                vec![Triple::new(0, 0, 3u64)]
+            } else {
+                vec![]
+            };
+            m.set_values_add::<U64Plus>(comm, more, &mut timer);
+            let replace = if comm.rank() == 0 {
+                vec![Triple::new(9, 9, 100u64)]
+            } else {
+                vec![]
+            };
+            m.set_values_insert(comm, replace, &mut timer);
+            m.gather_to_root(comm)
+        });
+        let got = out.results[0].as_ref().unwrap();
+        assert_eq!(
+            got,
+            &vec![Triple::new(0, 0, 8u64), Triple::new(9, 9, 100)]
+        );
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let n: Index = 24;
+        let out = run(4, move |comm| {
+            let mut timer = PhaseTimer::new();
+            let feed = |s: u64| {
+                if comm.rank() == 0 {
+                    random_triples(s, n, 90)
+                } else {
+                    vec![]
+                }
+            };
+            let a = PetscMatrix::construct::<U64Plus>(comm, n, n, feed(5), &mut timer);
+            let b = PetscMatrix::construct::<U64Plus>(comm, n, n, feed(6), &mut timer);
+            let (c, _) = spgemm::<U64Plus>(comm, &a, &b, 2, &mut timer);
+            (
+                a.gather_to_root(comm),
+                b.gather_to_root(comm),
+                c.gather_to_root(comm),
+            )
+        });
+        let (a, b, c) = &out.results[0];
+        let da = Dense::from_triples::<U64Plus>(24, 24, a.as_ref().unwrap());
+        let db = Dense::from_triples::<U64Plus>(24, 24, b.as_ref().unwrap());
+        let dc = Dense::from_triples::<U64Plus>(24, 24, c.as_ref().unwrap());
+        assert_eq!(dc.diff(&da.matmul::<U64Plus>(&db)), vec![]);
+    }
+
+    #[test]
+    fn works_on_non_square_rank_counts() {
+        // 1D layout has no square-grid restriction.
+        let out = run(3, |comm| {
+            let mut timer = PhaseTimer::new();
+            let mine = random_triples(2 + comm.rank() as u64, 30, 40);
+            let m = PetscMatrix::construct::<U64Plus>(comm, 30, 30, mine, &mut timer);
+            m.global_nnz(comm)
+        });
+        assert!(out.results[0] > 0);
+        assert_eq!(out.results[0], out.results[1]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion microbenches of the DHB dynamic block: insert / lookup / delete
+//! against the standard-library map alternatives (the constant factors
+//! behind Figs. 4–5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dspgemm_sparse::{DhbMatrix, Index};
+use dspgemm_util::rng::{Rng, SplitMix64};
+use std::collections::{BTreeMap, HashMap};
+
+fn coords(seed: u64, n: Index, count: usize) -> Vec<(Index, Index)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(n as u64) as Index,
+                rng.gen_range(n as u64) as Index,
+            )
+        })
+        .collect()
+}
+
+fn bench_dhb(c: &mut Criterion) {
+    let n: Index = 8192;
+    let ops = coords(7, n, 100_000);
+    let mut group = c.benchmark_group("dhb");
+    group.sample_size(10);
+    group.bench_function("dhb_insert_100k", |b| {
+        b.iter(|| {
+            let mut m: DhbMatrix<f64> = DhbMatrix::new(n, n);
+            for &(r, cc) in &ops {
+                m.set(r, cc, 1.0);
+            }
+            m.nnz()
+        })
+    });
+    group.bench_function("hashmap_insert_100k", |b| {
+        b.iter(|| {
+            let mut m: HashMap<(Index, Index), f64> = HashMap::new();
+            for &(r, cc) in &ops {
+                m.insert((r, cc), 1.0);
+            }
+            m.len()
+        })
+    });
+    group.bench_function("btreemap_insert_100k", |b| {
+        b.iter(|| {
+            let mut m: BTreeMap<(Index, Index), f64> = BTreeMap::new();
+            for &(r, cc) in &ops {
+                m.insert((r, cc), 1.0);
+            }
+            m.len()
+        })
+    });
+    // Lookup-heavy phase on a populated matrix.
+    let mut m: DhbMatrix<f64> = DhbMatrix::new(n, n);
+    for &(r, cc) in &ops {
+        m.set(r, cc, 1.0);
+    }
+    let probes = coords(8, n, 100_000);
+    group.bench_function("dhb_lookup_100k", |b| {
+        b.iter(|| probes.iter().filter(|&&(r, cc)| m.get(r, cc).is_some()).count())
+    });
+    group.bench_function("dhb_delete_insert_churn", |b| {
+        b.iter(|| {
+            let mut m2 = m.clone();
+            for &(r, cc) in probes.iter().take(20_000) {
+                m2.remove(r, cc);
+                m2.set(cc, r, 2.0);
+            }
+            m2.nnz()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dhb);
+criterion_main!(benches);

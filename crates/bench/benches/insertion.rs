@@ -1,0 +1,37 @@
+//! Criterion bench of batch insertion (Fig. 4's core comparison): our
+//! dynamic structure vs the CombBLAS-style rebuild, one catalog proxy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspgemm_bench::experiments::updates::{ours_mean_batch, Mode};
+use dspgemm_bench::experiments::{prepare_instances, Prepared};
+use dspgemm_bench::Config;
+
+fn cfg() -> Config {
+    Config {
+        divisor: 16384,
+        p: 4,
+        threads: 1,
+        batches: 3,
+        instances: 1,
+        seed: 7,
+    }
+}
+
+fn bench_insertion(c: &mut Criterion) {
+    let cfg = cfg();
+    let instances = prepare_instances(&cfg);
+    let inst: &Prepared = &instances[0];
+    let mut group = c.benchmark_group("insertion");
+    group.sample_size(10);
+    for batch in [256usize, 2048] {
+        group.bench_with_input(
+            BenchmarkId::new("ours_dynamic", batch),
+            &batch,
+            |b, &batch| b.iter(|| ours_mean_batch(&cfg, inst, Mode::Insert, batch, cfg.p).0),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insertion);
+criterion_main!(benches);

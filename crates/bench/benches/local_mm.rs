@@ -1,0 +1,72 @@
+//! Criterion microbenches of the local SpGEMM kernels (the compute side of
+//! Fig. 9/10): plain Gustavson, Bloom-fused, pattern-only and masked.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspgemm_sparse::local_mm::{spgemm, spgemm_bloom, spgemm_pattern};
+use dspgemm_sparse::masked_mm::{masked_spgemm_bloom, MaskSet};
+use dspgemm_sparse::semiring::F64Plus;
+use dspgemm_sparse::{Csr, Dcsr, DhbMatrix, Index, Triple};
+use dspgemm_util::rng::{Rng, SplitMix64};
+
+fn random_triples(seed: u64, n: Index, count: usize) -> Vec<Triple<f64>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count)
+        .map(|_| {
+            Triple::new(
+                rng.gen_range(n as u64) as Index,
+                rng.gen_range(n as u64) as Index,
+                1.0,
+            )
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n: Index = 4096;
+    let nnz = 80_000;
+    let a = Csr::from_triples::<F64Plus>(n, n, random_triples(1, n, nnz));
+    let b = Csr::from_triples::<F64Plus>(n, n, random_triples(2, n, nnz));
+    let mut group = c.benchmark_group("local_mm");
+    group.sample_size(10);
+    group.bench_function("gustavson_csr_csr", |bench| {
+        bench.iter(|| spgemm::<F64Plus, _, _>(&a, &b, 1))
+    });
+    group.bench_function("gustavson_bloom", |bench| {
+        bench.iter(|| spgemm_bloom::<F64Plus, _, _>(&a, &b, 0, 1))
+    });
+    group.bench_function("pattern_only", |bench| {
+        bench.iter(|| spgemm_pattern(&a, &b, 0, 1))
+    });
+    // The Algorithm-1 shape: hypersparse left times dynamic right.
+    let a_star = Dcsr::from_triples::<F64Plus>(n, n, random_triples(3, n, 512));
+    let mut b_dyn = DhbMatrix::new(n, n);
+    for t in random_triples(4, n, nnz) {
+        b_dyn.set(t.row, t.col, t.val);
+    }
+    group.bench_function("hypersparse_times_dhb", |bench| {
+        bench.iter(|| spgemm::<F64Plus, _, _>(&a_star, &b_dyn, 1))
+    });
+    // Masked recomputation (Algorithm 2's local kernel).
+    let full = spgemm_bloom::<F64Plus, _, _>(&a, &b, 0, 1);
+    let half: Vec<_> = full.result.to_triples().into_iter().step_by(2).collect();
+    let mask_block = Dcsr::from_triples::<F64Plus>(
+        n,
+        n,
+        half.iter().map(|t| Triple::new(t.row, t.col, 0.0)).collect(),
+    );
+    let mask = MaskSet::from_pattern(&mask_block);
+    group.bench_function("masked_bloom", |bench| {
+        bench.iter(|| masked_spgemm_bloom::<F64Plus, _, _>(&a, &b, &mask, 0, 1))
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("gustavson_threads", threads),
+            &threads,
+            |bench, &t| bench.iter(|| spgemm::<F64Plus, _, _>(&a, &b, t)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

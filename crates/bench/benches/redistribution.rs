@@ -1,0 +1,76 @@
+//! Criterion bench of the §IV-B redistribution ablation: two-phase
+//! counting-sort alltoall (ours) vs comparison-sort global alltoall
+//! (CombBLAS-style), at p = 16 simulated ranks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspgemm_baselines::combblas::redistribute_global;
+use dspgemm_core::redistribute::redistribute;
+use dspgemm_core::Grid;
+use dspgemm_sparse::{Index, Triple};
+use dspgemm_util::rng::{Rng, SplitMix64};
+use dspgemm_util::stats::PhaseTimer;
+
+fn bench_redistribution(c: &mut Criterion) {
+    let n: Index = 1 << 16;
+    let p = 16;
+    let mut group = c.benchmark_group("redistribution");
+    group.sample_size(10);
+    for per_rank in [20_000usize, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("two_phase_counting", per_rank),
+            &per_rank,
+            |b, &per_rank| {
+                b.iter(|| {
+                    dspgemm_mpi::run(p, |comm| {
+                        let grid = Grid::new(comm);
+                        let mut rng = SplitMix64::derive(1, comm.rank() as u64);
+                        let mine: Vec<Triple<f64>> = (0..per_rank)
+                            .map(|_| {
+                                Triple::new(
+                                    rng.gen_range(n as u64) as Index,
+                                    rng.gen_range(n as u64) as Index,
+                                    1.0,
+                                )
+                            })
+                            .collect();
+                        let mut timer = PhaseTimer::new();
+                        redistribute(&grid, n, n, mine, &mut timer).len()
+                    })
+                    .results
+                    .iter()
+                    .sum::<usize>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("global_comparison", per_rank),
+            &per_rank,
+            |b, &per_rank| {
+                b.iter(|| {
+                    dspgemm_mpi::run(p, |comm| {
+                        let grid = Grid::new(comm);
+                        let mut rng = SplitMix64::derive(1, comm.rank() as u64);
+                        let mine: Vec<Triple<f64>> = (0..per_rank)
+                            .map(|_| {
+                                Triple::new(
+                                    rng.gen_range(n as u64) as Index,
+                                    rng.gen_range(n as u64) as Index,
+                                    1.0,
+                                )
+                            })
+                            .collect();
+                        let mut timer = PhaseTimer::new();
+                        redistribute_global(&grid, n, n, mine, &mut timer).len()
+                    })
+                    .results
+                    .iter()
+                    .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_redistribution);
+criterion_main!(benches);

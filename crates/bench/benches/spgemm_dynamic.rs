@@ -1,0 +1,40 @@
+//! Criterion bench of dynamic SpGEMM (Fig. 9's core comparison): Algorithm 1
+//! vs the static baselines, one catalog proxy, p = 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspgemm_bench::experiments::spgemm::{ours_algebraic, ours_general};
+use dspgemm_bench::experiments::{prepare_instances, Prepared};
+use dspgemm_bench::Config;
+
+fn cfg() -> Config {
+    Config {
+        divisor: 16384,
+        p: 4,
+        threads: 1,
+        batches: 3,
+        instances: 1,
+        seed: 7,
+    }
+}
+
+fn bench_spgemm(c: &mut Criterion) {
+    let cfg = cfg();
+    let instances = prepare_instances(&cfg);
+    let inst: &Prepared = &instances[0];
+    let mut group = c.benchmark_group("spgemm_dynamic");
+    group.sample_size(10);
+    for batch in [64usize, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("algebraic", batch),
+            &batch,
+            |b, &batch| b.iter(|| ours_algebraic(&cfg, inst, batch, cfg.p).0),
+        );
+        group.bench_with_input(BenchmarkId::new("general", batch), &batch, |b, &batch| {
+            b.iter(|| ours_general(&cfg, inst, batch, cfg.p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spgemm);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! cargo run -p dspgemm-bench --release --bin repro -- <experiment> [options]
+//!
+//! experiments:
+//!   table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b fig9 fig10 fig11 fig12
+//!   ablation-redist ablation-bloom ablation-agg
+//!   data        (= table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b)
+//!   spgemm      (= fig9 fig10 fig11 fig12)
+//!   ablations   (= the three ablations)
+//!   all         (= everything)
+//!
+//! options:
+//!   --divisor N    catalog scale-down divisor      (default 4096)
+//!   --p N          simulated MPI ranks             (default 16, square)
+//!   --threads N    intra-rank threads              (default 2)
+//!   --batches N    batches per instance            (default 10)
+//!   --instances N  catalog instances to run        (default 6, max 12)
+//!   --seed N       master seed                     (default fixed)
+//!   --smoke        tiny configuration for CI
+//! ```
+
+use dspgemm_bench::experiments::{ablations, construction, spgemm, table1, updates};
+use dspgemm_bench::Config;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablation-redist|ablation-bloom|ablation-agg|data|spgemm|ablations|all> [--divisor N] [--p N] [--threads N] [--batches N] [--instances N] [--seed N] [--smoke]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut cfg = Config::default();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--divisor" => {
+                cfg.divisor = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 1;
+            }
+            "--p" => {
+                cfg.p = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 1;
+            }
+            "--threads" => {
+                cfg.threads = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 1;
+            }
+            "--batches" => {
+                cfg.batches = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 1;
+            }
+            "--instances" => {
+                cfg.instances = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 1;
+            }
+            "--seed" => {
+                cfg.seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 1;
+            }
+            "--smoke" => {
+                cfg = Config::smoke();
+            }
+            other if !other.starts_with("--") => experiments.push(other.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        usage();
+    }
+    // Expand groups.
+    let mut expanded = Vec::new();
+    for e in experiments {
+        match e.as_str() {
+            "data" => expanded.extend(
+                ["table1", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b"]
+                    .map(String::from),
+            ),
+            "spgemm" => expanded.extend(["fig9", "fig10", "fig11", "fig12"].map(String::from)),
+            "ablations" => expanded.extend(
+                ["ablation-redist", "ablation-bloom", "ablation-agg"].map(String::from),
+            ),
+            "all" => expanded.extend(
+                [
+                    "table1", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8a",
+                    "fig8b", "fig9", "fig10", "fig11", "fig12", "ablation-redist",
+                    "ablation-bloom", "ablation-agg",
+                ]
+                .map(String::from),
+            ),
+            _ => expanded.push(e),
+        }
+    }
+    println!(
+        "# dspgemm repro — divisor={} p={} threads={} batches={} instances={} seed={:#x}",
+        cfg.divisor, cfg.p, cfg.threads, cfg.batches, cfg.instances, cfg.seed
+    );
+    for e in expanded {
+        let started = std::time::Instant::now();
+        let table = match e.as_str() {
+            "table1" => table1::run(&cfg),
+            "fig3" => construction::run(&cfg),
+            "fig4" => updates::batch_size_sweep(&cfg, updates::Mode::Insert),
+            "fig5a" => updates::batch_size_sweep(&cfg, updates::Mode::Update),
+            "fig5b" => updates::batch_size_sweep(&cfg, updates::Mode::Delete),
+            "fig6" => updates::fig6(&cfg),
+            "fig7" => updates::fig7(&cfg),
+            "fig8a" => updates::fig8(&cfg, false),
+            "fig8b" => updates::fig8(&cfg, true),
+            "fig9" => spgemm::fig9(&cfg),
+            "fig10" => spgemm::fig10(&cfg),
+            "fig11" => spgemm::fig11(&cfg),
+            "fig12" => spgemm::fig12(&cfg),
+            "ablation-redist" => ablations::redistribution(&cfg),
+            "ablation-bloom" => ablations::bloom_filter(&cfg),
+            "ablation-agg" => ablations::aggregation(&cfg),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                usage();
+            }
+        };
+        println!("{table}");
+        println!(
+            "  (experiment wall time: {:.1} s)\n",
+            started.elapsed().as_secs_f64()
+        );
+    }
+}

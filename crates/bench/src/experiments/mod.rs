@@ -1,0 +1,111 @@
+//! One module per group of paper artifacts.
+//!
+//! | module | paper artifacts |
+//! |---|---|
+//! | [`table1`] | Table I (instance list) |
+//! | [`construction`] | Fig. 2/3 (construction relative performance) |
+//! | [`updates`] | Fig. 4 (insertions), Fig. 5a/5b (updates/deletions), Fig. 6/7 (weak scaling + breakdown), Fig. 8a/8b (R-MAT scaling) |
+//! | [`spgemm`] | Fig. 9 (algebraic), Fig. 10 (general), Fig. 11/12 (scaling + breakdown) |
+//! | [`ablations`] | §IV-B redistribution claim, §V-A aggregation claim, §V-B Bloom claim |
+
+pub mod ablations;
+pub mod construction;
+pub mod spgemm;
+pub mod table1;
+pub mod updates;
+
+use crate::Config;
+use dspgemm_graph::catalog::{instances_scaled, InstanceSpec};
+use dspgemm_graph::perm::Permutation;
+use dspgemm_graph::Edge;
+use dspgemm_sparse::{Index, Triple};
+use dspgemm_util::rng::SplitMix64;
+
+/// A generated, permuted, symmetrized workload instance.
+pub struct Prepared {
+    /// Instance name (Table I).
+    pub name: &'static str,
+    /// Vertex count (matrix dimension).
+    pub n: Index,
+    /// Undirected non-zero stream (both directions), indices permuted.
+    pub edges: Vec<Edge>,
+}
+
+/// Generates the first `cfg.instances` catalog proxies with the paper's
+/// random index permutation applied (same permutation for every system).
+pub fn prepare_instances(cfg: &Config) -> Vec<Prepared> {
+    instances_scaled(cfg.divisor)
+        .into_iter()
+        .take(cfg.instances)
+        .map(|spec| prepare_one(&spec, cfg.seed))
+        .collect()
+}
+
+/// Generates one prepared instance.
+pub fn prepare_one(spec: &InstanceSpec, seed: u64) -> Prepared {
+    let mut edges = spec.undirected_edges();
+    let mut rng = SplitMix64::new(seed ^ spec.seed);
+    let perm = Permutation::random(spec.n as usize, &mut rng);
+    perm.apply_edges(&mut edges);
+    Prepared {
+        name: spec.name,
+        n: spec.n,
+        edges,
+    }
+}
+
+/// Round-robin slice of a shared edge list for one rank (models each rank
+/// generating its own share of the input).
+pub fn rank_slice(edges: &[Edge], rank: usize, p: usize) -> Vec<Edge> {
+    edges.iter().copied().skip(rank).step_by(p).collect()
+}
+
+/// Converts edges to unit-valued `f64` triples.
+pub fn edges_to_triples(edges: &[Edge]) -> Vec<Triple<f64>> {
+    edges.iter().map(|&(u, v)| Triple::new(u, v, 1.0)).collect()
+}
+
+/// Converts edges to weighted `f64` triples with deterministic weights in
+/// `1.0..10.0` derived from the coordinates (so every system sees identical
+/// values without sharing state).
+pub fn edges_to_weighted(edges: &[Edge]) -> Vec<Triple<f64>> {
+    edges
+        .iter()
+        .map(|&(u, v)| {
+            let h = dspgemm_util::hash::mix_pair(u, v);
+            Triple::new(u, v, 1.0 + (h % 9000) as f64 / 1000.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_is_deterministic_and_permuted() {
+        let cfg = Config::smoke();
+        let a = prepare_instances(&cfg);
+        let b = prepare_instances(&cfg);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].edges, b[0].edges);
+        assert!(a[0].edges.iter().all(|&(u, v)| u < a[0].n && v < a[0].n));
+    }
+
+    #[test]
+    fn rank_slices_partition() {
+        let edges: Vec<Edge> = (0..100u32).map(|i| (i, i)).collect();
+        let mut all: Vec<Edge> = (0..4).flat_map(|r| rank_slice(&edges, r, 4)).collect();
+        all.sort_unstable();
+        assert_eq!(all, edges);
+    }
+
+    #[test]
+    fn weights_deterministic_in_range() {
+        let e = vec![(1u32, 2u32), (3, 4)];
+        let w1 = edges_to_weighted(&e);
+        let w2 = edges_to_weighted(&e);
+        assert_eq!(w1, w2);
+        assert!(w1.iter().all(|t| t.val >= 1.0 && t.val < 10.0));
+    }
+}

@@ -1,0 +1,140 @@
+//! Timing collectives inside the simulator.
+//!
+//! Wall time of a collective operation is measured on rank 0 between two
+//! barriers: the entry barrier aligns all ranks (so set-up skew does not
+//! leak in) and the exit barrier waits for the slowest rank (the paper's
+//! times are end-to-end batch times, i.e. critical path).
+
+use dspgemm_mpi::{Comm, CommStats};
+use std::time::{Duration, Instant};
+
+/// Modeled interconnect bandwidth: the paper's cluster uses 100 GBit
+/// Omni-Path; 12.5 GB/s per link.
+pub const MODEL_BANDWIDTH_BYTES_PER_SEC: f64 = 12.5e9;
+
+/// Modeled per-message latency (switched fabric, small messages).
+pub const MODEL_LATENCY: Duration = Duration::from_micros(1);
+
+/// A measured batch: local wall time plus the exact traffic it generated.
+#[derive(Debug, Clone)]
+pub struct BatchCost {
+    /// Measured wall time (local computation dominates in the simulator).
+    pub wall: Duration,
+    /// Critical-path bytes: the maximum sent by any single rank.
+    pub crit_bytes: u64,
+    /// Total messages.
+    pub msgs: u64,
+}
+
+impl BatchCost {
+    /// Wall time plus a simple α-β network model for the metered traffic.
+    ///
+    /// The simulator moves payloads by pointer, so measured wall time
+    /// excludes network transfer almost entirely; adding
+    /// `crit_bytes / bandwidth + msgs·α` restores the cost a real cluster
+    /// pays — the cost the paper's dynamic algorithms are designed to avoid.
+    pub fn modeled(&self) -> Duration {
+        let transfer =
+            Duration::from_secs_f64(self.crit_bytes as f64 / MODEL_BANDWIDTH_BYTES_PER_SEC);
+        self.wall + transfer + MODEL_LATENCY * self.msgs as u32
+    }
+}
+
+/// Times `op` as a collective and captures the traffic delta it caused
+/// (entry/exit barriers make the snapshot exact; barrier control messages
+/// are excluded from the delta by subtracting their category).
+pub fn measured_collective<R>(comm: &Comm, op: impl FnOnce() -> R) -> (R, BatchCost) {
+    comm.barrier();
+    let before: CommStats = comm.comm_stats();
+    let t = Instant::now();
+    let r = op();
+    comm.barrier();
+    let wall = t.elapsed();
+    let after: CommStats = comm.comm_stats();
+    let delta = after.delta_since(&before);
+    let barrier_msgs = delta.msgs_in(dspgemm_mpi::CommCategory::Barrier);
+    (
+        r,
+        BatchCost {
+            wall,
+            crit_bytes: delta.max_rank_bytes(),
+            msgs: delta.total_msgs().saturating_sub(barrier_msgs),
+        },
+    )
+}
+
+/// Median of batch costs, component-wise (robust on a noisy host).
+pub fn median_cost(costs: &[BatchCost]) -> BatchCost {
+    BatchCost {
+        wall: median(&costs.iter().map(|c| c.wall).collect::<Vec<_>>()),
+        crit_bytes: {
+            let mut v: Vec<u64> = costs.iter().map(|c| c.crit_bytes).collect();
+            v.sort_unstable();
+            v.get(v.len() / 2).copied().unwrap_or(0)
+        },
+        msgs: {
+            let mut v: Vec<u64> = costs.iter().map(|c| c.msgs).collect();
+            v.sort_unstable();
+            v.get(v.len() / 2).copied().unwrap_or(0)
+        },
+    }
+}
+
+/// Times `op` as a collective: barrier, run, barrier; returns the duration
+/// measured on this rank (all ranks observe nearly the same value; use rank
+/// 0's).
+pub fn timed_collective<R>(comm: &Comm, op: impl FnOnce() -> R) -> (R, Duration) {
+    comm.barrier();
+    let t = Instant::now();
+    let r = op();
+    comm.barrier();
+    (r, t.elapsed())
+}
+
+/// Mean duration of a slice.
+pub fn mean(durations: &[Duration]) -> Duration {
+    if durations.is_empty() {
+        return Duration::ZERO;
+    }
+    durations.iter().sum::<Duration>() / durations.len() as u32
+}
+
+/// Median duration of a slice — the robust per-batch aggregate on an
+/// oversubscribed host, where a descheduled rank occasionally inflates a
+/// single batch by an order of magnitude.
+pub fn median(durations: &[Duration]) -> Duration {
+    if durations.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut v = durations.to_vec();
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_collective_reports_slowest_rank() {
+        let out = dspgemm_mpi::run(4, |comm| {
+            let (_, d) = timed_collective(comm, || {
+                if comm.rank() == 3 {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+            });
+            d
+        });
+        // Every rank's measurement includes the slow rank's 30 ms.
+        assert!(out.results.iter().all(|d| *d >= Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn mean_of_durations() {
+        assert_eq!(
+            mean(&[Duration::from_millis(2), Duration::from_millis(4)]),
+            Duration::from_millis(3)
+        );
+        assert_eq!(mean(&[]), Duration::ZERO);
+    }
+}

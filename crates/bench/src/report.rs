@@ -1,0 +1,110 @@
+//! Result tables and series printing.
+
+use std::fmt::Write as _;
+
+/// A printable result table: named columns, string cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption (e.g. `Figure 4: mean insertion performance`).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (must match `columns` in length).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes (e.g. "CTF at least 55× slower").
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "cell count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("|");
+            for (w, cell) in widths.iter().zip(cells) {
+                let _ = write!(s, " {cell:>w$} |", w = w);
+            }
+            let _ = writeln!(out, "{s}");
+        };
+        line(&mut out, &self.columns);
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  * {n}");
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a millisecond value.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a ratio (speedup factor).
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("test", &["a", "long-column"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["100".into(), "20000".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("== test =="));
+        assert!(s.contains("long-column"));
+        assert!(s.contains("* a note"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len(), "rows aligned");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+}

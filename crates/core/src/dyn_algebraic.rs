@@ -1,0 +1,623 @@
+//! Algorithm 1: MPI-parallel dynamic SpGEMM for algebraic updates.
+//!
+//! Given `A' = A + A*` and `B' = B + B*` (sums in the SpGEMM semiring), the
+//! distributive law gives
+//!
+//! ```text
+//! C' = C + C*,   C* := A*·B' + A·B*              (Eq. 1)
+//! ```
+//!
+//! The algorithm computes `C*` **without broadcasting `A` or `B'`** — only
+//! the hypersparse update blocks move:
+//!
+//! 1. process `(i,j)` sends `A*_{i,j}` and `B*_{i,j}` to its transposed peer
+//!    `(j,i)` (one point-to-point round so the later broadcasts can run in
+//!    parallel — Fig. 1a);
+//! 2. `√p` rounds: in round `k`, `A*_{k,i}` is broadcast over process row
+//!    `i` and `B*_{j,k}` over process column `j`; every rank multiplies
+//!    locally (`Xⁱ_{k,j} = A*_{k,i}·B'_{i,j}` and `Yʲ_{i,k} = A_{i,j}·B*_{j,k}`,
+//!    Fig. 1b);
+//! 3. partial blocks are **aggregated non-locally**: `Xⁱ_{k,j}` reduces over
+//!    column `j` onto process `(k,j)`, `Yʲ_{i,k}` over row `i` onto `(i,k)`
+//!    (Fig. 1c) — a sparse merge-reduction, the price paid for not moving
+//!    the big operands.
+//!
+//! Communication volume: `O(max(nnz(A*)+nnz(B*), nnz(C*))/√p)` versus
+//! SUMMA's `O((nnz(A)+nnz(B'))/√p)` — the whole point of the paper.
+//!
+//! The module is generic over an [`XYKernel`] so the identical communication
+//! structure also serves the Bloom-fused variant (engine sessions that
+//! maintain the filter matrix `F`) and `COMPUTE_PATTERN` of Algorithm 2.
+
+use crate::distmat::{DistDcsr, DistMat, Elem};
+use crate::grid::{block_range, Grid};
+use crate::phase;
+use crate::update::{apply_add, build_update_matrix, Dedup};
+use dspgemm_sparse::local_mm::{spgemm, spgemm_bloom, spgemm_pattern, MmOutput};
+use dspgemm_sparse::semiring::Semiring;
+use dspgemm_sparse::{Dcsr, DhbMatrix, Index, RowScan, Triple};
+use dspgemm_util::stats::PhaseTimer;
+
+/// The local multiply/merge flavor plugged into the round structure.
+pub trait XYKernel<S: Semiring>: 'static {
+    /// Partial-block element type.
+    type Out: Elem;
+
+    /// `X = A*_{k,i} · B'_{i,j}` (hypersparse left, dynamic right).
+    fn mul_x(
+        a_star: &Dcsr<S::Elem>,
+        b_new: &DhbMatrix<S::Elem>,
+        k_offset: Index,
+        threads: usize,
+    ) -> MmOutput<Self::Out>;
+
+    /// `Y = A_{i,j} · B*_{j,k}` (dynamic left, hypersparse right via the
+    /// O(1) row-reader adapter).
+    fn mul_y(
+        a_old: &DhbMatrix<S::Elem>,
+        b_star: &Dcsr<S::Elem>,
+        k_offset: Index,
+        threads: usize,
+    ) -> MmOutput<Self::Out>;
+
+    /// Combines coinciding entries during aggregation.
+    fn merge(a: Self::Out, b: Self::Out) -> Self::Out;
+}
+
+/// Values only — the production algebraic path.
+#[derive(Debug)]
+pub struct PlainKernel;
+
+impl<S: Semiring> XYKernel<S> for PlainKernel {
+    type Out = S::Elem;
+
+    fn mul_x(
+        a_star: &Dcsr<S::Elem>,
+        b_new: &DhbMatrix<S::Elem>,
+        _k_offset: Index,
+        threads: usize,
+    ) -> MmOutput<S::Elem> {
+        spgemm::<S, _, _>(a_star, b_new, threads)
+    }
+
+    fn mul_y(
+        a_old: &DhbMatrix<S::Elem>,
+        b_star: &Dcsr<S::Elem>,
+        _k_offset: Index,
+        threads: usize,
+    ) -> MmOutput<S::Elem> {
+        spgemm::<S, _, _>(a_old, &b_star.row_reader(), threads)
+    }
+
+    fn merge(a: S::Elem, b: S::Elem) -> S::Elem {
+        S::add(a, b)
+    }
+}
+
+/// Values fused with Bloom bitfields — for engine sessions maintaining `F`.
+#[derive(Debug)]
+pub struct BloomKernel;
+
+impl<S: Semiring> XYKernel<S> for BloomKernel {
+    type Out = (S::Elem, u64);
+
+    fn mul_x(
+        a_star: &Dcsr<S::Elem>,
+        b_new: &DhbMatrix<S::Elem>,
+        k_offset: Index,
+        threads: usize,
+    ) -> MmOutput<(S::Elem, u64)> {
+        spgemm_bloom::<S, _, _>(a_star, b_new, k_offset, threads)
+    }
+
+    fn mul_y(
+        a_old: &DhbMatrix<S::Elem>,
+        b_star: &Dcsr<S::Elem>,
+        k_offset: Index,
+        threads: usize,
+    ) -> MmOutput<(S::Elem, u64)> {
+        spgemm_bloom::<S, _, _>(a_old, &b_star.row_reader(), k_offset, threads)
+    }
+
+    fn merge(a: (S::Elem, u64), b: (S::Elem, u64)) -> (S::Elem, u64) {
+        (S::add(a.0, b.0), a.1 | b.1)
+    }
+}
+
+/// Structure + Bloom bits only, no values — `COMPUTE_PATTERN` of Algorithm 2.
+#[derive(Debug)]
+pub struct PatternKernel;
+
+impl<S: Semiring> XYKernel<S> for PatternKernel {
+    type Out = u64;
+
+    fn mul_x(
+        a_star: &Dcsr<S::Elem>,
+        b_new: &DhbMatrix<S::Elem>,
+        k_offset: Index,
+        threads: usize,
+    ) -> MmOutput<u64> {
+        spgemm_pattern(a_star, b_new, k_offset, threads)
+    }
+
+    fn mul_y(
+        a_old: &DhbMatrix<S::Elem>,
+        b_star: &Dcsr<S::Elem>,
+        k_offset: Index,
+        threads: usize,
+    ) -> MmOutput<u64> {
+        spgemm_pattern(a_old, &b_star.row_reader(), k_offset, threads)
+    }
+
+    fn merge(a: u64, b: u64) -> u64 {
+        a | b
+    }
+}
+
+/// Runs the transpose exchange, `√p` broadcast rounds, local multiplications
+/// and sparse merge-reductions of Algorithm 1, returning this rank's block
+/// of `C* = A*·B' + A·B*` plus the local flop count. Collective over the
+/// grid.
+///
+/// Inputs obey Eq. 1's timing: `a_old` is `A` *before* its updates, `b_new`
+/// is `B'` *after* its updates.
+pub fn compute_cstar<S: Semiring, K: XYKernel<S>>(
+    grid: &Grid,
+    a_old: &DistMat<S::Elem>,
+    b_new: &DistMat<S::Elem>,
+    a_star: &DistDcsr<S::Elem>,
+    b_star: &DistDcsr<S::Elem>,
+    threads: usize,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<K::Out>, u64) {
+    let q = grid.q();
+    let (i, j) = grid.coords();
+    let inner = a_old.info().ncols; // contraction dimension (= B rows)
+    let my_block_rows = a_old.info().local_rows();
+    let my_block_cols = b_new.info().local_cols();
+
+    // Empty-side elision: a globally empty update matrix contributes nothing
+    // to Eq. 1, so its whole pass (transpose send, broadcasts, multiplies,
+    // reductions) is skipped. The decision is collective-safe because it is
+    // made from the allreduced global nnz, agreed on all ranks. This is the
+    // common case in the paper's Fig. 9 protocol, where `B` is static.
+    let (a_star_nnz, b_star_nnz) = {
+        let both = grid.world().allreduce(
+            [a_star.local_nnz() as u64, b_star.local_nnz() as u64],
+            |x, y| [x[0] + y[0], x[1] + y[1]],
+        );
+        (both[0], both[1])
+    };
+
+    // Step 1: transpose exchange — A*_{i,j} to (j,i); likewise B*.
+    const TAG_AT: u64 = 101;
+    const TAG_BT: u64 = 102;
+    let peer = grid.transpose_rank();
+    let at_blk: Option<Dcsr<S::Elem>> = timer.time(phase::SEND_RECV, || {
+        if a_star_nnz == 0 {
+            None
+        } else if peer == grid.world().rank() {
+            Some(a_star.block().clone())
+        } else {
+            Some(
+                grid.world()
+                    .sendrecv(peer, a_star.block().clone(), peer, TAG_AT),
+            )
+        }
+    });
+    let bt_blk: Option<Dcsr<S::Elem>> = timer.time(phase::SEND_RECV, || {
+        if b_star_nnz == 0 {
+            None
+        } else if peer == grid.world().rank() {
+            Some(b_star.block().clone())
+        } else {
+            Some(
+                grid.world()
+                    .sendrecv(peer, b_star.block().clone(), peer, TAG_BT),
+            )
+        }
+    });
+
+    // Step 2 + 3: √p rounds of broadcasts, local multiplies, aggregation.
+    let mut flops = 0u64;
+    let mut x_mine: Option<Dcsr<K::Out>> = None;
+    let mut y_mine: Option<Dcsr<K::Out>> = None;
+    for k in 0..q {
+        // X pass: broadcast A*_{k,i} over process row i (its holder after
+        // the transpose exchange is (i,k), i.e. row-comm member k),
+        // multiply into B', reduce onto (k,j) via column j.
+        if let Some(at) = &at_blk {
+            let a_bcast: Dcsr<S::Elem> = timer.time(phase::BCAST, || {
+                grid.row_comm()
+                    .bcast(k, if j == k { Some(at.clone()) } else { None })
+            });
+            let x_part = timer.time(phase::LOCAL_MULT, || {
+                K::mul_x(
+                    &a_bcast,
+                    b_new.block(),
+                    block_range(inner, q, i).start,
+                    threads,
+                )
+            });
+            flops += x_part.flops;
+            let x_red = timer.time(phase::REDUCE_SCATTER, || {
+                grid.col_comm()
+                    .reduce(k, x_part.result, |a, b| Dcsr::merge_with(&a, &b, K::merge))
+            });
+            if let Some(x) = x_red {
+                debug_assert_eq!(i, k);
+                x_mine = Some(x);
+            }
+        }
+        // Y pass: broadcast B*_{j,k} over process column j (holder (k,j) =
+        // col-comm member k), multiply from A, reduce onto (i,k) via row i.
+        if let Some(bt) = &bt_blk {
+            let b_bcast: Dcsr<S::Elem> = timer.time(phase::BCAST, || {
+                grid.col_comm()
+                    .bcast(k, if i == k { Some(bt.clone()) } else { None })
+            });
+            let y_part = timer.time(phase::LOCAL_MULT, || {
+                K::mul_y(
+                    a_old.block(),
+                    &b_bcast,
+                    block_range(inner, q, j).start,
+                    threads,
+                )
+            });
+            flops += y_part.flops;
+            let y_red = timer.time(phase::REDUCE_SCATTER, || {
+                grid.row_comm()
+                    .reduce(k, y_part.result, |a, b| Dcsr::merge_with(&a, &b, K::merge))
+            });
+            if let Some(y) = y_red {
+                debug_assert_eq!(j, k);
+                y_mine = Some(y);
+            }
+        }
+    }
+    let cstar = match (x_mine, y_mine) {
+        (Some(x), Some(y)) => Dcsr::merge_with(&x, &y, K::merge),
+        (Some(x), None) => x,
+        (None, Some(y)) => y,
+        (None, None) => Dcsr::empty(my_block_rows, my_block_cols),
+    };
+    (cstar, flops)
+}
+
+/// Full algebraic-update step on an `(A, B, C)` triple: builds the update
+/// matrices from globally-indexed tuples, applies them, and patches `C` via
+/// Algorithm 1. Returns the local flop count. Collective over the grid.
+pub fn apply_algebraic_updates<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    b: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    a_tuples: Vec<Triple<S::Elem>>,
+    b_tuples: Vec<Triple<S::Elem>>,
+    threads: usize,
+    timer: &mut PhaseTimer,
+) -> u64 {
+    let (a_star, b_star) = timer.time(phase::SCATTER, || {
+        let mut inner = PhaseTimer::new();
+        let a_star = build_update_matrix::<S>(
+            grid,
+            a.info().nrows,
+            a.info().ncols,
+            a_tuples,
+            Dedup::Add,
+            &mut inner,
+        );
+        let b_star = build_update_matrix::<S>(
+            grid,
+            b.info().nrows,
+            b.info().ncols,
+            b_tuples,
+            Dedup::Add,
+            &mut inner,
+        );
+        (a_star, b_star)
+    });
+
+    // Eq. 1 ordering: B must be B' during the multiplication, A must still
+    // be the old A.
+    timer.time(phase::LOCAL_UPDATE, || {
+        apply_add::<S>(b, &b_star, threads);
+    });
+    let (cstar, flops) =
+        compute_cstar::<S, PlainKernel>(grid, a, b, &a_star, &b_star, threads, timer);
+    timer.time(phase::LOCAL_UPDATE, || {
+        apply_add::<S>(a, &a_star, threads);
+        let block = c.block_mut();
+        cstar.scan_rows(|r, cols, vals| {
+            for (&cc, &v) in cols.iter().zip(vals) {
+                block.add_entry::<S>(r, cc, v);
+            }
+        });
+    });
+    flops
+}
+
+/// Algebraic-update step that also maintains the Bloom filter matrix `F`
+/// (required when general updates may follow). Identical communication
+/// structure; partial blocks carry `(value, bitfield)` pairs.
+pub fn apply_algebraic_updates_tracked<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    b: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    f: &mut DistMat<u64>,
+    a_tuples: Vec<Triple<S::Elem>>,
+    b_tuples: Vec<Triple<S::Elem>>,
+    threads: usize,
+    timer: &mut PhaseTimer,
+) -> u64 {
+    let (a_star, b_star) = timer.time(phase::SCATTER, || {
+        let mut inner = PhaseTimer::new();
+        let a_star = build_update_matrix::<S>(
+            grid,
+            a.info().nrows,
+            a.info().ncols,
+            a_tuples,
+            Dedup::Add,
+            &mut inner,
+        );
+        let b_star = build_update_matrix::<S>(
+            grid,
+            b.info().nrows,
+            b.info().ncols,
+            b_tuples,
+            Dedup::Add,
+            &mut inner,
+        );
+        (a_star, b_star)
+    });
+    timer.time(phase::LOCAL_UPDATE, || {
+        apply_add::<S>(b, &b_star, threads);
+    });
+    let (cstar, flops) =
+        compute_cstar::<S, BloomKernel>(grid, a, b, &a_star, &b_star, threads, timer);
+    timer.time(phase::LOCAL_UPDATE, || {
+        apply_add::<S>(a, &a_star, threads);
+        let c_block = c.block_mut();
+        let f_block = f.block_mut();
+        cstar.scan_rows(|r, cols, vals| {
+            for (&cc, &(v, bits)) in cols.iter().zip(vals) {
+                c_block.add_entry::<S>(r, cc, v);
+                f_block.combine_entry(r, cc, bits, |x, y| x | y);
+            }
+        });
+    });
+    flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summa::summa;
+    use dspgemm_mpi::run;
+    use dspgemm_sparse::dense::Dense;
+    use dspgemm_sparse::semiring::U64Plus;
+    use dspgemm_util::rng::{Rng, SplitMix64};
+
+    fn random_triples(seed: u64, n: Index, count: usize) -> Vec<Triple<u64>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..count)
+            .map(|_| {
+                Triple::new(
+                    rng.gen_range(n as u64) as Index,
+                    rng.gen_range(n as u64) as Index,
+                    rng.gen_range(5) + 1,
+                )
+            })
+            .collect()
+    }
+
+    /// End-to-end: dynamic result after several batches must equal a static
+    /// recomputation of A'·B' from scratch.
+    fn check_dynamic_equals_static(p: usize, n: Index, batches: usize) {
+        let out = run(p, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let feed = |s: u64, count: usize| {
+                if comm.rank() == 0 {
+                    random_triples(s, n, count)
+                } else {
+                    vec![]
+                }
+            };
+            let mut a =
+                DistMat::from_global_triples(&grid, n, n, feed(1, 80), 2, &mut timer);
+            let mut b =
+                DistMat::from_global_triples(&grid, n, n, feed(2, 80), 2, &mut timer);
+            let (mut c, _) = summa::<U64Plus>(&grid, &a, &b, 2, &mut timer);
+            for round in 0..batches as u64 {
+                // Every rank contributes its own update tuples.
+                let a_ups = random_triples(100 + round * 7 + comm.rank() as u64, n, 15);
+                let b_ups = random_triples(500 + round * 7 + comm.rank() as u64, n, 15);
+                apply_algebraic_updates::<U64Plus>(
+                    &grid, &mut a, &mut b, &mut c, a_ups, b_ups, 2, &mut timer,
+                );
+            }
+            // Static recomputation from the final A', B'.
+            let (c_static, _) = summa::<U64Plus>(&grid, &a, &b, 2, &mut timer);
+            (
+                c.gather_to_root(comm),
+                c_static.gather_to_root(comm),
+                a.gather_to_root(comm),
+                b.gather_to_root(comm),
+            )
+        });
+        let (c_dyn, c_static, a_fin, b_fin) = &out.results[0];
+        let c_dyn = c_dyn.as_ref().unwrap();
+        let c_static = c_static.as_ref().unwrap();
+        let n_us = n;
+        let dd = Dense::from_triples::<U64Plus>(n_us, n_us, c_dyn);
+        let ds = Dense::from_triples::<U64Plus>(n_us, n_us, c_static);
+        assert_eq!(dd.diff(&ds), vec![], "p={p}: dynamic != static");
+        // Also check against a fully independent dense reference.
+        let da = Dense::from_triples::<U64Plus>(n_us, n_us, a_fin.as_ref().unwrap());
+        let db = Dense::from_triples::<U64Plus>(n_us, n_us, b_fin.as_ref().unwrap());
+        let dref = da.matmul::<U64Plus>(&db);
+        assert_eq!(dd.diff(&dref), vec![], "p={p}: dynamic != dense reference");
+    }
+
+    #[test]
+    fn dynamic_equals_static_p1() {
+        check_dynamic_equals_static(1, 24, 3);
+    }
+
+    #[test]
+    fn dynamic_equals_static_p4() {
+        check_dynamic_equals_static(4, 24, 3);
+    }
+
+    #[test]
+    fn dynamic_equals_static_p9() {
+        check_dynamic_equals_static(9, 30, 2);
+    }
+
+    #[test]
+    fn tracked_variant_matches_plain_and_fills_f() {
+        let n: Index = 20;
+        let out = run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let feed = |s: u64| {
+                if comm.rank() == 0 {
+                    random_triples(s, n, 60)
+                } else {
+                    vec![]
+                }
+            };
+            let mut a = DistMat::from_global_triples(&grid, n, n, feed(11), 1, &mut timer);
+            let mut b = DistMat::from_global_triples(&grid, n, n, feed(12), 1, &mut timer);
+            let (mut c, mut f, _) =
+                crate::summa::summa_bloom::<U64Plus>(&grid, &a, &b, 1, &mut timer);
+            let mut a2 = a.clone();
+            let mut b2 = b.clone();
+            let mut c2 = c.clone();
+            let a_ups = random_triples(31 + comm.rank() as u64, n, 10);
+            let b_ups = random_triples(41 + comm.rank() as u64, n, 10);
+            apply_algebraic_updates_tracked::<U64Plus>(
+                &grid,
+                &mut a,
+                &mut b,
+                &mut c,
+                &mut f,
+                a_ups.clone(),
+                b_ups.clone(),
+                1,
+                &mut timer,
+            );
+            apply_algebraic_updates::<U64Plus>(
+                &grid, &mut a2, &mut b2, &mut c2, a_ups, b_ups, 1, &mut timer,
+            );
+            // C identical either way; F covers C's pattern.
+            let ct = c.to_global_triples();
+            let ft = f.to_global_triples();
+            let same_c = c.gather_to_root(comm) == c2.gather_to_root(comm);
+            let f_keys: std::collections::BTreeSet<_> =
+                ft.iter().map(|t| (t.row, t.col)).collect();
+            let covers = ct.iter().all(|t| f_keys.contains(&(t.row, t.col)));
+            (same_c, covers)
+        });
+        assert!(out.results.iter().all(|&(s, c)| s && c));
+    }
+
+    #[test]
+    fn empty_updates_are_noops() {
+        let n: Index = 16;
+        let out = run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let t = if comm.rank() == 0 {
+                random_triples(3, n, 50)
+            } else {
+                vec![]
+            };
+            let mut a = DistMat::from_global_triples(&grid, n, n, t, 1, &mut timer);
+            let mut b = a.clone();
+            let (mut c, _) = summa::<U64Plus>(&grid, &a, &b, 1, &mut timer);
+            let before = c.gather_to_root(comm);
+            apply_algebraic_updates::<U64Plus>(
+                &grid,
+                &mut a,
+                &mut b,
+                &mut c,
+                vec![],
+                vec![],
+                1,
+                &mut timer,
+            );
+            before == c.gather_to_root(comm)
+        });
+        assert!(out.results.iter().all(|&x| x));
+    }
+
+    /// The headline property: dynamic updates move far fewer bytes than a
+    /// static SUMMA recomputation when updates are hypersparse.
+    #[test]
+    fn dynamic_volume_below_static_recompute() {
+        let n: Index = 128;
+        let nnz_initial = 4000;
+        let batch = 8; // hypersparse update
+        let dynamic = run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let t = if comm.rank() == 0 {
+                random_triples(21, n, nnz_initial)
+            } else {
+                vec![]
+            };
+            let mut a = DistMat::from_global_triples(&grid, n, n, t.clone(), 1, &mut timer);
+            let mut b = DistMat::from_global_triples(&grid, n, n, t, 1, &mut timer);
+            let (mut c, _) = summa::<U64Plus>(&grid, &a, &b, 1, &mut timer);
+            let before = dspgemm_mpi::CommCategory::all();
+            let _ = before;
+            // Measure only the update step: reset via snapshot is not
+            // available inside; instead, run the update and report the
+            // volume of the whole run minus a baseline run (handled by the
+            // caller comparing totals of two runs that differ only in the
+            // update step).
+            let ups = random_triples(77 + comm.rank() as u64, n, batch);
+            apply_algebraic_updates::<U64Plus>(
+                &grid, &mut a, &mut b, &mut c, ups, vec![], 1, &mut timer,
+            );
+            c.local_nnz()
+        });
+        let static_rerun = run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let t = if comm.rank() == 0 {
+                random_triples(21, n, nnz_initial)
+            } else {
+                vec![]
+            };
+            let mut a = DistMat::from_global_triples(&grid, n, n, t.clone(), 1, &mut timer);
+            let b = DistMat::from_global_triples(&grid, n, n, t, 1, &mut timer);
+            let (c0, _) = summa::<U64Plus>(&grid, &a, &b, 1, &mut timer);
+            // Static strategy: apply updates, recompute from scratch.
+            let ups = random_triples(77 + comm.rank() as u64, n, batch);
+            let a_star = build_update_matrix::<U64Plus>(
+                &grid,
+                n,
+                n,
+                ups,
+                Dedup::Add,
+                &mut timer,
+            );
+            apply_add::<U64Plus>(&mut a, &a_star, 1);
+            let (c1, _) = summa::<U64Plus>(&grid, &a, &b, 1, &mut timer);
+            let _ = (c0, c1);
+            0usize
+        });
+        // Both runs share construction + initial SUMMA; the static rerun adds
+        // a full SUMMA, the dynamic run adds Algorithm 1. Compare totals.
+        assert!(
+            dynamic.stats.total_bytes() < static_rerun.stats.total_bytes(),
+            "dynamic {} >= static {}",
+            dynamic.stats.total_bytes(),
+            static_rerun.stats.total_bytes()
+        );
+    }
+}

@@ -1,0 +1,541 @@
+//! Algorithm 2: MPI-parallel dynamic SpGEMM for general updates.
+//!
+//! General updates are "incompatible" with the semiring — deletions, value
+//! increases under `(min, +)`, unsetting under `(∨, ∧)` — so `C'` cannot be
+//! patched additively. But `C'` can only differ from `C` at positions that
+//! are non-zero in `C* = A*·B' + A·B*` (structurally), so the algorithm
+//! *recomputes exactly those positions*, pruning everything else:
+//!
+//! 1. `COMPUTE_PATTERN` — the Algorithm-1 machinery with the pattern kernel
+//!    produces each rank's block of `C*`'s sparsity pattern together with
+//!    the Bloom filter `F*` of contributing inner indices;
+//! 2. `E = (F ⊕ F*) masked at C*`, reduced bitwise-or over each process row
+//!    into the per-row filter vector `R`;
+//! 3. `A^R` — the rows `i` of `A'` with `r_i ≠ 0`, keeping only columns `k`
+//!    whose bit `k mod 64` is set in `r_i` (a *superset* of what is needed:
+//!    Bloom filters have no false negatives, so nothing required is lost);
+//! 4. a masked SUMMA-like pass broadcasts `A^R` over rows and `C*` over
+//!    columns, recomputes `Z = A^R·B'` masked at `C*` (with updated filter
+//!    `H`), and merge-reduces partials onto the owners;
+//! 5. locally, `Z` replaces the masked entries of `C` (absent ⇒ the entry
+//!    became structurally zero ⇒ delete), and `H` replaces them in `F`.
+
+use crate::distmat::{DistDcsr, DistMat, Elem};
+use crate::dyn_algebraic::{compute_cstar, PatternKernel};
+use crate::grid::{block_range, Grid};
+use crate::phase;
+use crate::update::{apply_mask, apply_merge, build_update_matrix, Dedup};
+use dspgemm_sparse::bloom::row_or_reduce;
+use dspgemm_sparse::masked_mm::{masked_spgemm_bloom, MaskSet};
+use dspgemm_sparse::ops::extract_filtered;
+use dspgemm_sparse::semiring::Semiring;
+use dspgemm_sparse::{Dcsr, Index, RowScan, Triple};
+use dspgemm_util::hash::FxHashMap;
+use dspgemm_util::stats::PhaseTimer;
+
+/// A batch of general updates with global indices: value writes (`sets`)
+/// and structural deletions (`deletes`).
+#[derive(Debug, Clone, Default)]
+pub struct GeneralUpdates<V> {
+    /// `(i, j, x)`: set position `(i, j)` to `x` (insert or overwrite).
+    pub sets: Vec<Triple<V>>,
+    /// Positions to remove.
+    pub deletes: Vec<(Index, Index)>,
+}
+
+impl<V: Elem> GeneralUpdates<V> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self {
+            sets: Vec::new(),
+            deletes: Vec::new(),
+        }
+    }
+
+    /// Total number of update tuples.
+    pub fn len(&self) -> usize {
+        self.sets.len() + self.deletes.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// Distributed update-matrix pair for one operand: the MERGE matrix (sets),
+/// the MASK matrix (deletes) and the combined structural pattern `A*`.
+struct OperandUpdate<V> {
+    set_mat: DistDcsr<V>,
+    del_mat: DistDcsr<V>,
+    star: DistDcsr<V>,
+}
+
+fn build_operand_update<S: Semiring>(
+    grid: &Grid,
+    nrows: Index,
+    ncols: Index,
+    upd: GeneralUpdates<S::Elem>,
+    timer: &mut PhaseTimer,
+) -> OperandUpdate<S::Elem> {
+    let del_tuples: Vec<Triple<S::Elem>> = upd
+        .deletes
+        .iter()
+        .map(|&(r, c)| Triple::new(r, c, S::zero()))
+        .collect();
+    let set_mat =
+        build_update_matrix::<S>(grid, nrows, ncols, upd.sets, Dedup::LastWins, timer);
+    let del_mat =
+        build_update_matrix::<S>(grid, nrows, ncols, del_tuples, Dedup::LastWins, timer);
+    // A* = sets ∪ deletes structurally (deletions "add a structural non-zero
+    // to A* to indicate that the corresponding entries have changed").
+    let star_block = Dcsr::merge_with(set_mat.block(), del_mat.block(), |a, _| a);
+    let star = DistDcsr::from_block(grid, nrows, ncols, star_block);
+    OperandUpdate {
+        set_mat,
+        del_mat,
+        star,
+    }
+}
+
+/// Applies one batch of general updates to each operand of `C = A · B`,
+/// updating `A`, `B`, `C` and the filter matrix `F` in place via
+/// Algorithm 2. Returns the local flop count. Collective over the grid.
+///
+/// `f` must have been maintained by every prior product/update step
+/// ([`crate::summa::summa_bloom`], the tracked algebraic path, or this
+/// function) — the engine enforces that.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_general_updates<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    b: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    f: &mut DistMat<u64>,
+    a_upd: GeneralUpdates<S::Elem>,
+    b_upd: GeneralUpdates<S::Elem>,
+    threads: usize,
+    timer: &mut PhaseTimer,
+) -> u64 {
+    let q = grid.q();
+    let (i, j) = grid.coords();
+    let inner = a.info().ncols;
+
+    // --- Update matrices (redistribution = "scatter"). ---
+    let (a_ops, b_ops) = timer.time(phase::SCATTER, || {
+        let mut inner_t = PhaseTimer::new();
+        let a_ops = build_operand_update::<S>(
+            grid,
+            a.info().nrows,
+            a.info().ncols,
+            a_upd,
+            &mut inner_t,
+        );
+        let b_ops = build_operand_update::<S>(
+            grid,
+            b.info().nrows,
+            b.info().ncols,
+            b_upd,
+            &mut inner_t,
+        );
+        (a_ops, b_ops)
+    });
+
+    // --- B ← B' (Eq. 1 needs B' during pattern computation). ---
+    timer.time(phase::LOCAL_UPDATE, || {
+        apply_merge::<S>(b, &b_ops.set_mat, threads);
+        apply_mask::<S>(b, &b_ops.del_mat, threads);
+    });
+
+    // --- COMPUTE_PATTERN: C* pattern + F* bits at each owner. ---
+    let (cstar, mut flops) =
+        compute_cstar::<S, PatternKernel>(grid, a, b, &a_ops.star, &b_ops.star, threads, timer);
+
+    // --- A ← A' (the masked recomputation reads the *new* A). ---
+    timer.time(phase::LOCAL_UPDATE, || {
+        apply_merge::<S>(a, &a_ops.set_mat, threads);
+        apply_mask::<S>(a, &a_ops.del_mat, threads);
+    });
+
+    // --- E = (F ⊕ F*) masked at C*; R = row-wise OR, allreduced over the
+    // process row. ---
+    let local_rows = a.info().local_rows();
+    let filter: Vec<u64> = timer.time(phase::REDUCE_SCATTER, || {
+        let mut e = Dcsr::empty(cstar.nrows(), cstar.ncols());
+        cstar.scan_rows(|r, cols, vals| {
+            let mut e_cols: Vec<Index> = Vec::with_capacity(cols.len());
+            let mut e_vals: Vec<u64> = Vec::with_capacity(cols.len());
+            for (&cc, &fstar_bits) in cols.iter().zip(vals) {
+                let f_bits = f.block().get(r, cc).unwrap_or(0);
+                e_cols.push(cc);
+                e_vals.push(f_bits | fstar_bits);
+            }
+            e.push_row(r, &e_cols, &e_vals);
+        });
+        let local_r = row_or_reduce(&e, local_rows);
+        grid.row_comm().allreduce(local_r, |mut x, y| {
+            dspgemm_sparse::bloom::or_assign(&mut x, &y);
+            x
+        })
+    });
+
+    // --- A^R: filtered extraction of A' (rows with r_i ≠ 0, Bloom-selected
+    // columns). ---
+    let a_r: Dcsr<S::Elem> = timer.time(phase::LOCAL_MULT, || {
+        extract_filtered(a.block(), &filter, a.info().col_range.start)
+    });
+
+    // --- Transpose exchange of A^R (enables parallel row broadcasts). ---
+    const TAG_AR: u64 = 103;
+    let peer = grid.transpose_rank();
+    let ar_t: Dcsr<S::Elem> = timer.time(phase::SEND_RECV, || {
+        if peer == grid.world().rank() {
+            a_r.clone()
+        } else {
+            grid.world().sendrecv(peer, a_r.clone(), peer, TAG_AR)
+        }
+    });
+
+    // --- √p rounds: bcast A^R over rows, C* over columns, masked multiply,
+    // merge-reduce Z/H onto owners. ---
+    let cstar_structure: Dcsr<()> = cstar.map(|_| ());
+    let mut z_mine: Option<Dcsr<(S::Elem, u64)>> = None;
+    for k in 0..q {
+        let ar_bcast: Dcsr<S::Elem> = timer.time(phase::BCAST, || {
+            grid.row_comm()
+                .bcast(k, if j == k { Some(ar_t.clone()) } else { None })
+        });
+        let cstar_bcast: Dcsr<()> = timer.time(phase::BCAST, || {
+            grid.col_comm().bcast(
+                k,
+                if i == k {
+                    Some(cstar_structure.clone())
+                } else {
+                    None
+                },
+            )
+        });
+        // Local hash table over the broadcast C* block (Section VI-B: built
+        // redundantly per rank; cheaper than broadcasting the table).
+        let (z_part, mask_len) = timer.time(phase::LOCAL_MULT, || {
+            let mask = MaskSet::from_pattern(&cstar_bcast);
+            let len = mask.len();
+            let out = masked_spgemm_bloom::<S, _, _>(
+                &ar_bcast,
+                b.block(),
+                &mask,
+                block_range(inner, q, i).start,
+                threads,
+            );
+            (out, len)
+        });
+        let _ = mask_len;
+        flops += z_part.flops;
+        let z_red = timer.time(phase::REDUCE_SCATTER, || {
+            grid.col_comm().reduce(k, z_part.result, |x, y| {
+                Dcsr::merge_with(&x, &y, |(v1, b1), (v2, b2)| (S::add(v1, v2), b1 | b2))
+            })
+        });
+        if let Some(z) = z_red {
+            debug_assert_eq!(i, k);
+            z_mine = Some(z);
+        }
+    }
+    let z = z_mine.expect("round k=i must deliver Z_{i,j}");
+
+    // --- Merge Z into C and H into F, masked at C*: recomputed entries are
+    // replaced, vanished entries deleted. ---
+    timer.time(phase::LOCAL_UPDATE, || {
+        let mut z_lookup: FxHashMap<u64, (S::Elem, u64)> = FxHashMap::default();
+        z_lookup.reserve(z.nnz());
+        z.scan_rows(|r, cols, vals| {
+            for (&cc, &v) in cols.iter().zip(vals) {
+                z_lookup.insert(((r as u64) << 32) | cc as u64, v);
+            }
+        });
+        let c_block = c.block_mut();
+        let f_block = f.block_mut();
+        cstar.scan_rows(|r, cols, _| {
+            for &cc in cols {
+                match z_lookup.get(&(((r as u64) << 32) | cc as u64)) {
+                    Some(&(v, bits)) => {
+                        c_block.set(r, cc, v);
+                        f_block.set(r, cc, bits);
+                    }
+                    None => {
+                        c_block.remove(r, cc);
+                        f_block.remove(r, cc);
+                    }
+                }
+            }
+        });
+    });
+    flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summa::{summa, summa_bloom};
+    use dspgemm_mpi::run;
+    use dspgemm_sparse::dense::Dense;
+    use dspgemm_sparse::semiring::{MinPlus, U64Plus};
+    use dspgemm_util::rng::{Rng, SplitMix64};
+
+    fn random_triples_f(seed: u64, n: Index, count: usize) -> Vec<Triple<f64>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..count)
+            .map(|_| {
+                Triple::new(
+                    rng.gen_range(n as u64) as Index,
+                    rng.gen_range(n as u64) as Index,
+                    (rng.gen_range(9) + 1) as f64,
+                )
+            })
+            .collect()
+    }
+
+    fn random_triples_u(seed: u64, n: Index, count: usize) -> Vec<Triple<u64>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..count)
+            .map(|_| {
+                Triple::new(
+                    rng.gen_range(n as u64) as Index,
+                    rng.gen_range(n as u64) as Index,
+                    rng.gen_range(9) + 1,
+                )
+            })
+            .collect()
+    }
+
+    /// Draw general updates touching existing entries (value increases — the
+    /// min-plus-incompatible case) plus deletions plus fresh inserts.
+    fn draw_general_f(
+        seed: u64,
+        n: Index,
+        existing: &[Triple<f64>],
+        sets: usize,
+        dels: usize,
+    ) -> GeneralUpdates<f64> {
+        let mut rng = SplitMix64::new(seed);
+        let mut upd = GeneralUpdates::new();
+        for s in 0..sets {
+            if s % 2 == 0 && !existing.is_empty() {
+                // Increase an existing value — impossible under (min,+) add.
+                let t = existing[rng.gen_index(existing.len())];
+                upd.sets
+                    .push(Triple::new(t.row, t.col, t.val + 5.0 + rng.gen_f64()));
+            } else {
+                upd.sets.push(Triple::new(
+                    rng.gen_range(n as u64) as Index,
+                    rng.gen_range(n as u64) as Index,
+                    (rng.gen_range(9) + 1) as f64,
+                ));
+            }
+        }
+        for _ in 0..dels {
+            if existing.is_empty() {
+                break;
+            }
+            let t = existing[rng.gen_index(existing.len())];
+            upd.deletes.push((t.row, t.col));
+        }
+        upd
+    }
+
+    fn check_general_min_plus(p: usize, n: Index, rounds: usize) {
+        let out = run(p, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let feed = |s: u64| {
+                if comm.rank() == 0 {
+                    random_triples_f(s, n, 3 * n as usize)
+                } else {
+                    vec![]
+                }
+            };
+            let mut a = DistMat::from_global_triples(&grid, n, n, feed(1), 1, &mut timer);
+            let mut b = DistMat::from_global_triples(&grid, n, n, feed(2), 1, &mut timer);
+            let (mut c, mut f, _) = summa_bloom::<MinPlus>(&grid, &a, &b, 1, &mut timer);
+            for round in 0..rounds as u64 {
+                // Rank 0 draws updates from the *current* global state so
+                // value-increases and deletions hit real entries.
+                let a_cur = a.gather_to_root(comm);
+                let b_cur = b.gather_to_root(comm);
+                let (a_upd, b_upd) = if comm.rank() == 0 {
+                    (
+                        draw_general_f(100 + round, n, a_cur.as_ref().unwrap(), 8, 4),
+                        draw_general_f(200 + round, n, b_cur.as_ref().unwrap(), 8, 4),
+                    )
+                } else {
+                    (GeneralUpdates::new(), GeneralUpdates::new())
+                };
+                apply_general_updates::<MinPlus>(
+                    &grid, &mut a, &mut b, &mut c, &mut f, a_upd, b_upd, 1, &mut timer,
+                );
+            }
+            // Reference: static recomputation of A'·B' from scratch.
+            let (c_static, _) = summa::<MinPlus>(&grid, &a, &b, 1, &mut timer);
+            (c.gather_to_root(comm), c_static.gather_to_root(comm))
+        });
+        let (c_dyn, c_static) = &out.results[0];
+        let c_dyn = c_dyn.as_ref().unwrap();
+        let c_static = c_static.as_ref().unwrap();
+        let dd = Dense::from_triples::<MinPlus>(n, n, c_dyn);
+        let ds = Dense::from_triples::<MinPlus>(n, n, c_static);
+        assert_eq!(dd.diff(&ds), vec![], "p={p}: general dynamic != static");
+    }
+
+    #[test]
+    fn general_min_plus_p1() {
+        check_general_min_plus(1, 20, 3);
+    }
+
+    #[test]
+    fn general_min_plus_p4() {
+        check_general_min_plus(4, 20, 3);
+    }
+
+    #[test]
+    fn general_min_plus_p9() {
+        check_general_min_plus(9, 24, 2);
+    }
+
+    #[test]
+    fn general_handles_pure_deletions_u64() {
+        let n: Index = 16;
+        let out = run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let t = if comm.rank() == 0 {
+                random_triples_u(5, n, 60)
+            } else {
+                vec![]
+            };
+            let mut a = DistMat::from_global_triples(&grid, n, n, t.clone(), 1, &mut timer);
+            let mut b = DistMat::from_global_triples(&grid, n, n, t, 1, &mut timer);
+            let (mut c, mut f, _) = summa_bloom::<U64Plus>(&grid, &a, &b, 1, &mut timer);
+            // Delete some of A's entries (drawn from gathered state).
+            let a_cur = a.gather_to_root(comm);
+            let a_upd = if comm.rank() == 0 {
+                let cur = a_cur.unwrap();
+                let mut upd = GeneralUpdates::new();
+                for t in cur.iter().step_by(3) {
+                    upd.deletes.push((t.row, t.col));
+                }
+                upd
+            } else {
+                GeneralUpdates::new()
+            };
+            apply_general_updates::<U64Plus>(
+                &grid,
+                &mut a,
+                &mut b,
+                &mut c,
+                &mut f,
+                a_upd,
+                GeneralUpdates::new(),
+                1,
+                &mut timer,
+            );
+            let (c_static, _) = summa::<U64Plus>(&grid, &a, &b, 1, &mut timer);
+            (c.gather_to_root(comm), c_static.gather_to_root(comm))
+        });
+        let (c_dyn, c_static) = &out.results[0];
+        assert_eq!(c_dyn, c_static);
+    }
+
+    #[test]
+    fn empty_general_update_is_noop() {
+        let n: Index = 12;
+        let out = run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let t = if comm.rank() == 0 {
+                random_triples_u(8, n, 40)
+            } else {
+                vec![]
+            };
+            let mut a = DistMat::from_global_triples(&grid, n, n, t.clone(), 1, &mut timer);
+            let mut b = DistMat::from_global_triples(&grid, n, n, t, 1, &mut timer);
+            let (mut c, mut f, _) = summa_bloom::<U64Plus>(&grid, &a, &b, 1, &mut timer);
+            let before = c.gather_to_root(comm);
+            apply_general_updates::<U64Plus>(
+                &grid,
+                &mut a,
+                &mut b,
+                &mut c,
+                &mut f,
+                GeneralUpdates::new(),
+                GeneralUpdates::new(),
+                1,
+                &mut timer,
+            );
+            before == c.gather_to_root(comm)
+        });
+        assert!(out.results.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn filter_matrix_stays_consistent_with_c() {
+        let n: Index = 16;
+        let out = run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let t = if comm.rank() == 0 {
+                random_triples_u(9, n, 50)
+            } else {
+                vec![]
+            };
+            let mut a = DistMat::from_global_triples(&grid, n, n, t.clone(), 1, &mut timer);
+            let mut b = DistMat::from_global_triples(&grid, n, n, t, 1, &mut timer);
+            let (mut c, mut f, _) = summa_bloom::<U64Plus>(&grid, &a, &b, 1, &mut timer);
+            for round in 0..2u64 {
+                let a_cur = a.gather_to_root(comm);
+                let a_upd = if comm.rank() == 0 {
+                    let cur = a_cur.unwrap();
+                    let mut rng = SplitMix64::new(70 + round);
+                    let mut upd = GeneralUpdates::new();
+                    for _ in 0..5 {
+                        if !cur.is_empty() {
+                            let pick = cur[rng.gen_index(cur.len())];
+                            upd.deletes.push((pick.row, pick.col));
+                        }
+                        upd.sets.push(Triple::new(
+                            rng.gen_range(n as u64) as Index,
+                            rng.gen_range(n as u64) as Index,
+                            rng.gen_range(9) + 1,
+                        ));
+                    }
+                    upd
+                } else {
+                    GeneralUpdates::new()
+                };
+                apply_general_updates::<U64Plus>(
+                    &grid,
+                    &mut a,
+                    &mut b,
+                    &mut c,
+                    &mut f,
+                    a_upd,
+                    GeneralUpdates::new(),
+                    1,
+                    &mut timer,
+                );
+            }
+            // Pattern of F == pattern of C after every step.
+            let ct: Vec<(Index, Index)> = c
+                .to_global_triples()
+                .iter()
+                .map(|t| (t.row, t.col))
+                .collect();
+            let ft: Vec<(Index, Index)> = f
+                .to_global_triples()
+                .iter()
+                .map(|t| (t.row, t.col))
+                .collect();
+            ct == ft
+        });
+        assert!(out.results.iter().all(|&x| x));
+    }
+}

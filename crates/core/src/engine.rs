@@ -1,0 +1,302 @@
+//! The user-facing dynamic SpGEMM session.
+//!
+//! [`DynSpGemm`] owns the operand matrices `A` and `B`, the maintained
+//! product `C = A · B`, and (optionally) the Bloom filter matrix `F` that
+//! general updates require. Update batches are routed to Algorithm 1
+//! (algebraic) or Algorithm 2 (general); the session keeps the invariant
+//! `C = A · B` after every call — verified end-to-end by the integration
+//! tests against static recomputation.
+
+use crate::distmat::DistMat;
+use crate::dyn_algebraic::{apply_algebraic_updates, apply_algebraic_updates_tracked};
+use crate::dyn_general::{apply_general_updates, GeneralUpdates};
+use crate::grid::Grid;
+use crate::summa::{summa, summa_bloom};
+use dspgemm_sparse::semiring::Semiring;
+use dspgemm_sparse::Triple;
+use dspgemm_util::stats::PhaseTimer;
+
+/// A dynamic SpGEMM session maintaining `C = A · B` under batched updates.
+pub struct DynSpGemm<S: Semiring> {
+    /// Left operand (dynamic).
+    pub a: DistMat<S::Elem>,
+    /// Right operand (dynamic).
+    pub b: DistMat<S::Elem>,
+    /// The maintained product.
+    pub c: DistMat<S::Elem>,
+    /// The Bloom filter matrix `F` (present iff the session tracks filters,
+    /// which is required before general updates can be applied).
+    pub f: Option<DistMat<u64>>,
+    /// Intra-rank thread count (the paper's OpenMP `T`).
+    pub threads: usize,
+    /// Accumulated per-phase timings (Fig. 7 / Fig. 12 breakdowns).
+    pub timer: PhaseTimer,
+    /// Accumulated local scalar-multiplication count.
+    pub flops: u64,
+}
+
+impl<S: Semiring> DynSpGemm<S> {
+    /// Creates a session, computing the initial product `C = A · B` with
+    /// sparse SUMMA (fused with Bloom tracking when `track_filter`).
+    /// Collective over the grid.
+    pub fn new(
+        grid: &Grid,
+        a: DistMat<S::Elem>,
+        b: DistMat<S::Elem>,
+        threads: usize,
+        track_filter: bool,
+    ) -> Self {
+        let mut timer = PhaseTimer::new();
+        let (c, f, flops) = if track_filter {
+            let (c, f, flops) = summa_bloom::<S>(grid, &a, &b, threads, &mut timer);
+            (c, Some(f), flops)
+        } else {
+            let (c, flops) = summa::<S>(grid, &a, &b, threads, &mut timer);
+            (c, None, flops)
+        };
+        Self {
+            a,
+            b,
+            c,
+            f,
+            threads,
+            timer,
+            flops,
+        }
+    }
+
+    /// Applies a batch of **algebraic** updates (`A' = A + A*`,
+    /// `B' = B + B*` under the semiring addition) via Algorithm 1.
+    /// Tuples carry global indices and may live on any rank. Collective.
+    pub fn apply_algebraic(
+        &mut self,
+        grid: &Grid,
+        a_updates: Vec<Triple<S::Elem>>,
+        b_updates: Vec<Triple<S::Elem>>,
+    ) {
+        self.flops += match &mut self.f {
+            Some(f) => apply_algebraic_updates_tracked::<S>(
+                grid,
+                &mut self.a,
+                &mut self.b,
+                &mut self.c,
+                f,
+                a_updates,
+                b_updates,
+                self.threads,
+                &mut self.timer,
+            ),
+            None => apply_algebraic_updates::<S>(
+                grid,
+                &mut self.a,
+                &mut self.b,
+                &mut self.c,
+                a_updates,
+                b_updates,
+                self.threads,
+                &mut self.timer,
+            ),
+        };
+    }
+
+    /// Applies a batch of **general** updates (value writes incompatible
+    /// with the semiring addition, and deletions) via Algorithm 2.
+    /// Collective.
+    ///
+    /// # Panics
+    /// Panics if the session was created without `track_filter` — the
+    /// Bloom filter matrix is a prerequisite of the general algorithm.
+    pub fn apply_general(
+        &mut self,
+        grid: &Grid,
+        a_updates: GeneralUpdates<S::Elem>,
+        b_updates: GeneralUpdates<S::Elem>,
+    ) {
+        let f = self
+            .f
+            .as_mut()
+            .expect("general updates require a session created with track_filter = true");
+        self.flops += apply_general_updates::<S>(
+            grid,
+            &mut self.a,
+            &mut self.b,
+            &mut self.c,
+            f,
+            a_updates,
+            b_updates,
+            self.threads,
+            &mut self.timer,
+        );
+    }
+
+    /// Discards the maintained product and recomputes `C = A · B` (and `F`)
+    /// from scratch — the static strategy the paper's competitors are forced
+    /// into. Useful as a baseline and as a repair path. Collective.
+    pub fn recompute_static(&mut self, grid: &Grid) {
+        if self.f.is_some() {
+            let (c, f, flops) = summa_bloom::<S>(grid, &self.a, &self.b, self.threads, &mut self.timer);
+            self.c = c;
+            self.f = Some(f);
+            self.flops += flops;
+        } else {
+            let (c, flops) = summa::<S>(grid, &self.a, &self.b, self.threads, &mut self.timer);
+            self.c = c;
+            self.flops += flops;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspgemm_mpi::run;
+    use dspgemm_sparse::dense::Dense;
+    use dspgemm_sparse::semiring::{MinPlus, U64Plus};
+    use dspgemm_sparse::Index;
+    use dspgemm_util::rng::{Rng, SplitMix64};
+
+    fn random_triples(seed: u64, n: Index, count: usize) -> Vec<Triple<u64>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..count)
+            .map(|_| {
+                Triple::new(
+                    rng.gen_range(n as u64) as Index,
+                    rng.gen_range(n as u64) as Index,
+                    rng.gen_range(5) + 1,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn session_maintains_product_through_mixed_batches() {
+        let n: Index = 24;
+        let out = run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let feed = |s: u64| {
+                if comm.rank() == 0 {
+                    random_triples(s, n, 70)
+                } else {
+                    vec![]
+                }
+            };
+            let a = DistMat::from_global_triples(&grid, n, n, feed(1), 1, &mut timer);
+            let b = DistMat::from_global_triples(&grid, n, n, feed(2), 1, &mut timer);
+            let mut eng = DynSpGemm::<U64Plus>::new(&grid, a, b, 1, true);
+            // Algebraic batch.
+            eng.apply_algebraic(
+                &grid,
+                random_triples(10 + comm.rank() as u64, n, 8),
+                random_triples(20 + comm.rank() as u64, n, 8),
+            );
+            // General batch: delete some of A.
+            let a_cur = eng.a.gather_to_root(comm);
+            let a_upd = if comm.rank() == 0 {
+                let cur = a_cur.unwrap();
+                let mut upd = GeneralUpdates::new();
+                for t in cur.iter().step_by(5) {
+                    upd.deletes.push((t.row, t.col));
+                }
+                upd
+            } else {
+                GeneralUpdates::new()
+            };
+            eng.apply_general(&grid, a_upd, GeneralUpdates::new());
+            // Another algebraic batch on top.
+            eng.apply_algebraic(&grid, random_triples(30 + comm.rank() as u64, n, 8), vec![]);
+            // Invariant: C == static A'·B'.
+            let (c_static, _) =
+                crate::summa::summa::<U64Plus>(&grid, &eng.a, &eng.b, 1, &mut timer);
+            (
+                eng.c.gather_to_root(comm),
+                c_static.gather_to_root(comm),
+                eng.flops,
+            )
+        });
+        let (c_dyn, c_static, flops) = &out.results[0];
+        let dd = Dense::from_triples::<U64Plus>(24, 24, c_dyn.as_ref().unwrap());
+        let ds = Dense::from_triples::<U64Plus>(24, 24, c_static.as_ref().unwrap());
+        assert_eq!(dd.diff(&ds), vec![]);
+        assert!(*flops > 0);
+    }
+
+    #[test]
+    fn untracked_session_rejects_general_updates() {
+        let out = run(1, |comm| {
+            let grid = Grid::new(comm);
+            let a = DistMat::<u64>::empty(&grid, 8, 8);
+            let b = DistMat::<u64>::empty(&grid, 8, 8);
+            let mut eng = DynSpGemm::<U64Plus>::new(&grid, a, b, 1, false);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                eng.apply_general(&grid, GeneralUpdates::new(), GeneralUpdates::new());
+            }))
+            .is_err()
+        });
+        assert!(out.results[0]);
+    }
+
+    #[test]
+    fn recompute_static_restores_invariant() {
+        let n: Index = 16;
+        let out = run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let t = if comm.rank() == 0 {
+                random_triples(4, n, 40)
+            } else {
+                vec![]
+            };
+            let a = DistMat::from_global_triples(&grid, n, n, t.clone(), 1, &mut timer);
+            let b = DistMat::from_global_triples(&grid, n, n, t, 1, &mut timer);
+            let mut eng = DynSpGemm::<U64Plus>::new(&grid, a, b, 1, false);
+            let before = eng.c.gather_to_root(comm);
+            eng.recompute_static(&grid);
+            before == eng.c.gather_to_root(comm)
+        });
+        assert!(out.results.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn min_plus_session_with_general_updates() {
+        let n: Index = 14;
+        let out = run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let t: Vec<Triple<f64>> = if comm.rank() == 0 {
+                let mut rng = SplitMix64::new(6);
+                (0..50)
+                    .map(|_| {
+                        Triple::new(
+                            rng.gen_range(n as u64) as Index,
+                            rng.gen_range(n as u64) as Index,
+                            (rng.gen_range(9) + 1) as f64,
+                        )
+                    })
+                    .collect()
+            } else {
+                vec![]
+            };
+            let a = DistMat::from_global_triples(&grid, n, n, t.clone(), 1, &mut timer);
+            let b = DistMat::from_global_triples(&grid, n, n, t, 1, &mut timer);
+            let mut eng = DynSpGemm::<MinPlus>::new(&grid, a, b, 1, true);
+            // Increase a value (general under min-plus).
+            let a_cur = eng.a.gather_to_root(comm);
+            let a_upd = if comm.rank() == 0 {
+                let cur = a_cur.unwrap();
+                let mut upd = GeneralUpdates::new();
+                if let Some(t0) = cur.first() {
+                    upd.sets.push(Triple::new(t0.row, t0.col, t0.val + 100.0));
+                }
+                upd
+            } else {
+                GeneralUpdates::new()
+            };
+            eng.apply_general(&grid, a_upd, GeneralUpdates::new());
+            let (c_static, _) =
+                crate::summa::summa::<MinPlus>(&grid, &eng.a, &eng.b, 1, &mut timer);
+            eng.c.gather_to_root(comm) == c_static.gather_to_root(comm)
+        });
+        assert!(out.results.iter().all(|&x| x));
+    }
+}

@@ -1,0 +1,86 @@
+//! # dspgemm-core — distributed dynamic sparse matrices and dynamic SpGEMM
+//!
+//! The paper's primary contribution, reproduced in full:
+//!
+//! * [`grid`] — the `√p × √p` process grid with row/column communicators and
+//!   the 2D block distribution (Section IV).
+//! * [`distmat`] — dynamic distributed matrices ([`DistMat`], DHB blocks)
+//!   and hypersparse distributed update matrices ([`DistDcsr`]).
+//! * [`redistribute`] — the two-phase counting-sort/alltoall update
+//!   redistribution (Section IV-B).
+//! * [`update`] — update-matrix assembly plus the local `A += A*`,
+//!   `MERGE`, `MASK` operators with `(i mod T)` thread parallelism
+//!   (Section IV-A).
+//! * [`summa`] — static sparse SUMMA (the paper's baseline algorithm and the
+//!   producer of the initial product `C = A · B`), optionally fused with
+//!   Bloom-filter tracking.
+//! * [`dyn_algebraic`] — **Algorithm 1**: dynamic SpGEMM for algebraic
+//!   updates, computing `C* = A*·B' + A·B*` with input-stationary broadcasts
+//!   of only the hypersparse update blocks plus a sparse merge-reduction
+//!   (Section V-A).
+//! * [`dyn_general`] — **Algorithm 2**: dynamic SpGEMM for general updates
+//!   via `COMPUTE_PATTERN`, Bloom-filtered extraction `A^R` and masked
+//!   recomputation (Section V-B).
+//! * [`engine`] — [`engine::DynSpGemm`], the user-facing session object that
+//!   owns `A`, `B`, `C` (and the filter matrix `F`) and routes update
+//!   batches to the right algorithm.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dspgemm_core::{engine::DynSpGemm, grid::Grid, distmat::DistMat};
+//! use dspgemm_sparse::{semiring::U64Plus, Triple};
+//! use dspgemm_util::stats::PhaseTimer;
+//!
+//! let out = dspgemm_mpi::run(4, |comm| {
+//!     let grid = Grid::new(comm);
+//!     let mut timer = PhaseTimer::new();
+//!     let n = 32;
+//!     // B = a fixed matrix; A starts empty and will grow dynamically.
+//!     let b_triples = if comm.rank() == 0 {
+//!         (0..n).map(|i| Triple::new(i, (i + 1) % n, 1u64)).collect()
+//!     } else {
+//!         vec![]
+//!     };
+//!     let a = DistMat::empty(&grid, n, n);
+//!     let b = DistMat::from_global_triples(&grid, n, n, b_triples, 1, &mut timer);
+//!     let mut eng = DynSpGemm::<U64Plus>::new(&grid, a, b, 1, false);
+//!     // Insert a batch into A; C = A·B is updated dynamically.
+//!     let ups = if comm.rank() == 0 { vec![Triple::new(0, 0, 2u64)] } else { vec![] };
+//!     eng.apply_algebraic(&grid, ups, vec![]);
+//!     eng.c.global_nnz(&grid)
+//! });
+//! assert_eq!(out.results, vec![1, 1, 1, 1]); // c_{0,1} = 2·b_{0,1}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distmat;
+pub mod dyn_algebraic;
+pub mod dyn_general;
+pub mod engine;
+pub mod grid;
+pub mod redistribute;
+pub mod summa;
+pub mod update;
+
+pub use distmat::{DistDcsr, DistMat};
+pub use engine::DynSpGemm;
+pub use grid::Grid;
+
+/// Phase names used by the SpGEMM breakdown (the paper's Fig. 12 series).
+pub mod phase {
+    /// Initial transpose exchange of update blocks.
+    pub const SEND_RECV: &str = "send/recv";
+    /// Row/column broadcasts of update blocks.
+    pub const BCAST: &str = "bcast";
+    /// Local Gustavson multiplications.
+    pub const LOCAL_MULT: &str = "local mult.";
+    /// Update redistribution (scatter of tuples to owners).
+    pub const SCATTER: &str = "scatter";
+    /// Sparse merge-reduction of partial result blocks.
+    pub const REDUCE_SCATTER: &str = "reduce-scatter";
+    /// Applying updates / merged results into local dynamic matrices.
+    pub const LOCAL_UPDATE: &str = "local update";
+}

@@ -1,0 +1,48 @@
+//! Erdős–Rényi `G(n, m)` graphs: `m` uniformly random edges.
+//!
+//! Unskewed control workload for ablations (R-MAT's skew is what stresses
+//! load balancing; ER isolates effects that are not skew-related).
+
+use crate::Edge;
+use dspgemm_util::rng::{Rng, Xoshiro256};
+
+/// Generates `m` uniformly random directed edges on `n` vertices
+/// (duplicates and self-loops possible, like the raw R-MAT stream).
+pub fn generate(n: u32, m: usize, seed: u64) -> Vec<Edge> {
+    assert!(n > 0);
+    let mut rng = Xoshiro256::new(seed);
+    (0..m)
+        .map(|_| {
+            (
+                rng.gen_range(n as u64) as u32,
+                rng.gen_range(n as u64) as u32,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_in_range_and_deterministic() {
+        let e = generate(100, 1000, 4);
+        assert_eq!(e.len(), 1000);
+        assert!(e.iter().all(|&(u, v)| u < 100 && v < 100));
+        assert_eq!(e, generate(100, 1000, 4));
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let n = 64u32;
+        let m = 64_000;
+        let e = generate(n, m, 5);
+        let mut deg = vec![0usize; n as usize];
+        for &(u, _) in &e {
+            deg[u as usize] += 1;
+        }
+        let avg = m / n as usize;
+        assert!(deg.iter().all(|&d| d > avg / 2 && d < avg * 2));
+    }
+}

@@ -1,0 +1,59 @@
+//! # dspgemm-graph — graph generators, the instance catalog, update streams
+//!
+//! Workload generation for the experiments:
+//!
+//! * [`rmat`] — the R-MAT recursive matrix generator with Graph500
+//!   parameters, used by the paper's synthetic scaling experiments (Fig. 8).
+//! * [`er`] — Erdős–Rényi `G(n, m)` graphs (uniform non-zeros), useful as an
+//!   unskewed control in ablations.
+//! * [`catalog`] — the 12 real-world instances of Table I, substituted by
+//!   scaled-down R-MAT proxies with per-class skew (see `DESIGN.md`:
+//!   downloading the multi-billion-edge originals is not possible offline;
+//!   the proxies preserve the heavy-tailed degree structure and the relative
+//!   size ordering).
+//! * [`perm`] — the random index permutation the paper applies before
+//!   construction to balance load over the 2D grid.
+//! * [`stream`] — batched update draws following the experiment protocols of
+//!   Section VII (insertion / update / deletion batches, per-rank draws).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod er;
+pub mod perm;
+pub mod rmat;
+pub mod stream;
+
+/// A directed edge / matrix coordinate pair.
+pub type Edge = (u32, u32);
+
+/// Symmetrizes a directed edge list: for every `(u, v)` also emit `(v, u)`
+/// (the paper reads all graphs as undirected: "for an edge {u,v} in the
+/// input data, we add non-zeros (u,v) and (v,u)"). Self-loops are emitted
+/// once. No deduplication — matrix construction combines duplicates.
+pub fn symmetrize(edges: &[Edge]) -> Vec<Edge> {
+    let mut out = Vec::with_capacity(edges.len() * 2);
+    for &(u, v) in edges {
+        out.push((u, v));
+        if u != v {
+            out.push((v, u));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetrize_doubles_non_loops() {
+        let e = vec![(0, 1), (2, 2), (3, 4)];
+        let s = symmetrize(&e);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(&(1, 0)));
+        assert!(s.contains(&(4, 3)));
+        assert_eq!(s.iter().filter(|&&(u, v)| u == 2 && v == 2).count(), 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! R-MAT recursive matrix graphs.
+//!
+//! The paper's synthetic scaling experiments (Fig. 8) "use the same R-MAT
+//! parameters as the Graph500 benchmark": quadrant probabilities
+//! `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)` on a `2^scale × 2^scale`
+//! adjacency matrix. Each edge is drawn independently by descending `scale`
+//! levels of the recursion, choosing a quadrant per level.
+
+use crate::Edge;
+use dspgemm_util::rng::{Rng, Xoshiro256};
+
+/// R-MAT quadrant probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 parameters used by the paper.
+    pub const GRAPH500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+    };
+
+    /// A milder skew (closer to uniform) for web-like proxies with broader
+    /// but still heavy-tailed degree distributions.
+    pub const WEB: RmatParams = RmatParams {
+        a: 0.62,
+        b: 0.17,
+        c: 0.17,
+    };
+
+    /// Low skew, for peer-to-peer-like proxies.
+    pub const P2P: RmatParams = RmatParams {
+        a: 0.45,
+        b: 0.22,
+        c: 0.22,
+    };
+
+    /// The implied bottom-right probability `d = 1 - a - b - c`.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Draws one R-MAT edge on a `2^scale` vertex domain.
+#[inline]
+pub fn rmat_edge(params: &RmatParams, scale: u32, rng: &mut impl Rng) -> Edge {
+    let mut u = 0u32;
+    let mut v = 0u32;
+    let ab = params.a + params.b;
+    let abc = ab + params.c;
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        let r = rng.gen_f64();
+        if r < params.a {
+            // top-left: no bits set
+        } else if r < ab {
+            v |= 1;
+        } else if r < abc {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+/// Generates `m` R-MAT edges on `2^scale` vertices (directed, duplicates and
+/// self-loops possible — like Graph500's raw edge stream).
+pub fn generate(params: &RmatParams, scale: u32, m: usize, seed: u64) -> Vec<Edge> {
+    assert!(scale <= 31, "scale too large for u32 vertex ids");
+    let mut rng = Xoshiro256::new(seed);
+    (0..m).map(|_| rmat_edge(params, scale, &mut rng)).collect()
+}
+
+/// Generates the rank-local slice of a distributed R-MAT stream: rank `r` of
+/// `p` draws `m_local` edges from an independent, deterministic stream — the
+/// protocol of the paper's scaling experiments ("each MPI process generates
+/// 2^30/p non-zeros according to the R-MAT model").
+pub fn generate_local(
+    params: &RmatParams,
+    scale: u32,
+    m_local: usize,
+    seed: u64,
+    rank: u64,
+) -> Vec<Edge> {
+    assert!(scale <= 31, "scale too large for u32 vertex ids");
+    let mut rng = Xoshiro256::derive(seed, rank);
+    (0..m_local)
+        .map(|_| rmat_edge(params, scale, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_in_range() {
+        let edges = generate(&RmatParams::GRAPH500, 10, 5000, 1);
+        assert_eq!(edges.len(), 5000);
+        assert!(edges.iter().all(|&(u, v)| u < 1024 && v < 1024));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = generate(&RmatParams::GRAPH500, 12, 1000, 7);
+        let b = generate(&RmatParams::GRAPH500, 12, 1000, 7);
+        let c = generate(&RmatParams::GRAPH500, 12, 1000, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        // Graph500 params concentrate mass on low ids: vertex 0's out-degree
+        // should far exceed the average.
+        let scale = 12;
+        let m = 100_000;
+        let edges = generate(&RmatParams::GRAPH500, scale, m, 3);
+        let mut deg = vec![0usize; 1 << scale];
+        for &(u, _) in &edges {
+            deg[u as usize] += 1;
+        }
+        let avg = m as f64 / (1 << scale) as f64;
+        assert!(
+            deg[0] as f64 > 20.0 * avg,
+            "deg[0]={} avg={avg}",
+            deg[0]
+        );
+        // And the median vertex should be far below average (heavy tail).
+        let mut sorted = deg.clone();
+        sorted.sort_unstable();
+        assert!(sorted[1 << (scale - 1)] as f64 <= avg);
+    }
+
+    #[test]
+    fn local_streams_disjoint_and_deterministic() {
+        let a0 = generate_local(&RmatParams::GRAPH500, 10, 500, 9, 0);
+        let a1 = generate_local(&RmatParams::GRAPH500, 10, 500, 9, 1);
+        assert_eq!(a0, generate_local(&RmatParams::GRAPH500, 10, 500, 9, 0));
+        assert_ne!(a0, a1);
+    }
+
+    #[test]
+    fn params_d_complement() {
+        assert!((RmatParams::GRAPH500.d() - 0.05).abs() < 1e-12);
+    }
+}

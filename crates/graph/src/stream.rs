@@ -1,0 +1,163 @@
+//! Batched update streams following the paper's experiment protocols.
+//!
+//! Section VII defines three draw protocols, reproduced here:
+//!
+//! * **Insertions** (Fig. 4): "we insert half of the non-zeros initially …
+//!   afterwards, we insert randomly chosen non-zeros from the remaining half
+//!   into the already existing matrix", in batches of `batch_size` per rank.
+//! * **Updates / deletions** (Fig. 5): "we insert the full adjacency matrix
+//!   initially (and only draw non-zeros for the update matrix from existing
+//!   non-zeros)".
+//! * **Dynamic SpGEMM** (Fig. 9/10): `A'` starts empty and grows by draws
+//!   from the adjacency matrix; "each MPI process draws insertions
+//!   individually, independently, and uniformly at random" with a shared
+//!   seed protocol so every competitor sees identical updates.
+
+use crate::Edge;
+use dspgemm_util::rng::{Rng, SplitMix64, Xoshiro256};
+
+/// Splits the non-zero stream into the initial half and the insertion pool
+/// (deterministic shuffle, then halving — every rank computes the same
+/// split).
+pub fn split_for_insertion(mut edges: Vec<Edge>, seed: u64) -> (Vec<Edge>, Vec<Edge>) {
+    let mut rng = SplitMix64::new(seed ^ 0x5EED_5711);
+    rng.shuffle(&mut edges);
+    let rest = edges.split_off(edges.len() / 2);
+    (edges, rest)
+}
+
+/// Per-rank batched draws *without replacement* from a pool (used for the
+/// insertion experiment: each batch inserts fresh non-zeros).
+///
+/// The pool is partitioned round-robin over ranks, then each rank consumes
+/// its share in batch-sized chunks; total insertions are capped by the pool.
+#[derive(Debug, Clone)]
+pub struct BatchedPool {
+    my_items: Vec<Edge>,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl BatchedPool {
+    /// Creates rank `rank`-of-`p`'s view of the pool.
+    pub fn new(pool: &[Edge], rank: usize, p: usize, batch_size: usize, seed: u64) -> Self {
+        let mut my_items: Vec<Edge> = pool
+            .iter()
+            .copied()
+            .skip(rank)
+            .step_by(p)
+            .collect();
+        let mut rng = Xoshiro256::derive(seed, rank as u64);
+        rng.shuffle(&mut my_items);
+        Self {
+            my_items,
+            cursor: 0,
+            batch_size,
+        }
+    }
+
+    /// Next batch of at most `batch_size` fresh draws; empty when exhausted.
+    pub fn next_batch(&mut self) -> Vec<Edge> {
+        let end = (self.cursor + self.batch_size).min(self.my_items.len());
+        let batch = self.my_items[self.cursor..end].to_vec();
+        self.cursor = end;
+        batch
+    }
+
+    /// Remaining draws.
+    pub fn remaining(&self) -> usize {
+        self.my_items.len() - self.cursor
+    }
+}
+
+/// Per-rank batched draws *with replacement* from a pool (used for the
+/// update/deletion experiments — draws come from existing non-zeros — and
+/// for the dynamic SpGEMM experiments' insertion draws).
+#[derive(Debug)]
+pub struct ReplacementDraws {
+    rng: Xoshiro256,
+    batch_size: usize,
+}
+
+impl ReplacementDraws {
+    /// Creates rank `rank`'s independent draw stream.
+    pub fn new(batch_size: usize, seed: u64, rank: usize) -> Self {
+        Self {
+            rng: Xoshiro256::derive(seed, rank as u64),
+            batch_size,
+        }
+    }
+
+    /// Draws one batch of uniform samples from `pool`.
+    pub fn next_batch(&mut self, pool: &[Edge]) -> Vec<Edge> {
+        assert!(!pool.is_empty(), "cannot draw from an empty pool");
+        (0..self.batch_size)
+            .map(|_| pool[self.rng.gen_index(pool.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> Vec<Edge> {
+        (0..n as u32).map(|i| (i, i + 1)).collect()
+    }
+
+    #[test]
+    fn split_halves_and_covers() {
+        let (first, second) = split_for_insertion(pool(101), 3);
+        assert_eq!(first.len(), 50);
+        assert_eq!(second.len(), 51);
+        let mut all: Vec<Edge> = first.iter().chain(&second).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, pool(101));
+        // Deterministic.
+        let (f2, s2) = split_for_insertion(pool(101), 3);
+        assert_eq!(first, f2);
+        assert_eq!(second, s2);
+    }
+
+    #[test]
+    fn batched_pool_partitions_without_replacement() {
+        let src = pool(100);
+        let p = 4;
+        let mut seen: Vec<Edge> = Vec::new();
+        for rank in 0..p {
+            let mut bp = BatchedPool::new(&src, rank, p, 7, 11);
+            assert_eq!(bp.remaining(), 25);
+            loop {
+                let b = bp.next_batch();
+                if b.is_empty() {
+                    break;
+                }
+                assert!(b.len() <= 7);
+                seen.extend(b);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, src, "ranks jointly cover the pool exactly once");
+    }
+
+    #[test]
+    fn batched_pool_batches_are_deterministic() {
+        let src = pool(50);
+        let mut a = BatchedPool::new(&src, 1, 2, 5, 42);
+        let mut b = BatchedPool::new(&src, 1, 2, 5, 42);
+        assert_eq!(a.next_batch(), b.next_batch());
+        assert_eq!(a.next_batch(), b.next_batch());
+    }
+
+    #[test]
+    fn replacement_draws_from_pool() {
+        let src = pool(10);
+        let mut d = ReplacementDraws::new(100, 5, 0);
+        let batch = d.next_batch(&src);
+        assert_eq!(batch.len(), 100);
+        assert!(batch.iter().all(|e| src.contains(e)));
+        // Independent streams per rank.
+        let mut d2 = ReplacementDraws::new(100, 5, 1);
+        assert_ne!(d.next_batch(&src), d2.next_batch(&src));
+    }
+}

@@ -1,0 +1,433 @@
+//! Communicators: point-to-point messaging and collective operations.
+
+use crate::message::{Payload, Tag};
+use crate::network::Endpoint;
+use crate::stats::CommCategory;
+use dspgemm_util::hash::mix64;
+use dspgemm_util::WireSize;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A communicator: an ordered group of ranks with isolated message matching,
+/// point-to-point operations and collectives — the moral equivalent of an
+/// `MPI_Comm`.
+///
+/// Communicators follow the MPI SPMD contract: all members must call the same
+/// sequence of collective operations on a communicator. Point-to-point tags
+/// live in a per-communicator namespace, so traffic on a row communicator can
+/// never be confused with traffic on the world communicator.
+///
+/// `Comm` is intentionally **not** `Send`: it belongs to its rank's thread,
+/// just as an `MPI_Comm` belongs to its process.
+pub struct Comm {
+    endpoint: Rc<RefCell<Endpoint>>,
+    /// World rank of each group member, indexed by group rank.
+    members: Arc<[usize]>,
+    /// This rank's position within `members`.
+    my_rank: usize,
+    comm_id: u64,
+    /// Sequence number for collective calls (isolates back-to-back
+    /// collectives from one another).
+    coll_seq: Cell<u64>,
+    /// Sequence number for `split` calls (derives child communicator ids).
+    split_seq: Cell<u64>,
+}
+
+/// World communicator id. Children derive theirs deterministically.
+const WORLD_COMM_ID: u64 = 0x5747_1d00_c0a1_e5ce;
+
+impl Comm {
+    /// Builds the world communicator for one rank (runtime-internal).
+    pub(crate) fn world(endpoint: Endpoint, size: usize) -> Self {
+        let rank = endpoint.rank;
+        Comm {
+            endpoint: Rc::new(RefCell::new(endpoint)),
+            members: (0..size).collect::<Vec<_>>().into(),
+            my_rank: rank,
+            comm_id: WORLD_COMM_ID,
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
+    }
+
+    /// This rank's position within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World rank of group member `group_rank`.
+    #[inline]
+    pub fn world_rank_of(&self, group_rank: usize) -> usize {
+        self.members[group_rank]
+    }
+
+    fn next_coll_tag(&self, round: u64) -> Tag {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        Tag::internal((seq << 16) | round)
+    }
+
+    #[inline]
+    fn coll_tag(base: Tag, round: u64) -> Tag {
+        debug_assert!(round < (1 << 16));
+        Tag(base.0 | round)
+    }
+
+    fn send_internal<T: Send + 'static>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        value: T,
+        category: CommCategory,
+        bytes: u64,
+    ) {
+        let dst_world = self.members[dst];
+        self.endpoint.borrow().send_envelope(
+            dst_world,
+            self.comm_id,
+            tag,
+            Payload::Value(Box::new(value)),
+            category,
+            bytes,
+        );
+    }
+
+    fn recv_internal<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
+        let src_world = self.members[src];
+        let boxed: Box<dyn Any + Send> =
+            self.endpoint
+                .borrow_mut()
+                .recv_match(src_world, self.comm_id, tag);
+        *boxed.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "type mismatch receiving from rank {src} tag {tag:?}: expected {}",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Sends `value` to group rank `dst` under user `tag`.
+    ///
+    /// Sends are buffered (never block); matching follows MPI semantics:
+    /// non-overtaking per (source, tag).
+    pub fn send<T: Send + WireSize + 'static>(&self, dst: usize, tag: u64, value: T) {
+        let bytes = value.wire_bytes();
+        self.send_internal(dst, Tag::user(tag), value, CommCategory::P2p, bytes);
+    }
+
+    /// Blocking receive of a `T` from group rank `src` under user `tag`.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        self.recv_internal(src, Tag::user(tag))
+    }
+
+    /// Combined send-to-`dst` / receive-from-`src` (deadlock-free, like
+    /// `MPI_Sendrecv`). Used for Algorithm 1's transpose exchange, where
+    /// process `(i, j)` swaps blocks with process `(j, i)`.
+    pub fn sendrecv<T: Send + WireSize + 'static, U: Send + 'static>(
+        &self,
+        dst: usize,
+        send_value: T,
+        src: usize,
+        tag: u64,
+    ) -> U {
+        self.send(dst, tag, send_value);
+        self.recv(src, tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// Synchronizes all ranks (dissemination barrier, `O(log p)` rounds).
+    pub fn barrier(&self) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let base = self.next_coll_tag(0);
+        let mut k = 1usize;
+        let mut round = 0u64;
+        while k < p {
+            let dst = (self.my_rank + k) % p;
+            let src = (self.my_rank + p - k) % p;
+            let tag = Self::coll_tag(base, round);
+            self.send_internal(dst, tag, (), CommCategory::Barrier, 0);
+            let () = self.recv_internal(src, tag);
+            k <<= 1;
+            round += 1;
+        }
+    }
+
+    /// Broadcasts a value from `root` to all ranks (binomial tree,
+    /// `O(log p)` rounds). The root passes `Some(value)`, everyone else
+    /// `None`; all ranks return the value.
+    pub fn bcast<T: Clone + Send + WireSize + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> T {
+        let p = self.size();
+        let tag = self.next_coll_tag(0);
+        if p == 1 {
+            return value.expect("root must supply the broadcast value");
+        }
+        let vrank = (self.my_rank + p - root) % p;
+        let mut mask = 1usize;
+        let mut val: Option<T> = if vrank == 0 {
+            Some(value.expect("root must supply the broadcast value"))
+        } else {
+            assert!(value.is_none(), "non-root rank passed a broadcast value");
+            None
+        };
+        // Receive phase: find the subtree parent.
+        while mask < p {
+            if vrank & mask != 0 {
+                let src = (self.my_rank + p - mask) % p;
+                val = Some(self.recv_internal(src, tag));
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward to children with decreasing mask.
+        mask >>= 1;
+        let v = val.expect("broadcast value must have arrived");
+        while mask > 0 {
+            if vrank + mask < p {
+                let dst = (self.my_rank + mask) % p;
+                let bytes = v.wire_bytes();
+                self.send_internal(dst, tag, v.clone(), CommCategory::Bcast, bytes);
+            }
+            mask >>= 1;
+        }
+        v
+    }
+
+    /// Gathers one value per rank at `root` (group-rank order). Returns
+    /// `Some(values)` at the root, `None` elsewhere.
+    pub fn gather<T: Send + WireSize + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        let tag = self.next_coll_tag(0);
+        if self.my_rank == root {
+            let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(value);
+            for src in 0..self.size() {
+                if src != root {
+                    out[src] = Some(self.recv_internal(src, tag));
+                }
+            }
+            Some(out.into_iter().map(|o| o.expect("gathered")).collect())
+        } else {
+            let bytes = value.wire_bytes();
+            self.send_internal(root, tag, value, CommCategory::Gather, bytes);
+            None
+        }
+    }
+
+    /// Allgather: every rank contributes one value and receives the vector of
+    /// all values in group-rank order (ring algorithm, `p - 1` rounds).
+    pub fn allgather<T: Clone + Send + WireSize + 'static>(&self, value: T) -> Vec<T> {
+        let p = self.size();
+        let base = self.next_coll_tag(0);
+        let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        slots[self.my_rank] = Some(value);
+        if p == 1 {
+            return slots.into_iter().map(|o| o.expect("own value")).collect();
+        }
+        let right = (self.my_rank + 1) % p;
+        let left = (self.my_rank + p - 1) % p;
+        for r in 0..p - 1 {
+            let tag = Self::coll_tag(base, r as u64);
+            // Forward the value that originated at (rank - r), receive the one
+            // that originated at (rank - r - 1).
+            let send_origin = (self.my_rank + p - r) % p;
+            let recv_origin = (self.my_rank + p - r - 1) % p;
+            let v = slots[send_origin].clone().expect("value to forward");
+            let bytes = v.wire_bytes();
+            self.send_internal(right, tag, v, CommCategory::Gather, bytes);
+            slots[recv_origin] = Some(self.recv_internal(left, tag));
+        }
+        slots.into_iter().map(|o| o.expect("allgather slot")).collect()
+    }
+
+    /// Personalized all-to-all: `out[dst]` is delivered to rank `dst`;
+    /// returns the received chunks indexed by source rank (own chunk is moved
+    /// through locally without touching the meter, matching MPI self-sends
+    /// being free in practice).
+    pub fn alltoallv<T: Send + WireSize + 'static>(&self, mut out: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let p = self.size();
+        assert_eq!(out.len(), p, "alltoallv needs one chunk per destination");
+        let tag = self.next_coll_tag(0);
+        let mut result: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+        // Keep own chunk.
+        result[self.my_rank] = Some(std::mem::take(&mut out[self.my_rank]));
+        // Send all chunks (buffered; cannot deadlock), then receive.
+        for dst in 0..p {
+            if dst != self.my_rank {
+                let chunk = std::mem::take(&mut out[dst]);
+                let bytes = chunk.wire_bytes();
+                self.send_internal(dst, tag, chunk, CommCategory::Alltoall, bytes);
+            }
+        }
+        for src in 0..p {
+            if src != self.my_rank {
+                result[src] = Some(self.recv_internal(src, tag));
+            }
+        }
+        result.into_iter().map(|o| o.expect("chunk")).collect()
+    }
+
+    /// Reduces values to `root` with a binary operator (binomial tree,
+    /// `O(log p)` rounds). Returns `Some(total)` at the root, `None`
+    /// elsewhere.
+    ///
+    /// `op` must be associative; the evaluation order is the binomial-tree
+    /// order, so results on floats may differ from sequential summation. This
+    /// is also the **sparse merge-reduction** primitive of Algorithm 1: with
+    /// `op = merge-add over DCSR blocks` it implements the paper's
+    /// "(log p)-round parallel reduction … for aggregation".
+    pub fn reduce<T, F>(&self, root: usize, value: T, mut op: F) -> Option<T>
+    where
+        T: Send + WireSize + 'static,
+        F: FnMut(T, T) -> T,
+    {
+        let p = self.size();
+        let tag = self.next_coll_tag(0);
+        if p == 1 {
+            return Some(value);
+        }
+        let vrank = (self.my_rank + p - root) % p;
+        let mut acc = value;
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask == 0 {
+                let peer_v = vrank | mask;
+                if peer_v < p {
+                    let src = (peer_v + root) % p;
+                    let other: T = self.recv_internal(src, tag);
+                    acc = op(acc, other);
+                }
+            } else {
+                let peer_v = vrank & !mask;
+                let dst = (peer_v + root) % p;
+                let bytes = acc.wire_bytes();
+                self.send_internal(dst, tag, acc, CommCategory::Reduce, bytes);
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Allreduce: reduce to rank 0, then broadcast the result.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Clone + Send + WireSize + 'static,
+        F: FnMut(T, T) -> T,
+    {
+        let reduced = self.reduce(0, value, op);
+        self.bcast(0, reduced)
+    }
+
+    /// Exclusive prefix "scan": rank `r` receives `op` folded over the values
+    /// of ranks `0..r`; rank 0 receives `identity`. Linear chain (used only
+    /// in setup paths, never in inner loops).
+    pub fn exscan<T, F>(&self, value: T, identity: T, mut op: F) -> T
+    where
+        T: Clone + Send + WireSize + 'static,
+        F: FnMut(T, T) -> T,
+    {
+        let p = self.size();
+        let tag = self.next_coll_tag(0);
+        let prefix = if self.my_rank == 0 {
+            identity
+        } else {
+            self.recv_internal(self.my_rank - 1, tag)
+        };
+        if self.my_rank + 1 < p {
+            let next = op(prefix.clone(), value);
+            let bytes = next.wire_bytes();
+            self.send_internal(self.my_rank + 1, tag, next, CommCategory::Reduce, bytes);
+        }
+        prefix
+    }
+
+    /// Splits the communicator into sub-communicators by `color`; ranks with
+    /// equal color form a group ordered by `(key, old rank)`. Semantics of
+    /// `MPI_Comm_split`. Used to build the row and column communicators of
+    /// the 2D process grid.
+    pub fn split(&self, color: u64, key: u64) -> Comm {
+        let split_seq = self.split_seq.get();
+        self.split_seq.set(split_seq + 1);
+        // Everyone learns everyone's (color, key).
+        let all: Vec<(u64, u64)> = self.allgather((color, key));
+        let mut group: Vec<(u64, usize)> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, (c, _))| *c == color)
+            .map(|(old_rank, (_, k))| (*k, old_rank))
+            .collect();
+        group.sort_unstable();
+        let members: Vec<usize> = group
+            .iter()
+            .map(|&(_, old_rank)| self.members[old_rank])
+            .collect();
+        let my_world = self.members[self.my_rank];
+        let my_rank = members
+            .iter()
+            .position(|&w| w == my_world)
+            .expect("caller must be in its own color group");
+        // Deterministically agreed child id: same parent, same split call,
+        // same color on every member.
+        let comm_id = mix64(self.comm_id ^ mix64(split_seq).rotate_left(17) ^ mix64(color));
+        Comm {
+            endpoint: Rc::clone(&self.endpoint),
+            members: members.into(),
+            my_rank,
+            comm_id,
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
+    }
+
+    /// Poisons the network after a local panic so peers blocked in `recv`
+    /// fail fast instead of deadlocking (runtime-internal).
+    pub(crate) fn poison_network(&self) {
+        self.endpoint.borrow().poison_all();
+    }
+
+    /// Snapshot of the *whole network's* communication counters — all ranks,
+    /// all categories. Taken between synchronization points (e.g. around a
+    /// barrier-fenced measurement region) the delta of two snapshots is the
+    /// exact traffic of that region. Intended for benchmark instrumentation.
+    pub fn comm_stats(&self) -> crate::stats::CommStats {
+        self.endpoint.borrow().stats_snapshot()
+    }
+
+    /// Duplicates the communicator with an isolated tag namespace
+    /// (`MPI_Comm_dup`): same group, new communicator id.
+    pub fn dup(&self) -> Comm {
+        let split_seq = self.split_seq.get();
+        self.split_seq.set(split_seq + 1);
+        let comm_id = mix64(self.comm_id ^ mix64(split_seq).rotate_left(29));
+        Comm {
+            endpoint: Rc::clone(&self.endpoint),
+            members: Arc::clone(&self.members),
+            my_rank: self.my_rank,
+            comm_id,
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Message envelopes and tags.
+
+use std::any::Any;
+
+/// A user-visible message tag.
+///
+/// Tags isolate logically independent message streams between the same pair
+/// of ranks, exactly like MPI tags. User code may use any value below
+/// [`Tag::RESERVED_BASE`]; the runtime reserves the upper range for
+/// collectives and control traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u64);
+
+impl Tag {
+    /// First tag value reserved for runtime-internal traffic.
+    pub const RESERVED_BASE: u64 = 1 << 48;
+
+    /// Creates a user tag.
+    ///
+    /// # Panics
+    /// Panics if `value` falls in the reserved range.
+    #[inline]
+    pub fn user(value: u64) -> Self {
+        assert!(
+            value < Self::RESERVED_BASE,
+            "tag {value} is in the runtime-reserved range"
+        );
+        Tag(value)
+    }
+
+    /// Creates a runtime-internal tag (collective sequence numbers).
+    #[inline]
+    pub(crate) fn internal(seq: u64) -> Self {
+        Tag(Self::RESERVED_BASE | seq)
+    }
+}
+
+/// What travels through a channel.
+pub(crate) enum Payload {
+    /// A user or collective value.
+    Value(Box<dyn Any + Send>),
+    /// The source rank panicked; receivers must fail fast.
+    Poison,
+}
+
+/// A routed message.
+pub(crate) struct Envelope {
+    /// World rank of the sender.
+    pub src_world: usize,
+    /// Communicator that the message belongs to.
+    pub comm_id: u64,
+    /// Tag within the communicator.
+    pub tag: Tag,
+    /// The value (or poison marker).
+    pub payload: Payload,
+}

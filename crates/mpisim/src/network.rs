@@ -1,0 +1,142 @@
+//! The shared transport: one inbox channel per rank plus the meter.
+
+use crate::message::{Envelope, Payload, Tag};
+use crate::stats::{CommCategory, CommStats, Meter};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+
+/// Shared state of a simulated cluster: `p` inboxes and the byte meter.
+pub(crate) struct Network {
+    senders: Vec<Sender<Envelope>>,
+    receivers: Vec<Option<Receiver<Envelope>>>,
+    meter: Arc<Meter>,
+}
+
+impl Network {
+    pub(crate) fn new(p: usize) -> Self {
+        assert!(p >= 1, "need at least one rank");
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        Self {
+            senders,
+            receivers,
+            meter: Meter::new(p),
+        }
+    }
+
+    /// Takes rank `r`'s endpoint (inbox receiver plus fan-out senders).
+    /// Each rank's endpoint can be taken exactly once.
+    pub(crate) fn endpoint(&mut self, rank: usize) -> Endpoint {
+        Endpoint {
+            rank,
+            inbox: self.receivers[rank].take().expect("endpoint taken twice"),
+            peers: self.senders.clone(),
+            meter: Arc::clone(&self.meter),
+            pending: Vec::new(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> CommStats {
+        self.meter.snapshot()
+    }
+}
+
+/// A single rank's connection to the network.
+pub(crate) struct Endpoint {
+    pub(crate) rank: usize,
+    inbox: Receiver<Envelope>,
+    peers: Vec<Sender<Envelope>>,
+    meter: Arc<Meter>,
+    /// Messages received but not yet matched (out-of-order arrivals).
+    pending: Vec<Envelope>,
+}
+
+impl Endpoint {
+    /// Snapshot of the whole network's counters (benchmark instrumentation).
+    pub(crate) fn stats_snapshot(&self) -> CommStats {
+        self.meter.snapshot()
+    }
+
+    /// Sends an envelope, attributing `bytes` to `category`.
+    pub(crate) fn send_envelope(
+        &self,
+        dst_world: usize,
+        comm_id: u64,
+        tag: Tag,
+        payload: Payload,
+        category: CommCategory,
+        bytes: u64,
+    ) {
+        self.meter.record(self.rank, category, bytes);
+        let env = Envelope {
+            src_world: self.rank,
+            comm_id,
+            tag,
+            payload,
+        };
+        // A closed inbox means the peer already exited; with poison-on-panic
+        // this only happens after a failure elsewhere, so fail loudly.
+        self.peers[dst_world]
+            .send(env)
+            .expect("peer rank inbox closed (peer exited early)");
+    }
+
+    /// Broadcasts a poison marker to every other rank (called on panic).
+    pub(crate) fn poison_all(&self) {
+        for (dst, tx) in self.peers.iter().enumerate() {
+            if dst != self.rank {
+                // Ignore closed inboxes; peers may have already exited.
+                let _ = tx.send(Envelope {
+                    src_world: self.rank,
+                    comm_id: 0,
+                    tag: Tag(0),
+                    payload: Payload::Poison,
+                });
+            }
+        }
+    }
+
+    /// Blocking receive matching `(comm_id, src_world, tag)`.
+    ///
+    /// Non-matching arrivals are buffered, preserving MPI's non-overtaking
+    /// guarantee per (source, comm, tag). Receipt of poison panics.
+    pub(crate) fn recv_match(
+        &mut self,
+        src_world: usize,
+        comm_id: u64,
+        tag: Tag,
+    ) -> Box<dyn std::any::Any + Send> {
+        // First check the out-of-order buffer.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.src_world == src_world && e.comm_id == comm_id && e.tag == tag)
+        {
+            match self.pending.remove(pos).payload {
+                Payload::Value(v) => return v,
+                Payload::Poison => panic!("peer rank {src_world} panicked"),
+            }
+        }
+        loop {
+            let env = self
+                .inbox
+                .recv()
+                .expect("network closed while waiting for message");
+            if matches!(env.payload, Payload::Poison) {
+                panic!("peer rank {} panicked", env.src_world);
+            }
+            if env.src_world == src_world && env.comm_id == comm_id && env.tag == tag {
+                match env.payload {
+                    Payload::Value(v) => return v,
+                    Payload::Poison => unreachable!(),
+                }
+            }
+            self.pending.push(env);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests: every collective must agree with its sequential
+//! reference on arbitrary inputs, sizes and roots.
+
+use dspgemm_mpi::run;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bcast_delivers_root_value(p in 1usize..9, root_sel in 0usize..9, value in any::<u64>()) {
+        let root = root_sel % p;
+        let out = run(p, move |comm| {
+            comm.bcast(root, if comm.rank() == root { Some(value) } else { None })
+        });
+        prop_assert!(out.results.iter().all(|&v| v == value));
+    }
+
+    #[test]
+    fn allgather_orders_by_rank(p in 1usize..9, base in any::<u32>()) {
+        let out = run(p, move |comm| {
+            comm.allgather(base.wrapping_add(comm.rank() as u32))
+        });
+        let expect: Vec<u32> = (0..p as u32).map(|r| base.wrapping_add(r)).collect();
+        prop_assert!(out.results.iter().all(|v| *v == expect));
+    }
+
+    #[test]
+    fn allreduce_matches_fold(p in 1usize..9, values in prop::collection::vec(any::<u64>(), 9)) {
+        let vals = values.clone();
+        let out = run(p, move |comm| {
+            comm.allreduce(vals[comm.rank()], |a, b| a ^ b)
+        });
+        let expect = values[..p].iter().fold(0u64, |a, &b| a ^ b);
+        prop_assert!(out.results.iter().all(|&v| v == expect));
+    }
+
+    #[test]
+    fn alltoallv_is_a_transpose(p in 1usize..6, seed in any::<u64>()) {
+        let out = run(p, move |comm| {
+            let chunks: Vec<Vec<u64>> = (0..p)
+                .map(|dst| vec![seed ^ ((comm.rank() * p + dst) as u64)])
+                .collect();
+            comm.alltoallv(chunks)
+        });
+        for dst in 0..p {
+            for src in 0..p {
+                prop_assert_eq!(out.results[dst][src][0], seed ^ ((src * p + dst) as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn exscan_prefixes(p in 1usize..9, values in prop::collection::vec(0u64..1000, 9)) {
+        let vals = values.clone();
+        let out = run(p, move |comm| {
+            comm.exscan(vals[comm.rank()], 0, |a, b| a + b)
+        });
+        let mut acc = 0u64;
+        for r in 0..p {
+            prop_assert_eq!(out.results[r], acc);
+            acc += values[r];
+        }
+    }
+
+    #[test]
+    fn gather_preserves_order(p in 1usize..9, root_sel in 0usize..9) {
+        let root = root_sel % p;
+        let out = run(p, move |comm| comm.gather(root, comm.rank() as u64 * 7));
+        let expect: Vec<u64> = (0..p as u64).map(|r| r * 7).collect();
+        prop_assert_eq!(out.results[root].as_ref(), Some(&expect));
+        for (r, res) in out.results.iter().enumerate() {
+            if r != root {
+                prop_assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_totals_commutative_op(
+        p in 1usize..9,
+        values in prop::collection::vec(any::<u32>(), 9),
+    ) {
+        let vals = values.clone();
+        let out = run(p, move |comm| {
+            comm.reduce(0, vals[comm.rank()] as u64, |a, b| a + b)
+        });
+        let expect: u64 = values[..p].iter().map(|&v| v as u64).sum();
+        prop_assert_eq!(out.results[0], Some(expect));
+    }
+}

@@ -1,0 +1,113 @@
+//! The ℓ=64-bit Bloom-filter bitfields of the general dynamic SpGEMM.
+//!
+//! While computing `C = A · B`, the general algorithm remembers, per output
+//! entry `c_ij`, *which* inner indices `k` contributed a term `a_ik · b_kj` —
+//! compressed into an ℓ-bit bitfield by setting bit `k mod ℓ` (Section V-B;
+//! the paper uses ℓ = 64 in practice, as do we). From these bitfields the
+//! algorithm later derives
+//!
+//! * `E = (F ⊕ F*) masked at C*` — the per-entry filters of the entries that
+//!   must be recomputed, and
+//! * the row-reduction `R` of `E` (bitwise OR over each row), whose bit
+//!   `k mod ℓ` says "some entry of row `i` of `C'` may need column `k` of
+//!   `A'`" — the filter that prunes what gets communicated.
+//!
+//! A set bit is a *may-contribute* (Bloom filters have false positives via
+//! the mod-ℓ aliasing, never false negatives), so filtering with `R` is
+//! conservative: it can only keep too much, never drop a needed column.
+
+use crate::Index;
+
+/// Width of the Bloom bitfields (the paper's ℓ).
+pub const BLOOM_BITS: u32 = 64;
+
+/// The bit recording inner index `k`: `1 << (k mod 64)`.
+#[inline]
+pub fn bloom_bit(k: Index) -> u64 {
+    1u64 << (k % BLOOM_BITS)
+}
+
+/// Whether the bitfield `bits` may include inner index `k`.
+#[inline]
+pub fn may_contain(bits: u64, k: Index) -> bool {
+    bits & bloom_bit(k) != 0
+}
+
+/// Element-wise OR of two filter vectors (used to allreduce `R` across a
+/// process-grid row).
+pub fn or_assign(acc: &mut [u64], other: &[u64]) {
+    assert_eq!(acc.len(), other.len(), "filter vector length mismatch");
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a |= *b;
+    }
+}
+
+/// Reduces the rows of a filter block to a per-row bitfield vector: entry `i`
+/// ORs the bitfields of every stored entry in row `i`. `nrows` is the block's
+/// logical row count.
+pub fn row_or_reduce(block: &crate::dcsr::Dcsr<u64>, nrows: Index) -> Vec<u64> {
+    let mut out = vec![0u64; nrows as usize];
+    for (r, _cols, vals) in block.iter_rows() {
+        let mut acc = 0u64;
+        for &v in vals {
+            acc |= v;
+        }
+        out[r as usize] |= acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcsr::Dcsr;
+    use crate::semiring::U64Plus;
+    use crate::triple::Triple;
+
+    #[test]
+    fn bit_wraps_mod_64() {
+        assert_eq!(bloom_bit(0), 1);
+        assert_eq!(bloom_bit(63), 1 << 63);
+        assert_eq!(bloom_bit(64), 1);
+        assert_eq!(bloom_bit(130), 1 << 2);
+    }
+
+    #[test]
+    fn may_contain_no_false_negatives() {
+        for k in 0..1000u32 {
+            let bits = bloom_bit(k);
+            assert!(may_contain(bits, k));
+            // Aliasing: k + 64 also "contained" (false positive by design).
+            assert!(may_contain(bits, k + 64));
+        }
+    }
+
+    #[test]
+    fn or_assign_vectors() {
+        let mut a = vec![0b01u64, 0b10, 0];
+        or_assign(&mut a, &[0b10, 0b10, 0b100]);
+        assert_eq!(a, vec![0b11, 0b10, 0b100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn or_assign_length_mismatch() {
+        let mut a = vec![0u64];
+        or_assign(&mut a, &[0, 0]);
+    }
+
+    #[test]
+    fn row_reduce_ors_row_entries() {
+        let block = Dcsr::from_triples::<U64Plus>(
+            5,
+            5,
+            vec![
+                Triple::new(1, 0, 0b001u64),
+                Triple::new(1, 3, 0b100),
+                Triple::new(4, 2, 0b010),
+            ],
+        );
+        let r = row_or_reduce(&block, 5);
+        assert_eq!(r, vec![0, 0b101, 0, 0, 0b010]);
+    }
+}

@@ -1,0 +1,492 @@
+//! Doubly compressed sparse row storage for hypersparse matrices.
+//!
+//! A hypersparse matrix has `nnz ≪ n`: most rows are empty, so CSR's dense
+//! `n + 1` row-pointer array dominates its footprint *and its wire size*.
+//! DCSR stores pointers only for non-empty rows (the row-id array `rows` plus
+//! a compressed `row_ptr`), which "can substantially decrease communication
+//! volume when hypersparse matrices need to be communicated" (Section IV).
+//!
+//! Update matrices (`A*`, `B*`), SpGEMM partial blocks (`Xᵢ`, `Yⱼ`) and the
+//! pattern/filter blocks of the general algorithm are all DCSR. None of the
+//! algorithms ever *indexes* into a DCSR (only scans it), so no per-row
+//! lookup structure is kept — exactly as the paper prescribes.
+
+use crate::semiring::Semiring;
+use crate::triple::{self, Triple};
+use crate::{Index, RowScan};
+use dspgemm_util::WireSize;
+
+/// A hypersparse matrix: row ids + compressed row pointers + column/value
+/// arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dcsr<V> {
+    nrows: Index,
+    ncols: Index,
+    /// Sorted ids of non-empty rows.
+    rows: Vec<Index>,
+    /// `row_ptr[i]..row_ptr[i+1]` spans the entries of `rows[i]`.
+    row_ptr: Vec<usize>,
+    cols: Vec<Index>,
+    vals: Vec<V>,
+}
+
+impl<V: Copy> Dcsr<V> {
+    /// An empty matrix of the given shape.
+    pub fn empty(nrows: Index, ncols: Index) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            row_ptr: vec![0],
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Builds from triples in arbitrary order, combining duplicates with the
+    /// semiring addition.
+    pub fn from_triples<S: Semiring<Elem = V>>(
+        nrows: Index,
+        ncols: Index,
+        mut triples: Vec<Triple<V>>,
+    ) -> Self {
+        triple::sort_row_major(&mut triples);
+        triple::dedup_add::<S>(&mut triples);
+        Self::from_sorted_triples(nrows, ncols, &triples)
+    }
+
+    /// Builds from row-major-sorted, duplicate-free triples.
+    pub fn from_sorted_triples(nrows: Index, ncols: Index, triples: &[Triple<V>]) -> Self {
+        debug_assert!(triple::is_sorted_dedup(triples), "input must be sorted+dedup");
+        let mut m = Self::empty(nrows, ncols);
+        m.cols.reserve(triples.len());
+        m.vals.reserve(triples.len());
+        for t in triples {
+            debug_assert!(t.row < nrows && t.col < ncols, "index out of range");
+            m.push_row_entry(t.row, t.col, t.val);
+        }
+        m
+    }
+
+    /// Appends an entry; `row` must be ≥ the last appended row (row-major
+    /// append order). Used by kernels that emit output rows in order.
+    #[inline]
+    pub fn push_row_entry(&mut self, row: Index, col: Index, val: V) {
+        match self.rows.last() {
+            Some(&last) if last == row => {}
+            Some(&last) => {
+                debug_assert!(last < row, "rows must be appended in increasing order");
+                self.rows.push(row);
+                self.row_ptr.push(self.cols.len());
+            }
+            None => {
+                self.rows.push(row);
+                self.row_ptr.push(self.cols.len());
+            }
+        }
+        self.cols.push(col);
+        self.vals.push(val);
+        *self.row_ptr.last_mut().unwrap() = self.cols.len();
+    }
+
+    /// Appends a whole row (cols/vals parallel slices); rows must arrive in
+    /// increasing order and must be non-empty.
+    pub fn push_row(&mut self, row: Index, cols: &[Index], vals: &[V]) {
+        debug_assert!(!cols.is_empty());
+        debug_assert_eq!(cols.len(), vals.len());
+        debug_assert!(self.rows.last().map_or(true, |&last| last < row));
+        self.rows.push(row);
+        self.cols.extend_from_slice(cols);
+        self.vals.extend_from_slice(vals);
+        self.row_ptr.push(self.cols.len());
+    }
+
+    /// Number of rows (logical shape, not stored rows).
+    #[inline]
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of structural non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of non-empty rows.
+    #[inline]
+    pub fn nrows_stored(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Iterates `(row, cols, vals)` over non-empty rows in increasing row
+    /// order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (Index, &[Index], &[V])> + '_ {
+        self.rows.iter().enumerate().map(move |(i, &r)| {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            (r, &self.cols[lo..hi], &self.vals[lo..hi])
+        })
+    }
+
+    /// All entries as row-major triples.
+    pub fn to_triples(&self) -> Vec<Triple<V>> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for (r, cols, vals) in self.iter_rows() {
+            for (&c, &v) in cols.iter().zip(vals) {
+                out.push(Triple::new(r, c, v));
+            }
+        }
+        out
+    }
+
+    /// Maps the values (keeping the pattern).
+    pub fn map<W: Copy>(&self, mut f: impl FnMut(V) -> W) -> Dcsr<W> {
+        Dcsr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rows: self.rows.clone(),
+            row_ptr: self.row_ptr.clone(),
+            cols: self.cols.clone(),
+            vals: self.vals.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Merges two DCSR matrices, combining coinciding entries with `combine`.
+    ///
+    /// This is the kernel of the sparse aggregation (reduce) in Algorithm 1:
+    /// partial blocks `Xᵢ` with different sparsity patterns are merged
+    /// pairwise up the reduction tree. Both inputs must have entries in
+    /// column-sorted order within each row (true for all kernel outputs);
+    /// the result preserves that order. Runs in `O(nnz(a) + nnz(b))`.
+    pub fn merge_with(a: &Dcsr<V>, b: &Dcsr<V>, mut combine: impl FnMut(V, V) -> V) -> Dcsr<V> {
+        assert_eq!(a.nrows, b.nrows, "shape mismatch");
+        assert_eq!(a.ncols, b.ncols, "shape mismatch");
+        let mut out = Dcsr::empty(a.nrows, a.ncols);
+        out.cols.reserve(a.nnz() + b.nnz());
+        out.vals.reserve(a.nnz() + b.nnz());
+        let mut ia = 0usize;
+        let mut ib = 0usize;
+        while ia < a.rows.len() || ib < b.rows.len() {
+            let ra = a.rows.get(ia).copied();
+            let rb = b.rows.get(ib).copied();
+            match (ra, rb) {
+                (Some(r), None) => {
+                    let (lo, hi) = (a.row_ptr[ia], a.row_ptr[ia + 1]);
+                    out.push_row(r, &a.cols[lo..hi], &a.vals[lo..hi]);
+                    ia += 1;
+                }
+                (None, Some(r)) => {
+                    let (lo, hi) = (b.row_ptr[ib], b.row_ptr[ib + 1]);
+                    out.push_row(r, &b.cols[lo..hi], &b.vals[lo..hi]);
+                    ib += 1;
+                }
+                (Some(r1), Some(r2)) if r1 < r2 => {
+                    let (lo, hi) = (a.row_ptr[ia], a.row_ptr[ia + 1]);
+                    out.push_row(r1, &a.cols[lo..hi], &a.vals[lo..hi]);
+                    ia += 1;
+                }
+                (Some(r1), Some(r2)) if r2 < r1 => {
+                    let (lo, hi) = (b.row_ptr[ib], b.row_ptr[ib + 1]);
+                    out.push_row(r2, &b.cols[lo..hi], &b.vals[lo..hi]);
+                    ib += 1;
+                }
+                (Some(r), Some(_)) => {
+                    // Same row: merge the column-sorted entry runs.
+                    let (alo, ahi) = (a.row_ptr[ia], a.row_ptr[ia + 1]);
+                    let (blo, bhi) = (b.row_ptr[ib], b.row_ptr[ib + 1]);
+                    let mut ja = alo;
+                    let mut jb = blo;
+                    while ja < ahi || jb < bhi {
+                        let ca = a.cols.get(ja).copied().filter(|_| ja < ahi);
+                        let cb = b.cols.get(jb).copied().filter(|_| jb < bhi);
+                        match (ca, cb) {
+                            (Some(c1), Some(c2)) if c1 == c2 => {
+                                out.push_row_entry(r, c1, combine(a.vals[ja], b.vals[jb]));
+                                ja += 1;
+                                jb += 1;
+                            }
+                            (Some(c1), Some(c2)) if c1 < c2 => {
+                                out.push_row_entry(r, c1, a.vals[ja]);
+                                ja += 1;
+                            }
+                            (Some(_), Some(c2)) => {
+                                out.push_row_entry(r, c2, b.vals[jb]);
+                                jb += 1;
+                            }
+                            (Some(c1), None) => {
+                                out.push_row_entry(r, c1, a.vals[ja]);
+                                ja += 1;
+                            }
+                            (None, Some(c2)) => {
+                                out.push_row_entry(r, c2, b.vals[jb]);
+                                jb += 1;
+                            }
+                            (None, None) => unreachable!(),
+                        }
+                    }
+                    ia += 1;
+                    ib += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        out
+    }
+
+    /// Merge-add over a semiring (the common case of [`Dcsr::merge_with`]).
+    pub fn merge_add<S: Semiring<Elem = V>>(a: &Dcsr<V>, b: &Dcsr<V>) -> Dcsr<V> {
+        Self::merge_with(a, b, S::add)
+    }
+
+    /// Builds an O(1) row-access adapter over this matrix.
+    ///
+    /// The paper's invariant is that its algorithms never *search* inside a
+    /// DCSR. The `A · B*` pass of Algorithm 1 iterates the rows of `A` and
+    /// needs the matching rows of the broadcast hypersparse `B*` block; this
+    /// adapter provides them in O(1) via a dense row-position table built in
+    /// `O(local rows + stored rows)` — a local scratch structure, never
+    /// communicated, so the DCSR wire-size benefit is untouched.
+    pub fn row_reader(&self) -> DcsrRowReader<'_, V> {
+        let mut pos = vec![u32::MAX; self.nrows as usize];
+        for (i, &r) in self.rows.iter().enumerate() {
+            pos[r as usize] = i as u32;
+        }
+        DcsrRowReader { d: self, pos }
+    }
+
+    /// Internal consistency check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_ptr.len() != self.rows.len() + 1 {
+            return Err("row_ptr length mismatch".into());
+        }
+        if *self.row_ptr.last().unwrap() != self.cols.len() || self.cols.len() != self.vals.len()
+        {
+            return Err("nnz bookkeeping mismatch".into());
+        }
+        if !self.rows.windows(2).all(|w| w[0] < w[1]) {
+            return Err("row ids not strictly increasing".into());
+        }
+        if self.rows.iter().any(|&r| r >= self.nrows) {
+            return Err("row id out of range".into());
+        }
+        if self.cols.iter().any(|&c| c >= self.ncols) {
+            return Err("column index out of range".into());
+        }
+        for w in self.row_ptr.windows(2) {
+            if w[0] >= w[1] {
+                return Err("empty row stored".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<V: Copy> RowScan<V> for Dcsr<V> {
+    #[inline]
+    fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    #[inline]
+    fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    #[inline]
+    fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn scan_rows(&self, mut f: impl FnMut(Index, &[Index], &[V])) {
+        for (r, cols, vals) in self.iter_rows() {
+            f(r, cols, vals);
+        }
+    }
+
+    fn scan_row_range(&self, lo: Index, hi: Index, mut f: impl FnMut(Index, &[Index], &[V])) {
+        // Binary search the stored-row bounds, then scan.
+        let start = self.rows.partition_point(|&r| r < lo);
+        let end = self.rows.partition_point(|&r| r < hi);
+        for i in start..end {
+            let (plo, phi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            f(self.rows[i], &self.cols[plo..phi], &self.vals[plo..phi]);
+        }
+    }
+}
+
+/// O(1) row access into a [`Dcsr`] via a dense row-position table (see
+/// [`Dcsr::row_reader`]). Empty rows return empty slices.
+#[derive(Debug)]
+pub struct DcsrRowReader<'a, V> {
+    d: &'a Dcsr<V>,
+    pos: Vec<u32>,
+}
+
+impl<V: Copy> crate::RowRead<V> for DcsrRowReader<'_, V> {
+    #[inline]
+    fn nrows(&self) -> Index {
+        self.d.nrows
+    }
+
+    #[inline]
+    fn ncols(&self) -> Index {
+        self.d.ncols
+    }
+
+    #[inline]
+    fn row(&self, r: Index) -> (&[Index], &[V]) {
+        let i = self.pos[r as usize];
+        if i == u32::MAX {
+            (&[], &[])
+        } else {
+            let lo = self.d.row_ptr[i as usize];
+            let hi = self.d.row_ptr[i as usize + 1];
+            (&self.d.cols[lo..hi], &self.d.vals[lo..hi])
+        }
+    }
+}
+
+impl<V: WireSize> WireSize for Dcsr<V> {
+    /// Packed size: shape header + 4 B per stored row id + 8 B per compressed
+    /// row pointer + 4 B per column index + value payload. For hypersparse
+    /// blocks this is far below the CSR wire size — the reason the paper
+    /// communicates update matrices in DCSR.
+    fn wire_bytes(&self) -> u64 {
+        16 + 4 * self.rows.len() as u64
+            + 8 * self.row_ptr.len() as u64
+            + 4 * self.cols.len() as u64
+            + self.vals.iter().map(WireSize::wire_bytes).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::U64Plus;
+
+    fn t(r: Index, c: Index, v: u64) -> Triple<u64> {
+        Triple::new(r, c, v)
+    }
+
+    fn sample() -> Dcsr<u64> {
+        Dcsr::from_triples::<U64Plus>(
+            1000,
+            1000,
+            vec![t(999, 3, 14), t(0, 0, 10), t(999, 0, 12), t(0, 2, 11), t(500, 1, 13)],
+        )
+    }
+
+    #[test]
+    fn construction_hypersparse() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.nrows_stored(), 3);
+        let rows: Vec<_> = m.iter_rows().map(|(r, c, _)| (r, c.len())).collect();
+        assert_eq!(rows, vec![(0, 2), (500, 1), (999, 2)]);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn triples_roundtrip() {
+        let m = sample();
+        let back = Dcsr::from_sorted_triples(1000, 1000, &m.to_triples());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn duplicates_combine() {
+        let m = Dcsr::from_triples::<U64Plus>(10, 10, vec![t(3, 3, 1), t(3, 3, 2)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.to_triples(), vec![t(3, 3, 3)]);
+    }
+
+    #[test]
+    fn merge_add_disjoint_and_overlapping() {
+        let a = Dcsr::from_triples::<U64Plus>(10, 10, vec![t(1, 1, 1), t(2, 1, 2), t(2, 3, 3)]);
+        let b = Dcsr::from_triples::<U64Plus>(10, 10, vec![t(0, 5, 7), t(2, 1, 10), t(2, 2, 4)]);
+        let m = Dcsr::merge_add::<U64Plus>(&a, &b);
+        assert_eq!(
+            m.to_triples(),
+            vec![t(0, 5, 7), t(1, 1, 1), t(2, 1, 12), t(2, 2, 4), t(2, 3, 3)]
+        );
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let a = sample();
+        let e = Dcsr::empty(1000, 1000);
+        assert_eq!(Dcsr::merge_add::<U64Plus>(&a, &e), a);
+        assert_eq!(Dcsr::merge_add::<U64Plus>(&e, &a), a);
+        assert_eq!(Dcsr::merge_add::<U64Plus>(&e, &e).nnz(), 0);
+    }
+
+    #[test]
+    fn merge_is_commutative_for_add() {
+        let a = Dcsr::from_triples::<U64Plus>(8, 8, vec![t(0, 0, 1), t(5, 7, 2), t(7, 0, 3)]);
+        let b = Dcsr::from_triples::<U64Plus>(8, 8, vec![t(0, 0, 9), t(5, 6, 5)]);
+        assert_eq!(
+            Dcsr::merge_add::<U64Plus>(&a, &b),
+            Dcsr::merge_add::<U64Plus>(&b, &a)
+        );
+    }
+
+    #[test]
+    fn map_preserves_pattern() {
+        let m = sample();
+        let mapped = m.map(|v| v * 2);
+        assert_eq!(mapped.nnz(), m.nnz());
+        assert_eq!(mapped.to_triples()[0].val, m.to_triples()[0].val * 2);
+    }
+
+    #[test]
+    fn scan_row_range_bounds() {
+        let m = sample();
+        let mut rows = vec![];
+        m.scan_row_range(1, 999, |r, _, _| rows.push(r));
+        assert_eq!(rows, vec![500]);
+        rows.clear();
+        m.scan_row_range(0, 1000, |r, _, _| rows.push(r));
+        assert_eq!(rows, vec![0, 500, 999]);
+    }
+
+    #[test]
+    fn wire_size_beats_csr_for_hypersparse() {
+        use crate::csr::Csr;
+        let triples: Vec<Triple<u64>> = (0..10).map(|i| t(i * 100, 0, 1)).collect();
+        let d = Dcsr::from_sorted_triples(1000, 1000, &triples);
+        let c = Csr::from_sorted_triples(1000, 1000, &triples);
+        assert!(
+            d.wire_bytes() * 4 < c.wire_bytes(),
+            "dcsr {} vs csr {}",
+            d.wire_bytes(),
+            c.wire_bytes()
+        );
+    }
+
+    #[test]
+    fn push_row_entry_same_row_accumulates_run() {
+        let mut m: Dcsr<u64> = Dcsr::empty(5, 5);
+        m.push_row_entry(1, 0, 10);
+        m.push_row_entry(1, 3, 11);
+        m.push_row_entry(4, 2, 12);
+        assert_eq!(m.nrows_stored(), 2);
+        assert_eq!(m.nnz(), 3);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let mut m = sample();
+        // Manually corrupt: out-of-range column.
+        m.cols[0] = 5000;
+        assert!(m.validate().is_err());
+    }
+}

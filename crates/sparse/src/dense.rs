@@ -1,0 +1,184 @@
+//! Dense reference matrices — the oracle for tests and property checks.
+//!
+//! Never used on a fast path: `O(n²)` storage, `O(n³)` multiplication, but
+//! trivially correct, which is exactly what the equivalence tests need.
+
+use crate::dcsr::Dcsr;
+use crate::semiring::Semiring;
+use crate::triple::Triple;
+use crate::{Index, RowScan};
+
+/// A dense matrix over a semiring's element type; absent entries hold
+/// `S::zero()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense<V> {
+    nrows: Index,
+    ncols: Index,
+    data: Vec<V>,
+}
+
+impl<V: Copy + PartialEq + std::fmt::Debug> Dense<V> {
+    /// A zero-filled matrix (with the semiring's zero).
+    pub fn zeros<S: Semiring<Elem = V>>(nrows: Index, ncols: Index) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![S::zero(); nrows as usize * ncols as usize],
+        }
+    }
+
+    /// Builds from triples; duplicates combine with the semiring addition.
+    pub fn from_triples<S: Semiring<Elem = V>>(
+        nrows: Index,
+        ncols: Index,
+        triples: &[Triple<V>],
+    ) -> Self {
+        let mut m = Self::zeros::<S>(nrows, ncols);
+        for t in triples {
+            let cur = m.get(t.row, t.col);
+            m.set(t.row, t.col, S::add(cur, t.val));
+        }
+        m
+    }
+
+    /// Builds from any sparse row-scannable matrix.
+    pub fn from_sparse<S: Semiring<Elem = V>, M: RowScan<V>>(m: &M) -> Self {
+        let mut d = Self::zeros::<S>(m.nrows(), m.ncols());
+        m.scan_rows(|r, cols, vals| {
+            for (&c, &v) in cols.iter().zip(vals) {
+                d.set(r, c, v);
+            }
+        });
+        d
+    }
+
+    /// Builds from a DCSR (values overwrite zeros; pattern preserved).
+    pub fn from_dcsr<S: Semiring<Elem = V>>(m: &Dcsr<V>) -> Self {
+        Self::from_sparse::<S, _>(m)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: Index, c: Index) -> V {
+        self.data[r as usize * self.ncols as usize + c as usize]
+    }
+
+    /// Sets entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: Index, c: Index, v: V) {
+        self.data[r as usize * self.ncols as usize + c as usize] = v;
+    }
+
+    /// Reference `O(n³)` semiring matrix product.
+    pub fn matmul<S: Semiring<Elem = V>>(&self, other: &Dense<V>) -> Dense<V> {
+        assert_eq!(self.ncols, other.nrows, "inner dimension mismatch");
+        let mut out = Self::zeros::<S>(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self.get(i, k);
+                if a == S::zero() {
+                    continue;
+                }
+                for j in 0..other.ncols {
+                    let b = other.get(k, j);
+                    if b == S::zero() {
+                        continue;
+                    }
+                    let cur = out.get(i, j);
+                    out.set(i, j, S::add(cur, S::mul(a, b)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Reference element-wise addition.
+    pub fn add<S: Semiring<Elem = V>>(&self, other: &Dense<V>) -> Dense<V> {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        let mut out = self.clone();
+        for i in 0..self.data.len() {
+            out.data[i] = S::add(self.data[i], other.data[i]);
+        }
+        out
+    }
+
+    /// Positions where two matrices differ (for test diagnostics).
+    pub fn diff(&self, other: &Dense<V>) -> Vec<(Index, Index, V, V)> {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        let mut out = Vec::new();
+        for r in 0..self.nrows {
+            for c in 0..self.ncols {
+                let (a, b) = (self.get(r, c), other.get(r, c));
+                if a != b {
+                    out.push((r, c, a, b));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{MinPlus, U64Plus};
+
+    #[test]
+    fn construction_and_access() {
+        let m = Dense::from_triples::<U64Plus>(
+            2,
+            3,
+            &[Triple::new(0, 1, 5), Triple::new(1, 2, 7), Triple::new(0, 1, 2)],
+        );
+        assert_eq!(m.get(0, 1), 7); // duplicates add
+        assert_eq!(m.get(1, 2), 7);
+        assert_eq!(m.get(0, 0), 0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let eye = Dense::from_triples::<U64Plus>(
+            3,
+            3,
+            &[Triple::new(0, 0, 1), Triple::new(1, 1, 1), Triple::new(2, 2, 1)],
+        );
+        let m = Dense::from_triples::<U64Plus>(
+            3,
+            3,
+            &[Triple::new(0, 2, 4), Triple::new(2, 1, 9)],
+        );
+        assert_eq!(eye.matmul::<U64Plus>(&m), m);
+        assert_eq!(m.matmul::<U64Plus>(&eye), m);
+    }
+
+    #[test]
+    fn min_plus_zero_skip_correct() {
+        // Ensure the zero-skip in matmul respects (min,+): zero = +inf.
+        let a = Dense::from_triples::<MinPlus>(2, 2, &[Triple::new(0, 1, 1.0)]);
+        let b = Dense::from_triples::<MinPlus>(2, 2, &[Triple::new(1, 0, 2.0)]);
+        let c = a.matmul::<MinPlus>(&b);
+        assert_eq!(c.get(0, 0), 3.0);
+        assert_eq!(c.get(1, 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn diff_reports_mismatches() {
+        let a = Dense::from_triples::<U64Plus>(2, 2, &[Triple::new(0, 0, 1)]);
+        let b = Dense::from_triples::<U64Plus>(2, 2, &[Triple::new(0, 0, 2)]);
+        let d = a.diff(&b);
+        assert_eq!(d, vec![(0, 0, 1, 2)]);
+        assert!(a.diff(&a).is_empty());
+    }
+}

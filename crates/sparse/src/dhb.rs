@@ -1,0 +1,704 @@
+//! DHB-style dynamic sparse matrix storage.
+//!
+//! The paper stores dynamic matrices in the DHB data structure (reference
+//! \[27\]): one *adjacency array* per row holding `(column, value)` entries,
+//! plus — for sufficiently heavy rows — a per-row hash table mapping column
+//! index → position in the adjacency array. This gives:
+//!
+//! * expected **O(1)** lookup, insert, value update and delete of a non-zero;
+//! * cache-friendly row iteration (plain array scans) for SpGEMM;
+//! * no global rebuilds — the property that makes batch updates so much
+//!   cheaper than the rebuild-on-update strategy of the static competitors.
+//!
+//! Light rows (degree < [`INDEX_THRESHOLD`]) skip the hash table: a linear
+//! scan of ≤ 8 entries beats hashing and saves memory on the long tail of
+//! low-degree vertices in skewed graphs.
+
+use crate::semiring::Semiring;
+use crate::triple::Triple;
+use crate::{Index, RowRead, RowScan};
+use dspgemm_util::hash::mix64;
+
+/// Row degree at which a per-row hash index is built.
+pub const INDEX_THRESHOLD: usize = 8;
+
+/// Hash-table load factor limit (× 100).
+const MAX_LOAD_PERCENT: usize = 70;
+
+const EMPTY: Index = Index::MAX;
+
+/// Per-row open-addressing hash index: column → slot in the adjacency array.
+/// Linear probing, power-of-two capacity, back-shift deletion (no
+/// tombstones).
+#[derive(Debug, Clone, Default)]
+struct RowIndex {
+    /// `(col, slot)`; `col == EMPTY` marks a free bucket.
+    table: Vec<(Index, u32)>,
+    len: usize,
+}
+
+impl RowIndex {
+    fn with_capacity_for(entries: usize) -> Self {
+        let cap = (entries * 100 / MAX_LOAD_PERCENT + 1)
+            .next_power_of_two()
+            .max(16);
+        Self {
+            table: vec![(EMPTY, 0); cap],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.table.len() - 1
+    }
+
+    #[inline]
+    fn bucket_of(&self, col: Index) -> usize {
+        mix64(col as u64) as usize & self.mask()
+    }
+
+    fn find(&self, col: Index) -> Option<u32> {
+        let mask = self.mask();
+        let mut b = self.bucket_of(col);
+        loop {
+            let (c, slot) = self.table[b];
+            if c == col {
+                return Some(slot);
+            }
+            if c == EMPTY {
+                return None;
+            }
+            b = (b + 1) & mask;
+        }
+    }
+
+    /// Inserts a mapping; `col` must not be present.
+    fn insert(&mut self, col: Index, slot: u32) {
+        if (self.len + 1) * 100 > self.table.len() * MAX_LOAD_PERCENT {
+            self.grow();
+        }
+        let mask = self.mask();
+        let mut b = self.bucket_of(col);
+        loop {
+            if self.table[b].0 == EMPTY {
+                self.table[b] = (col, slot);
+                self.len += 1;
+                return;
+            }
+            debug_assert_ne!(self.table[b].0, col, "duplicate insert");
+            b = (b + 1) & mask;
+        }
+    }
+
+    /// Updates the slot of an existing mapping (after a swap-remove moved an
+    /// entry within the adjacency array).
+    fn update_slot(&mut self, col: Index, slot: u32) {
+        let mask = self.mask();
+        let mut b = self.bucket_of(col);
+        loop {
+            if self.table[b].0 == col {
+                self.table[b].1 = slot;
+                return;
+            }
+            debug_assert_ne!(self.table[b].0, EMPTY, "update of missing column");
+            b = (b + 1) & mask;
+        }
+    }
+
+    /// Removes a mapping with back-shift compaction of the probe cluster.
+    fn remove(&mut self, col: Index) {
+        let mask = self.mask();
+        let mut i = self.bucket_of(col);
+        loop {
+            if self.table[i].0 == col {
+                break;
+            }
+            debug_assert_ne!(self.table[i].0, EMPTY, "remove of missing column");
+            i = (i + 1) & mask;
+        }
+        self.len -= 1;
+        // Back-shift: close the hole without tombstones.
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let (cj, _) = self.table[j];
+            if cj == EMPTY {
+                self.table[i] = (EMPTY, 0);
+                return;
+            }
+            let k = mix64(cj as u64) as usize & mask;
+            // Move table[j] into the hole unless its ideal bucket k lies
+            // cyclically within (i, j] — in that case it must stay.
+            let stays = if j > i { k > i && k <= j } else { k > i || k <= j };
+            if !stays {
+                self.table[i] = self.table[j];
+                i = j;
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.table.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.table, vec![(EMPTY, 0); new_cap]);
+        self.len = 0;
+        for (c, s) in old {
+            if c != EMPTY {
+                self.insert(c, s);
+            }
+        }
+    }
+}
+
+/// One row of a [`DhbMatrix`]: an adjacency array (parallel `cols`/`vals`)
+/// plus an optional hash index for heavy rows.
+#[derive(Debug, Clone)]
+pub struct DhbRow<V> {
+    cols: Vec<Index>,
+    vals: Vec<V>,
+    index: Option<RowIndex>,
+}
+
+impl<V> Default for DhbRow<V> {
+    fn default() -> Self {
+        Self {
+            cols: Vec::new(),
+            vals: Vec::new(),
+            index: None,
+        }
+    }
+}
+
+impl<V: Copy> DhbRow<V> {
+    /// Number of non-zeros in the row.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether the row has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// The row's entries as parallel `(cols, vals)` slices (insertion order).
+    #[inline]
+    pub fn entries(&self) -> (&[Index], &[V]) {
+        (&self.cols, &self.vals)
+    }
+
+    /// Position of `col` in the adjacency array, if present. Expected O(1).
+    #[inline]
+    pub fn find(&self, col: Index) -> Option<usize> {
+        match &self.index {
+            Some(idx) => idx.find(col).map(|s| s as usize),
+            None => self.cols.iter().position(|&c| c == col),
+        }
+    }
+
+    /// The value at `col`, if present.
+    #[inline]
+    pub fn get(&self, col: Index) -> Option<V> {
+        self.find(col).map(|i| self.vals[i])
+    }
+
+    fn maybe_build_index(&mut self) {
+        if self.index.is_none() && self.cols.len() >= INDEX_THRESHOLD {
+            let mut idx = RowIndex::with_capacity_for(self.cols.len());
+            for (slot, &c) in self.cols.iter().enumerate() {
+                idx.insert(c, slot as u32);
+            }
+            self.index = Some(idx);
+        }
+    }
+
+    fn push_new(&mut self, col: Index, val: V) {
+        let slot = self.cols.len() as u32;
+        self.cols.push(col);
+        self.vals.push(val);
+        if let Some(idx) = &mut self.index {
+            idx.insert(col, slot);
+        } else {
+            self.maybe_build_index();
+        }
+    }
+
+    /// Sets `col` to `val`, inserting if absent (MERGE semantics). Returns
+    /// `true` if the entry is new.
+    pub fn set(&mut self, col: Index, val: V) -> bool {
+        match self.find(col) {
+            Some(i) => {
+                self.vals[i] = val;
+                false
+            }
+            None => {
+                self.push_new(col, val);
+                true
+            }
+        }
+    }
+
+    /// Combines `val` into `col` with `combine(old, new)`, inserting `val`
+    /// if absent (matrix-addition semantics). Returns `true` if new.
+    pub fn combine(&mut self, col: Index, val: V, combine: impl FnOnce(V, V) -> V) -> bool {
+        match self.find(col) {
+            Some(i) => {
+                self.vals[i] = combine(self.vals[i], val);
+                false
+            }
+            None => {
+                self.push_new(col, val);
+                true
+            }
+        }
+    }
+
+    /// Bulk-extends an **empty** row with column-sorted, duplicate-free
+    /// entries, building the hash index once at the end — the fast path for
+    /// matrix construction (one reservation, no incremental index growth).
+    /// Falls back to per-entry [`DhbRow::set`] if the row is non-empty.
+    pub fn fill_sorted(&mut self, cols: &[Index], vals: &[V]) {
+        debug_assert_eq!(cols.len(), vals.len());
+        if !self.is_empty() {
+            for (&c, &v) in cols.iter().zip(vals) {
+                self.set(c, v);
+            }
+            return;
+        }
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "sorted + dedup required");
+        self.cols.reserve_exact(cols.len());
+        self.vals.reserve_exact(vals.len());
+        self.cols.extend_from_slice(cols);
+        self.vals.extend_from_slice(vals);
+        self.maybe_build_index();
+    }
+
+    /// Removes `col` (MASK semantics). Returns the removed value, if any.
+    /// Expected O(1): swap-remove in the adjacency array + hash fix-up.
+    pub fn remove(&mut self, col: Index) -> Option<V> {
+        let i = self.find(col)?;
+        let val = self.vals[i];
+        self.cols.swap_remove(i);
+        self.vals.swap_remove(i);
+        if let Some(idx) = &mut self.index {
+            idx.remove(col);
+            if i < self.cols.len() {
+                // The former last entry moved into slot i.
+                idx.update_slot(self.cols[i], i as u32);
+            }
+        }
+        Some(val)
+    }
+
+    /// Approximate heap bytes used by this row (adjacency + index).
+    pub fn heap_bytes(&self) -> usize {
+        self.cols.capacity() * std::mem::size_of::<Index>()
+            + self.vals.capacity() * std::mem::size_of::<V>()
+            + self
+                .index
+                .as_ref()
+                .map_or(0, |i| i.table.capacity() * std::mem::size_of::<(Index, u32)>())
+    }
+}
+
+/// A dynamic sparse matrix: one [`DhbRow`] per row.
+///
+/// This is the storage for every *dynamic* matrix in the framework — local
+/// blocks of distributed adjacency matrices and of SpGEMM results `C'`.
+#[derive(Debug, Clone)]
+pub struct DhbMatrix<V> {
+    nrows: Index,
+    ncols: Index,
+    rows: Vec<DhbRow<V>>,
+    nnz: usize,
+}
+
+impl<V: Copy> DhbMatrix<V> {
+    /// An empty dynamic matrix of the given shape.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: (0..nrows).map(|_| DhbRow::default()).collect(),
+            nnz: 0,
+        }
+    }
+
+    /// Builds from triples (arbitrary order); duplicate keys keep the last
+    /// value.
+    pub fn from_triples(nrows: Index, ncols: Index, triples: &[Triple<V>]) -> Self {
+        let mut m = Self::new(nrows, ncols);
+        for t in triples {
+            m.set(t.row, t.col, t.val);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of structural non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The value at `(r, c)`, if present. Expected O(1).
+    #[inline]
+    pub fn get(&self, r: Index, c: Index) -> Option<V> {
+        self.rows[r as usize].get(c)
+    }
+
+    /// Sets `(r, c)` to `val` (insert-or-assign / MERGE). Returns `true` if
+    /// the entry is new.
+    pub fn set(&mut self, r: Index, c: Index, val: V) -> bool {
+        debug_assert!(r < self.nrows && c < self.ncols, "index out of range");
+        let new = self.rows[r as usize].set(c, val);
+        self.nnz += usize::from(new);
+        new
+    }
+
+    /// Combines `val` into `(r, c)` with the semiring addition, inserting if
+    /// absent (matrix addition `A += A*`). Returns `true` if new.
+    pub fn add_entry<S: Semiring<Elem = V>>(&mut self, r: Index, c: Index, val: V) -> bool {
+        debug_assert!(r < self.nrows && c < self.ncols, "index out of range");
+        let new = self.rows[r as usize].combine(c, val, S::add);
+        self.nnz += usize::from(new);
+        new
+    }
+
+    /// Combines `val` into `(r, c)` with an arbitrary operator, inserting if
+    /// absent (e.g. bitwise-OR for Bloom filter matrices). Returns `true`
+    /// if new.
+    pub fn combine_entry(
+        &mut self,
+        r: Index,
+        c: Index,
+        val: V,
+        combine: impl FnOnce(V, V) -> V,
+    ) -> bool {
+        debug_assert!(r < self.nrows && c < self.ncols, "index out of range");
+        let new = self.rows[r as usize].combine(c, val, combine);
+        self.nnz += usize::from(new);
+        new
+    }
+
+    /// Removes `(r, c)` (MASK). Returns the removed value, if any.
+    pub fn remove(&mut self, r: Index, c: Index) -> Option<V> {
+        let old = self.rows[r as usize].remove(c);
+        self.nnz -= usize::from(old.is_some());
+        old
+    }
+
+    /// Read access to a row.
+    #[inline]
+    pub fn row_ref(&self, r: Index) -> &DhbRow<V> {
+        &self.rows[r as usize]
+    }
+
+    /// Distributes mutable row references into `shards` groups by
+    /// `row % shards` — the paper's `(i mod T)` partitioning that lets `T`
+    /// threads apply a pre-grouped update batch without synchronization.
+    /// `out[t][k]` is row `t + k·shards`. The caller regains `&mut self`
+    /// (and must then call [`DhbMatrix::recount_nnz`]) once the borrows end.
+    pub fn shard_rows_mut(&mut self, shards: usize) -> Vec<Vec<&mut DhbRow<V>>> {
+        let mut out: Vec<Vec<&mut DhbRow<V>>> = (0..shards)
+            .map(|_| Vec::with_capacity(self.rows.len() / shards + 1))
+            .collect();
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            out[i % shards].push(row);
+        }
+        out
+    }
+
+    /// Recomputes the cached nnz after direct row mutation via
+    /// [`DhbMatrix::shard_rows_mut`].
+    pub fn recount_nnz(&mut self) {
+        self.nnz = self.rows.iter().map(DhbRow::len).sum();
+    }
+
+    /// All entries as row-major, column-sorted triples.
+    pub fn to_sorted_triples(&self) -> Vec<Triple<V>> {
+        let mut out = Vec::with_capacity(self.nnz);
+        for (r, row) in self.rows.iter().enumerate() {
+            let start = out.len();
+            let (cols, vals) = row.entries();
+            for (&c, &v) in cols.iter().zip(vals) {
+                out.push(Triple::new(r as Index, c, v));
+            }
+            out[start..].sort_unstable_by_key(|t| t.col);
+        }
+        out
+    }
+
+    /// Converts to CSR (column-sorted rows).
+    pub fn to_csr(&self) -> crate::csr::Csr<V> {
+        crate::csr::Csr::from_sorted_triples(self.nrows, self.ncols, &self.to_sorted_triples())
+    }
+
+    /// Converts to DCSR (column-sorted rows).
+    pub fn to_dcsr(&self) -> crate::dcsr::Dcsr<V> {
+        crate::dcsr::Dcsr::from_sorted_triples(self.nrows, self.ncols, &self.to_sorted_triples())
+    }
+
+    /// Approximate heap bytes (adjacency arrays + hash indices).
+    pub fn heap_bytes(&self) -> usize {
+        self.rows.iter().map(DhbRow::heap_bytes).sum::<usize>()
+            + self.rows.capacity() * std::mem::size_of::<DhbRow<V>>()
+    }
+}
+
+impl<V: Copy> RowRead<V> for DhbMatrix<V> {
+    #[inline]
+    fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    #[inline]
+    fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    #[inline]
+    fn row(&self, r: Index) -> (&[Index], &[V]) {
+        self.rows[r as usize].entries()
+    }
+}
+
+impl<V: Copy> RowScan<V> for DhbMatrix<V> {
+    #[inline]
+    fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    #[inline]
+    fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    #[inline]
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn scan_rows(&self, mut f: impl FnMut(Index, &[Index], &[V])) {
+        for (r, row) in self.rows.iter().enumerate() {
+            if !row.is_empty() {
+                let (cols, vals) = row.entries();
+                f(r as Index, cols, vals);
+            }
+        }
+    }
+
+    fn scan_row_range(&self, lo: Index, hi: Index, mut f: impl FnMut(Index, &[Index], &[V])) {
+        for r in lo..hi {
+            let row = &self.rows[r as usize];
+            if !row.is_empty() {
+                let (cols, vals) = row.entries();
+                f(r, cols, vals);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::U64Plus;
+    use dspgemm_util::rng::{Rng, SplitMix64};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn set_get_remove_small_row() {
+        let mut m: DhbMatrix<u64> = DhbMatrix::new(4, 4);
+        assert!(m.set(1, 2, 10));
+        assert!(!m.set(1, 2, 20), "overwrite is not new");
+        assert_eq!(m.get(1, 2), Some(20));
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.remove(1, 2), Some(20));
+        assert_eq!(m.remove(1, 2), None);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn add_entry_combines() {
+        let mut m: DhbMatrix<u64> = DhbMatrix::new(2, 2);
+        m.add_entry::<U64Plus>(0, 0, 5);
+        m.add_entry::<U64Plus>(0, 0, 7);
+        assert_eq!(m.get(0, 0), Some(12));
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn index_kicks_in_beyond_threshold() {
+        let mut row: DhbRow<u64> = DhbRow::default();
+        for c in 0..INDEX_THRESHOLD as Index {
+            row.set(c, c as u64);
+        }
+        assert!(row.index.is_some(), "index built at threshold");
+        for c in 0..INDEX_THRESHOLD as Index {
+            assert_eq!(row.get(c), Some(c as u64));
+        }
+    }
+
+    #[test]
+    fn heavy_row_operations() {
+        let mut row: DhbRow<u64> = DhbRow::default();
+        for c in 0..10_000 {
+            assert!(row.set(c, c as u64 * 3));
+        }
+        assert_eq!(row.len(), 10_000);
+        for c in (0..10_000).step_by(7) {
+            assert_eq!(row.get(c), Some(c as u64 * 3));
+        }
+        // Remove every third entry.
+        for c in (0..10_000).step_by(3) {
+            assert_eq!(row.remove(c), Some(c as u64 * 3));
+        }
+        for c in 0..10_000 {
+            if c % 3 == 0 {
+                assert_eq!(row.get(c), None);
+            } else {
+                assert_eq!(row.get(c), Some(c as u64 * 3));
+            }
+        }
+    }
+
+    #[test]
+    fn random_ops_match_btreemap_model() {
+        let mut rng = SplitMix64::new(2024);
+        let mut dhb: DhbMatrix<u64> = DhbMatrix::new(64, 64);
+        let mut model: BTreeMap<(Index, Index), u64> = BTreeMap::new();
+        for step in 0..50_000 {
+            let r = rng.gen_range(64) as Index;
+            let c = rng.gen_range(64) as Index;
+            match rng.gen_range(4) {
+                0 => {
+                    let v = rng.next_u64();
+                    dhb.set(r, c, v);
+                    model.insert((r, c), v);
+                }
+                1 => {
+                    let v = rng.gen_range(1000);
+                    dhb.add_entry::<U64Plus>(r, c, v);
+                    *model.entry((r, c)).or_insert(0) += v;
+                }
+                2 => {
+                    let a = dhb.remove(r, c);
+                    let b = model.remove(&(r, c));
+                    assert_eq!(a, b, "remove mismatch at step {step}");
+                }
+                _ => {
+                    assert_eq!(dhb.get(r, c), model.get(&(r, c)).copied());
+                }
+            }
+            assert_eq!(dhb.nnz(), model.len(), "nnz drift at step {step}");
+        }
+        // Final full comparison via sorted triples.
+        let triples: Vec<((Index, Index), u64)> = dhb
+            .to_sorted_triples()
+            .into_iter()
+            .map(|t| ((t.row, t.col), t.val))
+            .collect();
+        let expect: Vec<((Index, Index), u64)> =
+            model.into_iter().collect();
+        assert_eq!(triples, expect);
+    }
+
+    #[test]
+    fn shard_rows_mut_partitions_by_modulo() {
+        let mut m: DhbMatrix<u64> = DhbMatrix::new(10, 10);
+        {
+            let mut shards = m.shard_rows_mut(3);
+            assert_eq!(shards[0].len(), 4); // rows 0,3,6,9
+            assert_eq!(shards[1].len(), 3); // rows 1,4,7
+            assert_eq!(shards[2].len(), 3); // rows 2,5,8
+            // Mutate through the shards: set (r, 0) = r for every row.
+            for (t, shard) in shards.iter_mut().enumerate() {
+                for (k, row) in shard.iter_mut().enumerate() {
+                    let r = (t + k * 3) as u64;
+                    row.set(0, r);
+                }
+            }
+        }
+        m.recount_nnz();
+        assert_eq!(m.nnz(), 10);
+        for r in 0..10 {
+            assert_eq!(m.get(r, 0), Some(r as u64));
+        }
+    }
+
+    #[test]
+    fn conversions_sorted() {
+        let mut m: DhbMatrix<u64> = DhbMatrix::new(4, 4);
+        m.set(2, 3, 1);
+        m.set(2, 0, 2);
+        m.set(0, 1, 3);
+        let t = m.to_sorted_triples();
+        assert_eq!(
+            t,
+            vec![
+                Triple::new(0, 1, 3),
+                Triple::new(2, 0, 2),
+                Triple::new(2, 3, 1)
+            ]
+        );
+        assert_eq!(m.to_csr().nnz(), 3);
+        m.to_dcsr().validate().unwrap();
+    }
+
+    #[test]
+    fn row_read_trait_unordered() {
+        let mut m: DhbMatrix<u64> = DhbMatrix::new(2, 8);
+        m.set(0, 5, 1);
+        m.set(0, 2, 2);
+        let (cols, vals) = RowRead::row(&m, 0);
+        assert_eq!(cols.len(), 2);
+        assert_eq!(vals.len(), 2);
+        let mut pairs: Vec<(Index, u64)> =
+            cols.iter().copied().zip(vals.iter().copied()).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(2, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn heap_bytes_positive_and_grows() {
+        let mut m: DhbMatrix<u64> = DhbMatrix::new(8, 1024);
+        let before = m.heap_bytes();
+        for c in 0..1024 {
+            m.set(3, c, 1);
+        }
+        assert!(m.heap_bytes() > before);
+    }
+
+    #[test]
+    fn backshift_deletion_stress() {
+        // Force many collisions then delete in adversarial order to exercise
+        // the back-shift path.
+        let mut row: DhbRow<u64> = DhbRow::default();
+        let cols: Vec<Index> = (0..2000).map(|i| i * 64).collect();
+        for &c in &cols {
+            row.set(c, c as u64);
+        }
+        for &c in cols.iter().rev() {
+            assert_eq!(row.remove(c), Some(c as u64));
+            // All remaining entries must stay findable.
+            if c % 640 == 0 {
+                for &c2 in cols.iter().filter(|&&c2| c2 < c) {
+                    assert_eq!(row.get(c2), Some(c2 as u64), "lost {c2} after removing {c}");
+                }
+            }
+        }
+        assert!(row.is_empty());
+    }
+}

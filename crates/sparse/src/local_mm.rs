@@ -1,0 +1,428 @@
+//! Local (per-rank) SpGEMM: Gustavson's row-wise algorithm over a semiring.
+//!
+//! `C[i, :] = Σ_k A[i, k] · B[k, :]` — iterate the non-empty rows of `A`,
+//! scale the corresponding rows of `B`, and accumulate in a SPA. The
+//! implementation is generic over
+//!
+//! * the semiring `S`,
+//! * the left operand (anything that can [`RowScan`]: CSR, DCSR, DHB), and
+//! * the right operand (anything with O(1) row access, [`RowRead`]: CSR,
+//!   DHB — never DCSR, matching the paper's "no search for an index is ever
+//!   necessary" invariant),
+//!
+//! and is parallelized over contiguous row ranges of `A` (the paper's
+//! shared-memory parallelization of different output rows, Section VI-A).
+//!
+//! The fused variant [`spgemm_bloom`] additionally tracks the ℓ=64-bit Bloom
+//! filter of contributing inner indices `k` that the general dynamic
+//! algorithm needs (Section V-B): bit `k mod 64` of the output entry's
+//! bitfield is set whenever `a_ik · b_kj` contributes to `c_ij`.
+
+use crate::dcsr::Dcsr;
+use crate::semiring::Semiring;
+use crate::spa::Spa;
+use crate::{Index, RowRead, RowScan};
+use dspgemm_util::par::parallel_map_ranges;
+
+/// Result of a local multiplication: the product block plus the scalar
+/// multiplication count (the paper's `flops` metric).
+#[derive(Debug, Clone)]
+pub struct MmOutput<A> {
+    /// The product, hypersparse-friendly.
+    pub result: Dcsr<A>,
+    /// Number of scalar semiring multiplications performed.
+    pub flops: u64,
+}
+
+/// Worker result: rows produced by one range, already column-sorted.
+struct RangeRows<A> {
+    rows: Vec<(Index, Vec<(Index, A)>)>,
+    flops: u64,
+}
+
+fn assemble<A: Copy>(nrows: Index, ncols: Index, parts: Vec<RangeRows<A>>) -> MmOutput<A> {
+    let nnz: usize = parts
+        .iter()
+        .map(|p| p.rows.iter().map(|(_, r)| r.len()).sum::<usize>())
+        .sum();
+    let flops = parts.iter().map(|p| p.flops).sum();
+    let mut result = Dcsr::empty(nrows, ncols);
+    let mut cols_buf: Vec<Index> = Vec::with_capacity(64);
+    let mut vals_buf: Vec<A> = Vec::with_capacity(64);
+    let _ = nnz;
+    for part in parts {
+        for (r, entries) in part.rows {
+            cols_buf.clear();
+            vals_buf.clear();
+            cols_buf.extend(entries.iter().map(|&(c, _)| c));
+            vals_buf.extend(entries.iter().map(|&(_, v)| v));
+            result.push_row(r, &cols_buf, &vals_buf);
+        }
+    }
+    MmOutput { result, flops }
+}
+
+/// Gustavson SpGEMM: `A · B` over semiring `S`, parallelized over `threads`
+/// row ranges of `A`.
+///
+/// # Panics
+/// Panics if the inner dimensions disagree.
+pub fn spgemm<S, L, R>(a: &L, b: &R, threads: usize) -> MmOutput<S::Elem>
+where
+    S: Semiring,
+    L: RowScan<S::Elem> + Sync,
+    R: RowRead<S::Elem> + Sync,
+{
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "inner dimension mismatch: {}x{} times {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let parts = parallel_map_ranges(threads.max(1), nrows as usize, |range| {
+        let mut spa: Spa<S::Elem> = Spa::for_width(ncols);
+        let mut rows = Vec::new();
+        let mut flops = 0u64;
+        a.scan_row_range(range.start as Index, range.end as Index, |i, acols, avals| {
+            for (&k, &av) in acols.iter().zip(avals) {
+                let (bcols, bvals) = b.row(k);
+                flops += bcols.len() as u64;
+                for (&j, &bv) in bcols.iter().zip(bvals) {
+                    spa.scatter(j, S::mul(av, bv), S::add);
+                }
+            }
+            if !spa.is_empty() {
+                let mut entries = Vec::new();
+                spa.drain_sorted(&mut entries);
+                rows.push((i, entries));
+            }
+        });
+        RangeRows { rows, flops }
+    });
+    assemble(nrows, ncols, parts)
+}
+
+/// Gustavson SpGEMM fused with Bloom-filter tracking: output entries are
+/// `(value, bloom)` pairs where `bloom` ORs `1 << ((k + k_offset) mod 64)`
+/// over every contributing inner index `k`.
+///
+/// `k_offset` translates the local inner index into the *global* row index of
+/// `B` (`=` global column index of `A`), so that bits are consistent across
+/// the blocks of a distributed matrix.
+pub fn spgemm_bloom<S, L, R>(
+    a: &L,
+    b: &R,
+    k_offset: Index,
+    threads: usize,
+) -> MmOutput<(S::Elem, u64)>
+where
+    S: Semiring,
+    L: RowScan<S::Elem> + Sync,
+    R: RowRead<S::Elem> + Sync,
+{
+    assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let combine = |(v1, b1): (S::Elem, u64), (v2, b2): (S::Elem, u64)| (S::add(v1, v2), b1 | b2);
+    let parts = parallel_map_ranges(threads.max(1), nrows as usize, |range| {
+        let mut spa: Spa<(S::Elem, u64)> = Spa::for_width(ncols);
+        let mut rows = Vec::new();
+        let mut flops = 0u64;
+        a.scan_row_range(range.start as Index, range.end as Index, |i, acols, avals| {
+            for (&k, &av) in acols.iter().zip(avals) {
+                let bit = crate::bloom::bloom_bit(k + k_offset);
+                let (bcols, bvals) = b.row(k);
+                flops += bcols.len() as u64;
+                for (&j, &bv) in bcols.iter().zip(bvals) {
+                    spa.scatter(j, (S::mul(av, bv), bit), combine);
+                }
+            }
+            if !spa.is_empty() {
+                let mut entries = Vec::new();
+                spa.drain_sorted(&mut entries);
+                rows.push((i, entries));
+            }
+        });
+        RangeRows { rows, flops }
+    });
+    assemble(nrows, ncols, parts)
+}
+
+/// Structure-only SpGEMM: computes the *pattern* of `A · B` together with the
+/// Bloom bitfield of contributing inner indices, never touching values.
+///
+/// This is the `COMPUTE_PATTERN` kernel of the general dynamic algorithm
+/// (Section V-B): "we do not require the values of C* for our algorithm;
+/// computing the sparsity structure of C* is enough". Works across operand
+/// value types because only structure is read.
+pub fn spgemm_pattern<VA, VB, L, R>(
+    a: &L,
+    b: &R,
+    k_offset: Index,
+    threads: usize,
+) -> MmOutput<u64>
+where
+    VA: Copy,
+    VB: Copy,
+    L: RowScan<VA> + Sync,
+    R: RowRead<VB> + Sync,
+{
+    assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let parts = parallel_map_ranges(threads.max(1), nrows as usize, |range| {
+        let mut spa: Spa<u64> = Spa::for_width(ncols);
+        let mut rows = Vec::new();
+        let mut flops = 0u64;
+        a.scan_row_range(range.start as Index, range.end as Index, |i, acols, _| {
+            for &k in acols {
+                let bit = crate::bloom::bloom_bit(k + k_offset);
+                let (bcols, _) = b.row(k);
+                flops += bcols.len() as u64;
+                for &j in bcols {
+                    spa.scatter(j, bit, |x, y| x | y);
+                }
+            }
+            if !spa.is_empty() {
+                let mut entries = Vec::new();
+                spa.drain_sorted(&mut entries);
+                rows.push((i, entries));
+            }
+        });
+        RangeRows { rows, flops }
+    });
+    assemble(nrows, ncols, parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+    use crate::dense::Dense;
+    use crate::dhb::DhbMatrix;
+    use crate::semiring::{MinPlus, U64Plus};
+    use crate::triple::Triple;
+    use dspgemm_util::rng::{Rng, SplitMix64};
+
+    fn random_triples(
+        rng: &mut SplitMix64,
+        nrows: Index,
+        ncols: Index,
+        n: usize,
+    ) -> Vec<Triple<u64>> {
+        (0..n)
+            .map(|_| {
+                Triple::new(
+                    rng.gen_range(nrows as u64) as Index,
+                    rng.gen_range(ncols as u64) as Index,
+                    rng.gen_range(10) + 1,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiny_known_product() {
+        // A = [1 2; 0 3], B = [4 0; 5 6] -> C = [14 12; 15 18].
+        let a = Csr::from_triples::<U64Plus>(
+            2,
+            2,
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(0, 1, 2),
+                Triple::new(1, 1, 3),
+            ],
+        );
+        let b = Csr::from_triples::<U64Plus>(
+            2,
+            2,
+            vec![
+                Triple::new(0, 0, 4),
+                Triple::new(1, 0, 5),
+                Triple::new(1, 1, 6),
+            ],
+        );
+        let out = spgemm::<U64Plus, _, _>(&a, &b, 1);
+        let c = out.result.to_triples();
+        assert_eq!(
+            c,
+            vec![
+                Triple::new(0, 0, 14),
+                Triple::new(0, 1, 12),
+                Triple::new(1, 0, 15),
+                Triple::new(1, 1, 18),
+            ]
+        );
+        // flops: row0 scans B rows 0 (1 entry) and 1 (2 entries) = 3; row1
+        // scans B row 1 (2 entries) = 2.
+        assert_eq!(out.flops, 5);
+    }
+
+    #[test]
+    fn matches_dense_reference_u64() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10 {
+            let a_t = random_triples(&mut rng, 20, 30, 60);
+            let b_t = random_triples(&mut rng, 30, 25, 80);
+            let a = Csr::from_triples::<U64Plus>(20, 30, a_t.clone());
+            let b = Csr::from_triples::<U64Plus>(30, 25, b_t.clone());
+            let da = Dense::from_triples::<U64Plus>(20, 30, &a_t);
+            let db = Dense::from_triples::<U64Plus>(30, 25, &b_t);
+            let expect = da.matmul::<U64Plus>(&db);
+            let got = spgemm::<U64Plus, _, _>(&a, &b, 3);
+            assert_eq!(Dense::from_dcsr::<U64Plus>(&got.result), expect);
+        }
+    }
+
+    #[test]
+    fn min_plus_semiring_product() {
+        // Shortest 2-hop paths.
+        let inf = f64::INFINITY;
+        let a = Csr::from_triples::<MinPlus>(
+            3,
+            3,
+            vec![
+                Triple::new(0, 1, 1.0),
+                Triple::new(1, 2, 2.0),
+                Triple::new(0, 2, 10.0),
+            ],
+        );
+        let out = spgemm::<MinPlus, _, _>(&a, &a, 1);
+        // Path 0->1->2 has length 3 (beats nothing structurally: entry (0,2)
+        // of A^2 is min over k of a0k + ak2 = a01 + a12 = 3).
+        let c = Dense::from_dcsr::<MinPlus>(&out.result);
+        assert_eq!(c.get(0, 2), 3.0);
+        assert_eq!(c.get(0, 0), inf);
+    }
+
+    #[test]
+    fn dcsr_times_dhb_hypersparse_left() {
+        // The Algorithm-1 shape: hypersparse A* (DCSR) times dynamic B (DHB).
+        let mut rng = SplitMix64::new(11);
+        let a_t = random_triples(&mut rng, 1000, 50, 15); // hypersparse
+        let b_t = random_triples(&mut rng, 50, 40, 300);
+        let a = Dcsr::from_triples::<U64Plus>(1000, 50, a_t.clone());
+        let mut b = DhbMatrix::new(50, 40);
+        for t in &b_t {
+            b.add_entry::<U64Plus>(t.row, t.col, t.val);
+        }
+        let got = spgemm::<U64Plus, _, _>(&a, &b, 2);
+        let expect = Dense::from_triples::<U64Plus>(1000, 50, &a_t)
+            .matmul::<U64Plus>(&Dense::from_triples::<U64Plus>(50, 40, &b_t));
+        assert_eq!(Dense::from_dcsr::<U64Plus>(&got.result), expect);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a: Csr<u64> = Csr::empty(4, 5);
+        let b: Csr<u64> = Csr::empty(5, 6);
+        let out = spgemm::<U64Plus, _, _>(&a, &b, 2);
+        assert_eq!(out.result.nnz(), 0);
+        assert_eq!(out.flops, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a: Csr<u64> = Csr::empty(4, 5);
+        let b: Csr<u64> = Csr::empty(6, 6);
+        let _ = spgemm::<U64Plus, _, _>(&a, &b, 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = SplitMix64::new(13);
+        let a_t = random_triples(&mut rng, 200, 200, 2000);
+        let b_t = random_triples(&mut rng, 200, 200, 2000);
+        let a = Csr::from_triples::<U64Plus>(200, 200, a_t);
+        let b = Csr::from_triples::<U64Plus>(200, 200, b_t);
+        let seq = spgemm::<U64Plus, _, _>(&a, &b, 1);
+        let par = spgemm::<U64Plus, _, _>(&a, &b, 4);
+        assert_eq!(seq.result, par.result);
+        assert_eq!(seq.flops, par.flops);
+    }
+
+    #[test]
+    fn bloom_bits_track_contributing_k() {
+        // A row 0 has entries at k=1 and k=65; both contribute to output
+        // column 0. Bits (1 % 64) and (65 % 64) coincide -> single bit.
+        let a = Csr::from_triples::<U64Plus>(
+            1,
+            100,
+            vec![Triple::new(0, 1, 1), Triple::new(0, 65, 1), Triple::new(0, 2, 1)],
+        );
+        let b = Csr::from_triples::<U64Plus>(
+            100,
+            1,
+            vec![
+                Triple::new(1, 0, 1),
+                Triple::new(65, 0, 1),
+                Triple::new(2, 0, 1),
+            ],
+        );
+        let out = spgemm_bloom::<U64Plus, _, _>(&a, &b, 0, 1);
+        let triples = out.result.to_triples();
+        assert_eq!(triples.len(), 1);
+        let (val, bloom) = triples[0].val;
+        assert_eq!(val, 3);
+        assert_eq!(bloom, (1u64 << 1) | (1u64 << 2)); // bits 1 (k=1,65) and 2 (k=2)
+    }
+
+    #[test]
+    fn bloom_k_offset_shifts_bits() {
+        let a = Csr::from_triples::<U64Plus>(1, 4, vec![Triple::new(0, 0, 1)]);
+        let b = Csr::from_triples::<U64Plus>(4, 1, vec![Triple::new(0, 0, 1)]);
+        let out0 = spgemm_bloom::<U64Plus, _, _>(&a, &b, 0, 1);
+        let out5 = spgemm_bloom::<U64Plus, _, _>(&a, &b, 5, 1);
+        assert_eq!(out0.result.to_triples()[0].val.1, 1 << 0);
+        assert_eq!(out5.result.to_triples()[0].val.1, 1 << 5);
+    }
+
+    #[test]
+    fn pattern_matches_bloom_structure() {
+        let mut rng = SplitMix64::new(21);
+        let a_t = random_triples(&mut rng, 60, 60, 400);
+        let b_t = random_triples(&mut rng, 60, 60, 400);
+        let a = Csr::from_triples::<U64Plus>(60, 60, a_t);
+        let b = Csr::from_triples::<U64Plus>(60, 60, b_t);
+        let fused = spgemm_bloom::<U64Plus, _, _>(&a, &b, 3, 2);
+        let pattern = spgemm_pattern(&a, &b, 3, 2);
+        assert_eq!(pattern.result, fused.result.map(|(_, bits)| bits));
+        assert_eq!(pattern.flops, fused.flops);
+    }
+
+    #[test]
+    fn dcsr_row_reader_as_right_operand() {
+        // The A·B* shape of Algorithm 1: DHB left, hypersparse DCSR right.
+        let mut rng = SplitMix64::new(23);
+        let a_t = random_triples(&mut rng, 40, 500, 200);
+        let b_t = random_triples(&mut rng, 500, 30, 25); // hypersparse
+        let mut a = DhbMatrix::new(40, 500);
+        for t in &a_t {
+            a.add_entry::<U64Plus>(t.row, t.col, t.val);
+        }
+        let b = Dcsr::from_triples::<U64Plus>(500, 30, b_t.clone());
+        let got = spgemm::<U64Plus, _, _>(&a, &b.row_reader(), 2);
+        let da = Dense::from_sparse::<U64Plus, _>(&a);
+        let db = Dense::from_triples::<U64Plus>(500, 30, &b_t);
+        assert_eq!(Dense::from_dcsr::<U64Plus>(&got.result), da.matmul::<U64Plus>(&db));
+    }
+
+    #[test]
+    fn bloom_values_match_plain_product() {
+        let mut rng = SplitMix64::new(17);
+        let a_t = random_triples(&mut rng, 50, 50, 300);
+        let b_t = random_triples(&mut rng, 50, 50, 300);
+        let a = Csr::from_triples::<U64Plus>(50, 50, a_t);
+        let b = Csr::from_triples::<U64Plus>(50, 50, b_t);
+        let plain = spgemm::<U64Plus, _, _>(&a, &b, 2);
+        let fused = spgemm_bloom::<U64Plus, _, _>(&a, &b, 0, 2);
+        assert_eq!(plain.flops, fused.flops);
+        assert_eq!(plain.result, fused.result.map(|(v, _)| v));
+    }
+}

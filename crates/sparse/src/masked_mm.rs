@@ -1,0 +1,214 @@
+//! Output-masked SpGEMM for the general dynamic algorithm.
+//!
+//! Algorithm 2 recomputes only the entries of `C'` that may have changed —
+//! those non-zero in `C*`. The local multiplication therefore takes `C*`'s
+//! sparsity pattern as an *output mask*: a term `a_ik · b_kj` is accumulated
+//! only if `(i, j)` is masked. Following Section VI-B, the mask is realized
+//! as a local hash table over the `(row, col)` pairs of the `C*` block
+//! (rebuilt per rank — the paper found rebuilding cheaper than broadcasting
+//! the table itself, because hash tables are much larger than `nnz` due to
+//! empty slots).
+//!
+//! The kernel also emits the *updated* Bloom filter `H` for the recomputed
+//! entries, fused into the accumulation as in [`crate::local_mm`].
+
+use crate::dcsr::Dcsr;
+use crate::local_mm::MmOutput;
+use crate::semiring::Semiring;
+use crate::spa::Spa;
+use crate::{Index, RowRead, RowScan};
+use dspgemm_util::hash::FxHashSet;
+use dspgemm_util::par::parallel_map_ranges;
+
+/// A hash set over `(row, col)` index pairs, used as an output mask.
+#[derive(Debug, Clone, Default)]
+pub struct MaskSet {
+    set: FxHashSet<u64>,
+}
+
+#[inline]
+fn pack(r: Index, c: Index) -> u64 {
+    ((r as u64) << 32) | c as u64
+}
+
+impl MaskSet {
+    /// Builds the mask from the sparsity pattern of a block (values ignored).
+    pub fn from_pattern<V: Copy>(block: &Dcsr<V>) -> Self {
+        let mut set = FxHashSet::default();
+        set.reserve(block.nnz());
+        for (r, cols, _) in block.iter_rows() {
+            for &c in cols {
+                set.insert(pack(r, c));
+            }
+        }
+        Self { set }
+    }
+
+    /// Whether `(r, c)` is masked (i.e. should be computed).
+    #[inline]
+    pub fn contains(&self, r: Index, c: Index) -> bool {
+        self.set.contains(&pack(r, c))
+    }
+
+    /// Number of masked positions.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the mask is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+/// Masked Gustavson SpGEMM with fused Bloom tracking: computes
+/// `(A · B) masked at mask`, returning `(value, bloom)` entries for exactly
+/// the masked positions that receive at least one contribution.
+///
+/// `k_offset` is the global index of `B`'s local row 0 (see
+/// [`crate::local_mm::spgemm_bloom`]).
+pub fn masked_spgemm_bloom<S, L, R>(
+    a: &L,
+    b: &R,
+    mask: &MaskSet,
+    k_offset: Index,
+    threads: usize,
+) -> MmOutput<(S::Elem, u64)>
+where
+    S: Semiring,
+    L: RowScan<S::Elem> + Sync,
+    R: RowRead<S::Elem> + Sync,
+{
+    assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let combine = |(v1, b1): (S::Elem, u64), (v2, b2): (S::Elem, u64)| (S::add(v1, v2), b1 | b2);
+    let parts = parallel_map_ranges(threads.max(1), nrows as usize, |range| {
+        let mut spa: Spa<(S::Elem, u64)> = Spa::for_width(ncols);
+        let mut rows: Vec<(Index, Vec<(Index, (S::Elem, u64))>)> = Vec::new();
+        let mut flops = 0u64;
+        a.scan_row_range(range.start as Index, range.end as Index, |i, acols, avals| {
+            for (&k, &av) in acols.iter().zip(avals) {
+                let bit = crate::bloom::bloom_bit(k + k_offset);
+                let (bcols, bvals) = b.row(k);
+                for (&j, &bv) in bcols.iter().zip(bvals) {
+                    // The mask check precedes the multiply: unmasked terms
+                    // cost a hash probe but no flop, mirroring Section VI-B.
+                    if mask.contains(i, j) {
+                        flops += 1;
+                        spa.scatter(j, (S::mul(av, bv), bit), combine);
+                    }
+                }
+            }
+            if !spa.is_empty() {
+                let mut entries = Vec::new();
+                spa.drain_sorted(&mut entries);
+                rows.push((i, entries));
+            }
+        });
+        (rows, flops)
+    });
+    let flops = parts.iter().map(|(_, f)| *f).sum();
+    let mut result = Dcsr::empty(nrows, ncols);
+    for (rows, _) in parts {
+        for (r, entries) in rows {
+            let cols: Vec<Index> = entries.iter().map(|&(c, _)| c).collect();
+            let vals: Vec<(S::Elem, u64)> = entries.iter().map(|&(_, v)| v).collect();
+            result.push_row(r, &cols, &vals);
+        }
+    }
+    MmOutput { result, flops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+    use crate::local_mm::spgemm_bloom;
+    use crate::semiring::U64Plus;
+    use crate::triple::Triple;
+    use dspgemm_util::rng::{Rng, SplitMix64};
+
+    fn random_csr(rng: &mut SplitMix64, n: Index, nnz: usize) -> Csr<u64> {
+        let triples: Vec<Triple<u64>> = (0..nnz)
+            .map(|_| {
+                Triple::new(
+                    rng.gen_range(n as u64) as Index,
+                    rng.gen_range(n as u64) as Index,
+                    rng.gen_range(9) + 1,
+                )
+            })
+            .collect();
+        Csr::from_triples::<U64Plus>(n, n, triples)
+    }
+
+    #[test]
+    fn mask_set_membership() {
+        let block = Dcsr::from_triples::<U64Plus>(
+            10,
+            10,
+            vec![Triple::new(1, 2, 1), Triple::new(3, 4, 1)],
+        );
+        let mask = MaskSet::from_pattern(&block);
+        assert_eq!(mask.len(), 2);
+        assert!(mask.contains(1, 2));
+        assert!(mask.contains(3, 4));
+        assert!(!mask.contains(2, 1));
+        assert!(!mask.contains(0, 0));
+    }
+
+    #[test]
+    fn full_mask_equals_unmasked_product() {
+        let mut rng = SplitMix64::new(5);
+        let a = random_csr(&mut rng, 40, 200);
+        let b = random_csr(&mut rng, 40, 200);
+        let full = spgemm_bloom::<U64Plus, _, _>(&a, &b, 0, 2);
+        let mask = MaskSet::from_pattern(&full.result);
+        let masked = masked_spgemm_bloom::<U64Plus, _, _>(&a, &b, &mask, 0, 2);
+        assert_eq!(masked.result, full.result);
+        assert_eq!(masked.flops, full.flops);
+    }
+
+    #[test]
+    fn partial_mask_restricts_output() {
+        let mut rng = SplitMix64::new(6);
+        let a = random_csr(&mut rng, 30, 150);
+        let b = random_csr(&mut rng, 30, 150);
+        let full = spgemm_bloom::<U64Plus, _, _>(&a, &b, 0, 1);
+        // Mask = first half of the full product's entries.
+        let all = full.result.to_triples();
+        let half: Vec<_> = all[..all.len() / 2].to_vec();
+        let mask_block = Dcsr::from_sorted_triples(30, 30, &half);
+        let mask = MaskSet::from_pattern(&mask_block);
+        let masked = masked_spgemm_bloom::<U64Plus, _, _>(&a, &b, &mask, 0, 1);
+        let got = masked.result.to_triples();
+        assert_eq!(got.len(), half.len());
+        for (g, h) in got.iter().zip(&half) {
+            assert_eq!((g.row, g.col), (h.row, h.col));
+            assert_eq!(g.val, h.val, "masked value must equal full product value");
+        }
+        assert!(masked.flops < full.flops);
+    }
+
+    #[test]
+    fn empty_mask_empty_output() {
+        let mut rng = SplitMix64::new(8);
+        let a = random_csr(&mut rng, 20, 100);
+        let b = random_csr(&mut rng, 20, 100);
+        let masked = masked_spgemm_bloom::<U64Plus, _, _>(&a, &b, &MaskSet::default(), 0, 2);
+        assert_eq!(masked.result.nnz(), 0);
+        assert_eq!(masked.flops, 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = SplitMix64::new(9);
+        let a = random_csr(&mut rng, 64, 400);
+        let b = random_csr(&mut rng, 64, 400);
+        let full = spgemm_bloom::<U64Plus, _, _>(&a, &b, 0, 1);
+        let mask = MaskSet::from_pattern(&full.result);
+        let seq = masked_spgemm_bloom::<U64Plus, _, _>(&a, &b, &mask, 0, 1);
+        let par = masked_spgemm_bloom::<U64Plus, _, _>(&a, &b, &mask, 0, 4);
+        assert_eq!(seq.result, par.result);
+    }
+}

@@ -1,0 +1,215 @@
+//! Element-wise update operations and the Bloom-guided extraction `A^R`.
+//!
+//! Section IV-A defines the local update interface: after the update matrix
+//! `A*` has been redistributed, all dynamic-update operations touch only
+//! local blocks:
+//!
+//! * **addition** `A += A*` — when updates are expressible in the semiring;
+//! * **MERGE(A, A*)** — replace the value of every `(i, j)` non-zero in `A*`;
+//! * **MASK(A, A*)** — delete every `(i, j)` of `A` that is non-zero in `A*`.
+//!
+//! All three run in expected `O(nnz(A*))` on a [`DhbMatrix`] block with the
+//! update in DCSR layout. This module also hosts the `A^R` extraction of the
+//! general dynamic SpGEMM: keep row `i` iff `r_i ≠ 0` and, within it, column
+//! `k` iff bit `k mod 64` of `r_i` is set (Section V-B).
+
+use crate::bloom::may_contain;
+use crate::dcsr::Dcsr;
+use crate::dhb::DhbMatrix;
+use crate::semiring::Semiring;
+use crate::{Index, RowScan};
+
+/// `A += A*` over the semiring addition (the algebraic-update path).
+/// Returns the number of *new* structural non-zeros.
+pub fn add_assign<S: Semiring>(a: &mut DhbMatrix<S::Elem>, update: &Dcsr<S::Elem>) -> usize {
+    assert_eq!(a.nrows(), update.nrows(), "shape mismatch");
+    assert_eq!(a.ncols(), update.ncols(), "shape mismatch");
+    let mut new = 0usize;
+    for (r, cols, vals) in update.iter_rows() {
+        for (&c, &v) in cols.iter().zip(vals) {
+            new += usize::from(a.add_entry::<S>(r, c, v));
+        }
+    }
+    new
+}
+
+/// `MERGE(A, A*)`: replaces the value of every position that is non-zero in
+/// `A*` (inserting if absent). Returns the number of new structural
+/// non-zeros.
+pub fn merge_assign<V: Copy>(a: &mut DhbMatrix<V>, update: &Dcsr<V>) -> usize {
+    assert_eq!(a.nrows(), update.nrows(), "shape mismatch");
+    assert_eq!(a.ncols(), update.ncols(), "shape mismatch");
+    let mut new = 0usize;
+    for (r, cols, vals) in update.iter_rows() {
+        for (&c, &v) in cols.iter().zip(vals) {
+            new += usize::from(a.set(r, c, v));
+        }
+    }
+    new
+}
+
+/// `MASK(A, A*)`: removes every position of `A` that is non-zero in `A*`.
+/// Returns the number of entries actually removed.
+pub fn mask_out<V: Copy, W: Copy>(a: &mut DhbMatrix<V>, update: &Dcsr<W>) -> usize {
+    assert_eq!(a.nrows(), update.nrows(), "shape mismatch");
+    assert_eq!(a.ncols(), update.ncols(), "shape mismatch");
+    let mut removed = 0usize;
+    for (r, cols, _) in update.iter_rows() {
+        for &c in cols {
+            removed += usize::from(a.remove(r, c).is_some());
+        }
+    }
+    removed
+}
+
+/// Extracts `A^R` from a local block of `A'`: keeps row `i` iff
+/// `filter[i] ≠ 0`, and within a kept row keeps column `k` iff
+/// `filter[i]` may contain global column `k = col + col_offset`.
+///
+/// The paper chooses to filter (and broadcast) `A'` rather than `B'` because
+/// matrices are stored row-wise, making row extraction + column subsetting
+/// cheap (Section V-B). Output entries are column-sorted.
+pub fn extract_filtered<V: Copy, M: RowScan<V>>(
+    a: &M,
+    filter: &[u64],
+    col_offset: Index,
+) -> Dcsr<V> {
+    assert_eq!(a.nrows() as usize, filter.len(), "filter length mismatch");
+    let mut out = Dcsr::empty(a.nrows(), a.ncols());
+    let mut cols_buf: Vec<Index> = Vec::new();
+    let mut vals_buf: Vec<V> = Vec::new();
+    let mut order: Vec<usize> = Vec::new();
+    a.scan_rows(|r, cols, vals| {
+        let bits = filter[r as usize];
+        if bits == 0 {
+            return;
+        }
+        cols_buf.clear();
+        vals_buf.clear();
+        for (&c, &v) in cols.iter().zip(vals) {
+            if may_contain(bits, c + col_offset) {
+                cols_buf.push(c);
+                vals_buf.push(v);
+            }
+        }
+        if cols_buf.is_empty() {
+            return;
+        }
+        // Row entries may be unsorted (DHB); sort by column for a canonical
+        // DCSR.
+        order.clear();
+        order.extend(0..cols_buf.len());
+        order.sort_unstable_by_key(|&i| cols_buf[i]);
+        let sorted_cols: Vec<Index> = order.iter().map(|&i| cols_buf[i]).collect();
+        let sorted_vals: Vec<V> = order.iter().map(|&i| vals_buf[i]).collect();
+        out.push_row(r, &sorted_cols, &sorted_vals);
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bloom::bloom_bit;
+    use crate::semiring::{MinPlus, U64Plus};
+    use crate::triple::Triple;
+
+    fn t(r: Index, c: Index, v: u64) -> Triple<u64> {
+        Triple::new(r, c, v)
+    }
+
+    #[test]
+    fn add_assign_semiring() {
+        let mut a: DhbMatrix<u64> = DhbMatrix::new(4, 4);
+        a.set(0, 0, 5);
+        let upd = Dcsr::from_triples::<U64Plus>(4, 4, vec![t(0, 0, 3), t(1, 1, 7)]);
+        let new = add_assign::<U64Plus>(&mut a, &upd);
+        assert_eq!(new, 1);
+        assert_eq!(a.get(0, 0), Some(8));
+        assert_eq!(a.get(1, 1), Some(7));
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn add_assign_min_plus_decreases_only() {
+        let mut a: DhbMatrix<f64> = DhbMatrix::new(2, 2);
+        a.set(0, 0, 5.0);
+        let upd = Dcsr::from_triples::<MinPlus>(
+            2,
+            2,
+            vec![Triple::new(0, 0, 9.0), Triple::new(0, 1, 2.0)],
+        );
+        add_assign::<MinPlus>(&mut a, &upd);
+        // min(5, 9) = 5: the algebraic add cannot increase a value.
+        assert_eq!(a.get(0, 0), Some(5.0));
+        assert_eq!(a.get(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn merge_assign_replaces() {
+        let mut a: DhbMatrix<u64> = DhbMatrix::new(4, 4);
+        a.set(0, 0, 5);
+        let upd = Dcsr::from_triples::<U64Plus>(4, 4, vec![t(0, 0, 3), t(2, 3, 9)]);
+        let new = merge_assign(&mut a, &upd);
+        assert_eq!(new, 1);
+        assert_eq!(a.get(0, 0), Some(3), "MERGE replaces, never combines");
+        assert_eq!(a.get(2, 3), Some(9));
+    }
+
+    #[test]
+    fn mask_out_removes() {
+        let mut a: DhbMatrix<u64> = DhbMatrix::new(4, 4);
+        a.set(0, 0, 1);
+        a.set(1, 1, 2);
+        a.set(2, 2, 3);
+        let upd = Dcsr::from_triples::<U64Plus>(4, 4, vec![t(0, 0, 0), t(1, 1, 0), t(3, 3, 0)]);
+        let removed = mask_out(&mut a, &upd);
+        assert_eq!(removed, 2, "masking a missing entry is a no-op");
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(2, 2), Some(3));
+    }
+
+    #[test]
+    fn extract_filtered_rows_and_cols() {
+        let a = Dcsr::from_triples::<U64Plus>(
+            4,
+            200,
+            vec![t(0, 1, 10), t(0, 65, 11), t(0, 2, 12), t(1, 1, 13), t(3, 5, 14)],
+        );
+        // Row 0: allow k with bit (1 mod 64) -> keeps cols 1 and 65 (alias).
+        // Row 1: zero filter -> dropped. Row 3: allow bit of col 5.
+        let filter = vec![bloom_bit(1), 0, 0, bloom_bit(5)];
+        let out = extract_filtered(&a, &filter, 0);
+        assert_eq!(
+            out.to_triples(),
+            vec![t(0, 1, 10), t(0, 65, 11), t(3, 5, 14)]
+        );
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn extract_filtered_col_offset() {
+        let a = Dcsr::from_triples::<U64Plus>(1, 10, vec![t(0, 0, 1), t(0, 1, 2)]);
+        // Global col of local col 0 is 7; allow only global 8 (= local 1).
+        let out = extract_filtered(&a, &[bloom_bit(8)], 7);
+        assert_eq!(out.to_triples(), vec![t(0, 1, 2)]);
+    }
+
+    #[test]
+    fn extract_filtered_from_dhb_sorts_rows() {
+        let mut a: DhbMatrix<u64> = DhbMatrix::new(2, 10);
+        a.set(0, 7, 1);
+        a.set(0, 3, 2);
+        a.set(0, 5, 3);
+        let out = extract_filtered(&a, &[u64::MAX, 0], 0);
+        let cols: Vec<Index> = out.to_triples().iter().map(|x| x.col).collect();
+        assert_eq!(cols, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn extract_full_filter_keeps_everything() {
+        let a = Dcsr::from_triples::<U64Plus>(3, 3, vec![t(0, 0, 1), t(1, 2, 2), t(2, 1, 3)]);
+        let out = extract_filtered(&a, &[u64::MAX; 3], 0);
+        assert_eq!(out.to_triples(), a.to_triples());
+    }
+}

@@ -1,0 +1,249 @@
+//! Sparse accumulators (SPA) for row-wise SpGEMM.
+//!
+//! Gustavson's algorithm forms one output row at a time by scattering scaled
+//! rows of `B` into an accumulator keyed by column. The paper's local
+//! multiplication uses "a sparse accumulator based on a dynamic array
+//! combined with a hash table" (Section VI-A); this module provides that
+//! hash-based accumulator plus a dense generation-marked variant that is
+//! faster when the output width is small enough to afford an O(ncols)
+//! scratch array. [`Spa::for_width`] picks automatically.
+//!
+//! Accumulators are generic over the accumulated payload `A`, so the same
+//! code path serves plain values (`A = V`) and value+Bloom-filter fusion
+//! (`A = (V, u64)`, Section V-B).
+
+use crate::Index;
+use dspgemm_util::FxHashMap;
+
+/// Dense accumulator: O(ncols) scratch with generation marking, O(1) scatter,
+/// output gathered from the touched list. Reset is O(touched), so reuse
+/// across rows is cheap.
+#[derive(Debug)]
+pub struct DenseSpa<A> {
+    slots: Vec<Option<A>>,
+    touched: Vec<Index>,
+}
+
+impl<A: Copy> DenseSpa<A> {
+    /// Creates an accumulator for output rows of width `ncols`.
+    pub fn new(ncols: Index) -> Self {
+        Self {
+            slots: vec![None; ncols as usize],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Scatters `value` into `col`, combining with any previous value.
+    #[inline]
+    pub fn scatter(&mut self, col: Index, value: A, combine: impl FnOnce(A, A) -> A) {
+        let slot = &mut self.slots[col as usize];
+        match slot {
+            Some(prev) => *prev = combine(*prev, value),
+            None => {
+                *slot = Some(value);
+                self.touched.push(col);
+            }
+        }
+    }
+
+    /// Number of distinct columns accumulated so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Whether nothing has been accumulated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Drains the accumulated row into `out` as column-sorted `(col, value)`
+    /// pairs and resets the accumulator for the next row.
+    pub fn drain_sorted(&mut self, out: &mut Vec<(Index, A)>) {
+        self.touched.sort_unstable();
+        out.reserve(self.touched.len());
+        for &c in &self.touched {
+            let v = self.slots[c as usize].take().expect("touched slot");
+            out.push((c, v));
+        }
+        self.touched.clear();
+    }
+}
+
+/// Hash accumulator: O(row nnz) memory, for very wide or hypersparse output
+/// rows where a dense scratch array would not fit or would thrash caches.
+#[derive(Debug)]
+pub struct HashSpa<A> {
+    map: FxHashMap<Index, A>,
+}
+
+impl<A: Copy> HashSpa<A> {
+    /// Creates an empty hash accumulator.
+    pub fn new() -> Self {
+        Self {
+            map: FxHashMap::default(),
+        }
+    }
+
+    /// Scatters `value` into `col`, combining with any previous value.
+    #[inline]
+    pub fn scatter(&mut self, col: Index, value: A, combine: impl FnOnce(A, A) -> A) {
+        match self.map.entry(col) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let prev = *e.get();
+                e.insert(combine(prev, value));
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(value);
+            }
+        }
+    }
+
+    /// Number of distinct columns accumulated so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been accumulated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drains the accumulated row into `out` as column-sorted `(col, value)`
+    /// pairs and resets the accumulator.
+    pub fn drain_sorted(&mut self, out: &mut Vec<(Index, A)>) {
+        let start = out.len();
+        out.extend(self.map.drain());
+        out[start..].sort_unstable_by_key(|&(c, _)| c);
+    }
+}
+
+impl<A: Copy> Default for HashSpa<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Width above which the dense scratch array is considered too large and the
+/// hash accumulator is used instead.
+pub const DENSE_SPA_MAX_WIDTH: Index = 1 << 22;
+
+/// An accumulator that picks the dense or hash strategy by output width.
+#[derive(Debug)]
+pub enum Spa<A> {
+    /// Dense generation-marked scratch.
+    Dense(DenseSpa<A>),
+    /// Hash-table accumulator.
+    Hash(HashSpa<A>),
+}
+
+impl<A: Copy> Spa<A> {
+    /// Chooses a strategy for output rows of width `ncols`.
+    pub fn for_width(ncols: Index) -> Self {
+        if ncols <= DENSE_SPA_MAX_WIDTH {
+            Spa::Dense(DenseSpa::new(ncols))
+        } else {
+            Spa::Hash(HashSpa::new())
+        }
+    }
+
+    /// Scatters `value` into `col`, combining with any previous value.
+    #[inline]
+    pub fn scatter(&mut self, col: Index, value: A, combine: impl FnOnce(A, A) -> A) {
+        match self {
+            Spa::Dense(s) => s.scatter(col, value, combine),
+            Spa::Hash(s) => s.scatter(col, value, combine),
+        }
+    }
+
+    /// Number of distinct columns accumulated so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Spa::Dense(s) => s.len(),
+            Spa::Hash(s) => s.len(),
+        }
+    }
+
+    /// Whether nothing has been accumulated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the accumulated row into `out`, column-sorted, and resets.
+    pub fn drain_sorted(&mut self, out: &mut Vec<(Index, A)>) {
+        match self {
+            Spa::Dense(s) => s.drain_sorted(out),
+            Spa::Hash(s) => s.drain_sorted(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(spa: &mut Spa<u64>) {
+        spa.scatter(5, 10, |a, b| a + b);
+        spa.scatter(1, 2, |a, b| a + b);
+        spa.scatter(5, 3, |a, b| a + b);
+        assert_eq!(spa.len(), 2);
+        let mut out = Vec::new();
+        spa.drain_sorted(&mut out);
+        assert_eq!(out, vec![(1, 2), (5, 13)]);
+        assert!(spa.is_empty());
+        // Reusable after drain.
+        spa.scatter(0, 1, |a, b| a + b);
+        let mut out2 = Vec::new();
+        spa.drain_sorted(&mut out2);
+        assert_eq!(out2, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn dense_scatter_combine_drain() {
+        let mut spa = Spa::Dense(DenseSpa::new(16));
+        exercise(&mut spa);
+    }
+
+    #[test]
+    fn hash_scatter_combine_drain() {
+        let mut spa = Spa::Hash(HashSpa::new());
+        exercise(&mut spa);
+    }
+
+    #[test]
+    fn for_width_picks_strategy() {
+        assert!(matches!(Spa::<u64>::for_width(100), Spa::Dense(_)));
+        assert!(matches!(
+            Spa::<u64>::for_width(DENSE_SPA_MAX_WIDTH + 1),
+            Spa::Hash(_)
+        ));
+    }
+
+    #[test]
+    fn fused_bloom_payload() {
+        let mut spa: Spa<(u64, u64)> = Spa::for_width(8);
+        let combine = |(v1, b1): (u64, u64), (v2, b2): (u64, u64)| (v1 + v2, b1 | b2);
+        spa.scatter(3, (5, 1 << 2), combine);
+        spa.scatter(3, (7, 1 << 9 % 64), combine);
+        let mut out = Vec::new();
+        spa.drain_sorted(&mut out);
+        assert_eq!(out, vec![(3, (12, (1 << 2) | (1 << 9)))]);
+    }
+
+    #[test]
+    fn dense_drain_sorts_touched() {
+        let mut spa = DenseSpa::new(1000);
+        for c in [999, 0, 500, 250, 750] {
+            spa.scatter(c, 1u64, |a, b| a + b);
+        }
+        let mut out = Vec::new();
+        spa.drain_sorted(&mut out);
+        let cols: Vec<Index> = out.iter().map(|&(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 250, 500, 750, 999]);
+    }
+}

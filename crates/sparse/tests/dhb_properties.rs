@@ -1,0 +1,104 @@
+//! Property-based tests for the DHB dynamic storage: arbitrary operation
+//! sequences must match a BTreeMap model, and the bulk construction path
+//! must match per-entry insertion.
+
+use dspgemm_sparse::dhb::{DhbMatrix, DhbRow};
+use dspgemm_sparse::Index;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(Index, Index, u64),
+    Remove(Index, Index),
+    Combine(Index, Index, u64),
+}
+
+fn op_strategy(n: Index) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n, 0..n, any::<u64>()).prop_map(|(r, c, v)| Op::Set(r, c, v)),
+        (0..n, 0..n).prop_map(|(r, c)| Op::Remove(r, c)),
+        (0..n, 0..n, 1u64..100).prop_map(|(r, c, v)| Op::Combine(r, c, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dhb_matches_btreemap_model(ops in prop::collection::vec(op_strategy(24), 0..400)) {
+        let mut dhb: DhbMatrix<u64> = DhbMatrix::new(24, 24);
+        let mut model: BTreeMap<(Index, Index), u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Set(r, c, v) => {
+                    dhb.set(r, c, v);
+                    model.insert((r, c), v);
+                }
+                Op::Remove(r, c) => {
+                    prop_assert_eq!(dhb.remove(r, c), model.remove(&(r, c)));
+                }
+                Op::Combine(r, c, v) => {
+                    dhb.combine_entry(r, c, v, |a, b| a.wrapping_add(b));
+                    let new = match model.get(&(r, c)) {
+                        Some(&old) => old.wrapping_add(v),
+                        None => v,
+                    };
+                    model.insert((r, c), new);
+                }
+            }
+            prop_assert_eq!(dhb.nnz(), model.len());
+        }
+        let got: Vec<((Index, Index), u64)> = dhb
+            .to_sorted_triples()
+            .into_iter()
+            .map(|t| ((t.row, t.col), t.val))
+            .collect();
+        let expect: Vec<((Index, Index), u64)> = model.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn fill_sorted_matches_per_entry_set(
+        entries in prop::collection::btree_map(0u32..5000, any::<u64>(), 0..200),
+    ) {
+        let cols: Vec<Index> = entries.keys().copied().collect();
+        let vals: Vec<u64> = entries.values().copied().collect();
+        let mut bulk: DhbRow<u64> = DhbRow::default();
+        bulk.fill_sorted(&cols, &vals);
+        let mut single: DhbRow<u64> = DhbRow::default();
+        for (&c, &v) in cols.iter().zip(&vals) {
+            single.set(c, v);
+        }
+        prop_assert_eq!(bulk.len(), single.len());
+        for &c in &cols {
+            prop_assert_eq!(bulk.get(c), single.get(c));
+        }
+        // Lookups of absent columns agree too.
+        for probe in [0u32, 1, 4999, 2500] {
+            prop_assert_eq!(bulk.get(probe), single.get(probe));
+        }
+    }
+
+    #[test]
+    fn heavy_churn_preserves_membership(
+        keys in prop::collection::vec(0u32..64, 1..300),
+    ) {
+        // Insert all, delete every other occurrence, verify final state.
+        let mut row: DhbRow<u64> = DhbRow::default();
+        let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                row.set(k, i as u64);
+                model.insert(k, i as u64);
+            } else {
+                let a = row.remove(k);
+                let b = model.remove(&k);
+                prop_assert_eq!(a, b);
+            }
+        }
+        for k in 0u32..64 {
+            prop_assert_eq!(row.get(k), model.get(&k).copied());
+        }
+    }
+}

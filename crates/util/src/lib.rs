@@ -1,0 +1,38 @@
+//! # dspgemm-util
+//!
+//! Shared low-level utilities for the `dspgemm` workspace:
+//!
+//! * [`hash`] — a fast, non-cryptographic hasher (FxHash-style) plus hash-map
+//!   aliases used throughout the hot paths (per-row column tables, sparse
+//!   accumulators, mask lookups).
+//! * [`rng`] — deterministic pseudo-random number generation (SplitMix64 and
+//!   Xoshiro256**) with uniform-range sampling and shuffles. Every experiment
+//!   in the reproduction is seeded, so we avoid OS entropy in library code.
+//! * [`sort`] — counting sort and LSD radix sort. The paper's redistribution
+//!   (Section IV-B) explicitly relies on counting sort with `sqrt(p)` buckets
+//!   instead of comparison sorting.
+//! * [`bitset`] — a compact fixed-size bit set.
+//! * [`par`] — scoped-thread data parallelism (`parallel_for` and friends),
+//!   standing in for the paper's intra-process OpenMP parallelism.
+//! * [`stats`] — timers, phase breakdowns, and human-readable formatting used
+//!   by the benchmark harness.
+//! * [`wire`] — the [`wire::WireSize`] trait: how many bytes a value would
+//!   occupy on an MPI wire. The simulator moves values in memory but meters
+//!   exact communication volume through this trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod hash;
+pub mod par;
+pub mod rng;
+pub mod sort;
+pub mod stats;
+pub mod wire;
+
+pub use bitset::BitSet;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use rng::{Rng, SplitMix64, Xoshiro256};
+pub use stats::{PhaseTimer, Timer};
+pub use wire::WireSize;

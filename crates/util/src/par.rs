@@ -1,0 +1,144 @@
+//! Scoped-thread data parallelism.
+//!
+//! Stands in for the paper's intra-process OpenMP parallelism: each simulated
+//! MPI rank may additionally run `T` shared-memory worker threads (the paper
+//! uses `T = 6` per rank). Because ranks are already threads in this
+//! reproduction, intra-rank parallelism is kept explicit and bounded: callers
+//! pass the desired thread count, and `threads == 1` runs inline with zero
+//! overhead.
+//!
+//! The primitives here mirror the paper's usage:
+//! * [`parallel_for_each_shard`] — the `i mod T` partitioning used to insert
+//!   update tuples into local dynamic matrices in parallel (Section IV-B);
+//! * [`parallel_map_ranges`] — row-range parallelism for local Gustavson
+//!   multiplication (Section VI-A).
+
+/// Runs `f(t)` for every shard id `t in 0..threads`, in parallel when
+/// `threads > 1`. Each shard conventionally processes the items with
+/// `key % threads == t`, which is exactly the paper's `(i mod T)` update
+/// partitioning scheme.
+///
+/// Panics in any shard propagate to the caller.
+pub fn parallel_for_each_shard<F>(threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    if threads == 1 {
+        f(0);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| scope.spawn(move || f(t)))
+            .collect();
+        for h in handles {
+            h.join().expect("parallel shard panicked");
+        }
+    });
+}
+
+/// Splits `0..n` into `threads` contiguous ranges of near-equal size and maps
+/// each range through `f` in parallel, returning per-range results in order.
+///
+/// Used for row-parallel local SpGEMM: each worker produces the output rows of
+/// its range, and the caller concatenates them (preserving row order).
+pub fn parallel_map_ranges<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    assert!(threads >= 1);
+    let ranges = split_ranges(n, threads);
+    if threads == 1 || n == 0 {
+        return ranges.into_iter().map(&f).collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || f(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel range worker panicked"))
+            .collect()
+    })
+}
+
+/// Splits `0..n` into `parts` contiguous ranges whose sizes differ by at most
+/// one. Ranges may be empty when `parts > n`.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts >= 1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn shards_all_run_once() {
+        let counter = AtomicUsize::new(0);
+        let seen = (0..8).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        parallel_for_each_shard(8, |t| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            seen[t].fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert!(seen.iter().all(|s| s.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let touched = AtomicUsize::new(0);
+        parallel_for_each_shard(1, |t| {
+            assert_eq!(t, 0);
+            touched.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(touched.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn map_ranges_covers_everything_in_order() {
+        let results = parallel_map_ranges(4, 103, |r| r.collect::<Vec<usize>>());
+        let flat: Vec<usize> = results.into_iter().flatten().collect();
+        assert_eq!(flat, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_ranges_more_threads_than_items() {
+        let results = parallel_map_ranges(8, 3, |r| r.len());
+        assert_eq!(results.iter().sum::<usize>(), 3);
+        assert_eq!(results.len(), 8);
+    }
+
+    #[test]
+    fn split_ranges_balanced() {
+        let rs = split_ranges(10, 3);
+        assert_eq!(rs, vec![0..4, 4..7, 7..10]);
+        let rs = split_ranges(0, 2);
+        assert_eq!(rs, vec![0..0, 0..0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel shard panicked")]
+    fn shard_panic_propagates() {
+        parallel_for_each_shard(2, |t| {
+            if t == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,121 @@
+//! Wire-size accounting.
+//!
+//! The MPI simulator transfers values by moving them in memory, but the
+//! experiments must report *communication volume* — the central quantity the
+//! paper optimizes ("our dynamic SpGEMM reduces the communication volume
+//! significantly"). [`WireSize`] computes the number of bytes a value would
+//! occupy in a packed MPI message: fixed-width scalars at their natural size,
+//! sequences as element payload plus an 8-byte length header.
+
+/// Number of bytes a value would occupy in a packed MPI message.
+pub trait WireSize {
+    /// Packed byte size of `self`.
+    fn wire_bytes(&self) -> u64;
+}
+
+macro_rules! impl_wiresize_scalar {
+    ($($t:ty),*) => {
+        $(impl WireSize for $t {
+            #[inline]
+            fn wire_bytes(&self) -> u64 {
+                std::mem::size_of::<$t>() as u64
+            }
+        })*
+    };
+}
+
+impl_wiresize_scalar!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl WireSize for () {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        0
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        1 + self.as_ref().map_or(0, WireSize::wire_bytes)
+    }
+}
+
+impl<T: WireSize, const N: usize> WireSize for [T; N] {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        self.iter().map(WireSize::wire_bytes).sum()
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        8 + self.iter().map(WireSize::wire_bytes).sum::<u64>()
+    }
+}
+
+impl<T: WireSize> WireSize for &[T] {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        8 + self.iter().map(WireSize::wire_bytes).sum::<u64>()
+    }
+}
+
+impl<T: WireSize> WireSize for Box<T> {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        (**self).wire_bytes()
+    }
+}
+
+impl WireSize for String {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        8 + self.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(0u8.wire_bytes(), 1);
+        assert_eq!(0u32.wire_bytes(), 4);
+        assert_eq!(0u64.wire_bytes(), 8);
+        assert_eq!(0f64.wire_bytes(), 8);
+        assert_eq!(true.wire_bytes(), 1);
+        assert_eq!(().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!((1u32, 2u32, 3.0f64).wire_bytes(), 16);
+        assert_eq!(vec![1u32; 10].wire_bytes(), 8 + 40);
+        assert_eq!(Vec::<u64>::new().wire_bytes(), 8);
+        assert_eq!(Some(5u64).wire_bytes(), 9);
+        assert_eq!(None::<u64>.wire_bytes(), 1);
+        assert_eq!("abc".to_string().wire_bytes(), 11);
+    }
+
+    #[test]
+    fn nested_vec_of_tuples() {
+        let v: Vec<(u32, u32, f64)> = vec![(0, 0, 0.0); 4];
+        assert_eq!(v.wire_bytes(), 8 + 4 * 16);
+    }
+}

@@ -1,0 +1,81 @@
+//! Dynamic multi-source shortest paths over the tropical semiring — the
+//! paper's motivating example for *general* updates: under `(min, +)`, edge
+//! weight increases and deletions cannot be expressed as semiring addition,
+//! so they exercise Algorithm 2 (Bloom-filtered masked recomputation).
+//!
+//! We maintain `D₂ = W ⊗ W`: the cheapest exactly-two-hop distance between
+//! every vertex pair, fresh under weight changes and road closures.
+//!
+//! ```sh
+//! cargo run --release --example shortest_paths
+//! ```
+
+use dspgemm::core::{engine::DynSpGemm, dyn_general::GeneralUpdates, DistMat, Grid};
+use dspgemm::sparse::semiring::MinPlus;
+use dspgemm::sparse::Triple;
+use dspgemm::util::stats::PhaseTimer;
+
+fn main() {
+    let p = 4;
+    // A small ring road network with shortcuts: n cities, ring edges of
+    // weight 1, a few expressways of weight 0.5.
+    let n: u32 = 64;
+    let sim = dspgemm_mpi::run(p, |comm| {
+        let grid = Grid::new(comm);
+        let mut timer = PhaseTimer::new();
+        let triples: Vec<Triple<f64>> = if comm.rank() == 0 {
+            let mut t = Vec::new();
+            for i in 0..n {
+                t.push(Triple::new(i, (i + 1) % n, 1.0)); // ring
+                t.push(Triple::new((i + 1) % n, i, 1.0));
+            }
+            for i in (0..n).step_by(8) {
+                t.push(Triple::new(i, (i + 16) % n, 0.5)); // expressway
+            }
+            t
+        } else {
+            vec![]
+        };
+        let w = DistMat::from_global_triples(&grid, n, n, triples, 1, &mut timer);
+        // Track the Bloom filter: general updates are coming.
+        let mut engine = DynSpGemm::<MinPlus>::new(&grid, w.clone(), w, 1, true);
+
+        let dist = |eng: &DynSpGemm<MinPlus>, u: u32, v: u32, g: &Grid| -> f64 {
+            // The owner looks the value up; everyone learns it via min-reduce.
+            let local = eng
+                .c
+                .get_local(u, v)
+                .flatten()
+                .unwrap_or(f64::INFINITY);
+            g.world().allreduce(local, f64::min)
+        };
+
+        // Two-hop distance 0 -> 2 via the ring: 1 + 1 = 2.
+        let before = dist(&engine, 0, 2, &grid);
+
+        // Roadwork: the ring edge 1 -> 2 triples in cost (a value *increase*
+        // — impossible under (min,+) addition, hence a general update)...
+        let mut upd = GeneralUpdates::new();
+        upd.sets.push(Triple::new(1, 2, 3.0));
+        // ...and the expressway 0 -> 16 closes entirely (deletion).
+        upd.deletes.push((0, 16));
+        engine.apply_general(&grid, upd.clone(), upd);
+
+        let after = dist(&engine, 0, 2, &grid);
+        let closed = dist(&engine, 0, 32, &grid);
+        (before, after, closed)
+    });
+
+    let (before, after, closed) = sim.results[0];
+    println!("two-hop distance 0→2 before roadwork: {before}");
+    println!("two-hop distance 0→2 after tripling edge 1→2: {after}");
+    println!("two-hop distance 0→32 after closing the 0→16 expressway: {closed}");
+    assert_eq!(before, 2.0);
+    assert_eq!(after, 4.0, "1 + 3 via the ring");
+    // 0→16 (0.5) + 16→32 (0.5) is gone; no other two-hop route exists.
+    assert!(closed.is_infinite());
+    println!(
+        "communication: {}",
+        dspgemm::util::stats::format_bytes(sim.stats.total_bytes())
+    );
+}

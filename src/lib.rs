@@ -1,0 +1,13 @@
+//! # dspgemm — facade crate
+//!
+//! Re-exports the whole workspace under one roof so examples and downstream
+//! users can depend on a single crate. See `DESIGN.md` for the architecture
+//! and the paper mapping, and the `dspgemm-core` crate for the primary
+//! contribution (distributed dynamic sparse matrices + dynamic SpGEMM).
+
+pub use dspgemm_baselines as baselines;
+pub use dspgemm_core as core;
+pub use dspgemm_graph as graph;
+pub use dspgemm_mpi as mpi;
+pub use dspgemm_sparse as sparse;
+pub use dspgemm_util as util;

@@ -1,0 +1,151 @@
+//! Property-based integration tests (proptest): the core invariants under
+//! randomly generated inputs.
+
+use dspgemm::core::summa::summa;
+use dspgemm::core::update::{apply_add, build_update_matrix, Dedup};
+use dspgemm::core::{DistMat, Grid};
+use dspgemm::sparse::dense::Dense;
+use dspgemm::sparse::semiring::U64Plus;
+use dspgemm::sparse::{Csr, Dcsr, DhbMatrix, Index, Triple};
+use dspgemm::util::stats::PhaseTimer;
+use proptest::prelude::*;
+
+const N: Index = 16;
+
+fn triple_strategy(n: Index) -> impl Strategy<Value = Triple<u64>> {
+    (0..n, 0..n, 1u64..10).prop_map(|(r, c, v)| Triple::new(r, c, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Redistribution never loses, duplicates, or misroutes a tuple.
+    #[test]
+    fn redistribution_is_a_routing_permutation(
+        tuples in prop::collection::vec(triple_strategy(N), 0..200),
+    ) {
+        let tuples_in = tuples.clone();
+        let out = dspgemm_mpi::run(4, move |comm| {
+            let grid = Grid::new(comm);
+            // Rank r contributes every 4th tuple.
+            let mine: Vec<Triple<u64>> = tuples_in
+                .iter()
+                .copied()
+                .skip(comm.rank())
+                .step_by(4)
+                .collect();
+            let mut timer = PhaseTimer::new();
+            let got = dspgemm::core::redistribute::redistribute(&grid, N, N, mine, &mut timer);
+            // Ownership check.
+            let info = dspgemm::core::distmat::BlockInfo::for_rank(&grid, N, N);
+            for t in &got {
+                assert!(info.row_range.contains(&t.row));
+                assert!(info.col_range.contains(&t.col));
+            }
+            got
+        });
+        let mut all: Vec<(Index, Index, u64)> = out
+            .results
+            .iter()
+            .flatten()
+            .map(|t| (t.row, t.col, t.val))
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<(Index, Index, u64)> =
+            tuples.iter().map(|t| (t.row, t.col, t.val)).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// DistMat + update matrix addition equals a sequential reference.
+    #[test]
+    fn distributed_add_matches_reference(
+        initial in prop::collection::vec(triple_strategy(N), 0..100),
+        updates in prop::collection::vec(triple_strategy(N), 0..60),
+    ) {
+        let (initial_c, updates_c) = (initial.clone(), updates.clone());
+        let out = dspgemm_mpi::run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let feed = if comm.rank() == 0 { initial_c.clone() } else { vec![] };
+            let mut m = DistMat::empty(&grid, N, N);
+            let init = build_update_matrix::<U64Plus>(&grid, N, N, feed, Dedup::Add, &mut timer);
+            apply_add::<U64Plus>(&mut m, &init, 2);
+            let ups = if comm.rank() == 0 { updates_c.clone() } else { vec![] };
+            let upd = build_update_matrix::<U64Plus>(&grid, N, N, ups, Dedup::Add, &mut timer);
+            apply_add::<U64Plus>(&mut m, &upd, 2);
+            m.gather_to_root(comm)
+        });
+        let gathered = out.results[0].as_ref().unwrap();
+        let got = Dense::from_triples::<U64Plus>(N, N, gathered);
+        let mut reference = Dense::from_triples::<U64Plus>(N, N, &initial);
+        reference = reference.add::<U64Plus>(&Dense::from_triples::<U64Plus>(N, N, &updates));
+        prop_assert_eq!(got.diff(&reference), vec![]);
+    }
+
+    /// Dynamic SpGEMM equals static recomputation for arbitrary batches.
+    #[test]
+    fn dynamic_spgemm_matches_static(
+        a0 in prop::collection::vec(triple_strategy(N), 1..80),
+        b0 in prop::collection::vec(triple_strategy(N), 1..80),
+        a_ups in prop::collection::vec(triple_strategy(N), 0..30),
+        b_ups in prop::collection::vec(triple_strategy(N), 0..30),
+    ) {
+        let (a0c, b0c, a_upsc, b_upsc) = (a0, b0, a_ups, b_ups);
+        let out = dspgemm_mpi::run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let feed = |v: &Vec<Triple<u64>>| {
+                if comm.rank() == 0 { v.clone() } else { vec![] }
+            };
+            let mut a = DistMat::from_global_triples(&grid, N, N, feed(&a0c), 1, &mut timer);
+            let mut b = DistMat::from_global_triples(&grid, N, N, feed(&b0c), 1, &mut timer);
+            let (mut c, _) = summa::<U64Plus>(&grid, &a, &b, 1, &mut timer);
+            dspgemm::core::dyn_algebraic::apply_algebraic_updates::<U64Plus>(
+                &grid, &mut a, &mut b, &mut c, feed(&a_upsc), feed(&b_upsc), 1, &mut timer,
+            );
+            let (c_static, _) = summa::<U64Plus>(&grid, &a, &b, 1, &mut timer);
+            (c.gather_to_root(comm), c_static.gather_to_root(comm))
+        });
+        let (c_dyn, c_static) = &out.results[0];
+        prop_assert_eq!(c_dyn, c_static);
+    }
+
+    /// DHB agrees with CSR/DCSR conversions on arbitrary contents.
+    #[test]
+    fn storage_conversions_roundtrip(
+        triples in prop::collection::vec(triple_strategy(64), 0..300),
+    ) {
+        let mut dhb: DhbMatrix<u64> = DhbMatrix::new(64, 64);
+        for t in &triples {
+            dhb.set(t.row, t.col, t.val);
+        }
+        let sorted = dhb.to_sorted_triples();
+        let csr = Csr::from_sorted_triples(64, 64, &sorted);
+        let dcsr = Dcsr::from_sorted_triples(64, 64, &sorted);
+        prop_assert_eq!(csr.nnz(), dhb.nnz());
+        prop_assert_eq!(dcsr.nnz(), dhb.nnz());
+        prop_assert_eq!(csr.to_triples(), sorted.clone());
+        prop_assert_eq!(dcsr.to_triples(), sorted);
+        csr.validate().unwrap();
+        dcsr.validate().unwrap();
+    }
+
+    /// Local SpGEMM over DHB/DCSR operands equals the dense oracle.
+    #[test]
+    fn local_spgemm_oracle(
+        a_t in prop::collection::vec(triple_strategy(20), 0..120),
+        b_t in prop::collection::vec(triple_strategy(20), 0..120),
+    ) {
+        let a = Csr::from_triples::<U64Plus>(20, 20, a_t.clone());
+        let b = Csr::from_triples::<U64Plus>(20, 20, b_t.clone());
+        let got = dspgemm::sparse::local_mm::spgemm::<U64Plus, _, _>(&a, &b, 2);
+        let da = Dense::from_triples::<U64Plus>(20, 20, &a_t);
+        let db = Dense::from_triples::<U64Plus>(20, 20, &b_t);
+        let expect = da.matmul::<U64Plus>(&db);
+        prop_assert_eq!(
+            Dense::from_dcsr::<U64Plus>(&got.result).diff(&expect),
+            vec![]
+        );
+    }
+}
