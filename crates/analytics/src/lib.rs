@@ -1,0 +1,64 @@
+//! # dspgemm-analytics — dynamic graph-analytics views on the SpGEMM engine
+//!
+//! The paper motivates dynamic SpGEMM with graph-mining kernels that must
+//! stay fresh under streaming edge updates. This crate turns the engine into
+//! a *serving layer* for that scenario: an [`AnalyticsSession`] owns one
+//! distributed dynamic adjacency matrix `A`, keeps the product `C = A·A`
+//! maintained through the shared-operand hooks of `dspgemm-core`, and feeds
+//! any number of registered [`View`]s from a **single shared update batch**
+//! — one redistribution, one dynamic-SpGEMM pass, one change feed, however
+//! many views.
+//!
+//! * [`session`] — the session object: batch application, view registry,
+//!   and the query API (point lookups, per-row top-k, global aggregates).
+//! * [`view`] — the [`View`] trait and the shared batch/delta types.
+//! * [`views`] — the built-in views: [`TriangleCountView`] (incremental
+//!   masked-sum triangle counting), [`CommonNeighborsView`]
+//!   (link-prediction scores over a candidate mask, bootstrapped with the
+//!   masked SpGEMM kernel), and [`DegreeView`] / [`KHopView`] (vector
+//!   analytics over the distributed SpMV kernel).
+//! * [`masked_product`] — distributed masked SpGEMM (SUMMA rounds, local
+//!   flops pruned to an output mask).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dspgemm_analytics::{AnalyticsSession, TriangleCountView};
+//! use dspgemm_sparse::semiring::U64Plus;
+//! use dspgemm_sparse::Triple;
+//!
+//! let out = dspgemm_mpi::run(4, |comm| {
+//!     // A 4-vertex graph, fed from rank 0 (any rank may contribute).
+//!     let edges = |list: &[(u32, u32)]| -> Vec<Triple<u64>> {
+//!         if comm.rank() == 0 {
+//!             list.iter().flat_map(|&(u, v)| {
+//!                 [Triple::new(u, v, 1), Triple::new(v, u, 1)]
+//!             }).collect()
+//!         } else {
+//!             vec![]
+//!         }
+//!     };
+//!     let mut session = AnalyticsSession::<U64Plus>::from_triples(
+//!         comm, 4, 1, edges(&[(0, 1), (1, 2), (0, 2)]));
+//!     let tri = session.register(Box::new(TriangleCountView::new()));
+//!     // One triangle so far; a second one appears dynamically.
+//!     let before = session.view_as::<TriangleCountView>(tri).unwrap().count();
+//!     session.insert_edges(edges(&[(2, 3), (0, 3)]));
+//!     let after = session.view_as::<TriangleCountView>(tri).unwrap().count();
+//!     (before, after)
+//! });
+//! assert!(out.results.iter().all(|&r| r == (1, 2)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod masked_product;
+pub mod session;
+pub mod view;
+pub mod views;
+
+pub use masked_product::masked_product;
+pub use session::AnalyticsSession;
+pub use view::{BatchDelta, PendingBatch, View, ViewCx, ViewId};
+pub use views::{CommonNeighborsView, DegreeView, KHopView, TriangleCountView};

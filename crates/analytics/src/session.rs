@@ -1,0 +1,315 @@
+//! The analytics serving session.
+//!
+//! [`AnalyticsSession`] owns one distributed dynamic adjacency matrix `A`,
+//! the maintained product `C = A · A` (with its Bloom filter matrix `F`, so
+//! deletions are always admissible), and a registry of [`View`]s. One call
+//! to [`AnalyticsSession::insert_edges`] / [`AnalyticsSession::apply_general`]
+//! drives everything:
+//!
+//! 1. the batch is redistributed **once** into hypersparse update matrices
+//!    (the only all-to-all of the whole step);
+//! 2. every view observes the pending batch (`pre_batch`) against the old
+//!    state;
+//! 3. the shared-operand dynamic SpGEMM hook patches `A`, `C` and `F`
+//!    (Algorithm 1 for algebraic inserts, Algorithm 2 for general updates)
+//!    and surfaces this rank's product delta `C*`;
+//! 4. every view refreshes from the shared delta (`post_batch`).
+//!
+//! Sessions are SPMD: construct and drive them identically on every rank of
+//! a [`dspgemm_mpi::run`] closure. All public methods marked *collective*
+//! must be called by all ranks in the same order.
+
+use crate::view::{BatchDelta, PendingBatch, View, ViewCx, ViewId};
+use dspgemm_core::distmat::DistMat;
+use dspgemm_core::dyn_algebraic::apply_shared_algebraic_prebuilt_tracked;
+use dspgemm_core::dyn_general::{
+    apply_shared_general_prebuilt, prepare_general_update, GeneralUpdates,
+};
+use dspgemm_core::grid::Grid;
+use dspgemm_core::summa::summa_bloom;
+use dspgemm_core::update::{build_update_matrix, Dedup};
+use dspgemm_mpi::Comm;
+use dspgemm_sparse::semiring::Semiring;
+use dspgemm_sparse::{Index, RowScan, Triple};
+use dspgemm_util::stats::PhaseTimer;
+
+/// A serving session: dynamic graph + maintained product + view registry.
+pub struct AnalyticsSession<S: Semiring> {
+    grid: Grid,
+    threads: usize,
+    a: DistMat<S::Elem>,
+    c: DistMat<S::Elem>,
+    f: DistMat<u64>,
+    views: Vec<(ViewId, Box<dyn View<S>>)>,
+    next_view: u64,
+    /// Accumulated phase timings across construction and every batch.
+    pub timer: PhaseTimer,
+    /// Accumulated local scalar multiplications.
+    pub flops: u64,
+    /// Update batches applied so far.
+    pub batches_applied: u64,
+}
+
+impl<S: Semiring> AnalyticsSession<S> {
+    /// Creates a session over an empty `n × n` graph. Collective.
+    pub fn new(comm: &Comm, n: Index, threads: usize) -> Self {
+        Self::from_triples(comm, n, threads, Vec::new())
+    }
+
+    /// Creates a session from rank-local, globally-indexed edge triples
+    /// (redistributed to their owners) and computes the initial product.
+    /// Collective.
+    pub fn from_triples(
+        comm: &Comm,
+        n: Index,
+        threads: usize,
+        triples: Vec<Triple<S::Elem>>,
+    ) -> Self {
+        let grid = Grid::new(comm);
+        let mut timer = PhaseTimer::new();
+        let a = DistMat::from_global_triples(&grid, n, n, triples, threads, &mut timer);
+        let (c, f, flops) = summa_bloom::<S>(&grid, &a, &a, threads, &mut timer);
+        Self {
+            grid,
+            threads,
+            a,
+            c,
+            f,
+            views: Vec::new(),
+            next_view: 0,
+            timer,
+            flops,
+            batches_applied: 0,
+        }
+    }
+
+    /// The session's process grid.
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The dynamic adjacency matrix.
+    #[inline]
+    pub fn adjacency(&self) -> &DistMat<S::Elem> {
+        &self.a
+    }
+
+    /// The maintained product `C = A · A`.
+    #[inline]
+    pub fn product(&self) -> &DistMat<S::Elem> {
+        &self.c
+    }
+
+    /// Number of registered views.
+    #[inline]
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    fn cx(&self) -> ViewCx<'_, S> {
+        ViewCx {
+            grid: &self.grid,
+            a: &self.a,
+            c: &self.c,
+            threads: self.threads,
+        }
+    }
+
+    /// Registers a view, bootstrapping it from the current state, and
+    /// returns its handle. Collective; all ranks must register the same
+    /// views in the same order.
+    pub fn register(&mut self, mut view: Box<dyn View<S>>) -> ViewId {
+        view.bootstrap(&self.cx());
+        let id = ViewId(self.next_view);
+        self.next_view += 1;
+        self.views.push((id, view));
+        id
+    }
+
+    /// Read access to a registered view.
+    pub fn view(&self, id: ViewId) -> Option<&dyn View<S>> {
+        self.views
+            .iter()
+            .find(|(vid, _)| *vid == id)
+            .map(|(_, v)| v.as_ref())
+    }
+
+    /// Typed read access to a registered view.
+    pub fn view_as<T: 'static>(&self, id: ViewId) -> Option<&T> {
+        self.view(id).and_then(|v| v.as_any().downcast_ref::<T>())
+    }
+
+    /// Applies a batch of **algebraic** edge insertions `A' = A + A*`
+    /// (semiring addition; tuples carry global indices and may live on any
+    /// rank), refreshing the product and every view from one shared
+    /// redistribution. Collective.
+    pub fn insert_edges(&mut self, tuples: Vec<Triple<S::Elem>>) {
+        let star = build_update_matrix::<S>(
+            &self.grid,
+            self.a.info().nrows,
+            self.a.info().ncols,
+            tuples,
+            Dedup::Add,
+            &mut self.timer,
+        );
+        // Views peek at the old state (registry temporarily detached so the
+        // session state can be borrowed immutably alongside it).
+        let mut views = std::mem::take(&mut self.views);
+        for (_, v) in &mut views {
+            v.pre_batch(&self.cx(), &PendingBatch::Algebraic { star: &star });
+        }
+        let (cstar, flops) = apply_shared_algebraic_prebuilt_tracked::<S>(
+            &self.grid,
+            &mut self.a,
+            &mut self.c,
+            &mut self.f,
+            &star,
+            self.threads,
+            &mut self.timer,
+        );
+        self.flops += flops;
+        self.batches_applied += 1;
+        for (_, v) in &mut views {
+            v.post_batch(
+                &self.cx(),
+                &BatchDelta::Algebraic {
+                    star: &star,
+                    cstar: &cstar,
+                },
+            );
+        }
+        self.views = views;
+    }
+
+    /// Applies a batch of **general** updates (deletions and value writes
+    /// incompatible with the semiring addition) via Algorithm 2, refreshing
+    /// the product and every view. Collective.
+    pub fn apply_general(&mut self, upd: GeneralUpdates<S::Elem>) {
+        let prep = prepare_general_update::<S>(
+            &self.grid,
+            self.a.info().nrows,
+            self.a.info().ncols,
+            upd,
+            &mut self.timer,
+        );
+        let mut views = std::mem::take(&mut self.views);
+        for (_, v) in &mut views {
+            v.pre_batch(&self.cx(), &PendingBatch::General { prep: &prep });
+        }
+        let (cstar_pattern, flops) = apply_shared_general_prebuilt::<S>(
+            &self.grid,
+            &mut self.a,
+            &mut self.c,
+            &mut self.f,
+            &prep,
+            self.threads,
+            &mut self.timer,
+        );
+        self.flops += flops;
+        self.batches_applied += 1;
+        for (_, v) in &mut views {
+            v.post_batch(
+                &self.cx(),
+                &BatchDelta::General {
+                    prep: &prep,
+                    cstar_pattern: &cstar_pattern,
+                },
+            );
+        }
+        self.views = views;
+    }
+
+    /// Deletes the given `(u, v)` positions from the graph (a general
+    /// batch). Collective.
+    pub fn delete_edges(&mut self, pairs: Vec<(Index, Index)>) {
+        let mut upd = GeneralUpdates::new();
+        upd.deletes = pairs;
+        self.apply_general(upd);
+    }
+
+    // ------------------------------------------------------------------
+    // Query API
+    // ------------------------------------------------------------------
+
+    /// Point lookup `c(u, v)` in the maintained product: owner-local read +
+    /// one single-element broadcast. Every rank returns the same value.
+    /// Collective.
+    pub fn product_entry(&self, u: Index, v: Index) -> Option<S::Elem> {
+        self.c.get_collective(&self.grid, u, v)
+    }
+
+    /// Point lookup `a(u, v)` in the adjacency matrix. Collective.
+    pub fn adjacency_entry(&self, u: Index, v: Index) -> Option<S::Elem> {
+        self.a.get_collective(&self.grid, u, v)
+    }
+
+    /// The `k` heaviest entries of product row `u` under `score` (greater is
+    /// better; ties broken by column for determinism). The row's owners
+    /// contribute their local entries, one allgather merges them, and every
+    /// rank returns the same list. `score` must be a pure function agreed on
+    /// all ranks. Collective.
+    pub fn product_row_topk(
+        &self,
+        u: Index,
+        k: usize,
+        score: impl Fn(&S::Elem) -> f64,
+    ) -> Vec<(Index, S::Elem)> {
+        let info = self.c.info();
+        let mine: Vec<(Index, S::Elem)> = if info.row_range.contains(&u) {
+            let lr = u - info.row_range.start;
+            let (cols, vals) = self.c.block().row_ref(lr).entries();
+            cols.iter()
+                .zip(vals)
+                .map(|(&lc, &val)| (lc + info.col_range.start, val))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut all: Vec<(Index, S::Elem)> = self
+            .grid
+            .world()
+            .allgather(mine)
+            .into_iter()
+            .flatten()
+            .collect();
+        all.sort_unstable_by(|(ca, va), (cb, vb)| {
+            score(vb)
+                .partial_cmp(&score(va))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ca.cmp(cb))
+        });
+        all.truncate(k);
+        all
+    }
+
+    /// Global aggregate over the maintained product: folds every local
+    /// entry (global coordinates) into `init` and allreduces the per-rank
+    /// folds with `combine`. Every rank returns the total. Collective.
+    pub fn product_aggregate<T>(
+        &self,
+        init: T,
+        mut fold: impl FnMut(T, Index, Index, S::Elem) -> T,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T
+    where
+        T: Clone + Send + dspgemm_util::WireSize + 'static,
+    {
+        let info = self.c.info();
+        let mut acc = Some(init);
+        self.c.block().scan_rows(|r, cols, vals| {
+            for (&lc, &v) in cols.iter().zip(vals) {
+                let (gr, gc) = info.to_global(r, lc);
+                let cur = acc.take().expect("fold accumulator present");
+                acc = Some(fold(cur, gr, gc, v));
+            }
+        });
+        let local = acc.expect("fold accumulator present");
+        self.grid.world().allreduce(local, combine)
+    }
+
+    /// Global non-zero counts `(nnz(A), nnz(C))`. Collective.
+    pub fn global_nnz(&self) -> (u64, u64) {
+        (self.a.global_nnz(&self.grid), self.c.global_nnz(&self.grid))
+    }
+}

@@ -169,30 +169,20 @@ impl<V: Elem> CombBlasMatrix<V> {
             let mut local = self.to_local(mine);
             dspgemm_sparse::triple::sort_row_major(&mut local);
             dspgemm_sparse::triple::dedup_last_wins(&mut local);
-            let update = Dcsr::from_sorted_triples(
-                self.info.local_rows(),
-                self.info.local_cols(),
-                &local,
-            );
+            let update =
+                Dcsr::from_sorted_triples(self.info.local_rows(), self.info.local_cols(), &local);
             // Merge preferring the update's value.
             self.block = Dcsr::merge_with(&update, &self.block, |upd, _old| upd);
         });
     }
 
     /// Deletions: redistribute the positions, then rebuild without them.
-    pub fn delete_batch(
-        &mut self,
-        grid: &Grid,
-        positions: Vec<Triple<V>>,
-        timer: &mut PhaseTimer,
-    ) {
-        let mine =
-            redistribute_global(grid, self.info.nrows, self.info.ncols, positions, timer);
+    pub fn delete_batch(&mut self, grid: &Grid, positions: Vec<Triple<V>>, timer: &mut PhaseTimer) {
+        let mine = redistribute_global(grid, self.info.nrows, self.info.ncols, positions, timer);
         timer.time(phase::REBUILD, || {
             let mut kill: Vec<(Index, Index)> = mine
                 .into_iter()
                 .map(|t| self.info.to_local(t.row, t.col))
-                .map(|(r, c)| (r, c))
                 .collect();
             kill.sort_unstable();
             kill.dedup();
@@ -229,11 +219,13 @@ impl<V: Elem> CombBlasMatrix<V> {
 
     /// Gathers to world rank 0 (testing; collective).
     pub fn gather_to_root(&self, grid: &Grid) -> Option<Vec<Triple<V>>> {
-        grid.world().gather(0, self.to_global_triples()).map(|parts| {
-            let mut all: Vec<Triple<V>> = parts.into_iter().flatten().collect();
-            dspgemm_sparse::triple::sort_row_major(&mut all);
-            all
-        })
+        grid.world()
+            .gather(0, self.to_global_triples())
+            .map(|parts| {
+                let mut all: Vec<Triple<V>> = parts.into_iter().flatten().collect();
+                dspgemm_sparse::triple::sort_row_major(&mut all);
+                all
+            })
     }
 }
 
@@ -264,11 +256,8 @@ pub fn spgemm<S: Semiring>(
                 .bcast(k, if i == k { Some(b.block.clone()) } else { None })
         });
         let partial = timer.time(phase::MULT, || {
-            let b_csr: Csr<S::Elem> = Csr::from_sorted_triples(
-                b_blk.nrows(),
-                b_blk.ncols(),
-                &b_blk.to_triples(),
-            );
+            let b_csr: Csr<S::Elem> =
+                Csr::from_sorted_triples(b_blk.nrows(), b_blk.ncols(), &b_blk.to_triples());
             dspgemm_sparse::local_mm::spgemm::<S, _, _>(&a_blk, &b_csr, threads)
         });
         flops += partial.flops;
@@ -277,10 +266,7 @@ pub fn spgemm<S: Semiring>(
         });
     }
     let info = BlockInfo::for_rank(grid, a.info.nrows, b.info.ncols);
-    (
-        CombBlasMatrix { info, block: acc },
-        flops,
-    )
+    (CombBlasMatrix { info, block: acc }, flops)
 }
 
 #[cfg(test)]

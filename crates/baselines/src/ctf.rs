@@ -131,18 +131,13 @@ where
             }
             grid.world().alltoallv(chunks)
         });
-        let mut kill: Vec<u64> = received
-            .into_iter()
-            .flatten()
-            .map(|t| t.key())
-            .collect();
+        let mut kill: Vec<u64> = received.into_iter().flatten().map(|t| t.key()).collect();
         timer.time(phase::SORT, || {
             kill.sort_unstable();
             kill.dedup();
         });
         timer.time(phase::RELAYOUT, || {
-            self.elems
-                .retain(|t| kill.binary_search(&t.key()).is_err());
+            self.elems.retain(|t| kill.binary_search(&t.key()).is_err());
         });
     }
 

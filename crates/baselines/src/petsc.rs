@@ -115,9 +115,10 @@ where
         let mine = self.stash_exchange(comm, tuples, timer);
         timer.time(phase::ASSEMBLY, || {
             let mut local: Vec<Triple<V>> = self.block.to_triples();
-            local.extend(mine.into_iter().map(|t| {
-                Triple::new(t.row - self.row_range.start, t.col, t.val)
-            }));
+            local.extend(
+                mine.into_iter()
+                    .map(|t| Triple::new(t.row - self.row_range.start, t.col, t.val)),
+            );
             // PETSc assembly comparison-sorts the stash.
             local.sort_by_key(Triple::key);
             dspgemm_sparse::triple::dedup_add::<S>(&mut local);
@@ -146,8 +147,7 @@ where
             dspgemm_sparse::triple::dedup_last_wins(&mut incoming);
             let mut local = self.block.to_triples();
             // Replace coinciding entries, keep the rest.
-            let keys: std::collections::BTreeSet<u64> =
-                incoming.iter().map(Triple::key).collect();
+            let keys: std::collections::BTreeSet<u64> = incoming.iter().map(Triple::key).collect();
             local.retain(|t| !keys.contains(&t.key()));
             local.extend(incoming);
             local.sort_by_key(Triple::key);
@@ -242,8 +242,7 @@ pub fn spgemm<S: Semiring>(
     });
     // Build my local copy of the needed B rows.
     let b_rows: Csr<S::Elem> = timer.time(phase::ASSEMBLY_LOCAL, || {
-        let mut triples: Vec<Triple<S::Elem>> =
-            responses.into_iter().flatten().collect();
+        let mut triples: Vec<Triple<S::Elem>> = responses.into_iter().flatten().collect();
         triples.sort_by_key(Triple::key);
         Csr::from_sorted_triples(b.nrows, b.ncols, &triples)
     });
@@ -255,11 +254,7 @@ pub fn spgemm<S: Semiring>(
     let mut c = PetscMatrix::empty(comm, a.nrows, b.ncols);
     timer.time(phase::ASSEMBLY_LOCAL, || {
         let triples: Vec<Triple<S::Elem>> = partial.result.to_triples();
-        c.block = Csr::from_sorted_triples(
-            c.row_range.end - c.row_range.start,
-            c.ncols,
-            &triples,
-        );
+        c.block = Csr::from_sorted_triples(c.row_range.end - c.row_range.start, c.ncols, &triples);
     });
     (c, flops)
 }
@@ -325,10 +320,7 @@ mod tests {
             m.gather_to_root(comm)
         });
         let got = out.results[0].as_ref().unwrap();
-        assert_eq!(
-            got,
-            &vec![Triple::new(0, 0, 8u64), Triple::new(9, 9, 100)]
-        );
+        assert_eq!(got, &vec![Triple::new(0, 0, 8u64), Triple::new(9, 9, 100)]);
     }
 
     #[test]

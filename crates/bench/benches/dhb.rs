@@ -58,7 +58,12 @@ fn bench_dhb(c: &mut Criterion) {
     }
     let probes = coords(8, n, 100_000);
     group.bench_function("dhb_lookup_100k", |b| {
-        b.iter(|| probes.iter().filter(|&&(r, cc)| m.get(r, cc).is_some()).count())
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&(r, cc)| m.get(r, cc).is_some())
+                .count()
+        })
     });
     group.bench_function("dhb_delete_insert_churn", |b| {
         b.iter(|| {

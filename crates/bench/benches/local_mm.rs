@@ -52,7 +52,9 @@ fn bench_kernels(c: &mut Criterion) {
     let mask_block = Dcsr::from_triples::<F64Plus>(
         n,
         n,
-        half.iter().map(|t| Triple::new(t.row, t.col, 0.0)).collect(),
+        half.iter()
+            .map(|t| Triple::new(t.row, t.col, 0.0))
+            .collect(),
     );
     let mask = MaskSet::from_pattern(&mask_block);
     group.bench_function("masked_bloom", |bench| {

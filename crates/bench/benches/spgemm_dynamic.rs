@@ -24,11 +24,9 @@ fn bench_spgemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("spgemm_dynamic");
     group.sample_size(10);
     for batch in [64usize, 512] {
-        group.bench_with_input(
-            BenchmarkId::new("algebraic", batch),
-            &batch,
-            |b, &batch| b.iter(|| ours_algebraic(&cfg, inst, batch, cfg.p).0),
-        );
+        group.bench_with_input(BenchmarkId::new("algebraic", batch), &batch, |b, &batch| {
+            b.iter(|| ours_algebraic(&cfg, inst, batch, cfg.p).0)
+        });
         group.bench_with_input(BenchmarkId::new("general", batch), &batch, |b, &batch| {
             b.iter(|| ours_general(&cfg, inst, batch, cfg.p))
         });

@@ -5,7 +5,7 @@
 //!
 //! experiments:
 //!   table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b fig9 fig10 fig11 fig12
-//!   ablation-redist ablation-bloom ablation-agg
+//!   ablation-redist ablation-bloom ablation-agg analytics
 //!   data        (= table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b)
 //!   spgemm      (= fig9 fig10 fig11 fig12)
 //!   ablations   (= the three ablations)
@@ -21,12 +21,12 @@
 //!   --smoke        tiny configuration for CI
 //! ```
 
-use dspgemm_bench::experiments::{ablations, construction, spgemm, table1, updates};
+use dspgemm_bench::experiments::{ablations, analytics, construction, spgemm, table1, updates};
 use dspgemm_bench::Config;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablation-redist|ablation-bloom|ablation-agg|data|spgemm|ablations|all> [--divisor N] [--p N] [--threads N] [--batches N] [--instances N] [--seed N] [--smoke]"
+        "usage: repro <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablation-redist|ablation-bloom|ablation-agg|analytics|data|spgemm|ablations|all> [--divisor N] [--p N] [--threads N] [--batches N] [--instances N] [--seed N] [--smoke]"
     );
     std::process::exit(2);
 }
@@ -42,27 +42,45 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--divisor" => {
-                cfg.divisor = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.divisor = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 1;
             }
             "--p" => {
-                cfg.p = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.p = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 1;
             }
             "--threads" => {
-                cfg.threads = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.threads = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 1;
             }
             "--batches" => {
-                cfg.batches = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.batches = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 1;
             }
             "--instances" => {
-                cfg.instances = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.instances = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 1;
             }
             "--seed" => {
-                cfg.seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 1;
             }
             "--smoke" => {
@@ -81,18 +99,33 @@ fn main() {
     for e in experiments {
         match e.as_str() {
             "data" => expanded.extend(
-                ["table1", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b"]
-                    .map(String::from),
+                [
+                    "table1", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b",
+                ]
+                .map(String::from),
             ),
             "spgemm" => expanded.extend(["fig9", "fig10", "fig11", "fig12"].map(String::from)),
-            "ablations" => expanded.extend(
-                ["ablation-redist", "ablation-bloom", "ablation-agg"].map(String::from),
-            ),
+            "ablations" => expanded
+                .extend(["ablation-redist", "ablation-bloom", "ablation-agg"].map(String::from)),
             "all" => expanded.extend(
                 [
-                    "table1", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8a",
-                    "fig8b", "fig9", "fig10", "fig11", "fig12", "ablation-redist",
-                    "ablation-bloom", "ablation-agg",
+                    "table1",
+                    "fig3",
+                    "fig4",
+                    "fig5a",
+                    "fig5b",
+                    "fig6",
+                    "fig7",
+                    "fig8a",
+                    "fig8b",
+                    "fig9",
+                    "fig10",
+                    "fig11",
+                    "fig12",
+                    "ablation-redist",
+                    "ablation-bloom",
+                    "ablation-agg",
+                    "analytics",
                 ]
                 .map(String::from),
             ),
@@ -119,6 +152,7 @@ fn main() {
             "fig10" => spgemm::fig10(&cfg),
             "fig11" => spgemm::fig11(&cfg),
             "fig12" => spgemm::fig12(&cfg),
+            "analytics" => analytics::run(&cfg),
             "ablation-redist" => ablations::redistribution(&cfg),
             "ablation-bloom" => ablations::bloom_filter(&cfg),
             "ablation-agg" => ablations::aggregation(&cfg),

@@ -31,7 +31,14 @@ use dspgemm_util::stats::{format_bytes, PhaseTimer};
 pub fn redistribution(cfg: &Config) -> Table {
     let mut t = Table::new(
         format!("Ablation: update redistribution, p={}", cfg.p),
-        &["tuples/rank", "two-phase (ms)", "global (ms)", "speedup", "msgs 2ph", "msgs glob"],
+        &[
+            "tuples/rank",
+            "two-phase (ms)",
+            "global (ms)",
+            "speedup",
+            "msgs 2ph",
+            "msgs glob",
+        ],
     );
     let n: Index = 1 << 16;
     for &per_rank in &[10_000usize, 100_000, 400_000] {
@@ -50,9 +57,8 @@ pub fn redistribution(cfg: &Config) -> Table {
                 })
                 .collect();
             let mut timer = PhaseTimer::new();
-            let (_, d) = timed_collective(comm, || {
-                redistribute(&grid, n, n, mine.clone(), &mut timer)
-            });
+            let (_, d) =
+                timed_collective(comm, || redistribute(&grid, n, n, mine.clone(), &mut timer));
             d
         });
         let glob = dspgemm_mpi::run(p, |comm| {
@@ -135,7 +141,11 @@ pub fn bloom_filter(cfg: &Config) -> Table {
                 .iter()
                 .zip(vals)
                 .map(|(&c, &fstar)| {
-                    fstar | f_lookup.get(&(((r as u64) << 32) | c as u64)).copied().unwrap_or(0)
+                    fstar
+                        | f_lookup
+                            .get(&(((r as u64) << 32) | c as u64))
+                            .copied()
+                            .unwrap_or(0)
                 })
                 .collect();
             e.push_row(r, cols, &evals);
@@ -146,11 +156,16 @@ pub fn bloom_filter(cfg: &Config) -> Table {
             inst.name.to_string(),
             a_new.nnz().to_string(),
             a_r.nnz().to_string(),
-            format!("{:.1}%", 100.0 * a_r.nnz() as f64 / a_new.nnz().max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * a_r.nnz() as f64 / a_new.nnz().max(1) as f64
+            ),
             dels.len().to_string(),
         ]);
     }
-    t.note("the general algorithm ships only A^R; kept% is what the Bloom filter could not exclude");
+    t.note(
+        "the general algorithm ships only A^R; kept% is what the Bloom filter could not exclude",
+    );
     t
 }
 
@@ -158,7 +173,10 @@ pub fn bloom_filter(cfg: &Config) -> Table {
 /// `A*·B'`, as the update batch grows — locating the crossover.
 pub fn aggregation(cfg: &Config) -> Table {
     let mut t = Table::new(
-        format!("Ablation: Algorithm 1 volume vs static SUMMA volume, p={}", cfg.p),
+        format!(
+            "Ablation: Algorithm 1 volume vs static SUMMA volume, p={}",
+            cfg.p
+        ),
         &["batch/rank", "dynamic bytes", "static bytes", "dyn/stat"],
     );
     let inst = &prepare_instances(cfg)[0];
@@ -188,7 +206,14 @@ pub fn aggregation(cfg: &Config) -> Table {
                 .map(|(u, v)| Triple::new(u, v, 1.0))
                 .collect();
             apply_algebraic_updates::<F64Plus>(
-                &grid, &mut a, &mut b, &mut c, batch, vec![], threads, &mut timer,
+                &grid,
+                &mut a,
+                &mut b,
+                &mut c,
+                batch,
+                vec![],
+                threads,
+                &mut timer,
             );
             c.local_nnz()
         });
@@ -235,7 +260,6 @@ mod tests {
     fn redistribution_smoke() {
         let mut cfg = Config::smoke();
         cfg.p = 4;
-        let mut cfg = cfg;
         cfg.instances = 1;
         let t = redistribution(&cfg);
         assert_eq!(t.rows.len(), 3);

@@ -78,7 +78,13 @@ pub fn run(cfg: &Config) -> Table {
     let mut t = Table::new(
         format!("Figure 3: construction, p={}, relative to CombBLAS", cfg.p),
         &[
-            "instance", "ours (ms)", "CombBLAS", "CTF", "PETSc", "ours rel", "CTF rel",
+            "instance",
+            "ours (ms)",
+            "CombBLAS",
+            "CTF",
+            "PETSc",
+            "ours rel",
+            "CTF rel",
             "PETSc rel",
         ],
     );

@@ -17,11 +17,15 @@
 //! message (the paper's 100 GBit Omni-Path). Comparisons quote the modeled
 //! numbers; tables include the raw components so nothing is hidden.
 
-use crate::experiments::{edges_to_triples, edges_to_weighted, prepare_instances, rank_slice, Prepared};
+use crate::experiments::{
+    edges_to_triples, edges_to_weighted, prepare_instances, rank_slice, Prepared,
+};
 use crate::measure::{measured_collective, median_cost, BatchCost};
 use crate::report::{ms, ratio, Table};
 use crate::Config;
-use dspgemm_baselines::{combblas, combblas::CombBlasMatrix, ctf, ctf::CtfMatrix, petsc, petsc::PetscMatrix};
+use dspgemm_baselines::{
+    combblas, combblas::CombBlasMatrix, ctf, ctf::CtfMatrix, petsc, petsc::PetscMatrix,
+};
 use dspgemm_core::dyn_algebraic::apply_algebraic_updates;
 use dspgemm_core::dyn_general::{apply_general_updates, GeneralUpdates};
 use dspgemm_core::summa::summa_bloom;
@@ -400,7 +404,9 @@ pub fn fig10(cfg: &Config) -> Table {
         format!("Figure 10: dynamic SpGEMM (general, (min,+)), p={}", cfg.p),
         rows,
     );
-    t.note("paper: 2.39x-4.57x vs CombBLAS, >=14.58x vs CTF, >=6.9x vs PETSc (PETSc stays on (+,*))");
+    t.note(
+        "paper: 2.39x-4.57x vs CombBLAS, >=14.58x vs CTF, >=6.9x vs PETSc (PETSc stays on (+,*))",
+    );
     t
 }
 

@@ -12,7 +12,13 @@ pub fn run(cfg: &Config) -> Table {
             cfg.divisor
         ),
         &[
-            "instance", "source", "type", "paper n", "paper nnz", "proxy n", "proxy nnz",
+            "instance",
+            "source",
+            "type",
+            "paper n",
+            "paper nnz",
+            "proxy n",
+            "proxy nnz",
         ],
     );
     for spec in instances_scaled(cfg.divisor) {

@@ -123,12 +123,7 @@ pub fn ours_mean_batch(
     (out.results[0].0, merged.entries().to_vec())
 }
 
-fn combblas_mean_batch(
-    cfg: &Config,
-    inst: &Prepared,
-    mode: Mode,
-    batch_size: usize,
-) -> Duration {
+fn combblas_mean_batch(cfg: &Config, inst: &Prepared, mode: Mode, batch_size: usize) -> Duration {
     let (initial, rest) = match mode {
         Mode::Insert => split_for_insertion(inst.edges.clone(), cfg.seed),
         _ => (inst.edges.clone(), inst.edges.clone()),
@@ -199,8 +194,9 @@ fn petsc_mean_batch(cfg: &Config, inst: &Prepared, mode: Mode, batch_size: usize
         let mut times = Vec::new();
         for round in 0..batches as u64 {
             let batch = draw_batch(mode, &mut pool, &rest, &mut draws, round);
-            let (_, d) =
-                timed_collective(comm, || mat.set_values_insert(comm, batch.clone(), &mut timer));
+            let (_, d) = timed_collective(comm, || {
+                mat.set_values_insert(comm, batch.clone(), &mut timer)
+            });
             times.push(d);
         }
         median(&times)
@@ -338,10 +334,7 @@ pub fn fig8(cfg: &Config, weak: bool) -> Table {
     } else {
         format!("Figure 8a: strong scaling, R-MAT, {total} insertions total")
     };
-    let mut t = Table::new(
-        title,
-        &["p", "total (ms)", "ns/nnz", "speedup vs p=1"],
-    );
+    let mut t = Table::new(title, &["p", "total (ms)", "ns/nnz", "speedup vs p=1"]);
     let threads = cfg.threads;
     let seed = cfg.seed;
     let mut t1 = None;

@@ -16,15 +16,9 @@ use dspgemm_util::WireSize;
 use std::ops::Range;
 
 /// Bound alias for distributable element types.
-pub trait Elem:
-    Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 'static
-{
-}
+pub trait Elem: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 'static {}
 
-impl<T> Elem for T where
-    T: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 'static
-{
-}
+impl<T> Elem for T where T: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 'static {}
 
 /// Shape and placement of this rank's block of a distributed matrix.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -177,6 +171,23 @@ impl<V: Elem> DistMat<V> {
         } else {
             None
         }
+    }
+
+    /// Reads a single global entry from whichever rank owns it and
+    /// broadcasts the result, so every rank returns the same value — the
+    /// SPMD point-lookup `c(u, v)` of the analytics query API. One
+    /// `O(log p)`-round broadcast of a single element. Collective over the
+    /// grid; all ranks must pass the same coordinate.
+    pub fn get_collective(&self, grid: &Grid, r: Index, c: Index) -> Option<V> {
+        let (bi, _) = crate::grid::owner_block(self.info.nrows, grid.q(), r);
+        let (bj, _) = crate::grid::owner_block(self.info.ncols, grid.q(), c);
+        let owner = grid.rank_of(bi, bj);
+        let mine = if grid.world().rank() == owner {
+            Some(self.get_local(r, c).expect("owner rank holds the block"))
+        } else {
+            None
+        };
+        grid.world().bcast(owner, mine)
     }
 
     /// Snapshot of the local block as a column-sorted CSR (used by SUMMA
@@ -345,8 +356,7 @@ mod tests {
                     })
                     .collect();
                 let mut timer = PhaseTimer::new();
-                let mat =
-                    DistMat::from_global_triples(&grid, n, n, mine.clone(), 2, &mut timer);
+                let mat = DistMat::from_global_triples(&grid, n, n, mine.clone(), 2, &mut timer);
                 // Every local entry value encodes its global coordinate.
                 for t in mat.to_global_triples() {
                     assert_eq!(t.val, (t.row * n + t.col) as u64);
@@ -394,7 +404,12 @@ mod tests {
             let att = at.transposed(&grid, 1);
             // Shape flips; double transpose is the identity.
             let same = a.gather_to_root(comm) == att.gather_to_root(comm);
-            (at.info().nrows, at.info().ncols, same, at.global_nnz(&grid) == a.global_nnz(&grid))
+            (
+                at.info().nrows,
+                at.info().ncols,
+                same,
+                at.global_nnz(&grid) == a.global_nnz(&grid),
+            )
         });
         for &(tr, tc, same, nnz_eq) in &out.results {
             assert_eq!((tr, tc), (17, 23));

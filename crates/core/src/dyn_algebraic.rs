@@ -284,9 +284,196 @@ pub fn compute_cstar<S: Semiring, K: XYKernel<S>>(
     (cstar, flops)
 }
 
+/// Shared-operand variant of [`compute_cstar`]: this rank's block of
+/// `C* = A*·A' + A·A*` for a maintained *square* product `C = A · A`, where
+/// both Eq.-1 terms draw on the **same** stored matrix. Collective.
+///
+/// The interleaved round structure of [`compute_cstar`] needs the old `A`
+/// (for the `Y` pass) and the new `A'` (for the `X` pass) simultaneously,
+/// which a single stored operand cannot provide. Instead of cloning the
+/// whole matrix, the two passes are sequenced around the update itself:
+///
+/// 1. `√p` `Y` rounds with the *old* `A`: `Yʲ_{i,k} = A_{i,j}·A*_{j,k}`,
+///    reduced over row `i` onto `(i,k)`;
+/// 2. `apply` turns `A` into `A'` in place (purely local);
+/// 3. `√p` `X` rounds with the *new* `A'`: `Xⁱ_{k,j} = A*_{k,i}·A'_{i,j}`,
+///    reduced over column `j` onto `(k,j)`.
+///
+/// One transpose exchange of the single update block replaces Algorithm 1's
+/// two, and the communication volume is halved relative to maintaining a
+/// lock-stepped clone of `A` as the second operand (each update batch is
+/// redistributed, exchanged and broadcast once instead of twice).
+pub fn compute_cstar_shared<S: Semiring, K: XYKernel<S>>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    star: &DistDcsr<S::Elem>,
+    apply: impl FnOnce(&mut DistMat<S::Elem>),
+    threads: usize,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<K::Out>, u64) {
+    assert_eq!(
+        a.info().nrows,
+        a.info().ncols,
+        "shared-operand dynamic SpGEMM maintains a square product C = A·A"
+    );
+    let q = grid.q();
+    let (i, j) = grid.coords();
+    let inner = a.info().ncols;
+    let my_block_rows = a.info().local_rows();
+    let my_block_cols = a.info().local_cols();
+
+    // Empty-batch elision, agreed collectively (cf. `compute_cstar`).
+    let star_nnz = star.global_nnz(grid);
+    if star_nnz == 0 {
+        timer.time(phase::LOCAL_UPDATE, || apply(a));
+        return (Dcsr::empty(my_block_rows, my_block_cols), 0);
+    }
+
+    // One transpose exchange serves both passes: rank (i,j) obtains
+    // A*_{j,i}, so in round k the row-comm member k of row i holds A*_{k,i}
+    // and the col-comm member k of column j holds A*_{k,j}ᵀ-positioned
+    // block, exactly as in Algorithm 1.
+    const TAG_SHARED: u64 = 104;
+    let peer = grid.transpose_rank();
+    let star_t: Dcsr<S::Elem> = timer.time(phase::SEND_RECV, || {
+        if peer == grid.world().rank() {
+            star.block().clone()
+        } else {
+            grid.world()
+                .sendrecv(peer, star.block().clone(), peer, TAG_SHARED)
+        }
+    });
+
+    let mut flops = 0u64;
+
+    // Y pass against the old A.
+    let mut y_mine: Option<Dcsr<K::Out>> = None;
+    for k in 0..q {
+        let b_bcast: Dcsr<S::Elem> = timer.time(phase::BCAST, || {
+            grid.col_comm()
+                .bcast(k, if i == k { Some(star_t.clone()) } else { None })
+        });
+        let y_part = timer.time(phase::LOCAL_MULT, || {
+            K::mul_y(a.block(), &b_bcast, block_range(inner, q, j).start, threads)
+        });
+        flops += y_part.flops;
+        let y_red = timer.time(phase::REDUCE_SCATTER, || {
+            grid.row_comm()
+                .reduce(k, y_part.result, |x, y| Dcsr::merge_with(&x, &y, K::merge))
+        });
+        if let Some(y) = y_red {
+            debug_assert_eq!(j, k);
+            y_mine = Some(y);
+        }
+    }
+
+    // A → A' (purely local).
+    timer.time(phase::LOCAL_UPDATE, || apply(a));
+
+    // X pass against the new A'.
+    let mut x_mine: Option<Dcsr<K::Out>> = None;
+    for k in 0..q {
+        let a_bcast: Dcsr<S::Elem> = timer.time(phase::BCAST, || {
+            grid.row_comm()
+                .bcast(k, if j == k { Some(star_t.clone()) } else { None })
+        });
+        let x_part = timer.time(phase::LOCAL_MULT, || {
+            K::mul_x(&a_bcast, a.block(), block_range(inner, q, i).start, threads)
+        });
+        flops += x_part.flops;
+        let x_red = timer.time(phase::REDUCE_SCATTER, || {
+            grid.col_comm()
+                .reduce(k, x_part.result, |x, y| Dcsr::merge_with(&x, &y, K::merge))
+        });
+        if let Some(x) = x_red {
+            debug_assert_eq!(i, k);
+            x_mine = Some(x);
+        }
+    }
+
+    let cstar = match (x_mine, y_mine) {
+        (Some(x), Some(y)) => Dcsr::merge_with(&x, &y, K::merge),
+        (Some(x), None) => x,
+        (None, Some(y)) => y,
+        (None, None) => Dcsr::empty(my_block_rows, my_block_cols),
+    };
+    (cstar, flops)
+}
+
+/// Shared-operand algebraic update from a **pre-built** update matrix:
+/// maintains `C = A · A` through `A' = A + A*` and returns this rank's
+/// `C*` block (the local delta merged into `C`) plus the flop count — the
+/// delta lets callers (the analytics session's views) observe exactly which
+/// product entries changed without a second pass. Collective.
+///
+/// The caller performs the redistribution once
+/// ([`crate::update::build_update_matrix`] with [`Dedup::Add`]) and may feed
+/// the same `A*` to any number of consumers; this is the "one redistribution
+/// pays for all views" contract.
+pub fn apply_shared_algebraic_prebuilt<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    star: &DistDcsr<S::Elem>,
+    threads: usize,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<S::Elem>, u64) {
+    let (cstar, flops) = compute_cstar_shared::<S, PlainKernel>(
+        grid,
+        a,
+        star,
+        |m| apply_add::<S>(m, star, threads),
+        threads,
+        timer,
+    );
+    timer.time(phase::LOCAL_UPDATE, || {
+        let block = c.block_mut();
+        cstar.scan_rows(|r, cols, vals| {
+            for (&cc, &v) in cols.iter().zip(vals) {
+                block.add_entry::<S>(r, cc, v);
+            }
+        });
+    });
+    (cstar, flops)
+}
+
+/// Like [`apply_shared_algebraic_prebuilt`], additionally maintaining the
+/// Bloom filter matrix `F` (required when general updates may follow). The
+/// returned `C*` block carries `(value, bitfield)` pairs. Collective.
+pub fn apply_shared_algebraic_prebuilt_tracked<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    f: &mut DistMat<u64>,
+    star: &DistDcsr<S::Elem>,
+    threads: usize,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<(S::Elem, u64)>, u64) {
+    let (cstar, flops) = compute_cstar_shared::<S, BloomKernel>(
+        grid,
+        a,
+        star,
+        |m| apply_add::<S>(m, star, threads),
+        threads,
+        timer,
+    );
+    timer.time(phase::LOCAL_UPDATE, || {
+        let c_block = c.block_mut();
+        let f_block = f.block_mut();
+        cstar.scan_rows(|r, cols, vals| {
+            for (&cc, &(v, bits)) in cols.iter().zip(vals) {
+                c_block.add_entry::<S>(r, cc, v);
+                f_block.combine_entry(r, cc, bits, |x, y| x | y);
+            }
+        });
+    });
+    (cstar, flops)
+}
+
 /// Full algebraic-update step on an `(A, B, C)` triple: builds the update
 /// matrices from globally-indexed tuples, applies them, and patches `C` via
 /// Algorithm 1. Returns the local flop count. Collective over the grid.
+#[allow(clippy::too_many_arguments)]
 pub fn apply_algebraic_updates<S: Semiring>(
     grid: &Grid,
     a: &mut DistMat<S::Elem>,
@@ -340,6 +527,7 @@ pub fn apply_algebraic_updates<S: Semiring>(
 /// Algebraic-update step that also maintains the Bloom filter matrix `F`
 /// (required when general updates may follow). Identical communication
 /// structure; partial blocks carry `(value, bitfield)` pairs.
+#[allow(clippy::too_many_arguments)]
 pub fn apply_algebraic_updates_tracked<S: Semiring>(
     grid: &Grid,
     a: &mut DistMat<S::Elem>,
@@ -425,10 +613,8 @@ mod tests {
                     vec![]
                 }
             };
-            let mut a =
-                DistMat::from_global_triples(&grid, n, n, feed(1, 80), 2, &mut timer);
-            let mut b =
-                DistMat::from_global_triples(&grid, n, n, feed(2, 80), 2, &mut timer);
+            let mut a = DistMat::from_global_triples(&grid, n, n, feed(1, 80), 2, &mut timer);
+            let mut b = DistMat::from_global_triples(&grid, n, n, feed(2, 80), 2, &mut timer);
             let (mut c, _) = summa::<U64Plus>(&grid, &a, &b, 2, &mut timer);
             for round in 0..batches as u64 {
                 // Every rank contributes its own update tuples.
@@ -516,8 +702,7 @@ mod tests {
             let ct = c.to_global_triples();
             let ft = f.to_global_triples();
             let same_c = c.gather_to_root(comm) == c2.gather_to_root(comm);
-            let f_keys: std::collections::BTreeSet<_> =
-                ft.iter().map(|t| (t.row, t.col)).collect();
+            let f_keys: std::collections::BTreeSet<_> = ft.iter().map(|t| (t.row, t.col)).collect();
             let covers = ct.iter().all(|t| f_keys.contains(&(t.row, t.col)));
             (same_c, covers)
         });
@@ -554,6 +739,109 @@ mod tests {
         assert!(out.results.iter().all(|&x| x));
     }
 
+    /// Shared-operand maintenance of C = A·A must agree with the
+    /// two-operand engine driven with identical batches on a clone.
+    #[test]
+    fn shared_operand_matches_cloned_operands() {
+        let n: Index = 22;
+        for p in [1usize, 4, 9] {
+            let out = run(p, move |comm| {
+                let grid = Grid::new(comm);
+                let mut timer = PhaseTimer::new();
+                let t = if comm.rank() == 0 {
+                    random_triples(7, n, 70)
+                } else {
+                    vec![]
+                };
+                let mut a = DistMat::from_global_triples(&grid, n, n, t, 1, &mut timer);
+                let mut a2 = a.clone();
+                let mut b2 = a.clone();
+                let (mut c, _) = summa::<U64Plus>(&grid, &a, &a, 1, &mut timer);
+                let mut c2 = c.clone();
+                for round in 0..3u64 {
+                    let ups = random_triples(40 + round + comm.rank() as u64, n, 9);
+                    let star = crate::update::build_update_matrix::<U64Plus>(
+                        &grid,
+                        n,
+                        n,
+                        ups.clone(),
+                        crate::update::Dedup::Add,
+                        &mut timer,
+                    );
+                    let (cstar, flops) = apply_shared_algebraic_prebuilt::<U64Plus>(
+                        &grid, &mut a, &mut c, &star, 1, &mut timer,
+                    );
+                    assert!(cstar.nnz() == 0 || flops > 0);
+                    apply_algebraic_updates::<U64Plus>(
+                        &grid,
+                        &mut a2,
+                        &mut b2,
+                        &mut c2,
+                        ups.clone(),
+                        ups,
+                        1,
+                        &mut timer,
+                    );
+                }
+                (
+                    a.gather_to_root(comm) == a2.gather_to_root(comm),
+                    c.gather_to_root(comm) == c2.gather_to_root(comm),
+                )
+            });
+            assert!(
+                out.results.iter().all(|&(a_eq, c_eq)| a_eq && c_eq),
+                "p={p}"
+            );
+        }
+    }
+
+    /// The tracked shared path maintains C identically and fills F over C's
+    /// pattern.
+    #[test]
+    fn shared_tracked_maintains_filter() {
+        let n: Index = 18;
+        let out = run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            let t = if comm.rank() == 0 {
+                random_triples(5, n, 60)
+            } else {
+                vec![]
+            };
+            let mut a = DistMat::from_global_triples(&grid, n, n, t, 1, &mut timer);
+            let (mut c, mut f, _) =
+                crate::summa::summa_bloom::<U64Plus>(&grid, &a, &a, 1, &mut timer);
+            let ups = random_triples(61 + comm.rank() as u64, n, 12);
+            let star = crate::update::build_update_matrix::<U64Plus>(
+                &grid,
+                n,
+                n,
+                ups,
+                crate::update::Dedup::Add,
+                &mut timer,
+            );
+            apply_shared_algebraic_prebuilt_tracked::<U64Plus>(
+                &grid, &mut a, &mut c, &mut f, &star, 1, &mut timer,
+            );
+            // Invariant C = A·A against static recomputation; F covers C.
+            let (c_static, _) = summa::<U64Plus>(&grid, &a, &a, 1, &mut timer);
+            let f_keys: std::collections::BTreeSet<_> = f
+                .to_global_triples()
+                .iter()
+                .map(|t| (t.row, t.col))
+                .collect();
+            let covers = c
+                .to_global_triples()
+                .iter()
+                .all(|t| f_keys.contains(&(t.row, t.col)));
+            (
+                c.gather_to_root(comm) == c_static.gather_to_root(comm),
+                covers,
+            )
+        });
+        assert!(out.results.iter().all(|&(eq, cov)| eq && cov));
+    }
+
     /// The headline property: dynamic updates move far fewer bytes than a
     /// static SUMMA recomputation when updates are hypersparse.
     #[test]
@@ -581,7 +869,14 @@ mod tests {
             // update step).
             let ups = random_triples(77 + comm.rank() as u64, n, batch);
             apply_algebraic_updates::<U64Plus>(
-                &grid, &mut a, &mut b, &mut c, ups, vec![], 1, &mut timer,
+                &grid,
+                &mut a,
+                &mut b,
+                &mut c,
+                ups,
+                vec![],
+                1,
+                &mut timer,
             );
             c.local_nnz()
         });
@@ -598,14 +893,7 @@ mod tests {
             let (c0, _) = summa::<U64Plus>(&grid, &a, &b, 1, &mut timer);
             // Static strategy: apply updates, recompute from scratch.
             let ups = random_triples(77 + comm.rank() as u64, n, batch);
-            let a_star = build_update_matrix::<U64Plus>(
-                &grid,
-                n,
-                n,
-                ups,
-                Dedup::Add,
-                &mut timer,
-            );
+            let a_star = build_update_matrix::<U64Plus>(&grid, n, n, ups, Dedup::Add, &mut timer);
             apply_add::<U64Plus>(&mut a, &a_star, 1);
             let (c1, _) = summa::<U64Plus>(&grid, &a, &b, 1, &mut timer);
             let _ = (c0, c1);

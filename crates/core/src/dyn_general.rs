@@ -21,7 +21,7 @@
 //!    became structurally zero ⇒ delete), and `H` replaces them in `F`.
 
 use crate::distmat::{DistDcsr, DistMat, Elem};
-use crate::dyn_algebraic::{compute_cstar, PatternKernel};
+use crate::dyn_algebraic::{compute_cstar, compute_cstar_shared, PatternKernel};
 use crate::grid::{block_range, Grid};
 use crate::phase;
 use crate::update::{apply_mask, apply_merge, build_update_matrix, Dedup};
@@ -63,35 +63,42 @@ impl<V: Elem> GeneralUpdates<V> {
     }
 }
 
-/// Distributed update-matrix pair for one operand: the MERGE matrix (sets),
-/// the MASK matrix (deletes) and the combined structural pattern `A*`.
-struct OperandUpdate<V> {
-    set_mat: DistDcsr<V>,
-    del_mat: DistDcsr<V>,
-    star: DistDcsr<V>,
+/// Distributed update-matrix triple for one operand of a general update:
+/// the MERGE matrix (sets), the MASK matrix (deletes) and the combined
+/// structural pattern `A*`. Produced by [`prepare_general_update`]; holding
+/// it lets one redistribution feed several consumers (the analytics
+/// session's shared-batch contract).
+pub struct PreparedGeneral<V> {
+    /// Redistributed `sets` as a hypersparse MERGE matrix.
+    pub set_mat: DistDcsr<V>,
+    /// Redistributed `deletes` as a hypersparse MASK matrix.
+    pub del_mat: DistDcsr<V>,
+    /// Structural union of both — the `A*` of `COMPUTE_PATTERN`.
+    pub star: DistDcsr<V>,
 }
 
-fn build_operand_update<S: Semiring>(
+/// Redistributes one operand's general-update batch (the only communication
+/// of update assembly) and builds its MERGE/MASK/pattern matrices.
+/// Collective over the grid.
+pub fn prepare_general_update<S: Semiring>(
     grid: &Grid,
     nrows: Index,
     ncols: Index,
     upd: GeneralUpdates<S::Elem>,
     timer: &mut PhaseTimer,
-) -> OperandUpdate<S::Elem> {
+) -> PreparedGeneral<S::Elem> {
     let del_tuples: Vec<Triple<S::Elem>> = upd
         .deletes
         .iter()
         .map(|&(r, c)| Triple::new(r, c, S::zero()))
         .collect();
-    let set_mat =
-        build_update_matrix::<S>(grid, nrows, ncols, upd.sets, Dedup::LastWins, timer);
-    let del_mat =
-        build_update_matrix::<S>(grid, nrows, ncols, del_tuples, Dedup::LastWins, timer);
+    let set_mat = build_update_matrix::<S>(grid, nrows, ncols, upd.sets, Dedup::LastWins, timer);
+    let del_mat = build_update_matrix::<S>(grid, nrows, ncols, del_tuples, Dedup::LastWins, timer);
     // A* = sets ∪ deletes structurally (deletions "add a structural non-zero
     // to A* to indicate that the corresponding entries have changed").
     let star_block = Dcsr::merge_with(set_mat.block(), del_mat.block(), |a, _| a);
     let star = DistDcsr::from_block(grid, nrows, ncols, star_block);
-    OperandUpdate {
+    PreparedGeneral {
         set_mat,
         del_mat,
         star,
@@ -124,20 +131,10 @@ pub fn apply_general_updates<S: Semiring>(
     // --- Update matrices (redistribution = "scatter"). ---
     let (a_ops, b_ops) = timer.time(phase::SCATTER, || {
         let mut inner_t = PhaseTimer::new();
-        let a_ops = build_operand_update::<S>(
-            grid,
-            a.info().nrows,
-            a.info().ncols,
-            a_upd,
-            &mut inner_t,
-        );
-        let b_ops = build_operand_update::<S>(
-            grid,
-            b.info().nrows,
-            b.info().ncols,
-            b_upd,
-            &mut inner_t,
-        );
+        let a_ops =
+            prepare_general_update::<S>(grid, a.info().nrows, a.info().ncols, a_upd, &mut inner_t);
+        let b_ops =
+            prepare_general_update::<S>(grid, b.info().nrows, b.info().ncols, b_upd, &mut inner_t);
         (a_ops, b_ops)
     });
 
@@ -271,6 +268,153 @@ pub fn apply_general_updates<S: Semiring>(
         });
     });
     flops
+}
+
+/// Shared-operand general update from **pre-built** update matrices:
+/// applies one batch of sets/deletes to the single dynamic matrix of a
+/// maintained square product `C = A · A` and repairs `C` and `F` via
+/// Algorithm 2. Returns this rank's `C*` pattern block (the product
+/// positions whose values were recomputed or deleted — the change feed for
+/// maintained views) plus the local flop count. Collective.
+///
+/// `COMPUTE_PATTERN` runs through [`compute_cstar_shared`]'s split round
+/// structure (`Y` rounds against the old `A`, MERGE/MASK application, `X`
+/// rounds against the new `A'`); the subsequent filter reduction, `A^R`
+/// extraction and masked recomputation read only the post-update matrix, so
+/// they are unchanged from [`apply_general_updates`] with `B = A'`.
+pub fn apply_shared_general_prebuilt<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    f: &mut DistMat<u64>,
+    prep: &PreparedGeneral<S::Elem>,
+    threads: usize,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<u64>, u64) {
+    let q = grid.q();
+    let (i, j) = grid.coords();
+    let inner = a.info().ncols;
+
+    // --- COMPUTE_PATTERN around the in-place update A → A'. ---
+    let (cstar, mut flops) = compute_cstar_shared::<S, PatternKernel>(
+        grid,
+        a,
+        &prep.star,
+        |m| {
+            apply_merge::<S>(m, &prep.set_mat, threads);
+            apply_mask::<S>(m, &prep.del_mat, threads);
+        },
+        threads,
+        timer,
+    );
+
+    // --- E = (F ⊕ F*) masked at C*; R = row-wise OR over the process row. ---
+    let local_rows = a.info().local_rows();
+    let filter: Vec<u64> = timer.time(phase::REDUCE_SCATTER, || {
+        let mut e = Dcsr::empty(cstar.nrows(), cstar.ncols());
+        cstar.scan_rows(|r, cols, vals| {
+            let mut e_cols: Vec<Index> = Vec::with_capacity(cols.len());
+            let mut e_vals: Vec<u64> = Vec::with_capacity(cols.len());
+            for (&cc, &fstar_bits) in cols.iter().zip(vals) {
+                let f_bits = f.block().get(r, cc).unwrap_or(0);
+                e_cols.push(cc);
+                e_vals.push(f_bits | fstar_bits);
+            }
+            e.push_row(r, &e_cols, &e_vals);
+        });
+        let local_r = row_or_reduce(&e, local_rows);
+        grid.row_comm().allreduce(local_r, |mut x, y| {
+            dspgemm_sparse::bloom::or_assign(&mut x, &y);
+            x
+        })
+    });
+
+    // --- A^R: filtered extraction of the already-updated A'. ---
+    let a_r: Dcsr<S::Elem> = timer.time(phase::LOCAL_MULT, || {
+        extract_filtered(a.block(), &filter, a.info().col_range.start)
+    });
+
+    // --- Transpose exchange of A^R. ---
+    const TAG_AR_SHARED: u64 = 106;
+    let peer = grid.transpose_rank();
+    let ar_t: Dcsr<S::Elem> = timer.time(phase::SEND_RECV, || {
+        if peer == grid.world().rank() {
+            a_r.clone()
+        } else {
+            grid.world()
+                .sendrecv(peer, a_r.clone(), peer, TAG_AR_SHARED)
+        }
+    });
+
+    // --- √p rounds: bcast A^R over rows, C* over columns, masked multiply
+    // against A' itself, merge-reduce Z/H onto owners. ---
+    let cstar_structure: Dcsr<()> = cstar.map(|_| ());
+    let mut z_mine: Option<Dcsr<(S::Elem, u64)>> = None;
+    for k in 0..q {
+        let ar_bcast: Dcsr<S::Elem> = timer.time(phase::BCAST, || {
+            grid.row_comm()
+                .bcast(k, if j == k { Some(ar_t.clone()) } else { None })
+        });
+        let cstar_bcast: Dcsr<()> = timer.time(phase::BCAST, || {
+            grid.col_comm().bcast(
+                k,
+                if i == k {
+                    Some(cstar_structure.clone())
+                } else {
+                    None
+                },
+            )
+        });
+        let z_part = timer.time(phase::LOCAL_MULT, || {
+            let mask = MaskSet::from_pattern(&cstar_bcast);
+            masked_spgemm_bloom::<S, _, _>(
+                &ar_bcast,
+                a.block(),
+                &mask,
+                block_range(inner, q, i).start,
+                threads,
+            )
+        });
+        flops += z_part.flops;
+        let z_red = timer.time(phase::REDUCE_SCATTER, || {
+            grid.col_comm().reduce(k, z_part.result, |x, y| {
+                Dcsr::merge_with(&x, &y, |(v1, b1), (v2, b2)| (S::add(v1, v2), b1 | b2))
+            })
+        });
+        if let Some(z) = z_red {
+            debug_assert_eq!(i, k);
+            z_mine = Some(z);
+        }
+    }
+    let z = z_mine.expect("round k=i must deliver Z_{i,j}");
+
+    // --- Merge Z into C and H into F, masked at C*. ---
+    timer.time(phase::LOCAL_UPDATE, || {
+        let mut z_lookup: FxHashMap<u64, (S::Elem, u64)> = FxHashMap::default();
+        z_lookup.reserve(z.nnz());
+        z.scan_rows(|r, cols, vals| {
+            for (&cc, &v) in cols.iter().zip(vals) {
+                z_lookup.insert(((r as u64) << 32) | cc as u64, v);
+            }
+        });
+        let c_block = c.block_mut();
+        let f_block = f.block_mut();
+        cstar.scan_rows(|r, cols, _| {
+            for &cc in cols {
+                match z_lookup.get(&(((r as u64) << 32) | cc as u64)) {
+                    Some(&(v, bits)) => {
+                        c_block.set(r, cc, v);
+                        f_block.set(r, cc, bits);
+                    }
+                    None => {
+                        c_block.remove(r, cc);
+                        f_block.remove(r, cc);
+                    }
+                }
+            }
+        });
+    });
+    (cstar, flops)
 }
 
 #[cfg(test)]
@@ -443,6 +587,46 @@ mod tests {
         });
         let (c_dyn, c_static) = &out.results[0];
         assert_eq!(c_dyn, c_static);
+    }
+
+    /// Shared-operand general updates (deletions + min-plus-incompatible
+    /// sets) on C = A·A must equal static recomputation, on every grid.
+    #[test]
+    fn shared_general_matches_static_recompute() {
+        let n: Index = 18;
+        for p in [1usize, 4, 9] {
+            let out = run(p, move |comm| {
+                let grid = Grid::new(comm);
+                let mut timer = PhaseTimer::new();
+                let t = if comm.rank() == 0 {
+                    random_triples_f(3, n, 3 * n as usize)
+                } else {
+                    vec![]
+                };
+                let mut a = DistMat::from_global_triples(&grid, n, n, t, 1, &mut timer);
+                let (mut c, mut f, _) = summa_bloom::<MinPlus>(&grid, &a, &a, 1, &mut timer);
+                for round in 0..2u64 {
+                    let a_cur = a.gather_to_root(comm);
+                    let upd = if comm.rank() == 0 {
+                        draw_general_f(90 + round, n, a_cur.as_ref().unwrap(), 6, 4)
+                    } else {
+                        GeneralUpdates::new()
+                    };
+                    let prep = prepare_general_update::<MinPlus>(&grid, n, n, upd, &mut timer);
+                    let (cstar, _) = apply_shared_general_prebuilt::<MinPlus>(
+                        &grid, &mut a, &mut c, &mut f, &prep, 1, &mut timer,
+                    );
+                    // The change feed covers every masked position by design.
+                    assert!(cstar.nnz() <= c.info().local_rows() as usize * n as usize);
+                }
+                let (c_static, _) = summa::<MinPlus>(&grid, &a, &a, 1, &mut timer);
+                (c.gather_to_root(comm), c_static.gather_to_root(comm))
+            });
+            let (c_dyn, c_static) = &out.results[0];
+            let dd = Dense::from_triples::<MinPlus>(n, n, c_dyn.as_ref().unwrap());
+            let ds = Dense::from_triples::<MinPlus>(n, n, c_static.as_ref().unwrap());
+            assert_eq!(dd.diff(&ds), vec![], "p={p}: shared general != static");
+        }
     }
 
     #[test]

@@ -134,7 +134,8 @@ impl<S: Semiring> DynSpGemm<S> {
     /// into. Useful as a baseline and as a repair path. Collective.
     pub fn recompute_static(&mut self, grid: &Grid) {
         if self.f.is_some() {
-            let (c, f, flops) = summa_bloom::<S>(grid, &self.a, &self.b, self.threads, &mut self.timer);
+            let (c, f, flops) =
+                summa_bloom::<S>(grid, &self.a, &self.b, self.threads, &mut self.timer);
             self.c = c;
             self.f = Some(f);
             self.flops += flops;

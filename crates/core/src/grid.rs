@@ -127,11 +127,12 @@ pub fn owner_block(n: Index, q: usize, x: Index) -> (usize, Index) {
     let big = base + 1;
     let b = if x_us < extra * big {
         x_us / big
-    } else if base == 0 {
-        // All elements live in the first `extra` big blocks.
-        extra.saturating_sub(1)
     } else {
-        extra + (x_us - extra * big) / base
+        match (x_us - extra * big).checked_div(base) {
+            Some(q) => extra + q,
+            // base == 0: all elements live in the first `extra` big blocks.
+            None => extra.saturating_sub(1),
+        }
     };
     let lo = b * base + b.min(extra);
     (b, lo as Index)
@@ -167,10 +168,7 @@ mod tests {
                 for x in 0..n {
                     let (b, lo) = owner_block(n, q, x);
                     let r = block_range(n, q, b);
-                    assert!(
-                        r.contains(&x),
-                        "n={n} q={q} x={x}: block {b} range {r:?}"
-                    );
+                    assert!(r.contains(&x), "n={n} q={q} x={x}: block {b} range {r:?}");
                     assert_eq!(lo, r.start);
                 }
             }
@@ -191,9 +189,7 @@ mod tests {
             assert_eq!(grid.col_comm().rank(), i);
             assert_eq!(grid.col_comm().size(), 3);
             // Row comm sums world ranks of my row: 3i + (0+1+2).
-            let s = grid
-                .row_comm()
-                .allreduce(comm.rank() as u64, |a, b| a + b);
+            let s = grid.row_comm().allreduce(comm.rank() as u64, |a, b| a + b);
             assert_eq!(s, (3 * i * 3 + 3) as u64);
             (i, j, grid.transpose_rank())
         });

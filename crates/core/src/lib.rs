@@ -24,6 +24,16 @@
 //! * [`engine`] — [`engine::DynSpGemm`], the user-facing session object that
 //!   owns `A`, `B`, `C` (and the filter matrix `F`) and routes update
 //!   batches to the right algorithm.
+//! * [`spmv`] — distributed sparse matrix–vector multiplication reusing
+//!   SUMMA's row/column communication domains ([`spmv::DistVec`]), the
+//!   kernel behind the vector-shaped analytics views.
+//!
+//! Beyond the two per-engine algorithms, [`dyn_algebraic`] and
+//! [`dyn_general`] also export *shared-operand* variants
+//! (`apply_shared_*`) that maintain `C = A · A` for a single dynamic
+//! matrix from a pre-redistributed update matrix — the hook the
+//! `dspgemm-analytics` session uses so one redistribution feeds every
+//! maintained view.
 //!
 //! ## Quick example
 //!
@@ -62,6 +72,7 @@ pub mod dyn_general;
 pub mod engine;
 pub mod grid;
 pub mod redistribute;
+pub mod spmv;
 pub mod summa;
 pub mod update;
 

@@ -104,10 +104,7 @@ mod tests {
     fn partition_by_groups_and_preserves_order() {
         let v = vec![3, 1, 2, 1, 3, 3];
         let chunks = partition_by(v, 4, |&x| x as usize);
-        assert_eq!(
-            chunks,
-            vec![vec![], vec![1, 1], vec![2], vec![3, 3, 3]]
-        );
+        assert_eq!(chunks, vec![vec![], vec![1, 1], vec![2], vec![3, 3, 3]]);
         // Empty input.
         let chunks = partition_by(Vec::<u32>::new(), 3, |&x| x as usize);
         assert_eq!(chunks, vec![vec![], vec![], vec![]]);
@@ -123,9 +120,7 @@ mod tests {
                 // Each rank contributes tuples covering the whole index
                 // space, tagged with origin.
                 let mine: Vec<Triple<u64>> = (0..n)
-                    .flat_map(|r| {
-                        (0..n).map(move |c| Triple::new(r, c, (r * n + c) as u64))
-                    })
+                    .flat_map(|r| (0..n).map(move |c| Triple::new(r, c, (r * n + c) as u64)))
                     .filter(|t| (t.val as usize) % comm.size() == comm.rank())
                     .collect();
                 let mut timer = PhaseTimer::new();
@@ -141,7 +136,11 @@ mod tests {
                 got.len()
             });
             let total: usize = out.results.iter().sum();
-            assert_eq!(total, (n * n) as usize, "p={p}: no tuple lost or duplicated");
+            assert_eq!(
+                total,
+                (n * n) as usize,
+                "p={p}: no tuple lost or duplicated"
+            );
         }
     }
 
@@ -149,8 +148,9 @@ mod tests {
     fn communication_is_alltoall_category() {
         let out = run(4, |comm| {
             let grid = Grid::new(comm);
-            let mine: Vec<Triple<u64>> =
-                (0..100).map(|k| Triple::new(k % 10, (k * 7) % 10, k as u64)).collect();
+            let mine: Vec<Triple<u64>> = (0..100)
+                .map(|k| Triple::new(k % 10, (k * 7) % 10, k as u64))
+                .collect();
             let mut timer = PhaseTimer::new();
             redistribute(&grid, 10, 10, mine, &mut timer).len()
         });

@@ -59,6 +59,10 @@ pub fn build_update_matrix<S: Semiring>(
     })
 }
 
+/// One stored row of an update block borrowed for application:
+/// `(local row, columns, values)`.
+type RowEntries<'a, V> = (Index, &'a [Index], &'a [V]);
+
 /// The three local application operators of Section IV-A.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ApplyOp {
@@ -70,7 +74,7 @@ enum ApplyOp {
 fn apply_rows<S: Semiring>(
     shard_rows: &mut [&mut DhbRow<S::Elem>],
     shards: usize,
-    rows: &[(Index, &[Index], &[S::Elem])],
+    rows: &[RowEntries<'_, S::Elem>],
     op: ApplyOp,
 ) {
     for &(lr, cols, vals) in rows {
@@ -101,12 +105,15 @@ fn apply_update_matrix<S: Semiring>(
     op: ApplyOp,
     threads: usize,
 ) {
-    assert_eq!(mat.info(), upd.info(), "matrix/update distribution mismatch");
+    assert_eq!(
+        mat.info(),
+        upd.info(),
+        "matrix/update distribution mismatch"
+    );
     let threads = threads.max(1);
     // Group the update's stored rows by (row mod T) — the paper's partition
     // for lock-free parallel application.
-    let mut grouped: Vec<Vec<(Index, &[Index], &[S::Elem])>> =
-        (0..threads).map(|_| Vec::new()).collect();
+    let mut grouped: Vec<Vec<RowEntries<'_, S::Elem>>> = (0..threads).map(|_| Vec::new()).collect();
     for (r, cols, vals) in upd.block().iter_rows() {
         grouped[r as usize % threads].push((r, cols, vals));
     }
@@ -122,11 +129,7 @@ fn apply_update_matrix<S: Semiring>(
 }
 
 /// `A += A*` over the semiring addition (algebraic updates). Local-only.
-pub fn apply_add<S: Semiring>(
-    mat: &mut DistMat<S::Elem>,
-    upd: &DistDcsr<S::Elem>,
-    threads: usize,
-) {
+pub fn apply_add<S: Semiring>(mat: &mut DistMat<S::Elem>, upd: &DistDcsr<S::Elem>, threads: usize) {
     apply_update_matrix::<S>(mat, upd, ApplyOp::Add, threads);
 }
 
@@ -163,12 +166,10 @@ pub fn apply_local_triples_set<V: Elem>(
 ) {
     let threads = threads.max(1);
     // Shard the triples by (row mod T) — the paper's partitioning.
-    let (sorted, offsets) = counting_sort_by_key(triples.to_vec(), threads, |t| {
-        t.row as usize % threads
-    });
+    let (sorted, offsets) =
+        counting_sort_by_key(triples.to_vec(), threads, |t| t.row as usize % threads);
     let shards = block.shard_rows_mut(threads);
-    let shard_cells: Vec<Mutex<Vec<&mut DhbRow<V>>>> =
-        shards.into_iter().map(Mutex::new).collect();
+    let shard_cells: Vec<Mutex<Vec<&mut DhbRow<V>>>> = shards.into_iter().map(Mutex::new).collect();
     parallel_for_each_shard(threads, |t| {
         let mut rows = shard_cells[t].lock();
         let mut mine: Vec<Triple<V>> = sorted[offsets[t]..offsets[t + 1]].to_vec();
@@ -181,8 +182,7 @@ pub fn apply_local_triples_set<V: Elem>(
             while j < mine.len() && mine[j].row == row {
                 j += 1;
             }
-            let cols: Vec<dspgemm_sparse::Index> =
-                mine[i..j].iter().map(|tr| tr.col).collect();
+            let cols: Vec<dspgemm_sparse::Index> = mine[i..j].iter().map(|tr| tr.col).collect();
             let vals: Vec<V> = mine[i..j].iter().map(|tr| tr.val).collect();
             rows[row as usize / threads].fill_sorted(&cols, &vals);
             i = j;
@@ -216,11 +216,7 @@ mod tests {
     }
 
     /// Reference model: apply the same global updates to a BTreeMap.
-    fn model_apply(
-        model: &mut BTreeMap<(Index, Index), u64>,
-        upd: &[Triple<u64>],
-        op: &str,
-    ) {
+    fn model_apply(model: &mut BTreeMap<(Index, Index), u64>, upd: &[Triple<u64>], op: &str) {
         // Mirror Dedup first (Add for add-op batches, LastWins otherwise).
         let mut dedup: BTreeMap<(Index, Index), u64> = BTreeMap::new();
         for t in upd {
@@ -256,13 +252,16 @@ mod tests {
             } else {
                 vec![]
             };
-            let mut mat =
-                DistMat::from_global_triples(&grid, N, N, initial, 2, &mut timer);
+            let mut mat = DistMat::from_global_triples(&grid, N, N, initial, 2, &mut timer);
             // Three update batches, each rank contributing its own draws.
             let mut all_batches = Vec::new();
             for round in 0..3u64 {
                 let mine = random_tuples(100 + round * 10 + comm.rank() as u64, 50);
-                let dedup = if op == "add" { Dedup::Add } else { Dedup::LastWins };
+                let dedup = if op == "add" {
+                    Dedup::Add
+                } else {
+                    Dedup::LastWins
+                };
                 let upd =
                     build_update_matrix::<U64Plus>(&grid, N, N, mine.clone(), dedup, &mut timer);
                 match op {
@@ -308,8 +307,7 @@ mod tests {
             // cross-rank batch interleaving only when the same key is
             // written by two ranks in one round; values may differ there.
             // Keys written by a single rank must match the model.
-            let got_keys: std::collections::BTreeSet<_> =
-                got.iter().map(|(k, _)| *k).collect();
+            let got_keys: std::collections::BTreeSet<_> = got.iter().map(|(k, _)| *k).collect();
             let expect_keys: std::collections::BTreeSet<_> =
                 expect.iter().map(|(k, _)| *k).collect();
             assert_eq!(got_keys, expect_keys, "p={p} op={op} key sets differ");
@@ -359,14 +357,8 @@ mod tests {
             } else {
                 vec![]
             };
-            let upd = build_update_matrix::<U64Plus>(
-                &grid,
-                N,
-                N,
-                mine,
-                Dedup::LastWins,
-                &mut timer,
-            );
+            let upd =
+                build_update_matrix::<U64Plus>(&grid, N, N, mine, Dedup::LastWins, &mut timer);
             (upd.local_nnz(), upd.global_nnz(&grid))
         });
         assert!(out.results.iter().all(|&(_, g)| g == 2));

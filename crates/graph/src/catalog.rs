@@ -77,18 +77,84 @@ impl InstanceSpec {
 
 /// Raw Table I rows: `(name, source, class, n, nnz)`.
 const TABLE1: [(&str, &str, GraphClass, u64, u64); 12] = [
-    ("LiveJournal", "SNAP", GraphClass::Social, 4_000_000, 86_000_000),
+    (
+        "LiveJournal",
+        "SNAP",
+        GraphClass::Social,
+        4_000_000,
+        86_000_000,
+    ),
     ("orkut", "SNAP", GraphClass::Social, 3_000_000, 234_000_000),
-    ("tech-p2p", "Network Repository", GraphClass::PeerToPeer, 5_000_000, 295_000_000),
-    ("indochina", "Network Repository", GraphClass::Web, 7_000_000, 304_000_000),
-    ("sinaweibo", "Network Repository", GraphClass::Social, 58_000_000, 522_000_000),
-    ("uk2002", "Network Repository", GraphClass::Web, 18_000_000, 529_000_000),
-    ("wikipedia", "Network Repository", GraphClass::Web, 27_000_000, 1_088_000_000),
-    ("PayDomain", "Network Repository", GraphClass::Web, 42_000_000, 1_165_000_000),
-    ("uk2005", "Network Repository", GraphClass::Web, 39_000_000, 1_581_000_000),
-    ("webbase", "Network Repository", GraphClass::Web, 118_000_000, 1_736_000_000),
-    ("twitter", "Network Repository", GraphClass::Social, 41_000_000, 2_405_000_000),
-    ("friendster", "SNAP", GraphClass::Social, 124_000_000, 3_612_000_000),
+    (
+        "tech-p2p",
+        "Network Repository",
+        GraphClass::PeerToPeer,
+        5_000_000,
+        295_000_000,
+    ),
+    (
+        "indochina",
+        "Network Repository",
+        GraphClass::Web,
+        7_000_000,
+        304_000_000,
+    ),
+    (
+        "sinaweibo",
+        "Network Repository",
+        GraphClass::Social,
+        58_000_000,
+        522_000_000,
+    ),
+    (
+        "uk2002",
+        "Network Repository",
+        GraphClass::Web,
+        18_000_000,
+        529_000_000,
+    ),
+    (
+        "wikipedia",
+        "Network Repository",
+        GraphClass::Web,
+        27_000_000,
+        1_088_000_000,
+    ),
+    (
+        "PayDomain",
+        "Network Repository",
+        GraphClass::Web,
+        42_000_000,
+        1_165_000_000,
+    ),
+    (
+        "uk2005",
+        "Network Repository",
+        GraphClass::Web,
+        39_000_000,
+        1_581_000_000,
+    ),
+    (
+        "webbase",
+        "Network Repository",
+        GraphClass::Web,
+        118_000_000,
+        1_736_000_000,
+    ),
+    (
+        "twitter",
+        "Network Repository",
+        GraphClass::Social,
+        41_000_000,
+        2_405_000_000,
+    ),
+    (
+        "friendster",
+        "SNAP",
+        GraphClass::Social,
+        124_000_000,
+        3_612_000_000,
+    ),
 ];
 
 /// Builds the catalog with sizes divided by `divisor` (vertex counts rounded

@@ -132,11 +132,7 @@ mod tests {
             deg[u as usize] += 1;
         }
         let avg = m as f64 / (1 << scale) as f64;
-        assert!(
-            deg[0] as f64 > 20.0 * avg,
-            "deg[0]={} avg={avg}",
-            deg[0]
-        );
+        assert!(deg[0] as f64 > 20.0 * avg, "deg[0]={} avg={avg}", deg[0]);
         // And the median vertex should be far below average (heavy tail).
         let mut sorted = deg.clone();
         sorted.sort_unstable();

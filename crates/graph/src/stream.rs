@@ -41,12 +41,7 @@ pub struct BatchedPool {
 impl BatchedPool {
     /// Creates rank `rank`-of-`p`'s view of the pool.
     pub fn new(pool: &[Edge], rank: usize, p: usize, batch_size: usize, seed: u64) -> Self {
-        let mut my_items: Vec<Edge> = pool
-            .iter()
-            .copied()
-            .skip(rank)
-            .step_by(p)
-            .collect();
+        let mut my_items: Vec<Edge> = pool.iter().copied().skip(rank).step_by(p).collect();
         let mut rng = Xoshiro256::derive(seed, rank as u64);
         rng.shuffle(&mut my_items);
         Self {

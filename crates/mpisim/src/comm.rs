@@ -174,11 +174,7 @@ impl Comm {
     /// Broadcasts a value from `root` to all ranks (binomial tree,
     /// `O(log p)` rounds). The root passes `Some(value)`, everyone else
     /// `None`; all ranks return the value.
-    pub fn bcast<T: Clone + Send + WireSize + 'static>(
-        &self,
-        root: usize,
-        value: Option<T>,
-    ) -> T {
+    pub fn bcast<T: Clone + Send + WireSize + 'static>(&self, root: usize, value: Option<T>) -> T {
         let p = self.size();
         let tag = self.next_coll_tag(0);
         if p == 1 {
@@ -222,9 +218,9 @@ impl Comm {
         if self.my_rank == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(value);
-            for src in 0..self.size() {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = Some(self.recv_internal(src, tag));
+                    *slot = Some(self.recv_internal(src, tag));
                 }
             }
             Some(out.into_iter().map(|o| o.expect("gathered")).collect())
@@ -258,7 +254,10 @@ impl Comm {
             self.send_internal(right, tag, v, CommCategory::Gather, bytes);
             slots[recv_origin] = Some(self.recv_internal(left, tag));
         }
-        slots.into_iter().map(|o| o.expect("allgather slot")).collect()
+        slots
+            .into_iter()
+            .map(|o| o.expect("allgather slot"))
+            .collect()
     }
 
     /// Personalized all-to-all: `out[dst]` is delivered to rank `dst`;
@@ -273,16 +272,16 @@ impl Comm {
         // Keep own chunk.
         result[self.my_rank] = Some(std::mem::take(&mut out[self.my_rank]));
         // Send all chunks (buffered; cannot deadlock), then receive.
-        for dst in 0..p {
+        for (dst, chunk_slot) in out.iter_mut().enumerate() {
             if dst != self.my_rank {
-                let chunk = std::mem::take(&mut out[dst]);
+                let chunk = std::mem::take(chunk_slot);
                 let bytes = chunk.wire_bytes();
                 self.send_internal(dst, tag, chunk, CommCategory::Alltoall, bytes);
             }
         }
-        for src in 0..p {
+        for (src, slot) in result.iter_mut().enumerate() {
             if src != self.my_rank {
-                result[src] = Some(self.recv_internal(src, tag));
+                *slot = Some(self.recv_internal(src, tag));
             }
         }
         result.into_iter().map(|o| o.expect("chunk")).collect()

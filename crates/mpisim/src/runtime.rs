@@ -184,7 +184,11 @@ mod tests {
         for p in [1, 2, 3, 5, 8] {
             for root in 0..p {
                 let out = run(p, |c| {
-                    let v = if c.rank() == root { Some(42u64 + root as u64) } else { None };
+                    let v = if c.rank() == root {
+                        Some(42u64 + root as u64)
+                    } else {
+                        None
+                    };
                     c.bcast(root, v)
                 });
                 assert!(out.results.iter().all(|&v| v == 42 + root as u64));
@@ -195,7 +199,11 @@ mod tests {
     #[test]
     fn bcast_vector_payload_volume() {
         let out = run(4, |c| {
-            let v = if c.rank() == 0 { Some(vec![1u32; 1000]) } else { None };
+            let v = if c.rank() == 0 {
+                Some(vec![1u32; 1000])
+            } else {
+                None
+            };
             c.bcast(0, v).len()
         });
         assert!(out.results.iter().all(|&l| l == 1000));
@@ -220,8 +228,7 @@ mod tests {
     fn allgather_ring() {
         for p in [1, 2, 5, 8] {
             let out = run(p, |c| c.allgather((c.rank() as u32, c.rank() as u32 + 100)));
-            let expect: Vec<(u32, u32)> =
-                (0..p as u32).map(|r| (r, r + 100)).collect();
+            let expect: Vec<(u32, u32)> = (0..p as u32).map(|r| (r, r + 100)).collect();
             assert!(out.results.iter().all(|v| *v == expect));
         }
     }
@@ -235,14 +242,16 @@ mod tests {
                 .collect();
             c.alltoallv(chunks)
         });
-        for dst in 0..p {
-            let received = &out.results[dst];
-            for src in 0..p {
-                assert_eq!(received[src], vec![(src * 10 + dst) as u64; src + 1]);
+        for (dst, received) in out.results.iter().enumerate() {
+            for (src, chunk) in received.iter().enumerate() {
+                assert_eq!(chunk, &vec![(src * 10 + dst) as u64; src + 1]);
             }
         }
         // Self-chunks never touch the wire.
-        assert_eq!(out.stats.msgs_in(CommCategory::Alltoall), (p * (p - 1)) as u64);
+        assert_eq!(
+            out.stats.msgs_in(CommCategory::Alltoall),
+            (p * (p - 1)) as u64
+        );
     }
 
     #[test]
@@ -294,7 +303,14 @@ mod tests {
             // Sum of world ranks within my row / column.
             let row_sum = row.allreduce(c.rank() as u64, |a, b| a + b);
             let col_sum = col.allreduce(c.rank() as u64, |a, b| a + b);
-            (row.rank(), row.size(), row_sum, col.rank(), col.size(), col_sum)
+            (
+                row.rank(),
+                row.size(),
+                row_sum,
+                col.rank(),
+                col.size(),
+                col_sum,
+            )
         });
         // Rank layout: 0=(0,0) 1=(0,1) 2=(1,0) 3=(1,1).
         assert_eq!(out.results[0], (0, 2, 1, 0, 2, 2));
@@ -339,7 +355,14 @@ mod tests {
             let (i, j) = (c.rank() / 2, c.rank() % 2);
             let row = c.split(i as u64, j as u64);
             let col = c.split(j as u64, i as u64);
-            let b = row.bcast(0, if row.rank() == 0 { Some(i as u64) } else { None });
+            let b = row.bcast(
+                0,
+                if row.rank() == 0 {
+                    Some(i as u64)
+                } else {
+                    None
+                },
+            );
             let s = col.allreduce(1u64, |a, x| a + x);
             (b, s)
         });

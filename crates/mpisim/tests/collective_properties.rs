@@ -1,42 +1,71 @@
 //! Property-based tests: every collective must agree with its sequential
 //! reference on arbitrary inputs, sizes and roots.
+//!
+//! Driven by the in-repo seeded generator (the workspace builds offline, so
+//! the external `proptest` crate the seed used is unavailable); each property
+//! runs `CASES` independently drawn inputs, reproducible from the case seed.
 
 use dspgemm_mpi::run;
-use proptest::prelude::*;
+use dspgemm_util::rng::{Rng, SplitMix64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn bcast_delivers_root_value(p in 1usize..9, root_sel in 0usize..9, value in any::<u64>()) {
-        let root = root_sel % p;
+#[test]
+fn bcast_delivers_root_value() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::derive(0xBCA57, case);
+        let p = 1 + rng.gen_range(8) as usize;
+        let root = rng.gen_range(9) as usize % p;
+        let value = rng.next_u64();
         let out = run(p, move |comm| {
-            comm.bcast(root, if comm.rank() == root { Some(value) } else { None })
+            comm.bcast(
+                root,
+                if comm.rank() == root {
+                    Some(value)
+                } else {
+                    None
+                },
+            )
         });
-        prop_assert!(out.results.iter().all(|&v| v == value));
+        assert!(out.results.iter().all(|&v| v == value), "case {case}");
     }
+}
 
-    #[test]
-    fn allgather_orders_by_rank(p in 1usize..9, base in any::<u32>()) {
+#[test]
+fn allgather_orders_by_rank() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::derive(0xA11, case);
+        let p = 1 + rng.gen_range(8) as usize;
+        let base = rng.next_u64() as u32;
         let out = run(p, move |comm| {
             comm.allgather(base.wrapping_add(comm.rank() as u32))
         });
         let expect: Vec<u32> = (0..p as u32).map(|r| base.wrapping_add(r)).collect();
-        prop_assert!(out.results.iter().all(|v| *v == expect));
+        assert!(out.results.iter().all(|v| *v == expect), "case {case}");
     }
+}
 
-    #[test]
-    fn allreduce_matches_fold(p in 1usize..9, values in prop::collection::vec(any::<u64>(), 9)) {
+#[test]
+fn allreduce_matches_fold() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::derive(0xA11_2ED, case);
+        let p = 1 + rng.gen_range(8) as usize;
+        let values: Vec<u64> = (0..9).map(|_| rng.next_u64()).collect();
         let vals = values.clone();
         let out = run(p, move |comm| {
             comm.allreduce(vals[comm.rank()], |a, b| a ^ b)
         });
         let expect = values[..p].iter().fold(0u64, |a, &b| a ^ b);
-        prop_assert!(out.results.iter().all(|&v| v == expect));
+        assert!(out.results.iter().all(|&v| v == expect), "case {case}");
     }
+}
 
-    #[test]
-    fn alltoallv_is_a_transpose(p in 1usize..6, seed in any::<u64>()) {
+#[test]
+fn alltoallv_is_a_transpose() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::derive(0xA2A, case);
+        let p = 1 + rng.gen_range(5) as usize;
+        let seed = rng.next_u64();
         let out = run(p, move |comm| {
             let chunks: Vec<Vec<u64>> = (0..p)
                 .map(|dst| vec![seed ^ ((comm.rank() * p + dst) as u64)])
@@ -45,47 +74,62 @@ proptest! {
         });
         for dst in 0..p {
             for src in 0..p {
-                prop_assert_eq!(out.results[dst][src][0], seed ^ ((src * p + dst) as u64));
+                assert_eq!(
+                    out.results[dst][src][0],
+                    seed ^ ((src * p + dst) as u64),
+                    "case {case}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn exscan_prefixes(p in 1usize..9, values in prop::collection::vec(0u64..1000, 9)) {
+#[test]
+fn exscan_prefixes() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::derive(0xE55CA4, case);
+        let p = 1 + rng.gen_range(8) as usize;
+        let values: Vec<u64> = (0..9).map(|_| rng.gen_range(1000)).collect();
         let vals = values.clone();
         let out = run(p, move |comm| {
             comm.exscan(vals[comm.rank()], 0, |a, b| a + b)
         });
         let mut acc = 0u64;
-        for r in 0..p {
-            prop_assert_eq!(out.results[r], acc);
-            acc += values[r];
+        for (res, val) in out.results.iter().zip(&values) {
+            assert_eq!(*res, acc, "case {case}");
+            acc += val;
         }
     }
+}
 
-    #[test]
-    fn gather_preserves_order(p in 1usize..9, root_sel in 0usize..9) {
-        let root = root_sel % p;
+#[test]
+fn gather_preserves_order() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::derive(0x6A7_8E4, case);
+        let p = 1 + rng.gen_range(8) as usize;
+        let root = rng.gen_range(9) as usize % p;
         let out = run(p, move |comm| comm.gather(root, comm.rank() as u64 * 7));
         let expect: Vec<u64> = (0..p as u64).map(|r| r * 7).collect();
-        prop_assert_eq!(out.results[root].as_ref(), Some(&expect));
+        assert_eq!(out.results[root].as_ref(), Some(&expect), "case {case}");
         for (r, res) in out.results.iter().enumerate() {
             if r != root {
-                prop_assert!(res.is_none());
+                assert!(res.is_none(), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn reduce_totals_commutative_op(
-        p in 1usize..9,
-        values in prop::collection::vec(any::<u32>(), 9),
-    ) {
+#[test]
+fn reduce_totals_commutative_op() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::derive(0x2ED_0CE, case);
+        let p = 1 + rng.gen_range(8) as usize;
+        let values: Vec<u32> = (0..9).map(|_| rng.next_u64() as u32).collect();
         let vals = values.clone();
         let out = run(p, move |comm| {
             comm.reduce(0, vals[comm.rank()] as u64, |a, b| a + b)
         });
         let expect: u64 = values[..p].iter().map(|&v| v as u64).sum();
-        prop_assert_eq!(out.results[0], Some(expect));
+        assert_eq!(out.results[0], Some(expect), "case {case}");
     }
 }

@@ -1,0 +1,81 @@
+//! Offline build shim for the `crossbeam` crate.
+//!
+//! This workspace builds in environments with no registry access, so the
+//! external `crossbeam` dependency is replaced by this minimal drop-in
+//! providing exactly the surface `dspgemm-mpi` uses: unbounded MPMC-ish
+//! channels with `Sender`/`Receiver` handles. It is backed by
+//! `std::sync::mpsc`, which matches the usage pattern (each receiver is
+//! owned by exactly one rank thread; senders are cloned per peer).
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (the `crossbeam::channel` subset in use).
+pub mod channel {
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    pub struct SendError<T>(pub T);
+
+    // Like real crossbeam: `Debug` without requiring `T: Debug`.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; never blocks (the channel is unbounded).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded::<u64>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(41).unwrap());
+        std::thread::spawn(move || tx.send(1).unwrap());
+        let sum = rx.recv().unwrap() + rx.recv().unwrap();
+        assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn recv_fails_after_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -50,7 +50,10 @@ impl<V: Copy> Csr<V> {
     /// In debug builds, panics if the input is not sorted and deduplicated,
     /// or if an index is out of range.
     pub fn from_sorted_triples(nrows: Index, ncols: Index, triples: &[Triple<V>]) -> Self {
-        debug_assert!(triple::is_sorted_dedup(triples), "input must be sorted+dedup");
+        debug_assert!(
+            triple::is_sorted_dedup(triples),
+            "input must be sorted+dedup"
+        );
         let mut row_ptr = vec![0usize; nrows as usize + 1];
         for t in triples {
             debug_assert!(t.row < nrows && t.col < ncols, "index out of range");
@@ -166,8 +169,7 @@ impl<V: Copy> Csr<V> {
         if self.row_ptr.len() != self.nrows as usize + 1 {
             return Err("row_ptr length mismatch".into());
         }
-        if *self.row_ptr.last().unwrap() != self.cols.len() || self.cols.len() != self.vals.len()
-        {
+        if *self.row_ptr.last().unwrap() != self.cols.len() || self.cols.len() != self.vals.len() {
             return Err("nnz bookkeeping mismatch".into());
         }
         for w in self.row_ptr.windows(2) {
@@ -261,7 +263,13 @@ mod tests {
         Csr::from_triples::<U64Plus>(
             3,
             4,
-            vec![t(2, 3, 14), t(0, 0, 10), t(2, 0, 12), t(0, 2, 11), t(2, 1, 13)],
+            vec![
+                t(2, 3, 14),
+                t(0, 0, 10),
+                t(2, 0, 12),
+                t(0, 2, 11),
+                t(2, 1, 13),
+            ],
         )
     }
 

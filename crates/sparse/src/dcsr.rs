@@ -57,7 +57,10 @@ impl<V: Copy> Dcsr<V> {
 
     /// Builds from row-major-sorted, duplicate-free triples.
     pub fn from_sorted_triples(nrows: Index, ncols: Index, triples: &[Triple<V>]) -> Self {
-        debug_assert!(triple::is_sorted_dedup(triples), "input must be sorted+dedup");
+        debug_assert!(
+            triple::is_sorted_dedup(triples),
+            "input must be sorted+dedup"
+        );
         let mut m = Self::empty(nrows, ncols);
         m.cols.reserve(triples.len());
         m.vals.reserve(triples.len());
@@ -94,7 +97,7 @@ impl<V: Copy> Dcsr<V> {
     pub fn push_row(&mut self, row: Index, cols: &[Index], vals: &[V]) {
         debug_assert!(!cols.is_empty());
         debug_assert_eq!(cols.len(), vals.len());
-        debug_assert!(self.rows.last().map_or(true, |&last| last < row));
+        debug_assert!(self.rows.last().is_none_or(|&last| last < row));
         self.rows.push(row);
         self.cols.extend_from_slice(cols);
         self.vals.extend_from_slice(vals);
@@ -266,8 +269,7 @@ impl<V: Copy> Dcsr<V> {
         if self.row_ptr.len() != self.rows.len() + 1 {
             return Err("row_ptr length mismatch".into());
         }
-        if *self.row_ptr.last().unwrap() != self.cols.len() || self.cols.len() != self.vals.len()
-        {
+        if *self.row_ptr.last().unwrap() != self.cols.len() || self.cols.len() != self.vals.len() {
             return Err("nnz bookkeeping mismatch".into());
         }
         if !self.rows.windows(2).all(|w| w[0] < w[1]) {
@@ -379,7 +381,13 @@ mod tests {
         Dcsr::from_triples::<U64Plus>(
             1000,
             1000,
-            vec![t(999, 3, 14), t(0, 0, 10), t(999, 0, 12), t(0, 2, 11), t(500, 1, 13)],
+            vec![
+                t(999, 3, 14),
+                t(0, 0, 10),
+                t(999, 0, 12),
+                t(0, 2, 11),
+                t(500, 1, 13),
+            ],
         )
     }
 

@@ -140,7 +140,11 @@ mod tests {
         let m = Dense::from_triples::<U64Plus>(
             2,
             3,
-            &[Triple::new(0, 1, 5), Triple::new(1, 2, 7), Triple::new(0, 1, 2)],
+            &[
+                Triple::new(0, 1, 5),
+                Triple::new(1, 2, 7),
+                Triple::new(0, 1, 2),
+            ],
         );
         assert_eq!(m.get(0, 1), 7); // duplicates add
         assert_eq!(m.get(1, 2), 7);
@@ -152,13 +156,13 @@ mod tests {
         let eye = Dense::from_triples::<U64Plus>(
             3,
             3,
-            &[Triple::new(0, 0, 1), Triple::new(1, 1, 1), Triple::new(2, 2, 1)],
+            &[
+                Triple::new(0, 0, 1),
+                Triple::new(1, 1, 1),
+                Triple::new(2, 2, 1),
+            ],
         );
-        let m = Dense::from_triples::<U64Plus>(
-            3,
-            3,
-            &[Triple::new(0, 2, 4), Triple::new(2, 1, 9)],
-        );
+        let m = Dense::from_triples::<U64Plus>(3, 3, &[Triple::new(0, 2, 4), Triple::new(2, 1, 9)]);
         assert_eq!(eye.matmul::<U64Plus>(&m), m);
         assert_eq!(m.matmul::<U64Plus>(&eye), m);
     }

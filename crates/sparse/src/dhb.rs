@@ -130,7 +130,11 @@ impl RowIndex {
             let k = mix64(cj as u64) as usize & mask;
             // Move table[j] into the hole unless its ideal bucket k lies
             // cyclically within (i, j] — in that case it must stay.
-            let stays = if j > i { k > i && k <= j } else { k > i || k <= j };
+            let stays = if j > i {
+                k > i && k <= j
+            } else {
+                k > i || k <= j
+            };
             if !stays {
                 self.table[i] = self.table[j];
                 i = j;
@@ -266,7 +270,10 @@ impl<V: Copy> DhbRow<V> {
             }
             return;
         }
-        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "sorted + dedup required");
+        debug_assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "sorted + dedup required"
+        );
         self.cols.reserve_exact(cols.len());
         self.vals.reserve_exact(vals.len());
         self.cols.extend_from_slice(cols);
@@ -295,10 +302,9 @@ impl<V: Copy> DhbRow<V> {
     pub fn heap_bytes(&self) -> usize {
         self.cols.capacity() * std::mem::size_of::<Index>()
             + self.vals.capacity() * std::mem::size_of::<V>()
-            + self
-                .index
-                .as_ref()
-                .map_or(0, |i| i.table.capacity() * std::mem::size_of::<(Index, u32)>())
+            + self.index.as_ref().map_or(0, |i| {
+                i.table.capacity() * std::mem::size_of::<(Index, u32)>()
+            })
     }
 }
 
@@ -610,8 +616,7 @@ mod tests {
             .into_iter()
             .map(|t| ((t.row, t.col), t.val))
             .collect();
-        let expect: Vec<((Index, Index), u64)> =
-            model.into_iter().collect();
+        let expect: Vec<((Index, Index), u64)> = model.into_iter().collect();
         assert_eq!(triples, expect);
     }
 
@@ -623,7 +628,7 @@ mod tests {
             assert_eq!(shards[0].len(), 4); // rows 0,3,6,9
             assert_eq!(shards[1].len(), 3); // rows 1,4,7
             assert_eq!(shards[2].len(), 3); // rows 2,5,8
-            // Mutate through the shards: set (r, 0) = r for every row.
+                                            // Mutate through the shards: set (r, 0) = r for every row.
             for (t, shard) in shards.iter_mut().enumerate() {
                 for (k, row) in shard.iter_mut().enumerate() {
                     let r = (t + k * 3) as u64;
@@ -665,8 +670,7 @@ mod tests {
         let (cols, vals) = RowRead::row(&m, 0);
         assert_eq!(cols.len(), 2);
         assert_eq!(vals.len(), 2);
-        let mut pairs: Vec<(Index, u64)> =
-            cols.iter().copied().zip(vals.iter().copied()).collect();
+        let mut pairs: Vec<(Index, u64)> = cols.iter().copied().zip(vals.iter().copied()).collect();
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(2, 2), (5, 1)]);
     }

@@ -88,20 +88,24 @@ where
         let mut spa: Spa<S::Elem> = Spa::for_width(ncols);
         let mut rows = Vec::new();
         let mut flops = 0u64;
-        a.scan_row_range(range.start as Index, range.end as Index, |i, acols, avals| {
-            for (&k, &av) in acols.iter().zip(avals) {
-                let (bcols, bvals) = b.row(k);
-                flops += bcols.len() as u64;
-                for (&j, &bv) in bcols.iter().zip(bvals) {
-                    spa.scatter(j, S::mul(av, bv), S::add);
+        a.scan_row_range(
+            range.start as Index,
+            range.end as Index,
+            |i, acols, avals| {
+                for (&k, &av) in acols.iter().zip(avals) {
+                    let (bcols, bvals) = b.row(k);
+                    flops += bcols.len() as u64;
+                    for (&j, &bv) in bcols.iter().zip(bvals) {
+                        spa.scatter(j, S::mul(av, bv), S::add);
+                    }
                 }
-            }
-            if !spa.is_empty() {
-                let mut entries = Vec::new();
-                spa.drain_sorted(&mut entries);
-                rows.push((i, entries));
-            }
-        });
+                if !spa.is_empty() {
+                    let mut entries = Vec::new();
+                    spa.drain_sorted(&mut entries);
+                    rows.push((i, entries));
+                }
+            },
+        );
         RangeRows { rows, flops }
     });
     assemble(nrows, ncols, parts)
@@ -133,21 +137,25 @@ where
         let mut spa: Spa<(S::Elem, u64)> = Spa::for_width(ncols);
         let mut rows = Vec::new();
         let mut flops = 0u64;
-        a.scan_row_range(range.start as Index, range.end as Index, |i, acols, avals| {
-            for (&k, &av) in acols.iter().zip(avals) {
-                let bit = crate::bloom::bloom_bit(k + k_offset);
-                let (bcols, bvals) = b.row(k);
-                flops += bcols.len() as u64;
-                for (&j, &bv) in bcols.iter().zip(bvals) {
-                    spa.scatter(j, (S::mul(av, bv), bit), combine);
+        a.scan_row_range(
+            range.start as Index,
+            range.end as Index,
+            |i, acols, avals| {
+                for (&k, &av) in acols.iter().zip(avals) {
+                    let bit = crate::bloom::bloom_bit(k + k_offset);
+                    let (bcols, bvals) = b.row(k);
+                    flops += bcols.len() as u64;
+                    for (&j, &bv) in bcols.iter().zip(bvals) {
+                        spa.scatter(j, (S::mul(av, bv), bit), combine);
+                    }
                 }
-            }
-            if !spa.is_empty() {
-                let mut entries = Vec::new();
-                spa.drain_sorted(&mut entries);
-                rows.push((i, entries));
-            }
-        });
+                if !spa.is_empty() {
+                    let mut entries = Vec::new();
+                    spa.drain_sorted(&mut entries);
+                    rows.push((i, entries));
+                }
+            },
+        );
         RangeRows { rows, flops }
     });
     assemble(nrows, ncols, parts)
@@ -160,12 +168,7 @@ where
 /// (Section V-B): "we do not require the values of C* for our algorithm;
 /// computing the sparsity structure of C* is enough". Works across operand
 /// value types because only structure is read.
-pub fn spgemm_pattern<VA, VB, L, R>(
-    a: &L,
-    b: &R,
-    k_offset: Index,
-    threads: usize,
-) -> MmOutput<u64>
+pub fn spgemm_pattern<VA, VB, L, R>(a: &L, b: &R, k_offset: Index, threads: usize) -> MmOutput<u64>
 where
     VA: Copy,
     VB: Copy,
@@ -354,7 +357,11 @@ mod tests {
         let a = Csr::from_triples::<U64Plus>(
             1,
             100,
-            vec![Triple::new(0, 1, 1), Triple::new(0, 65, 1), Triple::new(0, 2, 1)],
+            vec![
+                Triple::new(0, 1, 1),
+                Triple::new(0, 65, 1),
+                Triple::new(0, 2, 1),
+            ],
         );
         let b = Csr::from_triples::<U64Plus>(
             100,
@@ -410,7 +417,10 @@ mod tests {
         let got = spgemm::<U64Plus, _, _>(&a, &b.row_reader(), 2);
         let da = Dense::from_sparse::<U64Plus, _>(&a);
         let db = Dense::from_triples::<U64Plus>(500, 30, &b_t);
-        assert_eq!(Dense::from_dcsr::<U64Plus>(&got.result), da.matmul::<U64Plus>(&db));
+        assert_eq!(
+            Dense::from_dcsr::<U64Plus>(&got.result),
+            da.matmul::<U64Plus>(&db)
+        );
     }
 
     #[test]

@@ -20,6 +20,9 @@ use crate::{Index, RowRead, RowScan};
 use dspgemm_util::hash::FxHashSet;
 use dspgemm_util::par::parallel_map_ranges;
 
+/// Output rows produced by one worker range: `(row, [(col, entry)])`.
+type RangeRows<A> = Vec<(Index, Vec<(Index, A)>)>;
+
 /// A hash set over `(row, col)` index pairs, used as an output mask.
 #[derive(Debug, Clone, Default)]
 pub struct MaskSet {
@@ -42,6 +45,36 @@ impl MaskSet {
             }
         }
         Self { set }
+    }
+
+    /// Builds the mask from explicit `(row, col)` pairs — the construction
+    /// path for candidate-pair masks that exist independently of any matrix
+    /// (e.g. link-prediction candidates in the analytics layer).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Index, Index)>) -> Self {
+        let mut mask = Self::default();
+        for (r, c) in pairs {
+            mask.insert(r, c);
+        }
+        mask
+    }
+
+    /// Adds `(r, c)` to the mask. Returns `true` if it was not present.
+    #[inline]
+    pub fn insert(&mut self, r: Index, c: Index) -> bool {
+        self.set.insert(pack(r, c))
+    }
+
+    /// Removes `(r, c)` from the mask. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, r: Index, c: Index) -> bool {
+        self.set.remove(&pack(r, c))
+    }
+
+    /// Iterates the masked `(row, col)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index)> + '_ {
+        self.set
+            .iter()
+            .map(|&k| ((k >> 32) as Index, (k & 0xFFFF_FFFF) as Index))
     }
 
     /// Whether `(r, c)` is masked (i.e. should be computed).
@@ -85,27 +118,31 @@ where
     let combine = |(v1, b1): (S::Elem, u64), (v2, b2): (S::Elem, u64)| (S::add(v1, v2), b1 | b2);
     let parts = parallel_map_ranges(threads.max(1), nrows as usize, |range| {
         let mut spa: Spa<(S::Elem, u64)> = Spa::for_width(ncols);
-        let mut rows: Vec<(Index, Vec<(Index, (S::Elem, u64))>)> = Vec::new();
+        let mut rows: RangeRows<(S::Elem, u64)> = Vec::new();
         let mut flops = 0u64;
-        a.scan_row_range(range.start as Index, range.end as Index, |i, acols, avals| {
-            for (&k, &av) in acols.iter().zip(avals) {
-                let bit = crate::bloom::bloom_bit(k + k_offset);
-                let (bcols, bvals) = b.row(k);
-                for (&j, &bv) in bcols.iter().zip(bvals) {
-                    // The mask check precedes the multiply: unmasked terms
-                    // cost a hash probe but no flop, mirroring Section VI-B.
-                    if mask.contains(i, j) {
-                        flops += 1;
-                        spa.scatter(j, (S::mul(av, bv), bit), combine);
+        a.scan_row_range(
+            range.start as Index,
+            range.end as Index,
+            |i, acols, avals| {
+                for (&k, &av) in acols.iter().zip(avals) {
+                    let bit = crate::bloom::bloom_bit(k + k_offset);
+                    let (bcols, bvals) = b.row(k);
+                    for (&j, &bv) in bcols.iter().zip(bvals) {
+                        // The mask check precedes the multiply: unmasked terms
+                        // cost a hash probe but no flop, mirroring Section VI-B.
+                        if mask.contains(i, j) {
+                            flops += 1;
+                            spa.scatter(j, (S::mul(av, bv), bit), combine);
+                        }
                     }
                 }
-            }
-            if !spa.is_empty() {
-                let mut entries = Vec::new();
-                spa.drain_sorted(&mut entries);
-                rows.push((i, entries));
-            }
-        });
+                if !spa.is_empty() {
+                    let mut entries = Vec::new();
+                    spa.drain_sorted(&mut entries);
+                    rows.push((i, entries));
+                }
+            },
+        );
         (rows, flops)
     });
     let flops = parts.iter().map(|(_, f)| *f).sum();
@@ -144,17 +181,28 @@ mod tests {
 
     #[test]
     fn mask_set_membership() {
-        let block = Dcsr::from_triples::<U64Plus>(
-            10,
-            10,
-            vec![Triple::new(1, 2, 1), Triple::new(3, 4, 1)],
-        );
+        let block =
+            Dcsr::from_triples::<U64Plus>(10, 10, vec![Triple::new(1, 2, 1), Triple::new(3, 4, 1)]);
         let mask = MaskSet::from_pattern(&block);
         assert_eq!(mask.len(), 2);
         assert!(mask.contains(1, 2));
         assert!(mask.contains(3, 4));
         assert!(!mask.contains(2, 1));
         assert!(!mask.contains(0, 0));
+    }
+
+    #[test]
+    fn pair_construction_and_iteration() {
+        let mut mask = MaskSet::from_pairs([(3, 4), (1, 2)]);
+        assert!(mask.insert(9, 0));
+        assert!(!mask.insert(9, 0), "duplicate insert");
+        assert_eq!(mask.len(), 3);
+        let mut pairs: Vec<(Index, Index)> = mask.iter().collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 2), (3, 4), (9, 0)]);
+        assert!(mask.remove(3, 4));
+        assert!(!mask.remove(3, 4));
+        assert!(!mask.contains(3, 4));
     }
 
     #[test]

@@ -174,7 +174,13 @@ mod tests {
         let a = Dcsr::from_triples::<U64Plus>(
             4,
             200,
-            vec![t(0, 1, 10), t(0, 65, 11), t(0, 2, 12), t(1, 1, 13), t(3, 5, 14)],
+            vec![
+                t(0, 1, 10),
+                t(0, 65, 11),
+                t(0, 2, 12),
+                t(1, 1, 13),
+                t(3, 5, 14),
+            ],
         );
         // Row 0: allow k with bit (1 mod 64) -> keeps cols 1 and 65 (alias).
         // Row 1: zero filter -> dropped. Row 3: allow bit of col 5.

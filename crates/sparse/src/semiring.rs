@@ -24,14 +24,7 @@ use dspgemm_util::WireSize;
 /// *general update* path (Algorithm 2) needs no such property.
 pub trait Semiring: Copy + Clone + Send + Sync + std::fmt::Debug + 'static {
     /// The scalar type.
-    type Elem: Copy
-        + Clone
-        + Send
-        + Sync
-        + PartialEq
-        + std::fmt::Debug
-        + WireSize
-        + 'static;
+    type Elem: Copy + Clone + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 'static;
 
     /// Additive neutral element (the implicit value of structural zeros).
     fn zero() -> Self::Elem;

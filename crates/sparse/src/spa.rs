@@ -229,7 +229,7 @@ mod tests {
         let mut spa: Spa<(u64, u64)> = Spa::for_width(8);
         let combine = |(v1, b1): (u64, u64), (v2, b2): (u64, u64)| (v1 + v2, b1 | b2);
         spa.scatter(3, (5, 1 << 2), combine);
-        spa.scatter(3, (7, 1 << 9 % 64), combine);
+        spa.scatter(3, (7, 1 << 9), combine);
         let mut out = Vec::new();
         spa.drain_sorted(&mut out);
         assert_eq!(out, vec![(3, (12, (1 << 2) | (1 << 9)))]);

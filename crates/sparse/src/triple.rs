@@ -127,13 +127,7 @@ mod tests {
     fn sort_row_major_random() {
         let mut rng = SplitMix64::new(42);
         let mut triples: Vec<Triple<u64>> = (0..5000)
-            .map(|i| {
-                t(
-                    rng.gen_range(64) as Index,
-                    rng.gen_range(64) as Index,
-                    i,
-                )
-            })
+            .map(|i| t(rng.gen_range(64) as Index, rng.gen_range(64) as Index, i))
             .collect();
         let mut expect = triples.clone();
         expect.sort_by_key(|x| (x.key(), x.val));

@@ -1,11 +1,17 @@
 //! Property-based tests for the DHB dynamic storage: arbitrary operation
 //! sequences must match a BTreeMap model, and the bulk construction path
 //! must match per-entry insertion.
+//!
+//! Driven by the in-repo seeded generator (the workspace builds offline, so
+//! the external `proptest` crate the seed used is unavailable); each property
+//! runs `CASES` independently drawn inputs, reproducible from the case seed.
 
 use dspgemm_sparse::dhb::{DhbMatrix, DhbRow};
 use dspgemm_sparse::Index;
-use proptest::prelude::*;
+use dspgemm_util::rng::{Rng, SplitMix64};
 use std::collections::BTreeMap;
+
+const CASES: u64 = 48;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -14,19 +20,22 @@ enum Op {
     Combine(Index, Index, u64),
 }
 
-fn op_strategy(n: Index) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..n, 0..n, any::<u64>()).prop_map(|(r, c, v)| Op::Set(r, c, v)),
-        (0..n, 0..n).prop_map(|(r, c)| Op::Remove(r, c)),
-        (0..n, 0..n, 1u64..100).prop_map(|(r, c, v)| Op::Combine(r, c, v)),
-    ]
+fn draw_op(rng: &mut SplitMix64, n: Index) -> Op {
+    let r = rng.gen_range(n as u64) as Index;
+    let c = rng.gen_range(n as u64) as Index;
+    match rng.gen_range(3) {
+        0 => Op::Set(r, c, rng.next_u64()),
+        1 => Op::Remove(r, c),
+        _ => Op::Combine(r, c, rng.gen_range(99) + 1),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dhb_matches_btreemap_model(ops in prop::collection::vec(op_strategy(24), 0..400)) {
+#[test]
+fn dhb_matches_btreemap_model() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::derive(0xD4B, case);
+        let count = rng.gen_range(400) as usize;
+        let ops: Vec<Op> = (0..count).map(|_| draw_op(&mut rng, 24)).collect();
         let mut dhb: DhbMatrix<u64> = DhbMatrix::new(24, 24);
         let mut model: BTreeMap<(Index, Index), u64> = BTreeMap::new();
         for op in &ops {
@@ -36,7 +45,7 @@ proptest! {
                     model.insert((r, c), v);
                 }
                 Op::Remove(r, c) => {
-                    prop_assert_eq!(dhb.remove(r, c), model.remove(&(r, c)));
+                    assert_eq!(dhb.remove(r, c), model.remove(&(r, c)), "case {case}");
                 }
                 Op::Combine(r, c, v) => {
                     dhb.combine_entry(r, c, v, |a, b| a.wrapping_add(b));
@@ -47,7 +56,7 @@ proptest! {
                     model.insert((r, c), new);
                 }
             }
-            prop_assert_eq!(dhb.nnz(), model.len());
+            assert_eq!(dhb.nnz(), model.len(), "case {case}");
         }
         let got: Vec<((Index, Index), u64)> = dhb
             .to_sorted_triples()
@@ -55,13 +64,19 @@ proptest! {
             .map(|t| ((t.row, t.col), t.val))
             .collect();
         let expect: Vec<((Index, Index), u64)> = model.into_iter().collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
     }
+}
 
-    #[test]
-    fn fill_sorted_matches_per_entry_set(
-        entries in prop::collection::btree_map(0u32..5000, any::<u64>(), 0..200),
-    ) {
+#[test]
+fn fill_sorted_matches_per_entry_set() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::derive(0xF111, case);
+        let count = rng.gen_range(200) as usize;
+        let mut entries: BTreeMap<u32, u64> = BTreeMap::new();
+        for _ in 0..count {
+            entries.insert(rng.gen_range(5000) as u32, rng.next_u64());
+        }
         let cols: Vec<Index> = entries.keys().copied().collect();
         let vals: Vec<u64> = entries.values().copied().collect();
         let mut bulk: DhbRow<u64> = DhbRow::default();
@@ -70,20 +85,23 @@ proptest! {
         for (&c, &v) in cols.iter().zip(&vals) {
             single.set(c, v);
         }
-        prop_assert_eq!(bulk.len(), single.len());
+        assert_eq!(bulk.len(), single.len(), "case {case}");
         for &c in &cols {
-            prop_assert_eq!(bulk.get(c), single.get(c));
+            assert_eq!(bulk.get(c), single.get(c), "case {case}");
         }
         // Lookups of absent columns agree too.
         for probe in [0u32, 1, 4999, 2500] {
-            prop_assert_eq!(bulk.get(probe), single.get(probe));
+            assert_eq!(bulk.get(probe), single.get(probe), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn heavy_churn_preserves_membership(
-        keys in prop::collection::vec(0u32..64, 1..300),
-    ) {
+#[test]
+fn heavy_churn_preserves_membership() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::derive(0xC802A, case);
+        let count = 1 + rng.gen_range(299) as usize;
+        let keys: Vec<u32> = (0..count).map(|_| rng.gen_range(64) as u32).collect();
         // Insert all, delete every other occurrence, verify final state.
         let mut row: DhbRow<u64> = DhbRow::default();
         let mut model: BTreeMap<u32, u64> = BTreeMap::new();
@@ -94,11 +112,11 @@ proptest! {
             } else {
                 let a = row.remove(k);
                 let b = model.remove(&k);
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b, "case {case}");
             }
         }
         for k in 0u32..64 {
-            prop_assert_eq!(row.get(k), model.get(&k).copied());
+            assert_eq!(row.get(k), model.get(&k).copied(), "case {case}");
         }
     }
 }

@@ -30,9 +30,7 @@ where
     }
     std::thread::scope(|scope| {
         let f = &f;
-        let handles: Vec<_> = (0..threads)
-            .map(|t| scope.spawn(move || f(t)))
-            .collect();
+        let handles: Vec<_> = (0..threads).map(|t| scope.spawn(move || f(t))).collect();
         for h in handles {
             h.join().expect("parallel shard panicked");
         }

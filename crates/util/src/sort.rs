@@ -68,7 +68,7 @@ where
     let passes = if max_key == 0 {
         1
     } else {
-        ((64 - max_key.leading_zeros() as usize) + 7) / 8
+        (64 - max_key.leading_zeros() as usize).div_ceil(8)
     };
     let mut src: Vec<T> = std::mem::take(items);
     let mut dst: Vec<T> = Vec::with_capacity(src.len());
@@ -118,15 +118,8 @@ mod tests {
     #[test]
     fn counting_sort_sorts_and_is_stable() {
         // (key, original position) pairs.
-        let items: Vec<(usize, usize)> = vec![
-            (2, 0),
-            (0, 1),
-            (1, 2),
-            (2, 3),
-            (0, 4),
-            (1, 5),
-            (0, 6),
-        ];
+        let items: Vec<(usize, usize)> =
+            vec![(2, 0), (0, 1), (1, 2), (2, 3), (0, 4), (1, 5), (0, 6)];
         let (sorted, offsets) = counting_sort_by_key(items, 3, |it| it.0);
         assert_eq!(
             sorted,
@@ -177,8 +170,7 @@ mod tests {
     #[test]
     fn radix_sort_stability() {
         // Sort (key, tag) by key only; equal keys must preserve tag order.
-        let items_raw: Vec<(u64, usize)> =
-            vec![(5, 0), (3, 1), (5, 2), (3, 3), (1, 4), (5, 5)];
+        let items_raw: Vec<(u64, usize)> = vec![(5, 0), (3, 1), (5, 2), (3, 3), (1, 4), (5, 5)];
         let mut items = items_raw;
         radix_sort_by_key(&mut items, 5, |it| it.0);
         assert_eq!(items, vec![(1, 4), (3, 1), (3, 3), (5, 0), (5, 2), (5, 5)]);

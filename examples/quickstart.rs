@@ -24,10 +24,8 @@ fn main() {
         // Every rank independently generates its share of the edge stream —
         // no rank needs to know the data distribution (Section IV-B).
         let edges = generate_local(&RmatParams::GRAPH500, scale, 20_000, 42, comm.rank() as u64);
-        let triples: Vec<Triple<f64>> = edges
-            .iter()
-            .map(|&(u, v)| Triple::new(u, v, 1.0))
-            .collect();
+        let triples: Vec<Triple<f64>> =
+            edges.iter().map(|&(u, v)| Triple::new(u, v, 1.0)).collect();
 
         // B: the adjacency matrix, built through the two-phase redistribution.
         let b = DistMat::from_global_triples(&grid, n, n, triples, threads, &mut timer);
@@ -39,11 +37,16 @@ fn main() {
 
         // Stream five insertion batches into A.
         for round in 0..5u64 {
-            let batch: Vec<Triple<f64>> =
-                generate_local(&RmatParams::GRAPH500, scale, 256, 100 + round, comm.rank() as u64)
-                    .into_iter()
-                    .map(|(u, v)| Triple::new(u, v, 1.0))
-                    .collect();
+            let batch: Vec<Triple<f64>> = generate_local(
+                &RmatParams::GRAPH500,
+                scale,
+                256,
+                100 + round,
+                comm.rank() as u64,
+            )
+            .into_iter()
+            .map(|(u, v)| Triple::new(u, v, 1.0))
+            .collect();
             engine.apply_algebraic(&grid, batch, vec![]);
         }
 
@@ -58,7 +61,10 @@ fn main() {
             println!("  local flops on rank 0: {}", engine.flops);
             println!("  phase breakdown (rank 0):");
             for (name, d) in engine.timer.entries() {
-                println!("    {name:<18} {}", dspgemm::util::stats::format_duration(*d));
+                println!(
+                    "    {name:<18} {}",
+                    dspgemm::util::stats::format_duration(*d)
+                );
             }
         }
         nnz_c

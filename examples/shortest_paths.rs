@@ -10,7 +10,7 @@
 //! cargo run --release --example shortest_paths
 //! ```
 
-use dspgemm::core::{engine::DynSpGemm, dyn_general::GeneralUpdates, DistMat, Grid};
+use dspgemm::core::{dyn_general::GeneralUpdates, engine::DynSpGemm, DistMat, Grid};
 use dspgemm::sparse::semiring::MinPlus;
 use dspgemm::sparse::Triple;
 use dspgemm::util::stats::PhaseTimer;
@@ -42,11 +42,7 @@ fn main() {
 
         let dist = |eng: &DynSpGemm<MinPlus>, u: u32, v: u32, g: &Grid| -> f64 {
             // The owner looks the value up; everyone learns it via min-reduce.
-            let local = eng
-                .c
-                .get_local(u, v)
-                .flatten()
-                .unwrap_or(f64::INFINITY);
+            let local = eng.c.get_local(u, v).flatten().unwrap_or(f64::INFINITY);
             g.world().allreduce(local, f64::min)
         };
 

@@ -1,28 +1,38 @@
 //! Sliding-window streaming analytics — the "continuously changing inputs"
 //! scenario of the paper's introduction (recommender systems / online social
-//! networks): a window of recent interactions enters and expires, and the
-//! co-interaction profile `C = A · Aᵀ-like product` must stay fresh.
+//! networks), served as **concurrent maintained views** on one
+//! [`AnalyticsSession`].
 //!
-//! Insertions are algebraic; expirations are **deletions**, so the engine
-//! alternates Algorithm 1 and Algorithm 2 on the same session — and we
-//! compare its communication volume against recomputing from scratch.
+//! A window of recent interactions enters and expires: insertions are
+//! algebraic (Algorithm 1), expirations are deletions (Algorithm 2). Each
+//! round redistributes one shared batch that simultaneously refreshes the
+//! maintained product `C = A·A` and three registered views — the triangle
+//! count, link-prediction scores over a candidate mask, and the degree
+//! vector — while the per-round cost tracks the batch, never the graph.
 //!
 //! ```sh
 //! cargo run --release --example streaming_analytics
 //! ```
 
-use dspgemm::core::{engine::DynSpGemm, dyn_general::GeneralUpdates, DistMat, Grid};
+use dspgemm::analytics::{AnalyticsSession, CommonNeighborsView, DegreeView, TriangleCountView};
+use dspgemm::core::dyn_general::GeneralUpdates;
 use dspgemm::graph::rmat::{generate_local, RmatParams};
 use dspgemm::sparse::semiring::U64Plus;
 use dspgemm::sparse::Triple;
-use dspgemm::util::stats::{format_bytes, PhaseTimer};
+use dspgemm::util::stats::format_bytes;
 
 const WINDOW: usize = 3; // batches kept live
 const ROUNDS: u64 = 6;
 const BATCH: usize = 400;
 
 fn batch_edges(scale: u32, round: u64, rank: usize) -> Vec<(u32, u32)> {
-    let mut e = generate_local(&RmatParams::GRAPH500, scale, BATCH, 1000 + round, rank as u64);
+    let mut e = generate_local(
+        &RmatParams::GRAPH500,
+        scale,
+        BATCH,
+        1000 + round,
+        rank as u64,
+    );
     e.dedup();
     e
 }
@@ -32,62 +42,75 @@ fn main() {
     let scale = 11;
     let n = 1u32 << scale;
 
-    // Dynamic run: maintain C across the sliding window.
-    let dynamic = dspgemm_mpi::run(p, |comm| {
-        let grid = Grid::new(comm);
-        let mut timer = PhaseTimer::new();
-        let b_triples: Vec<Triple<u64>> = generate_local(
-            &RmatParams::GRAPH500,
-            scale,
-            8_000,
-            5,
-            comm.rank() as u64,
-        )
-        .into_iter()
-        .map(|(u, v)| Triple::new(u, v, 1))
-        .collect();
-        let b = DistMat::from_global_triples(&grid, n, n, b_triples, 1, &mut timer);
-        let a = DistMat::empty(&grid, n, n);
-        let mut engine = DynSpGemm::<U64Plus>::new(&grid, a, b, 1, true);
+    let sim = dspgemm_mpi::run(p, |comm| {
+        // The session starts from a warm base graph so the candidate mask
+        // and product are non-trivial from round 0.
+        let base: Vec<Triple<u64>> =
+            generate_local(&RmatParams::GRAPH500, scale, 8_000, 5, comm.rank() as u64)
+                .into_iter()
+                .map(|(u, v)| Triple::new(u, v, 1))
+                .collect();
+        let mut session = AnalyticsSession::<U64Plus>::from_triples(comm, n, 1, base);
 
-        let mut nnz_series = Vec::new();
+        // Three concurrent views fed from each round's single shared batch.
+        let tri = session.register(Box::new(TriangleCountView::new()));
+        let candidates: Vec<(u32, u32)> = (0..40).map(|i| (i, (i * 7 + 3) % 64)).collect();
+        let cn = session.register(Box::new(CommonNeighborsView::new(candidates)));
+        let deg = session.register(Box::new(DegreeView::new(1u64)));
+
+        let mut series = Vec::new();
         for round in 0..ROUNDS {
-            // New interactions arrive (algebraic inserts into A).
+            // New interactions arrive (algebraic inserts).
             let arriving: Vec<Triple<u64>> = batch_edges(scale, round, comm.rank())
                 .into_iter()
                 .map(|(u, v)| Triple::new(u, v, 1))
                 .collect();
-            engine.apply_algebraic(&grid, arriving, vec![]);
-            // The oldest batch expires (general deletions from A).
+            session.insert_edges(arriving);
+            // The oldest batch expires (general deletions).
             if round >= WINDOW as u64 {
                 let expiring = batch_edges(scale, round - WINDOW as u64, comm.rank());
                 let mut upd = GeneralUpdates::new();
                 upd.deletes = expiring;
-                engine.apply_general(&grid, upd, GeneralUpdates::new());
+                session.apply_general(upd);
             }
-            nnz_series.push((
-                engine.a.global_nnz(&grid),
-                engine.c.global_nnz(&grid),
-            ));
+            let (nnz_a, nnz_c) = session.global_nnz();
+            let triangles = session.view_as::<TriangleCountView>(tri).unwrap().count();
+            let hot_pair = session
+                .view_as::<CommonNeighborsView<U64Plus>>(cn)
+                .unwrap()
+                .top_k(session.grid(), 1, |&s| s as f64)
+                .first()
+                .copied();
+            let deg0 = session
+                .view_as::<DegreeView<U64Plus>>(deg)
+                .unwrap()
+                .degree(session.grid(), 0)
+                .unwrap();
+            series.push((nnz_a, nnz_c, triangles, hot_pair, deg0));
         }
-        nnz_series
+        series
     });
 
-    println!("round | nnz(A-window) | nnz(C maintained)");
-    for (i, (a, c)) in dynamic.results[0].iter().enumerate() {
-        println!("{i:>5} | {a:>13} | {c:>16}");
+    println!("round | nnz(A-window) | nnz(C) | triangles | hottest candidate | deg(0)");
+    for (i, (a, c, t, hot, d0)) in sim.results[0].iter().enumerate() {
+        let hot = hot
+            .map(|(u, v, s)| format!("({u},{v})={s}"))
+            .unwrap_or_else(|| "-".into());
+        println!("{i:>5} | {a:>13} | {c:>6} | {t:>9} | {hot:>17} | {d0:>6}");
     }
     // The window caps A's size: after warm-up it stays roughly flat.
-    let series = &dynamic.results[0];
+    let series = &sim.results[0];
     let warm = series[WINDOW - 1].0;
     let last = series.last().unwrap().0;
     assert!(
         last < warm * 2,
         "window should bound nnz(A): warm {warm}, last {last}"
     );
+    // All ranks serve identical view values.
+    assert!(sim.results.iter().all(|s| s == series));
     println!(
         "\ndynamic maintenance communication: {}",
-        format_bytes(dynamic.stats.total_bytes())
+        format_bytes(sim.stats.total_bytes())
     );
-    println!("{}", dynamic.stats);
+    println!("{}", sim.stats);
 }

@@ -1,40 +1,27 @@
 //! Dynamic triangle counting — the classic algebraic-graph use of SpGEMM
-//! (the paper's intro cites triangle counting as a motivating application).
+//! (the paper's intro cites triangle counting as a motivating application),
+//! served through the analytics layer.
 //!
-//! Triangles through maintained products: keep `C = A · A` fresh under edge
-//! insertions with the *dynamic* algebraic algorithm, then
-//! `#triangles = (Σ_{(u,v) ∈ A} c_{u,v}) / 6` for an undirected simple
-//! graph (each triangle is counted once per directed edge pair).
+//! An [`AnalyticsSession`] owns the adjacency matrix and keeps `C = A·A`
+//! maintained with the shared-operand dynamic algorithm; a registered
+//! [`TriangleCountView`] turns the shared per-batch product delta into an
+//! incrementally maintained count (`#triangles = (Σ_{(u,v) ∈ A} c_{u,v})/6`
+//! for an undirected simple graph), and the session's query API answers
+//! point lookups and per-row top-k straight from the maintained product.
 //!
 //! ```sh
 //! cargo run --release --example triangle_counting
 //! ```
 
-use dspgemm::core::{dyn_algebraic::apply_algebraic_updates, summa::summa, DistMat, Grid};
+use dspgemm::analytics::{AnalyticsSession, TriangleCountView};
 use dspgemm::graph::{er, symmetrize};
 use dspgemm::sparse::semiring::U64Plus;
-use dspgemm::sparse::{RowScan, Triple};
-use dspgemm::util::stats::PhaseTimer;
-
-/// Counts triangles from the maintained product: sum of `C ∘ A` (elementwise
-/// product over A's pattern), allreduced, divided by 6.
-fn triangles(grid: &Grid, a: &DistMat<u64>, c: &DistMat<u64>) -> u64 {
-    let mut local = 0u64;
-    a.block().scan_rows(|r, cols, _| {
-        for &cc in cols {
-            local += c.block().get(r, cc).unwrap_or(0);
-        }
-    });
-    grid.world().allreduce(local, |x, y| x + y) / 6
-}
+use dspgemm::sparse::Triple;
 
 fn main() {
     let p = 4;
     let n: u32 = 600;
     let sim = dspgemm_mpi::run(p, |comm| {
-        let grid = Grid::new(comm);
-        let mut timer = PhaseTimer::new();
-
         // Start with a sparse random graph; keep it simple (no loops, no
         // multi-edges — A must stay 0/1-valued for exact counting, and the
         // algebraic path *adds*, so rank 0 filters already-present edges).
@@ -48,12 +35,15 @@ fn main() {
         } else {
             vec![]
         };
-        let mut a = DistMat::from_global_triples(&grid, n, n, triples, 1, &mut timer);
-        let mut a2 = a.clone(); // the second operand is the same matrix
-        let (mut c, _) = summa::<U64Plus>(&grid, &a, &a2, 1, &mut timer);
-        let mut counts = vec![triangles(&grid, &a, &c)];
 
-        // Insert undirected edge batches dynamically; each batch patches C.
+        let mut session = AnalyticsSession::<U64Plus>::from_triples(comm, n, 1, triples);
+        let tri = session.register(Box::new(TriangleCountView::new()));
+        let count =
+            |s: &AnalyticsSession<U64Plus>| s.view_as::<TriangleCountView>(tri).unwrap().count();
+        let mut counts = vec![count(&session)];
+
+        // Insert undirected edge batches dynamically; each batch patches C
+        // once and the view refreshes from the shared delta.
         for round in 0..4u64 {
             let new_edges = symmetrize(&er::generate(n, 150, 100 + round));
             let batch: Vec<Triple<u64>> = if comm.rank() == 0 {
@@ -65,26 +55,34 @@ fn main() {
             } else {
                 vec![]
             };
-            // A and A² share updates: C' = (A+A*)(A+A*) handled by Eq. 1.
-            apply_algebraic_updates::<U64Plus>(
-                &grid,
-                &mut a,
-                &mut a2,
-                &mut c,
-                batch.clone(),
-                batch,
-                1,
-                &mut timer,
-            );
-            counts.push(triangles(&grid, &a, &c));
+            session.insert_edges(batch);
+            counts.push(count(&session));
         }
-        counts
+
+        // The query API serves straight from the maintained product.
+        let busiest = session.product_row_topk(0, 3, |&v| v as f64);
+        let c_01 = session.product_entry(0, 1);
+        let view = session.view_as::<TriangleCountView>(tri).unwrap();
+        (
+            counts,
+            busiest,
+            c_01,
+            view.incremental_refreshes,
+            view.full_refreshes,
+        )
     });
 
-    println!("dynamic triangle counts after each batch: {:?}", sim.results[0]);
-    // Monotone under pure insertions.
-    let counts = &sim.results[0];
+    let (counts, busiest, c_01, incr, full) = &sim.results[0];
+    println!("dynamic triangle counts after each batch: {counts:?}");
+    println!("top-3 of product row 0 (co-neighbor counts): {busiest:?}");
+    println!("point lookup c(0,1): {c_01:?}");
+    println!("view refreshes: {incr} incremental, {full} full rescans");
+    // Monotone under pure insertions; every refresh took the incremental path.
     assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(*incr, 4);
+    assert_eq!(*full, 0);
+    // All ranks agree (SPMD views).
+    assert!(sim.results.iter().all(|r| r.0 == *counts));
     println!(
         "communication: {}",
         dspgemm::util::stats::format_bytes(sim.stats.total_bytes())

@@ -5,6 +5,7 @@
 //! and the paper mapping, and the `dspgemm-core` crate for the primary
 //! contribution (distributed dynamic sparse matrices + dynamic SpGEMM).
 
+pub use dspgemm_analytics as analytics;
 pub use dspgemm_baselines as baselines;
 pub use dspgemm_core as core;
 pub use dspgemm_graph as graph;

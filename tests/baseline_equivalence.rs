@@ -3,7 +3,9 @@
 //! workloads — differences in the benchmarks are then attributable to
 //! architecture, not to semantics.
 
-use dspgemm::baselines::{combblas, combblas::CombBlasMatrix, ctf, ctf::CtfMatrix, petsc, petsc::PetscMatrix};
+use dspgemm::baselines::{
+    combblas, combblas::CombBlasMatrix, ctf, ctf::CtfMatrix, petsc, petsc::PetscMatrix,
+};
 use dspgemm::core::summa::summa;
 use dspgemm::core::{DistMat, Grid};
 use dspgemm::sparse::semiring::U64Plus;
@@ -62,8 +64,8 @@ fn all_systems_agree_on_construction() {
             .gather_to_root(&grid);
         let ct = CtfMatrix::construct::<U64Plus>(&grid, n, n, mine.clone(), &mut timer)
             .gather_to_root(&grid);
-        let pe = PetscMatrix::construct::<U64Plus>(comm, n, n, mine, &mut timer)
-            .gather_to_root(comm);
+        let pe =
+            PetscMatrix::construct::<U64Plus>(comm, n, n, mine, &mut timer).gather_to_root(comm);
         (ours, cb, ct, pe)
     });
     let (ours, cb, ct, pe) = &out.results[0];
@@ -130,8 +132,7 @@ fn fig9_protocol_dynamic_equals_competitor_fold() {
         } else {
             vec![]
         };
-        let mut b_ours =
-            DistMat::from_global_triples(&grid, n, n, b_feed.clone(), 1, &mut timer);
+        let mut b_ours = DistMat::from_global_triples(&grid, n, n, b_feed.clone(), 1, &mut timer);
         let mut a_ours: DistMat<u64> = DistMat::empty(&grid, n, n);
         let mut c_ours: DistMat<u64> = DistMat::empty(&grid, n, n);
         let b_cb = CombBlasMatrix::construct::<U64Plus>(&grid, n, n, b_feed, &mut timer);
@@ -148,8 +149,7 @@ fn fig9_protocol_dynamic_equals_competitor_fold() {
                 1,
                 &mut timer,
             );
-            let a_star =
-                CombBlasMatrix::construct::<U64Plus>(&grid, n, n, batch, &mut timer);
+            let a_star = CombBlasMatrix::construct::<U64Plus>(&grid, n, n, batch, &mut timer);
             let (delta, _) = combblas::spgemm::<U64Plus>(&grid, &a_star, &b_cb, 1, &mut timer);
             c_cb.merge_add_local::<U64Plus>(&delta);
         }

@@ -48,13 +48,28 @@ fn dynamic_update_volume_beats_static_recompute() {
     let dynamic = dspgemm_mpi::run(4, move |comm| {
         let grid = Grid::new(comm);
         let mut timer = PhaseTimer::new();
-        let feed = if comm.rank() == 0 { triples.clone() } else { vec![] };
+        let feed = if comm.rank() == 0 {
+            triples.clone()
+        } else {
+            vec![]
+        };
         let mut a = DistMat::from_global_triples(&grid, n, n, feed.clone(), 1, &mut timer);
         let mut b = DistMat::from_global_triples(&grid, n, n, feed, 1, &mut timer);
         let (mut c, _) = summa::<F64Plus>(&grid, &a, &b, 1, &mut timer);
-        let ups = if comm.rank() == 0 { batch.clone() } else { vec![] };
+        let ups = if comm.rank() == 0 {
+            batch.clone()
+        } else {
+            vec![]
+        };
         apply_algebraic_updates::<F64Plus>(
-            &grid, &mut a, &mut b, &mut c, ups, vec![], 1, &mut timer,
+            &grid,
+            &mut a,
+            &mut b,
+            &mut c,
+            ups,
+            vec![],
+            1,
+            &mut timer,
         );
         c.local_nnz()
     });
@@ -62,11 +77,19 @@ fn dynamic_update_volume_beats_static_recompute() {
     let static_rerun = dspgemm_mpi::run(4, move |comm| {
         let grid = Grid::new(comm);
         let mut timer = PhaseTimer::new();
-        let feed = if comm.rank() == 0 { triples2.clone() } else { vec![] };
+        let feed = if comm.rank() == 0 {
+            triples2.clone()
+        } else {
+            vec![]
+        };
         let mut a = DistMat::from_global_triples(&grid, n, n, feed.clone(), 1, &mut timer);
         let b = DistMat::from_global_triples(&grid, n, n, feed, 1, &mut timer);
         let (_, _) = summa::<F64Plus>(&grid, &a, &b, 1, &mut timer);
-        let ups = if comm.rank() == 0 { batch2.clone() } else { vec![] };
+        let ups = if comm.rank() == 0 {
+            batch2.clone()
+        } else {
+            vec![]
+        };
         let upd = build_update_matrix::<F64Plus>(&grid, n, n, ups, Dedup::Add, &mut timer);
         apply_add::<F64Plus>(&mut a, &upd, 1);
         let (c2, _) = summa::<F64Plus>(&grid, &a, &b, 1, &mut timer);
@@ -92,7 +115,11 @@ fn bcast_volume_scales_with_batch_not_operands() {
             move |comm| {
                 let grid = Grid::new(comm);
                 let mut timer = PhaseTimer::new();
-                let feed = if comm.rank() == 0 { triples.clone() } else { vec![] };
+                let feed = if comm.rank() == 0 {
+                    triples.clone()
+                } else {
+                    vec![]
+                };
                 let a = DistMat::from_global_triples(&grid, n, n, feed.clone(), 1, &mut timer);
                 let b = DistMat::from_global_triples(&grid, n, n, feed, 1, &mut timer);
                 let (c, _) = summa::<F64Plus>(&grid, &a, &b, 1, &mut timer);
@@ -102,7 +129,11 @@ fn bcast_volume_scales_with_batch_not_operands() {
         let full = dspgemm_mpi::run(4, move |comm| {
             let grid = Grid::new(comm);
             let mut timer = PhaseTimer::new();
-            let feed = if comm.rank() == 0 { triples.clone() } else { vec![] };
+            let feed = if comm.rank() == 0 {
+                triples.clone()
+            } else {
+                vec![]
+            };
             let mut a = DistMat::from_global_triples(&grid, n, n, feed.clone(), 1, &mut timer);
             let mut b = DistMat::from_global_triples(&grid, n, n, feed.clone(), 1, &mut timer);
             let (mut c, _) = summa::<F64Plus>(&grid, &a, &b, 1, &mut timer);
@@ -112,7 +143,14 @@ fn bcast_volume_scales_with_batch_not_operands() {
                 vec![]
             };
             apply_algebraic_updates::<F64Plus>(
-                &grid, &mut a, &mut b, &mut c, ups, vec![], 1, &mut timer,
+                &grid,
+                &mut a,
+                &mut b,
+                &mut c,
+                ups,
+                vec![],
+                1,
+                &mut timer,
             );
             c.local_nnz()
         });
@@ -124,5 +162,8 @@ fn bcast_volume_scales_with_batch_not_operands() {
     let big = volume_for_batch(512);
     // Bcast delta grows with the batch (update-driven), but both stay tiny
     // relative to broadcasting the operands like SUMMA would.
-    assert!(big > small, "bcast volume must grow with batch: {small} vs {big}");
+    assert!(
+        big > small,
+        "bcast volume must grow with batch: {small} vs {big}"
+    );
 }

@@ -52,25 +52,18 @@ where
         let b = DistMat::from_global_triples(&grid, n, n, b_t, 2, &mut timer);
         let mut eng = DynSpGemm::<S>::new(&grid, a, b, 2, false);
         for round in 0..3u64 {
-            let a_ups = random_triples::<S, _>(
-                seed + 10 + round * 3 + comm.rank() as u64,
-                n,
-                10,
-                |rng| value(rng),
-            );
-            let b_ups = random_triples::<S, _>(
-                seed + 50 + round * 3 + comm.rank() as u64,
-                n,
-                10,
-                |rng| value(rng),
-            );
+            let a_ups =
+                random_triples::<S, _>(seed + 10 + round * 3 + comm.rank() as u64, n, 10, |rng| {
+                    value(rng)
+                });
+            let b_ups =
+                random_triples::<S, _>(seed + 50 + round * 3 + comm.rank() as u64, n, 10, |rng| {
+                    value(rng)
+                });
             eng.apply_algebraic(&grid, a_ups, b_ups);
         }
         let (c_static, _) = summa::<S>(&grid, &eng.a, &eng.b, 2, &mut timer);
-        (
-            eng.c.gather_to_root(comm),
-            c_static.gather_to_root(comm),
-        )
+        (eng.c.gather_to_root(comm), c_static.gather_to_root(comm))
     });
     let (c_dyn, c_static) = &out.results[0];
     let dd = Dense::from_triples::<S>(n, n, c_dyn.as_ref().unwrap());
