@@ -19,6 +19,7 @@ use dspgemm_sparse::masked_mm::{masked_spgemm_bloom, MaskSet};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Csr, Dcsr};
 use dspgemm_util::stats::PhaseTimer;
+use std::sync::Arc;
 
 /// Computes this rank's masked product block `(A · B) ∘ mask` with fused
 /// Bloom tracking; entries carry `(value, bits)`. `mask` uses block-local
@@ -39,23 +40,35 @@ pub fn masked_product<S: Semiring>(
     );
     let q = grid.q();
     let (i, j) = grid.coords();
-    let a_local: Csr<S::Elem> = a.block_csr();
-    let b_local: Csr<S::Elem> = b.block_csr();
+    let a_local: Arc<Csr<S::Elem>> = a.block_csr_shared();
+    let b_local: Arc<Csr<S::Elem>> = b.block_csr_shared();
     let mut acc: Option<Dcsr<(S::Elem, u64)>> = None;
     let mut flops = 0u64;
     let combine = |x: (S::Elem, u64), y: (S::Elem, u64)| (S::add(x.0, y.0), x.1 | y.1);
     for k in 0..q {
-        let a_blk: Csr<S::Elem> = timer.time(phase::BCAST, || {
-            grid.row_comm()
-                .bcast(k, if j == k { Some(a_local.clone()) } else { None })
+        let a_blk: Arc<Csr<S::Elem>> = timer.time(phase::BCAST, || {
+            grid.row_comm().bcast_shared(
+                k,
+                if j == k {
+                    Some(Arc::clone(&a_local))
+                } else {
+                    None
+                },
+            )
         });
-        let b_blk: Csr<S::Elem> = timer.time(phase::BCAST, || {
-            grid.col_comm()
-                .bcast(k, if i == k { Some(b_local.clone()) } else { None })
+        let b_blk: Arc<Csr<S::Elem>> = timer.time(phase::BCAST, || {
+            grid.col_comm().bcast_shared(
+                k,
+                if i == k {
+                    Some(Arc::clone(&b_local))
+                } else {
+                    None
+                },
+            )
         });
         let k_offset = block_range(a.info().ncols, q, k).start;
         let part = timer.time(phase::LOCAL_MULT, || {
-            masked_spgemm_bloom::<S, _, _>(&a_blk, &b_blk, mask, k_offset, threads)
+            masked_spgemm_bloom::<S, _, _>(&*a_blk, &*b_blk, mask, k_offset, threads)
         });
         flops += part.flops;
         acc = Some(match acc {

@@ -7,11 +7,13 @@
 //! | [`updates`] | Fig. 4 (insertions), Fig. 5a/5b (updates/deletions), Fig. 6/7 (weak scaling + breakdown), Fig. 8a/8b (R-MAT scaling) |
 //! | [`spgemm`] | Fig. 9 (algebraic), Fig. 10 (general), Fig. 11/12 (scaling + breakdown) |
 //! | [`ablations`] | §IV-B redistribution claim, §V-A aggregation claim, §V-B Bloom claim |
+//! | [`copy_elim`] | zero-copy collective payloads + flat-buffer local SpGEMM (transport-cost ablation; beyond the paper) |
 //! | [`analytics`] | maintained-view serving vs. static recomputation (the `dspgemm-analytics` layer; beyond the paper) |
 
 pub mod ablations;
 pub mod analytics;
 pub mod construction;
+pub mod copy_elim;
 pub mod spgemm;
 pub mod table1;
 pub mod updates;

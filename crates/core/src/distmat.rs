@@ -14,6 +14,7 @@ use dspgemm_sparse::{Csr, Dcsr, DhbMatrix, Index, Triple};
 use dspgemm_util::stats::PhaseTimer;
 use dspgemm_util::WireSize;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Bound alias for distributable element types.
 pub trait Elem: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 'static {}
@@ -196,6 +197,14 @@ impl<V: Elem> DistMat<V> {
         self.block.to_csr()
     }
 
+    /// Shared snapshot of the local block as a CSR, ready for the zero-copy
+    /// broadcast rounds: the conversion allocates once, then every round
+    /// moves the same `Arc` (one refcount increment per receiver instead of
+    /// a deep clone per round).
+    pub fn block_csr_shared(&self) -> Arc<Csr<V>> {
+        Arc::new(self.block.to_csr())
+    }
+
     /// Snapshot of the local block as a DCSR.
     pub fn block_dcsr(&self) -> Dcsr<V> {
         self.block.to_dcsr()
@@ -257,17 +266,22 @@ impl<V: Elem> DistMat<V> {
 
 /// A distributed hypersparse matrix: DCSR blocks on the grid. This is the
 /// type of update matrices `A*`, `B*` after redistribution.
+///
+/// The block is held in an `Arc`: update matrices are immutable after
+/// redistribution, and Algorithm 1/2 feed them to transpose exchanges and
+/// broadcast rounds — [`DistDcsr::block_shared`] hands those collectives the
+/// payload without a deep clone.
 #[derive(Debug, Clone)]
 pub struct DistDcsr<V> {
     info: BlockInfo,
-    block: Dcsr<V>,
+    block: Arc<Dcsr<V>>,
 }
 
 impl<V: Elem> DistDcsr<V> {
     /// An empty distributed DCSR.
     pub fn empty(grid: &Grid, nrows: Index, ncols: Index) -> Self {
         let info = BlockInfo::for_rank(grid, nrows, ncols);
-        let block = Dcsr::empty(info.local_rows(), info.local_cols());
+        let block = Arc::new(Dcsr::empty(info.local_rows(), info.local_cols()));
         Self { info, block }
     }
 
@@ -276,7 +290,10 @@ impl<V: Elem> DistDcsr<V> {
         let info = BlockInfo::for_rank(grid, nrows, ncols);
         assert_eq!(block.nrows(), info.local_rows(), "block shape mismatch");
         assert_eq!(block.ncols(), info.local_cols(), "block shape mismatch");
-        Self { info, block }
+        Self {
+            info,
+            block: Arc::new(block),
+        }
     }
 
     /// Block placement info.
@@ -289,6 +306,13 @@ impl<V: Elem> DistDcsr<V> {
     #[inline]
     pub fn block(&self) -> &Dcsr<V> {
         &self.block
+    }
+
+    /// The local block as a shared handle for the zero-copy collectives —
+    /// a refcount increment, never a copy of the block.
+    #[inline]
+    pub fn block_shared(&self) -> Arc<Dcsr<V>> {
+        Arc::clone(&self.block)
     }
 
     /// Local non-zero count.

@@ -37,6 +37,7 @@ use dspgemm_sparse::local_mm::{spgemm, spgemm_bloom, spgemm_pattern, MmOutput};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Dcsr, DhbMatrix, Index, RowScan, Triple};
 use dspgemm_util::stats::PhaseTimer;
+use std::sync::Arc;
 
 /// The local multiply/merge flavor plugged into the round structure.
 pub trait XYKernel<S: Semiring>: 'static {
@@ -189,31 +190,33 @@ pub fn compute_cstar<S: Semiring, K: XYKernel<S>>(
         (both[0], both[1])
     };
 
-    // Step 1: transpose exchange — A*_{i,j} to (j,i); likewise B*.
+    // Step 1: transpose exchange — A*_{i,j} to (j,i); likewise B*. Blocks
+    // travel as shared handles: the exchange and the later broadcast rounds
+    // never copy the payload.
     const TAG_AT: u64 = 101;
     const TAG_BT: u64 = 102;
     let peer = grid.transpose_rank();
-    let at_blk: Option<Dcsr<S::Elem>> = timer.time(phase::SEND_RECV, || {
+    let at_blk: Option<Arc<Dcsr<S::Elem>>> = timer.time(phase::SEND_RECV, || {
         if a_star_nnz == 0 {
             None
         } else if peer == grid.world().rank() {
-            Some(a_star.block().clone())
+            Some(a_star.block_shared())
         } else {
             Some(
                 grid.world()
-                    .sendrecv(peer, a_star.block().clone(), peer, TAG_AT),
+                    .sendrecv_shared(peer, a_star.block_shared(), peer, TAG_AT),
             )
         }
     });
-    let bt_blk: Option<Dcsr<S::Elem>> = timer.time(phase::SEND_RECV, || {
+    let bt_blk: Option<Arc<Dcsr<S::Elem>>> = timer.time(phase::SEND_RECV, || {
         if b_star_nnz == 0 {
             None
         } else if peer == grid.world().rank() {
-            Some(b_star.block().clone())
+            Some(b_star.block_shared())
         } else {
             Some(
                 grid.world()
-                    .sendrecv(peer, b_star.block().clone(), peer, TAG_BT),
+                    .sendrecv_shared(peer, b_star.block_shared(), peer, TAG_BT),
             )
         }
     });
@@ -227,9 +230,9 @@ pub fn compute_cstar<S: Semiring, K: XYKernel<S>>(
         // the transpose exchange is (i,k), i.e. row-comm member k),
         // multiply into B', reduce onto (k,j) via column j.
         if let Some(at) = &at_blk {
-            let a_bcast: Dcsr<S::Elem> = timer.time(phase::BCAST, || {
+            let a_bcast: Arc<Dcsr<S::Elem>> = timer.time(phase::BCAST, || {
                 grid.row_comm()
-                    .bcast(k, if j == k { Some(at.clone()) } else { None })
+                    .bcast_shared(k, if j == k { Some(Arc::clone(at)) } else { None })
             });
             let x_part = timer.time(phase::LOCAL_MULT, || {
                 K::mul_x(
@@ -252,9 +255,9 @@ pub fn compute_cstar<S: Semiring, K: XYKernel<S>>(
         // Y pass: broadcast B*_{j,k} over process column j (holder (k,j) =
         // col-comm member k), multiply from A, reduce onto (i,k) via row i.
         if let Some(bt) = &bt_blk {
-            let b_bcast: Dcsr<S::Elem> = timer.time(phase::BCAST, || {
+            let b_bcast: Arc<Dcsr<S::Elem>> = timer.time(phase::BCAST, || {
                 grid.col_comm()
-                    .bcast(k, if i == k { Some(bt.clone()) } else { None })
+                    .bcast_shared(k, if i == k { Some(Arc::clone(bt)) } else { None })
             });
             let y_part = timer.time(phase::LOCAL_MULT, || {
                 K::mul_y(
@@ -335,12 +338,12 @@ pub fn compute_cstar_shared<S: Semiring, K: XYKernel<S>>(
     // block, exactly as in Algorithm 1.
     const TAG_SHARED: u64 = 104;
     let peer = grid.transpose_rank();
-    let star_t: Dcsr<S::Elem> = timer.time(phase::SEND_RECV, || {
+    let star_t: Arc<Dcsr<S::Elem>> = timer.time(phase::SEND_RECV, || {
         if peer == grid.world().rank() {
-            star.block().clone()
+            star.block_shared()
         } else {
             grid.world()
-                .sendrecv(peer, star.block().clone(), peer, TAG_SHARED)
+                .sendrecv_shared(peer, star.block_shared(), peer, TAG_SHARED)
         }
     });
 
@@ -349,9 +352,15 @@ pub fn compute_cstar_shared<S: Semiring, K: XYKernel<S>>(
     // Y pass against the old A.
     let mut y_mine: Option<Dcsr<K::Out>> = None;
     for k in 0..q {
-        let b_bcast: Dcsr<S::Elem> = timer.time(phase::BCAST, || {
-            grid.col_comm()
-                .bcast(k, if i == k { Some(star_t.clone()) } else { None })
+        let b_bcast: Arc<Dcsr<S::Elem>> = timer.time(phase::BCAST, || {
+            grid.col_comm().bcast_shared(
+                k,
+                if i == k {
+                    Some(Arc::clone(&star_t))
+                } else {
+                    None
+                },
+            )
         });
         let y_part = timer.time(phase::LOCAL_MULT, || {
             K::mul_y(a.block(), &b_bcast, block_range(inner, q, j).start, threads)
@@ -373,9 +382,15 @@ pub fn compute_cstar_shared<S: Semiring, K: XYKernel<S>>(
     // X pass against the new A'.
     let mut x_mine: Option<Dcsr<K::Out>> = None;
     for k in 0..q {
-        let a_bcast: Dcsr<S::Elem> = timer.time(phase::BCAST, || {
-            grid.row_comm()
-                .bcast(k, if j == k { Some(star_t.clone()) } else { None })
+        let a_bcast: Arc<Dcsr<S::Elem>> = timer.time(phase::BCAST, || {
+            grid.row_comm().bcast_shared(
+                k,
+                if j == k {
+                    Some(Arc::clone(&star_t))
+                } else {
+                    None
+                },
+            )
         });
         let x_part = timer.time(phase::LOCAL_MULT, || {
             K::mul_x(&a_bcast, a.block(), block_range(inner, q, i).start, threads)

@@ -32,6 +32,7 @@ use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Dcsr, Index, RowScan, Triple};
 use dspgemm_util::hash::FxHashMap;
 use dspgemm_util::stats::PhaseTimer;
+use std::sync::Arc;
 
 /// A batch of general updates with global indices: value writes (`sets`)
 /// and structural deletions (`deletes`).
@@ -157,7 +158,7 @@ pub fn apply_general_updates<S: Semiring>(
     // --- E = (F ⊕ F*) masked at C*; R = row-wise OR, allreduced over the
     // process row. ---
     let local_rows = a.info().local_rows();
-    let filter: Vec<u64> = timer.time(phase::REDUCE_SCATTER, || {
+    let filter: Arc<Vec<u64>> = timer.time(phase::REDUCE_SCATTER, || {
         let mut e = Dcsr::empty(cstar.nrows(), cstar.ncols());
         cstar.scan_rows(|r, cols, vals| {
             let mut e_cols: Vec<Index> = Vec::with_capacity(cols.len());
@@ -170,43 +171,56 @@ pub fn apply_general_updates<S: Semiring>(
             e.push_row(r, &e_cols, &e_vals);
         });
         let local_r = row_or_reduce(&e, local_rows);
-        grid.row_comm().allreduce(local_r, |mut x, y| {
+        // Vector allreduce = reduce + zero-copy broadcast-back (the filter
+        // segment is a real payload, unlike the scalar control allreduces).
+        let reduced = grid.row_comm().reduce(0, local_r, |mut x, y| {
             dspgemm_sparse::bloom::or_assign(&mut x, &y);
             x
-        })
+        });
+        grid.row_comm().bcast_shared(0, reduced.map(Arc::new))
     });
 
     // --- A^R: filtered extraction of A' (rows with r_i ≠ 0, Bloom-selected
     // columns). ---
-    let a_r: Dcsr<S::Elem> = timer.time(phase::LOCAL_MULT, || {
-        extract_filtered(a.block(), &filter, a.info().col_range.start)
+    let a_r: Arc<Dcsr<S::Elem>> = timer.time(phase::LOCAL_MULT, || {
+        Arc::new(extract_filtered(
+            a.block(),
+            &filter,
+            a.info().col_range.start,
+        ))
     });
 
     // --- Transpose exchange of A^R (enables parallel row broadcasts). ---
     const TAG_AR: u64 = 103;
     let peer = grid.transpose_rank();
-    let ar_t: Dcsr<S::Elem> = timer.time(phase::SEND_RECV, || {
+    let ar_t: Arc<Dcsr<S::Elem>> = timer.time(phase::SEND_RECV, || {
         if peer == grid.world().rank() {
-            a_r.clone()
+            a_r
         } else {
-            grid.world().sendrecv(peer, a_r.clone(), peer, TAG_AR)
+            grid.world().sendrecv_shared(peer, a_r, peer, TAG_AR)
         }
     });
 
     // --- √p rounds: bcast A^R over rows, C* over columns, masked multiply,
     // merge-reduce Z/H onto owners. ---
-    let cstar_structure: Dcsr<()> = cstar.map(|_| ());
+    let cstar_structure: Arc<Dcsr<()>> = Arc::new(cstar.map(|_| ()));
     let mut z_mine: Option<Dcsr<(S::Elem, u64)>> = None;
     for k in 0..q {
-        let ar_bcast: Dcsr<S::Elem> = timer.time(phase::BCAST, || {
-            grid.row_comm()
-                .bcast(k, if j == k { Some(ar_t.clone()) } else { None })
+        let ar_bcast: Arc<Dcsr<S::Elem>> = timer.time(phase::BCAST, || {
+            grid.row_comm().bcast_shared(
+                k,
+                if j == k {
+                    Some(Arc::clone(&ar_t))
+                } else {
+                    None
+                },
+            )
         });
-        let cstar_bcast: Dcsr<()> = timer.time(phase::BCAST, || {
-            grid.col_comm().bcast(
+        let cstar_bcast: Arc<Dcsr<()>> = timer.time(phase::BCAST, || {
+            grid.col_comm().bcast_shared(
                 k,
                 if i == k {
-                    Some(cstar_structure.clone())
+                    Some(Arc::clone(&cstar_structure))
                 } else {
                     None
                 },
@@ -218,7 +232,7 @@ pub fn apply_general_updates<S: Semiring>(
             let mask = MaskSet::from_pattern(&cstar_bcast);
             let len = mask.len();
             let out = masked_spgemm_bloom::<S, _, _>(
-                &ar_bcast,
+                &*ar_bcast,
                 b.block(),
                 &mask,
                 block_range(inner, q, i).start,
@@ -310,7 +324,7 @@ pub fn apply_shared_general_prebuilt<S: Semiring>(
 
     // --- E = (F ⊕ F*) masked at C*; R = row-wise OR over the process row. ---
     let local_rows = a.info().local_rows();
-    let filter: Vec<u64> = timer.time(phase::REDUCE_SCATTER, || {
+    let filter: Arc<Vec<u64>> = timer.time(phase::REDUCE_SCATTER, || {
         let mut e = Dcsr::empty(cstar.nrows(), cstar.ncols());
         cstar.scan_rows(|r, cols, vals| {
             let mut e_cols: Vec<Index> = Vec::with_capacity(cols.len());
@@ -323,43 +337,53 @@ pub fn apply_shared_general_prebuilt<S: Semiring>(
             e.push_row(r, &e_cols, &e_vals);
         });
         let local_r = row_or_reduce(&e, local_rows);
-        grid.row_comm().allreduce(local_r, |mut x, y| {
+        let reduced = grid.row_comm().reduce(0, local_r, |mut x, y| {
             dspgemm_sparse::bloom::or_assign(&mut x, &y);
             x
-        })
+        });
+        grid.row_comm().bcast_shared(0, reduced.map(Arc::new))
     });
 
     // --- A^R: filtered extraction of the already-updated A'. ---
-    let a_r: Dcsr<S::Elem> = timer.time(phase::LOCAL_MULT, || {
-        extract_filtered(a.block(), &filter, a.info().col_range.start)
+    let a_r: Arc<Dcsr<S::Elem>> = timer.time(phase::LOCAL_MULT, || {
+        Arc::new(extract_filtered(
+            a.block(),
+            &filter,
+            a.info().col_range.start,
+        ))
     });
 
     // --- Transpose exchange of A^R. ---
     const TAG_AR_SHARED: u64 = 106;
     let peer = grid.transpose_rank();
-    let ar_t: Dcsr<S::Elem> = timer.time(phase::SEND_RECV, || {
+    let ar_t: Arc<Dcsr<S::Elem>> = timer.time(phase::SEND_RECV, || {
         if peer == grid.world().rank() {
-            a_r.clone()
+            a_r
         } else {
-            grid.world()
-                .sendrecv(peer, a_r.clone(), peer, TAG_AR_SHARED)
+            grid.world().sendrecv_shared(peer, a_r, peer, TAG_AR_SHARED)
         }
     });
 
     // --- √p rounds: bcast A^R over rows, C* over columns, masked multiply
     // against A' itself, merge-reduce Z/H onto owners. ---
-    let cstar_structure: Dcsr<()> = cstar.map(|_| ());
+    let cstar_structure: Arc<Dcsr<()>> = Arc::new(cstar.map(|_| ()));
     let mut z_mine: Option<Dcsr<(S::Elem, u64)>> = None;
     for k in 0..q {
-        let ar_bcast: Dcsr<S::Elem> = timer.time(phase::BCAST, || {
-            grid.row_comm()
-                .bcast(k, if j == k { Some(ar_t.clone()) } else { None })
+        let ar_bcast: Arc<Dcsr<S::Elem>> = timer.time(phase::BCAST, || {
+            grid.row_comm().bcast_shared(
+                k,
+                if j == k {
+                    Some(Arc::clone(&ar_t))
+                } else {
+                    None
+                },
+            )
         });
-        let cstar_bcast: Dcsr<()> = timer.time(phase::BCAST, || {
-            grid.col_comm().bcast(
+        let cstar_bcast: Arc<Dcsr<()>> = timer.time(phase::BCAST, || {
+            grid.col_comm().bcast_shared(
                 k,
                 if i == k {
-                    Some(cstar_structure.clone())
+                    Some(Arc::clone(&cstar_structure))
                 } else {
                     None
                 },
@@ -368,7 +392,7 @@ pub fn apply_shared_general_prebuilt<S: Semiring>(
         let z_part = timer.time(phase::LOCAL_MULT, || {
             let mask = MaskSet::from_pattern(&cstar_bcast);
             masked_spgemm_bloom::<S, _, _>(
-                &ar_bcast,
+                &*ar_bcast,
                 a.block(),
                 &mask,
                 block_range(inner, q, i).start,

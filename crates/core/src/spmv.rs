@@ -30,6 +30,7 @@ use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Index, RowScan};
 use dspgemm_util::par::parallel_map_ranges;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Which grid axis a [`DistVec`]'s segment follows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,11 +44,17 @@ pub enum Align {
 }
 
 /// A dense vector distributed conformally with the 2D block distribution.
+///
+/// The segment is held in an `Arc`: SpMV's aggregation broadcast and the
+/// transpose re-alignment move it zero-copy through the shared collectives,
+/// and cloning a `DistVec` (views snapshotting their result) is a refcount
+/// increment. Local mutation goes through copy-on-write
+/// ([`Arc::make_mut`]), which never copies while the segment is unshared.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistVec<V> {
     n: Index,
     align: Align,
-    seg: Vec<V>,
+    seg: Arc<Vec<V>>,
 }
 
 impl<V: Elem> DistVec<V> {
@@ -61,7 +68,7 @@ impl<V: Elem> DistVec<V> {
         Self {
             n,
             align: Align::Col,
-            seg: range.map(&mut f).collect(),
+            seg: Arc::new(range.map(&mut f).collect()),
         }
     }
 
@@ -76,9 +83,10 @@ impl<V: Elem> DistVec<V> {
     pub fn from_entries(grid: &Grid, n: Index, entries: &[(Index, V)], zero: V) -> Self {
         let mut v = Self::constant(grid, n, zero);
         let range = v.range(grid);
+        let seg = Arc::make_mut(&mut v.seg);
         for &(idx, val) in entries {
             if range.contains(&idx) {
-                v.seg[(idx - range.start) as usize] = val;
+                seg[(idx - range.start) as usize] = val;
             }
         }
         v
@@ -132,7 +140,7 @@ impl<V: Elem> DistVec<V> {
         let seg = if peer == grid.world().rank() {
             self.seg
         } else {
-            grid.world().sendrecv(peer, self.seg, peer, TAG_VEC)
+            grid.world().sendrecv_shared(peer, self.seg, peer, TAG_VEC)
         };
         Self {
             n: self.n,
@@ -151,10 +159,13 @@ impl<V: Elem> DistVec<V> {
             Align::Col => grid.row_comm(),
             Align::Row => grid.col_comm(),
         };
-        comm.allgather(self.seg.clone())
-            .into_iter()
-            .flatten()
-            .collect()
+        // The ring forwards `Arc` handles — no segment is ever deep-cloned.
+        let parts = comm.allgather(Arc::clone(&self.seg));
+        let mut out = Vec::with_capacity(self.n as usize);
+        for part in parts {
+            out.extend_from_slice(&part);
+        }
+        out
     }
 }
 
@@ -194,13 +205,17 @@ pub fn spmv<S: Semiring>(
         y_part.extend(part);
     }
 
-    // Aggregate partials across the grid row (the k-sum of y_i = Σ_j A_ij x_j).
-    let seg = grid.row_comm().allreduce(y_part, |mut acc, other| {
+    // Aggregate partials across the grid row (the k-sum of y_i = Σ_j A_ij x_j):
+    // a merge-reduce onto row-comm rank 0 followed by a zero-copy broadcast
+    // of the combined segment — same rounds and wire bytes as an allreduce,
+    // but the result vector is never deep-cloned on its way back out.
+    let reduced = grid.row_comm().reduce(0, y_part, |mut acc, other| {
         for (a_el, b_el) in acc.iter_mut().zip(other) {
             *a_el = S::add(*a_el, b_el);
         }
         acc
     });
+    let seg = grid.row_comm().bcast_shared(0, reduced.map(Arc::new));
     (
         DistVec {
             n: a.info().nrows,

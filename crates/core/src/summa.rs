@@ -20,6 +20,7 @@ use dspgemm_sparse::local_mm::{spgemm, spgemm_bloom};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Csr, RowScan};
 use dspgemm_util::stats::PhaseTimer;
+use std::sync::Arc;
 
 /// Computes `C = A · B` with sparse SUMMA. Collective over the grid.
 ///
@@ -40,20 +41,34 @@ pub fn summa<S: Semiring>(
     let q = grid.q();
     let (i, j) = grid.coords();
     let mut c = DistMat::empty(grid, a.info().nrows, b.info().ncols);
-    let a_local: Csr<S::Elem> = a.block_csr();
-    let b_local: Csr<S::Elem> = b.block_csr();
+    // One CSR snapshot per operand; the √p broadcast rounds then move only
+    // `Arc` handles — zero payload copies in-process, identical wire volume.
+    let a_local: Arc<Csr<S::Elem>> = a.block_csr_shared();
+    let b_local: Arc<Csr<S::Elem>> = b.block_csr_shared();
     let mut flops = 0u64;
     for k in 0..q {
-        let a_blk: Csr<S::Elem> = timer.time(phase::BCAST, || {
-            grid.row_comm()
-                .bcast(k, if j == k { Some(a_local.clone()) } else { None })
+        let a_blk: Arc<Csr<S::Elem>> = timer.time(phase::BCAST, || {
+            grid.row_comm().bcast_shared(
+                k,
+                if j == k {
+                    Some(Arc::clone(&a_local))
+                } else {
+                    None
+                },
+            )
         });
-        let b_blk: Csr<S::Elem> = timer.time(phase::BCAST, || {
-            grid.col_comm()
-                .bcast(k, if i == k { Some(b_local.clone()) } else { None })
+        let b_blk: Arc<Csr<S::Elem>> = timer.time(phase::BCAST, || {
+            grid.col_comm().bcast_shared(
+                k,
+                if i == k {
+                    Some(Arc::clone(&b_local))
+                } else {
+                    None
+                },
+            )
         });
         let partial = timer.time(phase::LOCAL_MULT, || {
-            spgemm::<S, _, _>(&a_blk, &b_blk, threads)
+            spgemm::<S, _, _>(&*a_blk, &*b_blk, threads)
         });
         flops += partial.flops;
         timer.time(phase::LOCAL_UPDATE, || {
@@ -87,22 +102,34 @@ pub fn summa_bloom<S: Semiring>(
     let (i, j) = grid.coords();
     let mut c = DistMat::empty(grid, a.info().nrows, b.info().ncols);
     let mut f = DistMat::empty(grid, a.info().nrows, b.info().ncols);
-    let a_local: Csr<S::Elem> = a.block_csr();
-    let b_local: Csr<S::Elem> = b.block_csr();
+    let a_local: Arc<Csr<S::Elem>> = a.block_csr_shared();
+    let b_local: Arc<Csr<S::Elem>> = b.block_csr_shared();
     let mut flops = 0u64;
     for k in 0..q {
-        let a_blk: Csr<S::Elem> = timer.time(phase::BCAST, || {
-            grid.row_comm()
-                .bcast(k, if j == k { Some(a_local.clone()) } else { None })
+        let a_blk: Arc<Csr<S::Elem>> = timer.time(phase::BCAST, || {
+            grid.row_comm().bcast_shared(
+                k,
+                if j == k {
+                    Some(Arc::clone(&a_local))
+                } else {
+                    None
+                },
+            )
         });
-        let b_blk: Csr<S::Elem> = timer.time(phase::BCAST, || {
-            grid.col_comm()
-                .bcast(k, if i == k { Some(b_local.clone()) } else { None })
+        let b_blk: Arc<Csr<S::Elem>> = timer.time(phase::BCAST, || {
+            grid.col_comm().bcast_shared(
+                k,
+                if i == k {
+                    Some(Arc::clone(&b_local))
+                } else {
+                    None
+                },
+            )
         });
         // Bloom bits index the *global* inner dimension.
         let k_offset = block_range(a.info().ncols, q, k).start;
         let partial = timer.time(phase::LOCAL_MULT, || {
-            spgemm_bloom::<S, _, _>(&a_blk, &b_blk, k_offset, threads)
+            spgemm_bloom::<S, _, _>(&*a_blk, &*b_blk, k_offset, threads)
         });
         flops += partial.flops;
         timer.time(phase::LOCAL_UPDATE, || {

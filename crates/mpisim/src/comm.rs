@@ -147,6 +147,21 @@ impl Comm {
         self.recv(src, tag)
     }
 
+    /// Zero-copy [`Comm::sendrecv`]: moves one `Arc` per direction instead
+    /// of a packed value, so the payload itself is never copied in-process.
+    /// The meter still charges the pointee's full packed size ([`WireSize`]
+    /// is transparent over `Arc`), so logical communication volume is
+    /// byte-identical to the clone-based path.
+    pub fn sendrecv_shared<T: Send + Sync + WireSize + 'static>(
+        &self,
+        dst: usize,
+        send_value: Arc<T>,
+        src: usize,
+        tag: u64,
+    ) -> Arc<T> {
+        self.sendrecv(dst, send_value, src, tag)
+    }
+
     // ------------------------------------------------------------------
     // Collectives
     // ------------------------------------------------------------------
@@ -174,12 +189,64 @@ impl Comm {
     /// Broadcasts a value from `root` to all ranks (binomial tree,
     /// `O(log p)` rounds). The root passes `Some(value)`, everyone else
     /// `None`; all ranks return the value.
+    ///
+    /// Each forward along the tree deep-clones the payload; the clones are
+    /// counted in the network's payload-clone meter (see
+    /// [`crate::SimOutput::payload_clones`]). Hot paths that broadcast
+    /// matrix blocks should use [`Comm::bcast_shared`] instead.
     pub fn bcast<T: Clone + Send + WireSize + 'static>(&self, root: usize, value: Option<T>) -> T {
+        self.bcast_impl(root, value, true)
+    }
+
+    fn bcast_impl<T: Clone + Send + WireSize + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+        count_clones: bool,
+    ) -> T {
+        self.bcast_tree(root, value, |v| {
+            if count_clones {
+                self.endpoint.borrow().record_payload_clone();
+            }
+            v.clone()
+        })
+    }
+
+    /// Zero-copy broadcast: identical binomial tree and metering to
+    /// [`Comm::bcast`], but the payload moves as one `Arc<T>` per receiver —
+    /// a reference-count increment instead of a deep clone. `T` needs no
+    /// `Clone` bound, which statically guarantees this collective cannot
+    /// copy the payload.
+    ///
+    /// The meter charges each tree edge the pointee's packed size, so the
+    /// recorded communication volume (the paper's Fig. 7/12 metric) is
+    /// byte-identical to the clone-based path; see `DESIGN.md` on what the
+    /// simulator meters versus what it moves.
+    pub fn bcast_shared<T: Send + Sync + WireSize + 'static>(
+        &self,
+        root: usize,
+        value: Option<Arc<T>>,
+    ) -> Arc<T> {
+        self.bcast_tree(root, value, Arc::clone)
+    }
+
+    /// The one binomial broadcast tree behind both [`Comm::bcast`] flavors.
+    /// `duplicate` produces the copy forwarded along each tree edge — a deep
+    /// clone on the legacy path, an `Arc` refcount increment on the shared
+    /// path — so tags, rounds and metering cannot drift apart between them.
+    fn bcast_tree<T: Send + WireSize + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+        mut duplicate: impl FnMut(&T) -> T,
+    ) -> T {
         let p = self.size();
-        let tag = self.next_coll_tag(0);
+        // Single-rank short-circuit: no tag, no channel slot, no metering —
+        // a 1×1 grid pays zero communication overhead.
         if p == 1 {
             return value.expect("root must supply the broadcast value");
         }
+        let tag = self.next_coll_tag(0);
         let vrank = (self.my_rank + p - root) % p;
         let mut mask = 1usize;
         let mut val: Option<T> = if vrank == 0 {
@@ -204,7 +271,7 @@ impl Comm {
             if vrank + mask < p {
                 let dst = (self.my_rank + mask) % p;
                 let bytes = v.wire_bytes();
-                self.send_internal(dst, tag, v.clone(), CommCategory::Bcast, bytes);
+                self.send_internal(dst, tag, duplicate(&v), CommCategory::Bcast, bytes);
             }
             mask >>= 1;
         }
@@ -330,13 +397,19 @@ impl Comm {
     }
 
     /// Allreduce: reduce to rank 0, then broadcast the result.
+    ///
+    /// The broadcast-back leg is exempt from payload-clone counting: the
+    /// remaining hot-path uses of `allreduce` are O(1)-size control values
+    /// (global nnz agreement, elision votes), not operand payloads. Vector
+    /// aggregations that used to run through `allreduce` (SpMV segments, the
+    /// general algorithm's filter vector) use `reduce` + [`Comm::bcast_shared`].
     pub fn allreduce<T, F>(&self, value: T, op: F) -> T
     where
         T: Clone + Send + WireSize + 'static,
         F: FnMut(T, T) -> T,
     {
         let reduced = self.reduce(0, value, op);
-        self.bcast(0, reduced)
+        self.bcast_impl(0, reduced, false)
     }
 
     /// Exclusive prefix "scan": rank `r` receives `op` folded over the values
@@ -412,6 +485,13 @@ impl Comm {
     /// exact traffic of that region. Intended for benchmark instrumentation.
     pub fn comm_stats(&self) -> crate::stats::CommStats {
         self.endpoint.borrow().stats_snapshot()
+    }
+
+    /// Network-wide count of payload deep-clones performed by clone-based
+    /// collectives so far (the clone-counting test hook). Fenced by barriers,
+    /// the delta of two reads proves a region moved payloads zero-copy.
+    pub fn payload_clones(&self) -> u64 {
+        self.endpoint.borrow().payload_clones()
     }
 
     /// Duplicates the communicator with an isolated tag namespace

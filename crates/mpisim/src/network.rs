@@ -44,6 +44,10 @@ impl Network {
     pub(crate) fn stats(&self) -> CommStats {
         self.meter.snapshot()
     }
+
+    pub(crate) fn payload_clones(&self) -> u64 {
+        self.meter.payload_clones()
+    }
 }
 
 /// A single rank's connection to the network.
@@ -60,6 +64,18 @@ impl Endpoint {
     /// Snapshot of the whole network's counters (benchmark instrumentation).
     pub(crate) fn stats_snapshot(&self) -> CommStats {
         self.meter.snapshot()
+    }
+
+    /// Records one payload deep-clone by a clone-based collective.
+    #[inline]
+    pub(crate) fn record_payload_clone(&self) {
+        self.meter.record_payload_clone();
+    }
+
+    /// Network-wide payload deep-clone count so far.
+    #[inline]
+    pub(crate) fn payload_clones(&self) -> u64 {
+        self.meter.payload_clones()
     }
 
     /// Sends an envelope, attributing `bytes` to `category`.

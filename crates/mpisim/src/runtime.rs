@@ -13,6 +13,10 @@ pub struct SimOutput<R> {
     pub results: Vec<R>,
     /// Communication volume/message counters for the whole run.
     pub stats: CommStats,
+    /// Payload deep-clones performed by clone-based collectives during the
+    /// run. The `*_shared` collectives never deep-clone, so this is the
+    /// clone-counting hook for asserting a run was zero-copy.
+    pub payload_clones: u64,
 }
 
 /// Default stack size per rank thread. Local SpGEMM on skewed graphs can
@@ -90,6 +94,7 @@ where
     SimOutput {
         results: results.into_iter().map(|o| o.expect("result")).collect(),
         stats: network.stats(),
+        payload_clones: network.payload_clones(),
     }
 }
 

@@ -70,18 +70,39 @@ impl RankCounters {
 #[derive(Debug)]
 pub(crate) struct Meter {
     per_rank: Vec<RankCounters>,
+    /// Payload deep-clones performed by the clone-based `bcast` (it forwards
+    /// `value.clone()` to each tree child). The `*_shared` collectives move
+    /// one `Arc` per receiver and never touch this counter, so a zero here
+    /// over a measured region proves the region broadcast its payloads
+    /// zero-copy. Scope: only `bcast` records — `allreduce`'s broadcast-back
+    /// leg (O(1) control values on the hot paths) and `allgather`'s ring
+    /// forwards (whose `T` may itself be an `Arc`, where `clone()` is not a
+    /// deep copy) are exempt. Kept outside [`CommStats`]: it meters
+    /// *transport implementation* (memcpy work), not logical wire volume.
+    payload_clones: AtomicU64,
 }
 
 impl Meter {
     pub(crate) fn new(p: usize) -> Arc<Self> {
         Arc::new(Self {
             per_rank: (0..p).map(|_| RankCounters::default()).collect(),
+            payload_clones: AtomicU64::new(0),
         })
     }
 
     #[inline]
     pub(crate) fn record(&self, src_world: usize, cat: CommCategory, bytes: u64) {
         self.per_rank[src_world].record(cat, bytes);
+    }
+
+    #[inline]
+    pub(crate) fn record_payload_clone(&self) {
+        self.payload_clones.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn payload_clones(&self) -> u64 {
+        self.payload_clones.load(Ordering::Relaxed)
     }
 
     pub(crate) fn snapshot(&self) -> CommStats {

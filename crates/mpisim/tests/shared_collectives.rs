@@ -1,0 +1,189 @@
+//! The zero-copy (`Arc`-payload) collectives: value equality, wire-meter
+//! parity with the clone-based paths, and the clone-counting hook.
+
+use dspgemm_mpi::{run, CommCategory};
+use dspgemm_util::rng::{Rng, SplitMix64};
+use dspgemm_util::WireSize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A payload with **no `Clone` impl**: merely compiling a `bcast_shared` /
+/// `sendrecv_shared` of this type proves those collectives cannot deep-clone.
+#[derive(Debug, PartialEq)]
+struct NoClone(Vec<u64>);
+
+impl WireSize for NoClone {
+    fn wire_bytes(&self) -> u64 {
+        self.0.wire_bytes()
+    }
+}
+
+/// A payload whose `Clone` impl counts — the clone-counting hook at the type
+/// level, complementing the network-level `payload_clones` meter.
+#[derive(Debug)]
+struct CloneSpy(u64, &'static AtomicU64);
+
+impl Clone for CloneSpy {
+    fn clone(&self) -> Self {
+        self.1.fetch_add(1, Ordering::Relaxed);
+        CloneSpy(self.0, self.1)
+    }
+}
+
+impl WireSize for CloneSpy {
+    fn wire_bytes(&self) -> u64 {
+        8
+    }
+}
+
+#[test]
+fn bcast_shared_delivers_root_value_all_roots_and_sizes() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::derive(0x5A4ED, case);
+        let p = 1 + rng.gen_range(9) as usize;
+        let root = rng.gen_range(16) as usize % p;
+        let payload: Vec<u64> = (0..rng.gen_range(50)).map(|_| rng.next_u64()).collect();
+        let expect = payload.clone();
+        let out = run(p, move |comm| {
+            let v = if comm.rank() == root {
+                Some(Arc::new(payload.clone()))
+            } else {
+                None
+            };
+            comm.bcast_shared(root, v).as_ref().clone()
+        });
+        assert!(out.results.iter().all(|v| *v == expect), "case {case}");
+        assert_eq!(out.payload_clones, 0, "case {case}");
+    }
+}
+
+#[test]
+fn bcast_shared_works_without_clone_and_shares_one_allocation() {
+    let out = run(5, |comm| {
+        let v = if comm.rank() == 2 {
+            Some(Arc::new(NoClone(vec![7, 8, 9])))
+        } else {
+            None
+        };
+        let got = comm.bcast_shared(2, v);
+        // Every rank holds the same allocation, not a copy.
+        (got.0.clone(), Arc::as_ptr(&got) as usize)
+    });
+    assert!(out.results.iter().all(|(v, _)| *v == vec![7, 8, 9]));
+    let first_ptr = out.results[0].1;
+    assert!(out.results.iter().all(|&(_, p)| p == first_ptr));
+    assert_eq!(out.payload_clones, 0);
+}
+
+/// Wire parity: byte and message counters of `bcast_shared` are identical to
+/// `bcast` of the same payload on every size and root — zero-copy transport
+/// must not distort the paper's communication-volume reproduction.
+#[test]
+fn bcast_shared_meter_matches_clone_based_bcast() {
+    for p in [1usize, 2, 3, 4, 7, 9] {
+        for root in [0, p - 1] {
+            let payload: Vec<u32> = (0..1000).collect();
+            let cloned = run(p, {
+                let payload = payload.clone();
+                move |comm| {
+                    let v = if comm.rank() == root {
+                        Some(payload.clone())
+                    } else {
+                        None
+                    };
+                    comm.bcast(root, v).len()
+                }
+            });
+            let shared = run(p, {
+                let payload = payload.clone();
+                move |comm| {
+                    let v = if comm.rank() == root {
+                        Some(Arc::new(payload.clone()))
+                    } else {
+                        None
+                    };
+                    comm.bcast_shared(root, v).len()
+                }
+            });
+            assert_eq!(cloned.results, shared.results);
+            assert_eq!(cloned.stats, shared.stats, "p={p} root={root}");
+            // The clone-based tree copies once per non-root rank; shared: 0.
+            assert_eq!(cloned.payload_clones, (p - 1) as u64, "p={p}");
+            assert_eq!(shared.payload_clones, 0);
+        }
+    }
+}
+
+#[test]
+fn clone_spy_counts_legacy_bcast_copies_only() {
+    static LEGACY: AtomicU64 = AtomicU64::new(0);
+    static SHARED: AtomicU64 = AtomicU64::new(0);
+    let p = 8;
+    run(p, |comm| {
+        let v = if comm.rank() == 0 {
+            Some(CloneSpy(42, &LEGACY))
+        } else {
+            None
+        };
+        assert_eq!(comm.bcast(0, v).0, 42);
+    });
+    run(p, |comm| {
+        let v = if comm.rank() == 0 {
+            Some(Arc::new(CloneSpy(42, &SHARED)))
+        } else {
+            None
+        };
+        assert_eq!(comm.bcast_shared(0, v).0, 42);
+    });
+    assert_eq!(LEGACY.load(Ordering::Relaxed), (p - 1) as u64);
+    assert_eq!(SHARED.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn sendrecv_shared_matches_sendrecv_meter_and_values() {
+    // 2x2 transpose exchange: ranks 1 and 2 swap; 0 and 3 are diagonal.
+    let exchange = |shared: bool| {
+        run(4, move |comm| {
+            let (i, j) = (comm.rank() / 2, comm.rank() % 2);
+            let peer = 2 * j + i;
+            let mine: Vec<u64> = vec![comm.rank() as u64; 100];
+            if peer == comm.rank() {
+                return mine;
+            }
+            if shared {
+                comm.sendrecv_shared(peer, Arc::new(mine), peer, 9)
+                    .as_ref()
+                    .clone()
+            } else {
+                comm.sendrecv(peer, mine, peer, 9)
+            }
+        })
+    };
+    let cloned = exchange(false);
+    let shared = exchange(true);
+    assert_eq!(cloned.results, shared.results);
+    assert_eq!(cloned.stats, shared.stats);
+    assert_eq!(shared.payload_clones, 0);
+    assert_eq!(shared.results[1], vec![2u64; 100]);
+    assert_eq!(shared.results[2], vec![1u64; 100]);
+}
+
+/// Satellite regression: on a single-rank communicator both broadcast
+/// flavors short-circuit — no messages, no bytes, no clones. A 1×1-grid run
+/// pays zero communication overhead.
+#[test]
+fn single_rank_bcast_is_entirely_free() {
+    let out = run(1, |comm| {
+        let a = comm.bcast(0, Some(vec![1u64, 2, 3]));
+        let b = comm.bcast_shared(0, Some(Arc::new(NoClone(vec![4, 5]))));
+        let r = comm.allreduce(7u64, |x, y| x + y);
+        (a, b.0.clone(), r)
+    });
+    assert_eq!(out.results[0].0, vec![1, 2, 3]);
+    assert_eq!(out.results[0].1, vec![4, 5]);
+    assert_eq!(out.results[0].2, 7);
+    assert_eq!(out.stats.total_msgs(), 0, "single-rank run sent messages");
+    assert_eq!(out.stats.total_bytes(), 0);
+    assert_eq!(out.stats.msgs_in(CommCategory::Bcast), 0);
+    assert_eq!(out.payload_clones, 0);
+}

@@ -43,6 +43,79 @@ impl<V: Copy> Dcsr<V> {
         }
     }
 
+    /// An empty matrix with capacity for `rows_cap` stored rows and
+    /// `nnz_cap` entries, so bulk appends ([`Dcsr::append_rows_flat`]) never
+    /// reallocate.
+    pub fn with_capacity(nrows: Index, ncols: Index, rows_cap: usize, nnz_cap: usize) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows_cap + 1);
+        row_ptr.push(0);
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(rows_cap),
+            row_ptr,
+            cols: Vec::with_capacity(nnz_cap),
+            vals: Vec::with_capacity(nnz_cap),
+        }
+    }
+
+    /// Builds a matrix directly from its flat storage arrays, taking
+    /// ownership without copying — the bulk-construction path of the SpGEMM
+    /// kernels, which drain their accumulators straight into these buffers.
+    ///
+    /// `rows` are the strictly increasing ids of the non-empty rows;
+    /// `row_ptr` has one more element than `rows`, starts at 0, is strictly
+    /// increasing and ends at `cols.len()`; `cols` and `vals` are parallel.
+    /// Invariants are debug-asserted ([`Dcsr::validate`]).
+    pub fn from_parts(
+        nrows: Index,
+        ncols: Index,
+        rows: Vec<Index>,
+        row_ptr: Vec<usize>,
+        cols: Vec<Index>,
+        vals: Vec<V>,
+    ) -> Self {
+        let m = Self {
+            nrows,
+            ncols,
+            rows,
+            row_ptr,
+            cols,
+            vals,
+        };
+        debug_assert_eq!(m.validate(), Ok(()));
+        m
+    }
+
+    /// Bulk-appends a block of rows given in the flat `(rows, row_ptr,
+    /// cols, vals)` form of [`Dcsr::from_parts`]. All appended row ids must
+    /// exceed the last stored row id — the concatenation path for per-range
+    /// kernel outputs, which arrive in disjoint increasing row ranges. One
+    /// `memcpy` per array, no per-row work.
+    pub fn append_rows_flat(
+        &mut self,
+        rows: &[Index],
+        row_ptr: &[usize],
+        cols: &[Index],
+        vals: &[V],
+    ) {
+        debug_assert_eq!(row_ptr.len(), rows.len() + 1);
+        debug_assert_eq!(row_ptr[0], 0, "flat part must start at offset 0");
+        debug_assert_eq!(*row_ptr.last().expect("row_ptr non-empty"), cols.len());
+        debug_assert_eq!(cols.len(), vals.len());
+        if rows.is_empty() {
+            return;
+        }
+        debug_assert!(self.rows.last().is_none_or(|&last| last < rows[0]));
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        let offset = self.cols.len();
+        self.rows.extend_from_slice(rows);
+        self.cols.extend_from_slice(cols);
+        self.vals.extend_from_slice(vals);
+        self.row_ptr
+            .extend(row_ptr[1..].iter().map(|&p| offset + p));
+    }
+
     /// Builds from triples in arbitrary order, combining duplicates with the
     /// semiring addition.
     pub fn from_triples<S: Semiring<Elem = V>>(
@@ -488,6 +561,31 @@ mod tests {
         assert_eq!(m.nrows_stored(), 2);
         assert_eq!(m.nnz(), 3);
         m.validate().unwrap();
+    }
+
+    #[test]
+    fn from_parts_and_append_flat_roundtrip() {
+        let m = sample();
+        // Rebuild via from_parts from the flat form of the sample.
+        let mut rows = Vec::new();
+        let mut row_ptr = vec![0usize];
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for (r, cs, vs) in m.iter_rows() {
+            rows.push(r);
+            cols.extend_from_slice(cs);
+            vals.extend_from_slice(vs);
+            row_ptr.push(cols.len());
+        }
+        let rebuilt = Dcsr::from_parts(1000, 1000, rows, row_ptr, cols, vals);
+        assert_eq!(rebuilt, m);
+        // Rebuild again by appending two flat chunks (split after row 0).
+        let mut appended = Dcsr::with_capacity(1000, 1000, 3, 5);
+        appended.append_rows_flat(&[0], &[0, 2], &[0, 2], &[10, 11]);
+        appended.append_rows_flat(&[], &[0], &[], &[]); // empty part is a no-op
+        appended.append_rows_flat(&[500, 999], &[0, 1, 3], &[1, 0, 3], &[13, 12, 14]);
+        assert_eq!(appended, m);
+        appended.validate().unwrap();
     }
 
     #[test]

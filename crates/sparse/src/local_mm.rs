@@ -13,6 +13,11 @@
 //! and is parallelized over contiguous row ranges of `A` (the paper's
 //! shared-memory parallelization of different output rows, Section VI-A).
 //!
+//! Output assembly is **allocation-flat**: each worker range drains its SPA
+//! into one reusable `(rows, row_ptr, cols, vals)` buffer set ([`FlatRows`])
+//! and the final [`Dcsr`] is built by bulk moves/appends with exact `nnz`
+//! reservation — no per-row `Vec`s, no double copy through staging buffers.
+//!
 //! The fused variant [`spgemm_bloom`] additionally tracks the ℓ=64-bit Bloom
 //! filter of contributing inner indices `k` that the general dynamic
 //! algorithm needs (Section V-B): bit `k mod 64` of the output entry's
@@ -34,30 +39,58 @@ pub struct MmOutput<A> {
     pub flops: u64,
 }
 
-/// Worker result: rows produced by one range, already column-sorted.
-struct RangeRows<A> {
-    rows: Vec<(Index, Vec<(Index, A)>)>,
-    flops: u64,
+/// Worker result: the rows produced by one contiguous range, in the flat
+/// `(rows, row_ptr, cols, vals)` form of [`Dcsr::from_parts`]. Each worker
+/// drains its SPA straight into these buffers — no per-row `Vec`, no
+/// intermediate `(col, val)` pairs.
+pub(crate) struct FlatRows<A> {
+    pub(crate) rows: Vec<Index>,
+    pub(crate) row_ptr: Vec<usize>,
+    pub(crate) cols: Vec<Index>,
+    pub(crate) vals: Vec<A>,
+    pub(crate) flops: u64,
 }
 
-fn assemble<A: Copy>(nrows: Index, ncols: Index, parts: Vec<RangeRows<A>>) -> MmOutput<A> {
-    let nnz: usize = parts
-        .iter()
-        .map(|p| p.rows.iter().map(|(_, r)| r.len()).sum::<usize>())
-        .sum();
-    let flops = parts.iter().map(|p| p.flops).sum();
-    let mut result = Dcsr::empty(nrows, ncols);
-    let mut cols_buf: Vec<Index> = Vec::with_capacity(64);
-    let mut vals_buf: Vec<A> = Vec::with_capacity(64);
-    let _ = nnz;
-    for part in parts {
-        for (r, entries) in part.rows {
-            cols_buf.clear();
-            vals_buf.clear();
-            cols_buf.extend(entries.iter().map(|&(c, _)| c));
-            vals_buf.extend(entries.iter().map(|&(_, v)| v));
-            result.push_row(r, &cols_buf, &vals_buf);
+impl<A> FlatRows<A> {
+    pub(crate) fn new() -> Self {
+        Self {
+            rows: Vec::new(),
+            row_ptr: vec![0],
+            cols: Vec::new(),
+            vals: Vec::new(),
+            flops: 0,
         }
+    }
+
+    /// Closes the current row after its entries were drained into
+    /// `cols`/`vals`.
+    #[inline]
+    pub(crate) fn seal_row(&mut self, row: Index) {
+        self.rows.push(row);
+        self.row_ptr.push(self.cols.len());
+    }
+}
+
+/// Concatenates per-range flat outputs into one [`Dcsr`]. The single-range
+/// case moves the buffers into the result without copying; multi-range
+/// output is assembled with exact `nnz`/row reservations and one bulk append
+/// per range.
+pub(crate) fn assemble<A: Copy>(
+    nrows: Index,
+    ncols: Index,
+    mut parts: Vec<FlatRows<A>>,
+) -> MmOutput<A> {
+    let flops = parts.iter().map(|p| p.flops).sum();
+    if parts.len() == 1 {
+        let p = parts.pop().expect("one part");
+        let result = Dcsr::from_parts(nrows, ncols, p.rows, p.row_ptr, p.cols, p.vals);
+        return MmOutput { result, flops };
+    }
+    let nnz: usize = parts.iter().map(|p| p.cols.len()).sum();
+    let stored_rows: usize = parts.iter().map(|p| p.rows.len()).sum();
+    let mut result = Dcsr::with_capacity(nrows, ncols, stored_rows, nnz);
+    for p in &parts {
+        result.append_rows_flat(&p.rows, &p.row_ptr, &p.cols, &p.vals);
     }
     MmOutput { result, flops }
 }
@@ -86,27 +119,25 @@ where
     let ncols = b.ncols();
     let parts = parallel_map_ranges(threads.max(1), nrows as usize, |range| {
         let mut spa: Spa<S::Elem> = Spa::for_width(ncols);
-        let mut rows = Vec::new();
-        let mut flops = 0u64;
+        let mut out = FlatRows::new();
         a.scan_row_range(
             range.start as Index,
             range.end as Index,
             |i, acols, avals| {
                 for (&k, &av) in acols.iter().zip(avals) {
                     let (bcols, bvals) = b.row(k);
-                    flops += bcols.len() as u64;
+                    out.flops += bcols.len() as u64;
                     for (&j, &bv) in bcols.iter().zip(bvals) {
                         spa.scatter(j, S::mul(av, bv), S::add);
                     }
                 }
                 if !spa.is_empty() {
-                    let mut entries = Vec::new();
-                    spa.drain_sorted(&mut entries);
-                    rows.push((i, entries));
+                    spa.drain_sorted_split(&mut out.cols, &mut out.vals);
+                    out.seal_row(i);
                 }
             },
         );
-        RangeRows { rows, flops }
+        out
     });
     assemble(nrows, ncols, parts)
 }
@@ -135,8 +166,7 @@ where
     let combine = |(v1, b1): (S::Elem, u64), (v2, b2): (S::Elem, u64)| (S::add(v1, v2), b1 | b2);
     let parts = parallel_map_ranges(threads.max(1), nrows as usize, |range| {
         let mut spa: Spa<(S::Elem, u64)> = Spa::for_width(ncols);
-        let mut rows = Vec::new();
-        let mut flops = 0u64;
+        let mut out = FlatRows::new();
         a.scan_row_range(
             range.start as Index,
             range.end as Index,
@@ -144,19 +174,18 @@ where
                 for (&k, &av) in acols.iter().zip(avals) {
                     let bit = crate::bloom::bloom_bit(k + k_offset);
                     let (bcols, bvals) = b.row(k);
-                    flops += bcols.len() as u64;
+                    out.flops += bcols.len() as u64;
                     for (&j, &bv) in bcols.iter().zip(bvals) {
                         spa.scatter(j, (S::mul(av, bv), bit), combine);
                     }
                 }
                 if !spa.is_empty() {
-                    let mut entries = Vec::new();
-                    spa.drain_sorted(&mut entries);
-                    rows.push((i, entries));
+                    spa.drain_sorted_split(&mut out.cols, &mut out.vals);
+                    out.seal_row(i);
                 }
             },
         );
-        RangeRows { rows, flops }
+        out
     });
     assemble(nrows, ncols, parts)
 }
@@ -180,24 +209,22 @@ where
     let ncols = b.ncols();
     let parts = parallel_map_ranges(threads.max(1), nrows as usize, |range| {
         let mut spa: Spa<u64> = Spa::for_width(ncols);
-        let mut rows = Vec::new();
-        let mut flops = 0u64;
+        let mut out = FlatRows::new();
         a.scan_row_range(range.start as Index, range.end as Index, |i, acols, _| {
             for &k in acols {
                 let bit = crate::bloom::bloom_bit(k + k_offset);
                 let (bcols, _) = b.row(k);
-                flops += bcols.len() as u64;
+                out.flops += bcols.len() as u64;
                 for &j in bcols {
                     spa.scatter(j, bit, |x, y| x | y);
                 }
             }
             if !spa.is_empty() {
-                let mut entries = Vec::new();
-                spa.drain_sorted(&mut entries);
-                rows.push((i, entries));
+                spa.drain_sorted_split(&mut out.cols, &mut out.vals);
+                out.seal_row(i);
             }
         });
-        RangeRows { rows, flops }
+        out
     });
     assemble(nrows, ncols, parts)
 }

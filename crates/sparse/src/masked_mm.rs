@@ -13,15 +13,12 @@
 //! entries, fused into the accumulation as in [`crate::local_mm`].
 
 use crate::dcsr::Dcsr;
-use crate::local_mm::MmOutput;
+use crate::local_mm::{assemble, FlatRows, MmOutput};
 use crate::semiring::Semiring;
 use crate::spa::Spa;
 use crate::{Index, RowRead, RowScan};
 use dspgemm_util::hash::FxHashSet;
 use dspgemm_util::par::parallel_map_ranges;
-
-/// Output rows produced by one worker range: `(row, [(col, entry)])`.
-type RangeRows<A> = Vec<(Index, Vec<(Index, A)>)>;
 
 /// A hash set over `(row, col)` index pairs, used as an output mask.
 #[derive(Debug, Clone, Default)]
@@ -118,8 +115,7 @@ where
     let combine = |(v1, b1): (S::Elem, u64), (v2, b2): (S::Elem, u64)| (S::add(v1, v2), b1 | b2);
     let parts = parallel_map_ranges(threads.max(1), nrows as usize, |range| {
         let mut spa: Spa<(S::Elem, u64)> = Spa::for_width(ncols);
-        let mut rows: RangeRows<(S::Elem, u64)> = Vec::new();
-        let mut flops = 0u64;
+        let mut out = FlatRows::new();
         a.scan_row_range(
             range.start as Index,
             range.end as Index,
@@ -131,30 +127,20 @@ where
                         // The mask check precedes the multiply: unmasked terms
                         // cost a hash probe but no flop, mirroring Section VI-B.
                         if mask.contains(i, j) {
-                            flops += 1;
+                            out.flops += 1;
                             spa.scatter(j, (S::mul(av, bv), bit), combine);
                         }
                     }
                 }
                 if !spa.is_empty() {
-                    let mut entries = Vec::new();
-                    spa.drain_sorted(&mut entries);
-                    rows.push((i, entries));
+                    spa.drain_sorted_split(&mut out.cols, &mut out.vals);
+                    out.seal_row(i);
                 }
             },
         );
-        (rows, flops)
+        out
     });
-    let flops = parts.iter().map(|(_, f)| *f).sum();
-    let mut result = Dcsr::empty(nrows, ncols);
-    for (rows, _) in parts {
-        for (r, entries) in rows {
-            let cols: Vec<Index> = entries.iter().map(|&(c, _)| c).collect();
-            let vals: Vec<(S::Elem, u64)> = entries.iter().map(|&(_, v)| v).collect();
-            result.push_row(r, &cols, &vals);
-        }
-    }
-    MmOutput { result, flops }
+    assemble(nrows, ncols, parts)
 }
 
 #[cfg(test)]

@@ -69,6 +69,22 @@ impl<A: Copy> DenseSpa<A> {
         }
         self.touched.clear();
     }
+
+    /// Drains the accumulated row, column-sorted, appending columns and
+    /// values to two flat parallel buffers and resetting the accumulator.
+    /// This is the allocation-flat output path of the SpGEMM kernels: one
+    /// pair of buffers serves every row of a worker's range.
+    pub fn drain_sorted_split(&mut self, cols: &mut Vec<Index>, vals: &mut Vec<A>) {
+        self.touched.sort_unstable();
+        cols.reserve(self.touched.len());
+        vals.reserve(self.touched.len());
+        for &c in &self.touched {
+            let v = self.slots[c as usize].take().expect("touched slot");
+            cols.push(c);
+            vals.push(v);
+        }
+        self.touched.clear();
+    }
 }
 
 /// Hash accumulator: O(row nnz) memory, for very wide or hypersparse output
@@ -76,6 +92,9 @@ impl<A: Copy> DenseSpa<A> {
 #[derive(Debug)]
 pub struct HashSpa<A> {
     map: FxHashMap<Index, A>,
+    /// Reusable sort scratch for the split drain (kept across rows so the
+    /// flat output path allocates nothing per row).
+    scratch: Vec<(Index, A)>,
 }
 
 impl<A: Copy> HashSpa<A> {
@@ -83,6 +102,7 @@ impl<A: Copy> HashSpa<A> {
     pub fn new() -> Self {
         Self {
             map: FxHashMap::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -118,6 +138,21 @@ impl<A: Copy> HashSpa<A> {
         let start = out.len();
         out.extend(self.map.drain());
         out[start..].sort_unstable_by_key(|&(c, _)| c);
+    }
+
+    /// Drains the accumulated row into flat column/value buffers,
+    /// column-sorted (see [`DenseSpa::drain_sorted_split`]). Sorting goes
+    /// through an internal scratch vector reused across rows.
+    pub fn drain_sorted_split(&mut self, cols: &mut Vec<Index>, vals: &mut Vec<A>) {
+        self.scratch.clear();
+        self.scratch.extend(self.map.drain());
+        self.scratch.sort_unstable_by_key(|&(c, _)| c);
+        cols.reserve(self.scratch.len());
+        vals.reserve(self.scratch.len());
+        for &(c, v) in &self.scratch {
+            cols.push(c);
+            vals.push(v);
+        }
     }
 }
 
@@ -181,6 +216,15 @@ impl<A: Copy> Spa<A> {
             Spa::Hash(s) => s.drain_sorted(out),
         }
     }
+
+    /// Drains the accumulated row into flat column/value buffers,
+    /// column-sorted, and resets — the allocation-flat kernel output path.
+    pub fn drain_sorted_split(&mut self, cols: &mut Vec<Index>, vals: &mut Vec<A>) {
+        match self {
+            Spa::Dense(s) => s.drain_sorted_split(cols, vals),
+            Spa::Hash(s) => s.drain_sorted_split(cols, vals),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +277,34 @@ mod tests {
         let mut out = Vec::new();
         spa.drain_sorted(&mut out);
         assert_eq!(out, vec![(3, (12, (1 << 2) | (1 << 9)))]);
+    }
+
+    #[test]
+    fn split_drain_matches_pair_drain() {
+        for mut spa in [Spa::Dense(DenseSpa::new(64)), Spa::Hash(HashSpa::new())] {
+            let mut twin = Spa::<u64>::for_width(64);
+            for (c, v) in [(9u32, 4u64), (3, 1), (9, 2), (0, 7), (63, 5)] {
+                spa.scatter(c, v, |a, b| a + b);
+                twin.scatter(c, v, |a, b| a + b);
+            }
+            let mut pairs = Vec::new();
+            twin.drain_sorted(&mut pairs);
+            let (mut cols, mut vals) = (vec![99u32], vec![0u64]); // pre-seeded: must append
+            spa.drain_sorted_split(&mut cols, &mut vals);
+            assert_eq!(cols[0], 99);
+            assert_eq!(
+                cols[1..]
+                    .iter()
+                    .zip(&vals[1..])
+                    .map(|(&c, &v)| (c, v))
+                    .collect::<Vec<_>>(),
+                pairs
+            );
+            assert!(spa.is_empty());
+            // Reusable after the split drain.
+            spa.scatter(5, 1, |a, b| a + b);
+            assert_eq!(spa.len(), 1);
+        }
     }
 
     #[test]

@@ -82,6 +82,17 @@ impl<T: WireSize> WireSize for Box<T> {
     }
 }
 
+impl<T: WireSize + ?Sized> WireSize for std::sync::Arc<T> {
+    /// An `Arc` payload is a *transport* artifact of the zero-copy simulated
+    /// collectives: on a real wire the pointee would be packed and sent, so
+    /// the wire size is the pointee's. This keeps metered communication
+    /// volume identical between the clone-based and `Arc`-shared paths.
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        (**self).wire_bytes()
+    }
+}
+
 impl WireSize for String {
     #[inline]
     fn wire_bytes(&self) -> u64 {
@@ -117,5 +128,13 @@ mod tests {
     fn nested_vec_of_tuples() {
         let v: Vec<(u32, u32, f64)> = vec![(0, 0, 0.0); 4];
         assert_eq!(v.wire_bytes(), 8 + 4 * 16);
+    }
+
+    #[test]
+    fn arc_is_transparent() {
+        let v = vec![1u32; 10];
+        let inner = v.wire_bytes();
+        assert_eq!(std::sync::Arc::new(v).wire_bytes(), inner);
+        assert_eq!(std::sync::Arc::new(7u64).wire_bytes(), 8);
     }
 }
