@@ -266,12 +266,14 @@ impl<S: Semiring> AnalyticsSession<S> {
         } else {
             Vec::new()
         };
+        // Zero-copy merge: the ring moves `Arc` handles of the per-rank
+        // entry lists, never deep-cloning a list on a forward.
         let mut all: Vec<(Index, S::Elem)> = self
             .grid
             .world()
-            .allgather(mine)
-            .into_iter()
-            .flatten()
+            .allgather_shared(std::sync::Arc::new(mine))
+            .iter()
+            .flat_map(|part| part.iter().copied())
             .collect();
         all.sort_unstable_by(|(ca, va), (cb, vb)| {
             score(vb)

@@ -92,8 +92,14 @@ impl<S: Semiring> CommonNeighborsView<S> {
         rank_of: impl Fn(&S::Elem) -> f64,
     ) -> Vec<(Index, Index, S::Elem)> {
         let mine: Vec<(Index, Index, S::Elem)> = self.local_scores().collect();
-        let mut all: Vec<(Index, Index, S::Elem)> =
-            grid.world().allgather(mine).into_iter().flatten().collect();
+        // Zero-copy merge: the ring moves `Arc` handles of the per-rank
+        // score lists, never deep-cloning a list on a forward.
+        let mut all: Vec<(Index, Index, S::Elem)> = grid
+            .world()
+            .allgather_shared(std::sync::Arc::new(mine))
+            .iter()
+            .flat_map(|part| part.iter().copied())
+            .collect();
         all.sort_unstable_by(|(ua, va, sa), (ub, vb, sb)| {
             rank_of(sb)
                 .partial_cmp(&rank_of(sa))

@@ -8,12 +8,14 @@
 //! | [`spgemm`] | Fig. 9 (algebraic), Fig. 10 (general), Fig. 11/12 (scaling + breakdown) |
 //! | [`ablations`] | §IV-B redistribution claim, §V-A aggregation claim, §V-B Bloom claim |
 //! | [`copy_elim`] | zero-copy collective payloads + flat-buffer local SpGEMM (transport-cost ablation; beyond the paper) |
+//! | [`overlap`] | pipelined vs. blocking round schedules: exposed-communication reduction under identical wire volume (beyond the paper) |
 //! | [`analytics`] | maintained-view serving vs. static recomputation (the `dspgemm-analytics` layer; beyond the paper) |
 
 pub mod ablations;
 pub mod analytics;
 pub mod construction;
 pub mod copy_elim;
+pub mod overlap;
 pub mod spgemm;
 pub mod table1;
 pub mod updates;

@@ -1,0 +1,276 @@
+//! Overlap ablation: pipelined (nonblocking, double-buffered) schedules vs.
+//! the blocking round schedules.
+//!
+//! The pipelined scheduler changes *when* communication happens, never what
+//! is communicated: wire volume must stay byte-identical and the result
+//! bit-identical, while the *exposed* communication time (ranks blocked
+//! waiting) drops because round `k + 1`'s panels are in flight under round
+//! `k`'s multiply. This experiment measures exactly that split using the
+//! meter's exposed/overlapped counters ([`dspgemm_mpi::CommStats`]) and
+//! asserts the invariants; the numbers land in `BENCH_pr3.json`.
+
+use crate::experiments::{edges_to_triples, prepare_instances, rank_slice, Prepared};
+use crate::measure::{median, timed_collective};
+use crate::report::{ms, ratio, Table};
+use crate::Config;
+use dspgemm_core::dyn_algebraic::apply_algebraic_updates;
+use dspgemm_core::summa::{summa, summa_blocking};
+use dspgemm_core::{DistMat, Grid};
+use dspgemm_graph::stream::ReplacementDraws;
+use dspgemm_sparse::semiring::F64Plus;
+use dspgemm_sparse::Triple;
+use dspgemm_util::stats::PhaseTimer;
+use std::time::Duration;
+
+/// Per-rank update batch size for the dynamic arm (matches the copy-elim
+/// ablation so numbers are comparable across PRs).
+const OVERLAP_BATCH: usize = 4096;
+
+/// Outcome of one schedule arm.
+#[derive(Debug, Clone)]
+pub struct OverlapArm {
+    /// Median wall time of the measured collective.
+    pub wall: Duration,
+    /// Total metered wire bytes of the measured region (must be invariant
+    /// across schedules).
+    pub bytes: u64,
+    /// Total messages of the measured region.
+    pub msgs: u64,
+    /// Total ns all ranks spent blocked waiting for communication.
+    pub exposed_ns: u64,
+    /// Total ns of request lifetime hidden under compute.
+    pub overlapped_ns: u64,
+    /// Root gather of the result (identity check across arms).
+    pub result: Vec<Triple<f64>>,
+}
+
+impl OverlapArm {
+    /// `overlapped / (exposed + overlapped)` of the measured region.
+    pub fn overlap_ratio(&self) -> f64 {
+        let total = (self.exposed_ns + self.overlapped_ns) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.overlapped_ns as f64 / total
+        }
+    }
+}
+
+/// One SUMMA arm at `p` ranks: full-adjacency `A·A` on the given schedule,
+/// `reps` repetitions (median wall; stats of the *first* rep region so the
+/// byte-parity assertion is exact).
+pub fn summa_arm(cfg: &Config, inst: &Prepared, p: usize, pipelined: bool) -> OverlapArm {
+    let n = inst.n;
+    let threads = cfg.threads;
+    let edges = &inst.edges;
+    let reps = 3usize;
+    let out = dspgemm_mpi::run(p, |comm| {
+        let grid = Grid::new(comm);
+        let mut timer = PhaseTimer::new();
+        let mine = edges_to_triples(&rank_slice(edges, comm.rank(), p));
+        let a = DistMat::from_global_triples(&grid, n, n, mine, threads, &mut timer);
+        let mut walls = Vec::new();
+        let mut region = None;
+        let mut c_gathered = None;
+        for rep in 0..reps {
+            comm.barrier();
+            let before = comm.comm_stats();
+            let (c, d) = timed_collective(comm, || {
+                if pipelined {
+                    summa::<F64Plus>(&grid, &a, &a, threads, &mut timer).0
+                } else {
+                    summa_blocking::<F64Plus>(&grid, &a, &a, threads, &mut timer).0
+                }
+            });
+            walls.push(d);
+            if rep == 0 {
+                region = Some(comm.comm_stats().delta_since(&before));
+                // Fence before gathering: a fast rank's gather sends must
+                // not leak into a slow rank's region snapshot.
+                comm.barrier();
+                c_gathered = c.gather_to_root(comm);
+            }
+        }
+        (median(&walls), region.expect("one rep ran"), c_gathered)
+    });
+    let (wall, region, c) = &out.results[0];
+    OverlapArm {
+        wall: *wall,
+        bytes: region.total_bytes(),
+        // Zero-byte barrier control messages are excluded: dissemination
+        // rounds of the fencing barriers straddle the snapshots
+        // nondeterministically (cf. `measure::measured_collective`).
+        msgs: region
+            .total_msgs()
+            .saturating_sub(region.msgs_in(dspgemm_mpi::CommCategory::Barrier)),
+        // Exposed/overlapped are summed across ranks from the region delta
+        // of rank 0's snapshot (the snapshot covers the whole network).
+        exposed_ns: region.total_exposed_ns(),
+        overlapped_ns: region.total_overlapped_ns(),
+        result: c.clone().unwrap_or_default(),
+    }
+}
+
+/// The dynamic-update arm (pipelined engine only — the dynamic paths have
+/// no blocking twin; reported for its achieved overlap ratio).
+pub fn dynamic_arm(cfg: &Config, inst: &Prepared, p: usize) -> OverlapArm {
+    let n = inst.n;
+    let (threads, batches, seed) = (cfg.threads, cfg.batches.max(1), cfg.seed);
+    let edges = &inst.edges;
+    let out = dspgemm_mpi::run(p, |comm| {
+        let grid = Grid::new(comm);
+        let mut timer = PhaseTimer::new();
+        let mine = edges_to_triples(&rank_slice(edges, comm.rank(), p));
+        let mut a = DistMat::from_global_triples(&grid, n, n, mine.clone(), threads, &mut timer);
+        let mut b = DistMat::from_global_triples(&grid, n, n, mine, threads, &mut timer);
+        let (mut c, _) = summa::<F64Plus>(&grid, &a, &b, threads, &mut timer);
+        let mut a_draws = ReplacementDraws::new(OVERLAP_BATCH, seed, comm.rank());
+        let mut b_draws = ReplacementDraws::new(OVERLAP_BATCH, seed ^ 0x9e37, comm.rank());
+        comm.barrier();
+        let before = comm.comm_stats();
+        let mut times = Vec::new();
+        for _ in 0..batches {
+            let a_batch: Vec<Triple<f64>> = a_draws
+                .next_batch(edges)
+                .into_iter()
+                .map(|(u, v)| Triple::new(u, v, 1.0))
+                .collect();
+            let b_batch: Vec<Triple<f64>> = b_draws
+                .next_batch(edges)
+                .into_iter()
+                .map(|(u, v)| Triple::new(u, v, 1.0))
+                .collect();
+            let (_, d) = timed_collective(comm, || {
+                apply_algebraic_updates::<F64Plus>(
+                    &grid, &mut a, &mut b, &mut c, a_batch, b_batch, threads, &mut timer,
+                )
+            });
+            times.push(d);
+        }
+        let region = comm.comm_stats().delta_since(&before);
+        (median(&times), region)
+    });
+    let (wall, region) = &out.results[0];
+    OverlapArm {
+        wall: *wall,
+        bytes: region.total_bytes(),
+        msgs: region.total_msgs(),
+        exposed_ns: region.total_exposed_ns(),
+        overlapped_ns: region.total_overlapped_ns(),
+        result: Vec::new(),
+    }
+}
+
+fn ns_ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// The `repro overlap` table.
+pub fn run(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Ablation: communication/compute overlap (pipelined vs. blocking schedules), p={}",
+            cfg.p
+        ),
+        &[
+            "benchmark",
+            "wall",
+            "wire bytes",
+            "exposed comm (ms)",
+            "overlapped comm (ms)",
+            "overlap ratio",
+        ],
+    );
+    let inst = &prepare_instances(cfg)[0];
+
+    let blocking = summa_arm(cfg, inst, cfg.p, false);
+    let pipelined = summa_arm(cfg, inst, cfg.p, true);
+    // The hard invariants of the refactor: same bytes, same C.
+    assert_eq!(
+        blocking.bytes, pipelined.bytes,
+        "pipelining must leave wire volume byte-identical"
+    );
+    assert_eq!(
+        blocking.msgs, pipelined.msgs,
+        "pipelining must leave message count identical"
+    );
+    assert_eq!(
+        blocking.result, pipelined.result,
+        "pipelined SUMMA must be bit-identical to blocking SUMMA"
+    );
+    t.push_row(vec![
+        "static SUMMA, blocking schedule (before)".to_string(),
+        ms(blocking.wall),
+        dspgemm_util::stats::format_bytes(blocking.bytes),
+        ns_ms(blocking.exposed_ns),
+        ns_ms(blocking.overlapped_ns),
+        ratio(blocking.overlap_ratio()),
+    ]);
+    let exposed_reduction = if pipelined.exposed_ns > 0 {
+        blocking.exposed_ns as f64 / pipelined.exposed_ns as f64
+    } else {
+        f64::INFINITY
+    };
+    t.push_row(vec![
+        format!(
+            "static SUMMA, pipelined schedule (after, {} less exposed)",
+            ratio(exposed_reduction)
+        ),
+        ms(pipelined.wall),
+        dspgemm_util::stats::format_bytes(pipelined.bytes),
+        ns_ms(pipelined.exposed_ns),
+        ns_ms(pipelined.overlapped_ns),
+        ratio(pipelined.overlap_ratio()),
+    ]);
+
+    let dynamic = dynamic_arm(cfg, inst, cfg.p);
+    t.push_row(vec![
+        format!("dynamic updates, pipelined ({} / rank)", OVERLAP_BATCH),
+        ms(dynamic.wall),
+        dspgemm_util::stats::format_bytes(dynamic.bytes),
+        ns_ms(dynamic.exposed_ns),
+        ns_ms(dynamic.overlapped_ns),
+        ratio(dynamic.overlap_ratio()),
+    ]);
+
+    t.note("wire bytes and result C are asserted identical across schedules (bytes move, never values)");
+    t.note(
+        "exposed = ranks blocked waiting; overlapped = issue-to-availability window covered by \
+         compute",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_smoke() {
+        let mut cfg = Config::smoke();
+        cfg.instances = 1;
+        cfg.batches = 1;
+        // The run itself asserts byte-parity and bit-identical C.
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn pipelined_summa_timing_is_consistent_at_p9() {
+        // Whether a given run records *nonzero* overlap depends on OS
+        // scheduling (the availability-based metric only credits panels
+        // that arrived while a rank computed), so asserting overlap > 0
+        // here would flake on a loaded CI runner — the deterministic
+        // overlap property lives in tests/overlap.rs. This test pins the
+        // deterministic facts of the p=9 pipelined arm: traffic was
+        // measured and the timing split is well-formed.
+        let mut cfg = Config::smoke();
+        cfg.p = 9;
+        cfg.instances = 1;
+        let inst = &prepare_instances(&cfg)[0];
+        let pipelined = summa_arm(&cfg, inst, 9, true);
+        assert!(pipelined.bytes > 0 && pipelined.msgs > 0);
+        let ratio = pipelined.overlap_ratio();
+        assert!((0.0..=1.0).contains(&ratio), "ratio {ratio} out of range");
+    }
+}

@@ -32,7 +32,9 @@
 use crate::distmat::{DistDcsr, DistMat, Elem};
 use crate::grid::{block_range, Grid};
 use crate::phase;
+use crate::pipeline::{await_into_phase, run_rounds, Schedule};
 use crate::update::{apply_add, build_update_matrix, Dedup};
+use dspgemm_mpi::Request;
 use dspgemm_sparse::local_mm::{spgemm, spgemm_bloom, spgemm_pattern, MmOutput};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Dcsr, DhbMatrix, Index, RowScan, Triple};
@@ -191,93 +193,111 @@ pub fn compute_cstar<S: Semiring, K: XYKernel<S>>(
     };
 
     // Step 1: transpose exchange — A*_{i,j} to (j,i); likewise B*. Blocks
-    // travel as shared handles: the exchange and the later broadcast rounds
-    // never copy the payload.
+    // travel as shared handles, and both directions of both exchanges are
+    // posted nonblocking (irecv first, then the buffered sends), so the two
+    // update blocks cross the wire concurrently instead of serializing.
     const TAG_AT: u64 = 101;
     const TAG_BT: u64 = 102;
     let peer = grid.transpose_rank();
-    let at_blk: Option<Arc<Dcsr<S::Elem>>> = timer.time(phase::SEND_RECV, || {
-        if a_star_nnz == 0 {
-            None
-        } else if peer == grid.world().rank() {
-            Some(a_star.block_shared())
-        } else {
-            Some(
-                grid.world()
-                    .sendrecv_shared(peer, a_star.block_shared(), peer, TAG_AT),
-            )
+    type Exchanged<V> = (Option<Arc<Dcsr<V>>>, Option<Arc<Dcsr<V>>>);
+    let (at_blk, bt_blk): Exchanged<S::Elem> = timer.time(phase::SEND_RECV, || {
+        if peer == grid.world().rank() {
+            let at = (a_star_nnz != 0).then(|| a_star.block_shared());
+            let bt = (b_star_nnz != 0).then(|| b_star.block_shared());
+            return (at, bt);
         }
-    });
-    let bt_blk: Option<Arc<Dcsr<S::Elem>>> = timer.time(phase::SEND_RECV, || {
-        if b_star_nnz == 0 {
-            None
-        } else if peer == grid.world().rank() {
-            Some(b_star.block_shared())
-        } else {
-            Some(
-                grid.world()
-                    .sendrecv_shared(peer, b_star.block_shared(), peer, TAG_BT),
-            )
+        let at_recv =
+            (a_star_nnz != 0).then(|| grid.world().irecv_shared::<Dcsr<S::Elem>>(peer, TAG_AT));
+        let bt_recv =
+            (b_star_nnz != 0).then(|| grid.world().irecv_shared::<Dcsr<S::Elem>>(peer, TAG_BT));
+        if a_star_nnz != 0 {
+            grid.world()
+                .isend_shared(peer, TAG_AT, a_star.block_shared())
+                .wait();
         }
+        if b_star_nnz != 0 {
+            grid.world()
+                .isend_shared(peer, TAG_BT, b_star.block_shared())
+                .wait();
+        }
+        (at_recv.map(Request::wait), bt_recv.map(Request::wait))
     });
 
-    // Step 2 + 3: √p rounds of broadcasts, local multiplies, aggregation.
+    // Step 2 + 3: √p rounds of broadcasts, local multiplies, aggregation —
+    // pipelined: round k+1's update-block broadcasts are in flight while
+    // round k multiplies and merge-reduces (the progress engine forwards
+    // their tree edges even while ranks are blocked inside the reductions).
     let mut flops = 0u64;
     let mut x_mine: Option<Dcsr<K::Out>> = None;
     let mut y_mine: Option<Dcsr<K::Out>> = None;
-    for k in 0..q {
-        // X pass: broadcast A*_{k,i} over process row i (its holder after
-        // the transpose exchange is (i,k), i.e. row-comm member k),
-        // multiply into B', reduce onto (k,j) via column j.
-        if let Some(at) = &at_blk {
-            let a_bcast: Arc<Dcsr<S::Elem>> = timer.time(phase::BCAST, || {
+    type UpdFlight<V> = (Option<Request<Arc<Dcsr<V>>>>, Option<Request<Arc<Dcsr<V>>>>);
+    run_rounds(
+        &mut (timer, &mut flops, &mut x_mine, &mut y_mine),
+        q,
+        Schedule::Overlap,
+        |_ctx, k| -> UpdFlight<S::Elem> {
+            // A*_{k,i} over process row i (its holder after the transpose
+            // exchange is (i,k), i.e. row-comm member k); B*_{j,k} over
+            // process column j (holder (k,j) = col-comm member k).
+            let ra = at_blk.as_ref().map(|at| {
                 grid.row_comm()
-                    .bcast_shared(k, if j == k { Some(Arc::clone(at)) } else { None })
+                    .ibcast_shared(k, if j == k { Some(Arc::clone(at)) } else { None })
             });
-            let x_part = timer.time(phase::LOCAL_MULT, || {
-                K::mul_x(
-                    &a_bcast,
-                    b_new.block(),
-                    block_range(inner, q, i).start,
-                    threads,
-                )
-            });
-            flops += x_part.flops;
-            let x_red = timer.time(phase::REDUCE_SCATTER, || {
+            let rb = bt_blk.as_ref().map(|bt| {
                 grid.col_comm()
-                    .reduce(k, x_part.result, |a, b| Dcsr::merge_with(&a, &b, K::merge))
+                    .ibcast_shared(k, if i == k { Some(Arc::clone(bt)) } else { None })
             });
-            if let Some(x) = x_red {
-                debug_assert_eq!(i, k);
-                x_mine = Some(x);
+            (ra, rb)
+        },
+        |ctx, _k, (ra, rb)| {
+            let a_bcast = ra.map(|r| await_into_phase(r, ctx.0, phase::BCAST));
+            let b_bcast = rb.map(|r| await_into_phase(r, ctx.0, phase::BCAST));
+            (a_bcast, b_bcast)
+        },
+        |ctx, k, (a_bcast, b_bcast)| {
+            let (timer, flops, x_mine, y_mine) = ctx;
+            // X pass: multiply into B', reduce onto (k,j) via column j.
+            if let Some(a_bcast) = a_bcast {
+                let x_part = timer.time(phase::LOCAL_MULT, || {
+                    K::mul_x(
+                        &a_bcast,
+                        b_new.block(),
+                        block_range(inner, q, i).start,
+                        threads,
+                    )
+                });
+                **flops += x_part.flops;
+                let x_red = timer.time(phase::REDUCE_SCATTER, || {
+                    grid.col_comm()
+                        .reduce(k, x_part.result, |a, b| Dcsr::merge_with(&a, &b, K::merge))
+                });
+                if let Some(x) = x_red {
+                    debug_assert_eq!(i, k);
+                    **x_mine = Some(x);
+                }
             }
-        }
-        // Y pass: broadcast B*_{j,k} over process column j (holder (k,j) =
-        // col-comm member k), multiply from A, reduce onto (i,k) via row i.
-        if let Some(bt) = &bt_blk {
-            let b_bcast: Arc<Dcsr<S::Elem>> = timer.time(phase::BCAST, || {
-                grid.col_comm()
-                    .bcast_shared(k, if i == k { Some(Arc::clone(bt)) } else { None })
-            });
-            let y_part = timer.time(phase::LOCAL_MULT, || {
-                K::mul_y(
-                    a_old.block(),
-                    &b_bcast,
-                    block_range(inner, q, j).start,
-                    threads,
-                )
-            });
-            flops += y_part.flops;
-            let y_red = timer.time(phase::REDUCE_SCATTER, || {
-                grid.row_comm()
-                    .reduce(k, y_part.result, |a, b| Dcsr::merge_with(&a, &b, K::merge))
-            });
-            if let Some(y) = y_red {
-                debug_assert_eq!(j, k);
-                y_mine = Some(y);
+            // Y pass: multiply from A, reduce onto (i,k) via row i.
+            if let Some(b_bcast) = b_bcast {
+                let y_part = timer.time(phase::LOCAL_MULT, || {
+                    K::mul_y(
+                        a_old.block(),
+                        &b_bcast,
+                        block_range(inner, q, j).start,
+                        threads,
+                    )
+                });
+                **flops += y_part.flops;
+                let y_red = timer.time(phase::REDUCE_SCATTER, || {
+                    grid.row_comm()
+                        .reduce(k, y_part.result, |a, b| Dcsr::merge_with(&a, &b, K::merge))
+                });
+                if let Some(y) = y_red {
+                    debug_assert_eq!(j, k);
+                    **y_mine = Some(y);
+                }
             }
-        }
-    }
+        },
+    );
     let cstar = match (x_mine, y_mine) {
         (Some(x), Some(y)) => Dcsr::merge_with(&x, &y, K::merge),
         (Some(x), None) => x,
@@ -349,61 +369,93 @@ pub fn compute_cstar_shared<S: Semiring, K: XYKernel<S>>(
 
     let mut flops = 0u64;
 
-    // Y pass against the old A.
+    // Y pass against the old A — pipelined (round k+1's broadcast of the
+    // transposed update block is in flight while round k multiplies and
+    // reduces).
     let mut y_mine: Option<Dcsr<K::Out>> = None;
-    for k in 0..q {
-        let b_bcast: Arc<Dcsr<S::Elem>> = timer.time(phase::BCAST, || {
-            grid.col_comm().bcast_shared(
-                k,
-                if i == k {
-                    Some(Arc::clone(&star_t))
-                } else {
-                    None
-                },
-            )
-        });
-        let y_part = timer.time(phase::LOCAL_MULT, || {
-            K::mul_y(a.block(), &b_bcast, block_range(inner, q, j).start, threads)
-        });
-        flops += y_part.flops;
-        let y_red = timer.time(phase::REDUCE_SCATTER, || {
-            grid.row_comm()
-                .reduce(k, y_part.result, |x, y| Dcsr::merge_with(&x, &y, K::merge))
-        });
-        if let Some(y) = y_red {
-            debug_assert_eq!(j, k);
-            y_mine = Some(y);
-        }
+    {
+        let a_ref = &*a;
+        run_rounds(
+            &mut (&mut *timer, &mut flops, &mut y_mine),
+            q,
+            Schedule::Overlap,
+            |_ctx, k| {
+                grid.col_comm().ibcast_shared(
+                    k,
+                    if i == k {
+                        Some(Arc::clone(&star_t))
+                    } else {
+                        None
+                    },
+                )
+            },
+            |ctx, _k, req| await_into_phase(req, ctx.0, phase::BCAST),
+            |ctx, k, b_bcast| {
+                let (timer, flops, y_mine) = ctx;
+                let y_part = timer.time(phase::LOCAL_MULT, || {
+                    K::mul_y(
+                        a_ref.block(),
+                        &b_bcast,
+                        block_range(inner, q, j).start,
+                        threads,
+                    )
+                });
+                **flops += y_part.flops;
+                let y_red = timer.time(phase::REDUCE_SCATTER, || {
+                    grid.row_comm()
+                        .reduce(k, y_part.result, |x, y| Dcsr::merge_with(&x, &y, K::merge))
+                });
+                if let Some(y) = y_red {
+                    debug_assert_eq!(j, k);
+                    **y_mine = Some(y);
+                }
+            },
+        );
     }
 
     // A → A' (purely local).
     timer.time(phase::LOCAL_UPDATE, || apply(a));
 
-    // X pass against the new A'.
+    // X pass against the new A' — pipelined likewise.
     let mut x_mine: Option<Dcsr<K::Out>> = None;
-    for k in 0..q {
-        let a_bcast: Arc<Dcsr<S::Elem>> = timer.time(phase::BCAST, || {
-            grid.row_comm().bcast_shared(
-                k,
-                if j == k {
-                    Some(Arc::clone(&star_t))
-                } else {
-                    None
-                },
-            )
-        });
-        let x_part = timer.time(phase::LOCAL_MULT, || {
-            K::mul_x(&a_bcast, a.block(), block_range(inner, q, i).start, threads)
-        });
-        flops += x_part.flops;
-        let x_red = timer.time(phase::REDUCE_SCATTER, || {
-            grid.col_comm()
-                .reduce(k, x_part.result, |x, y| Dcsr::merge_with(&x, &y, K::merge))
-        });
-        if let Some(x) = x_red {
-            debug_assert_eq!(i, k);
-            x_mine = Some(x);
-        }
+    {
+        let a_ref = &*a;
+        run_rounds(
+            &mut (&mut *timer, &mut flops, &mut x_mine),
+            q,
+            Schedule::Overlap,
+            |_ctx, k| {
+                grid.row_comm().ibcast_shared(
+                    k,
+                    if j == k {
+                        Some(Arc::clone(&star_t))
+                    } else {
+                        None
+                    },
+                )
+            },
+            |ctx, _k, req| await_into_phase(req, ctx.0, phase::BCAST),
+            |ctx, k, a_bcast| {
+                let (timer, flops, x_mine) = ctx;
+                let x_part = timer.time(phase::LOCAL_MULT, || {
+                    K::mul_x(
+                        &a_bcast,
+                        a_ref.block(),
+                        block_range(inner, q, i).start,
+                        threads,
+                    )
+                });
+                **flops += x_part.flops;
+                let x_red = timer.time(phase::REDUCE_SCATTER, || {
+                    grid.col_comm()
+                        .reduce(k, x_part.result, |x, y| Dcsr::merge_with(&x, &y, K::merge))
+                });
+                if let Some(x) = x_red {
+                    debug_assert_eq!(i, k);
+                    **x_mine = Some(x);
+                }
+            },
+        );
     }
 
     let cstar = match (x_mine, y_mine) {

@@ -24,6 +24,7 @@ use crate::distmat::{DistDcsr, DistMat, Elem};
 use crate::dyn_algebraic::{compute_cstar, compute_cstar_shared, PatternKernel};
 use crate::grid::{block_range, Grid};
 use crate::phase;
+use crate::pipeline::{await_into_phase, run_rounds, Schedule};
 use crate::update::{apply_mask, apply_merge, build_update_matrix, Dedup};
 use dspgemm_sparse::bloom::row_or_reduce;
 use dspgemm_sparse::masked_mm::{masked_spgemm_bloom, MaskSet};
@@ -106,6 +107,80 @@ pub fn prepare_general_update<S: Semiring>(
     }
 }
 
+/// The `√p` masked-recompute rounds shared by both general-update paths:
+/// broadcast `A^R` over process rows and the `C*` pattern over process
+/// columns, recompute `Z = A^R · right` masked at `C*` (with updated Bloom
+/// bits), and merge-reduce the partials onto the owners. Pipelined: round
+/// `k + 1`'s two broadcasts are in flight while round `k` runs the masked
+/// multiply and its reduction (both payloads are round-invariant, so the
+/// lookahead costs no extra assembly). Returns `(Z_{i,j}, local_flops)`.
+/// Collective over the grid.
+fn masked_recompute_rounds<S: Semiring>(
+    grid: &Grid,
+    ar_t: &Arc<Dcsr<S::Elem>>,
+    cstar_structure: &Arc<Dcsr<()>>,
+    right: &dspgemm_sparse::DhbMatrix<S::Elem>,
+    inner: Index,
+    threads: usize,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<(S::Elem, u64)>, u64) {
+    let q = grid.q();
+    let (i, j) = grid.coords();
+    let mut flops = 0u64;
+    let mut z_mine: Option<Dcsr<(S::Elem, u64)>> = None;
+    run_rounds(
+        &mut (timer, &mut flops, &mut z_mine),
+        q,
+        Schedule::Overlap,
+        |_ctx, k| {
+            let ra = grid
+                .row_comm()
+                .ibcast_shared(k, if j == k { Some(Arc::clone(ar_t)) } else { None });
+            let rc = grid.col_comm().ibcast_shared(
+                k,
+                if i == k {
+                    Some(Arc::clone(cstar_structure))
+                } else {
+                    None
+                },
+            );
+            (ra, rc)
+        },
+        |ctx, _k, (ra, rc)| {
+            let ar_bcast = await_into_phase(ra, ctx.0, phase::BCAST);
+            let cstar_bcast = await_into_phase(rc, ctx.0, phase::BCAST);
+            (ar_bcast, cstar_bcast)
+        },
+        |ctx, k, (ar_bcast, cstar_bcast)| {
+            let (timer, flops, z_mine) = ctx;
+            // Local hash table over the broadcast C* block (Section VI-B:
+            // built redundantly per rank; cheaper than broadcasting the
+            // table).
+            let z_part = timer.time(phase::LOCAL_MULT, || {
+                let mask = MaskSet::from_pattern(&cstar_bcast);
+                masked_spgemm_bloom::<S, _, _>(
+                    &*ar_bcast,
+                    right,
+                    &mask,
+                    block_range(inner, q, i).start,
+                    threads,
+                )
+            });
+            **flops += z_part.flops;
+            let z_red = timer.time(phase::REDUCE_SCATTER, || {
+                grid.col_comm().reduce(k, z_part.result, |x, y| {
+                    Dcsr::merge_with(&x, &y, |(v1, b1), (v2, b2)| (S::add(v1, v2), b1 | b2))
+                })
+            });
+            if let Some(z) = z_red {
+                debug_assert_eq!(i, k);
+                **z_mine = Some(z);
+            }
+        },
+    );
+    (z_mine.expect("round k=i must deliver Z_{i,j}"), flops)
+}
+
 /// Applies one batch of general updates to each operand of `C = A · B`,
 /// updating `A`, `B`, `C` and the filter matrix `F` in place via
 /// Algorithm 2. Returns the local flop count. Collective over the grid.
@@ -125,8 +200,6 @@ pub fn apply_general_updates<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> u64 {
-    let q = grid.q();
-    let (i, j) = grid.coords();
     let inner = a.info().ncols;
 
     // --- Update matrices (redistribution = "scatter"). ---
@@ -202,57 +275,18 @@ pub fn apply_general_updates<S: Semiring>(
     });
 
     // --- √p rounds: bcast A^R over rows, C* over columns, masked multiply,
-    // merge-reduce Z/H onto owners. ---
+    // merge-reduce Z/H onto owners (pipelined). ---
     let cstar_structure: Arc<Dcsr<()>> = Arc::new(cstar.map(|_| ()));
-    let mut z_mine: Option<Dcsr<(S::Elem, u64)>> = None;
-    for k in 0..q {
-        let ar_bcast: Arc<Dcsr<S::Elem>> = timer.time(phase::BCAST, || {
-            grid.row_comm().bcast_shared(
-                k,
-                if j == k {
-                    Some(Arc::clone(&ar_t))
-                } else {
-                    None
-                },
-            )
-        });
-        let cstar_bcast: Arc<Dcsr<()>> = timer.time(phase::BCAST, || {
-            grid.col_comm().bcast_shared(
-                k,
-                if i == k {
-                    Some(Arc::clone(&cstar_structure))
-                } else {
-                    None
-                },
-            )
-        });
-        // Local hash table over the broadcast C* block (Section VI-B: built
-        // redundantly per rank; cheaper than broadcasting the table).
-        let (z_part, mask_len) = timer.time(phase::LOCAL_MULT, || {
-            let mask = MaskSet::from_pattern(&cstar_bcast);
-            let len = mask.len();
-            let out = masked_spgemm_bloom::<S, _, _>(
-                &*ar_bcast,
-                b.block(),
-                &mask,
-                block_range(inner, q, i).start,
-                threads,
-            );
-            (out, len)
-        });
-        let _ = mask_len;
-        flops += z_part.flops;
-        let z_red = timer.time(phase::REDUCE_SCATTER, || {
-            grid.col_comm().reduce(k, z_part.result, |x, y| {
-                Dcsr::merge_with(&x, &y, |(v1, b1), (v2, b2)| (S::add(v1, v2), b1 | b2))
-            })
-        });
-        if let Some(z) = z_red {
-            debug_assert_eq!(i, k);
-            z_mine = Some(z);
-        }
-    }
-    let z = z_mine.expect("round k=i must deliver Z_{i,j}");
+    let (z, z_flops) = masked_recompute_rounds::<S>(
+        grid,
+        &ar_t,
+        &cstar_structure,
+        b.block(),
+        inner,
+        threads,
+        timer,
+    );
+    flops += z_flops;
 
     // --- Merge Z into C and H into F, masked at C*: recomputed entries are
     // replaced, vanished entries deleted. ---
@@ -305,8 +339,6 @@ pub fn apply_shared_general_prebuilt<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<u64>, u64) {
-    let q = grid.q();
-    let (i, j) = grid.coords();
     let inner = a.info().ncols;
 
     // --- COMPUTE_PATTERN around the in-place update A → A'. ---
@@ -365,52 +397,18 @@ pub fn apply_shared_general_prebuilt<S: Semiring>(
     });
 
     // --- √p rounds: bcast A^R over rows, C* over columns, masked multiply
-    // against A' itself, merge-reduce Z/H onto owners. ---
+    // against A' itself, merge-reduce Z/H onto owners (pipelined). ---
     let cstar_structure: Arc<Dcsr<()>> = Arc::new(cstar.map(|_| ()));
-    let mut z_mine: Option<Dcsr<(S::Elem, u64)>> = None;
-    for k in 0..q {
-        let ar_bcast: Arc<Dcsr<S::Elem>> = timer.time(phase::BCAST, || {
-            grid.row_comm().bcast_shared(
-                k,
-                if j == k {
-                    Some(Arc::clone(&ar_t))
-                } else {
-                    None
-                },
-            )
-        });
-        let cstar_bcast: Arc<Dcsr<()>> = timer.time(phase::BCAST, || {
-            grid.col_comm().bcast_shared(
-                k,
-                if i == k {
-                    Some(Arc::clone(&cstar_structure))
-                } else {
-                    None
-                },
-            )
-        });
-        let z_part = timer.time(phase::LOCAL_MULT, || {
-            let mask = MaskSet::from_pattern(&cstar_bcast);
-            masked_spgemm_bloom::<S, _, _>(
-                &*ar_bcast,
-                a.block(),
-                &mask,
-                block_range(inner, q, i).start,
-                threads,
-            )
-        });
-        flops += z_part.flops;
-        let z_red = timer.time(phase::REDUCE_SCATTER, || {
-            grid.col_comm().reduce(k, z_part.result, |x, y| {
-                Dcsr::merge_with(&x, &y, |(v1, b1), (v2, b2)| (S::add(v1, v2), b1 | b2))
-            })
-        });
-        if let Some(z) = z_red {
-            debug_assert_eq!(i, k);
-            z_mine = Some(z);
-        }
-    }
-    let z = z_mine.expect("round k=i must deliver Z_{i,j}");
+    let (z, z_flops) = masked_recompute_rounds::<S>(
+        grid,
+        &ar_t,
+        &cstar_structure,
+        a.block(),
+        inner,
+        threads,
+        timer,
+    );
+    flops += z_flops;
 
     // --- Merge Z into C and H into F, masked at C*. ---
     timer.time(phase::LOCAL_UPDATE, || {

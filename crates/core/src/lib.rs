@@ -27,6 +27,10 @@
 //! * [`spmv`] — distributed sparse matrix–vector multiplication reusing
 //!   SUMMA's row/column communication domains ([`spmv::DistVec`]), the
 //!   kernel behind the vector-shaped analytics views.
+//! * [`pipeline`] — the pipelined round scheduler: double-buffers the
+//!   broadcast/multiply rounds of every SpGEMM path over the nonblocking
+//!   collectives so round `k + 1`'s panels are in flight while round `k`'s
+//!   local multiply runs (communication/compute overlap).
 //!
 //! Beyond the two per-engine algorithms, [`dyn_algebraic`] and
 //! [`dyn_general`] also export *shared-operand* variants
@@ -71,6 +75,7 @@ pub mod dyn_algebraic;
 pub mod dyn_general;
 pub mod engine;
 pub mod grid;
+pub mod pipeline;
 pub mod redistribute;
 pub mod spmv;
 pub mod summa;

@@ -1,0 +1,197 @@
+//! The pipelined round scheduler: communication/compute overlap for the
+//! broadcast-multiply round structure shared by every SpGEMM path.
+//!
+//! SUMMA and the dynamic algorithms all run `√p` rounds of *broadcast a
+//! panel, multiply it locally*. With blocking collectives the two steps
+//! serialize: every rank idles through round `k`'s broadcast before touching
+//! its kernel. The scheduler double-buffers instead — round `k + 1`'s
+//! communication is **issued** (nonblocking) before round `k`'s compute, so
+//! the panels of the next round are in flight while the current multiply
+//! runs, and the wait at the top of round `k + 1` finds them (mostly)
+//! already arrived. The memory cost is exactly one extra in-flight panel
+//! set per operand (the `Flight` value held across the body).
+//!
+//! The round *schedule* is unchanged — same collectives, same tags, same
+//! wire bytes, same merge order — so results are bit-identical to the
+//! blocking schedule and the metered communication volume is byte-identical
+//! (property-tested in `tests/overlap.rs`). Only the exposed/overlapped
+//! split of communication *time* moves.
+
+use dspgemm_mpi::{Overlap, Request};
+use dspgemm_util::stats::PhaseTimer;
+
+/// Whether a round loop runs with one-round communication lookahead.
+///
+/// `Blocking` issues each round's communication immediately before waiting
+/// on it — byte-for-byte the pre-pipelining schedule, kept as the ablation
+/// baseline (`repro overlap`) and for `p = 1` grids where there is nothing
+/// to overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Issue round `k + 1` before computing round `k` (the default).
+    Overlap,
+    /// Issue round `k` right before completing round `k`.
+    Blocking,
+}
+
+/// Runs `rounds` rounds of issue → complete → compute with the given
+/// schedule. `ctx` is the caller's mutable round state (timer,
+/// accumulators, output blocks), threaded through every callback so call
+/// sites keep plain `&mut` state instead of interior-mutability cells.
+///
+/// * `issue(ctx, k)` starts round `k`'s communication and returns its
+///   in-flight handle(s) — typically a tuple of [`Request`]s.
+/// * `complete(ctx, k, flight)` waits for round `k`'s communication and
+///   returns the ready operand(s).
+/// * `body(ctx, k, ready)` is the local compute (multiply/merge/reduce) of
+///   round `k`.
+///
+/// Under [`Schedule::Overlap`] the call order is
+/// `issue(0), [complete(0), issue(1), body(0)], [complete(1), issue(2),
+/// body(1)], …` — every rank issues the same collectives in the same order
+/// (the SPMD contract), just one round ahead of the compute.
+pub fn run_rounds<Ctx, Flight, Ready>(
+    ctx: &mut Ctx,
+    rounds: usize,
+    schedule: Schedule,
+    mut issue: impl FnMut(&mut Ctx, usize) -> Flight,
+    mut complete: impl FnMut(&mut Ctx, usize, Flight) -> Ready,
+    mut body: impl FnMut(&mut Ctx, usize, Ready),
+) {
+    if rounds == 0 {
+        return;
+    }
+    match schedule {
+        Schedule::Overlap => {
+            let mut flight = Some(issue(ctx, 0));
+            for k in 0..rounds {
+                let ready = complete(ctx, k, flight.take().expect("round in flight"));
+                if k + 1 < rounds {
+                    flight = Some(issue(ctx, k + 1));
+                }
+                body(ctx, k, ready);
+            }
+        }
+        Schedule::Blocking => {
+            for k in 0..rounds {
+                let flight = issue(ctx, k);
+                let ready = complete(ctx, k, flight);
+                body(ctx, k, ready);
+            }
+        }
+    }
+}
+
+/// Waits for a request and attributes its timing split to `phase`: the
+/// blocked wait goes into the phase's exposed wall time ([`PhaseTimer::add`],
+/// part of `total()`), the compute-hidden remainder into the phase's
+/// overlapped communication ([`PhaseTimer::add_overlapped`]) — so hidden
+/// communication is never double-counted against the compute phase that
+/// covered it, while `comm_total(phase)` still reports the full Fig. 7/12
+/// communication cost.
+pub fn await_into_phase<T: 'static>(req: Request<T>, timer: &mut PhaseTimer, phase: &str) -> T {
+    let (value, timing) = req.wait_timed();
+    record_overlap(&timing, timer, phase);
+    value
+}
+
+/// Attributes an already-measured request timing split to `phase` (for call
+/// sites that need the value and the timing separately).
+pub fn record_overlap(timing: &Overlap, timer: &mut PhaseTimer, phase: &str) {
+    timer.add(phase, timing.exposed);
+    timer.add_overlapped(phase, timing.overlapped());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_schedule_issues_one_round_ahead() {
+        // Flight/Ready are just the round index; the ctx is a plain
+        // `&mut Vec` call-order log — no interior mutability needed.
+        let mut log: Vec<String> = Vec::new();
+        run_rounds(
+            &mut log,
+            3,
+            Schedule::Overlap,
+            |log, k| {
+                log.push(format!("issue{k}"));
+                k
+            },
+            |log, k, f| {
+                assert_eq!(k, f);
+                log.push(format!("complete{k}"));
+                k
+            },
+            |log, k, r| {
+                assert_eq!(k, r);
+                log.push(format!("body{k}"));
+                // When body k runs, round k+1 must already be issued.
+                if k + 1 < 3 {
+                    assert!(
+                        log.contains(&format!("issue{}", k + 1)),
+                        "round {} in flight",
+                        k + 1
+                    );
+                }
+            },
+        );
+        assert_eq!(
+            log,
+            vec![
+                "issue0",
+                "complete0",
+                "issue1",
+                "body0",
+                "complete1",
+                "issue2",
+                "body1",
+                "complete2",
+                "body2"
+            ]
+        );
+    }
+
+    #[test]
+    fn blocking_schedule_is_strictly_sequential() {
+        let mut order: Vec<String> = Vec::new();
+        run_rounds(
+            &mut order,
+            2,
+            Schedule::Blocking,
+            |order, k| {
+                order.push(format!("issue{k}"));
+                k
+            },
+            |order, k, f| {
+                order.push(format!("complete{k}"));
+                f
+            },
+            |order, k, _| order.push(format!("body{k}")),
+        );
+        assert_eq!(
+            order,
+            vec![
+                "issue0",
+                "complete0",
+                "body0",
+                "issue1",
+                "complete1",
+                "body1"
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_rounds_is_a_noop() {
+        run_rounds(
+            &mut (),
+            0,
+            Schedule::Overlap,
+            |_, _| unreachable!("no rounds"),
+            |_, _, f: ()| f,
+            |_, _, _| unreachable!("no rounds"),
+        );
+    }
+}

@@ -127,8 +127,10 @@ impl<V: Elem> DistVec<V> {
     }
 
     /// Re-aligns between row and column alignment via the transpose
-    /// `sendrecv` exchange: peer `(j, i)` holds exactly the segment this rank
-    /// needs under the other alignment. Diagonal ranks move nothing.
+    /// exchange: peer `(j, i)` holds exactly the segment this rank needs
+    /// under the other alignment. Prepost-irecv form: the receive is posted
+    /// before the send, so both directions are in flight concurrently and
+    /// the wait is pure arrival time. Diagonal ranks move nothing.
     /// Collective over the grid.
     pub fn realign(self, grid: &Grid) -> Self {
         const TAG_VEC: u64 = 105;
@@ -140,6 +142,7 @@ impl<V: Elem> DistVec<V> {
         let seg = if peer == grid.world().rank() {
             self.seg
         } else {
+            // `sendrecv_shared` is itself in prepost-irecv form.
             grid.world().sendrecv_shared(peer, self.seg, peer, TAG_VEC)
         };
         Self {
@@ -159,8 +162,9 @@ impl<V: Elem> DistVec<V> {
             Align::Col => grid.row_comm(),
             Align::Row => grid.col_comm(),
         };
-        // The ring forwards `Arc` handles — no segment is ever deep-cloned.
-        let parts = comm.allgather(Arc::clone(&self.seg));
+        // The shared ring moves `Arc` handles — statically incapable of
+        // deep-cloning a segment.
+        let parts = comm.allgather_shared(Arc::clone(&self.seg));
         let mut out = Vec::with_capacity(self.n as usize);
         for part in parts {
             out.extend_from_slice(&part);

@@ -12,17 +12,112 @@
 //! [`summa_bloom`] additionally produces the Bloom filter matrix `F`
 //! recording contributing inner indices, needed before general dynamic
 //! updates can be applied (Section V-B).
+//!
+//! Both variants run on the pipelined round scheduler
+//! ([`crate::pipeline`]): round `k + 1`'s panel broadcasts are issued
+//! (nonblocking) before round `k`'s local multiply, so their communication
+//! is in flight — and mostly hidden — under the compute. The `*_blocking`
+//! variants keep the serialized schedule as the ablation baseline
+//! (`repro overlap`); both produce bit-identical results and byte-identical
+//! wire volume (enforced by `tests/overlap.rs`).
 
 use crate::distmat::DistMat;
 use crate::grid::{block_range, Grid};
 use crate::phase;
+use crate::pipeline::{await_into_phase, run_rounds, Schedule};
+use dspgemm_mpi::Request;
 use dspgemm_sparse::local_mm::{spgemm, spgemm_bloom};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Csr, RowScan};
 use dspgemm_util::stats::PhaseTimer;
 use std::sync::Arc;
 
-/// Computes `C = A · B` with sparse SUMMA. Collective over the grid.
+/// The in-flight panel pair of one SUMMA round: `None` on the blocking
+/// schedule, where the broadcasts run (and complete) inside `complete`.
+type PanelFlight<V> = Option<(Request<Arc<Csr<V>>>, Request<Arc<Csr<V>>>)>;
+
+/// Issues round `k`'s panel broadcasts — `A_{i,k}` over the process row,
+/// `B_{k,j}` over the process column — nonblocking under
+/// [`Schedule::Overlap`]; deferred to the completion step (legacy fully
+/// blocking broadcasts, one after the other) under [`Schedule::Blocking`].
+fn issue_panels<V: Send + Sync + dspgemm_util::WireSize + 'static>(
+    grid: &Grid,
+    k: usize,
+    a_local: &Arc<Csr<V>>,
+    b_local: &Arc<Csr<V>>,
+    schedule: Schedule,
+) -> PanelFlight<V> {
+    if schedule == Schedule::Blocking {
+        return None;
+    }
+    let (i, j) = grid.coords();
+    let ra = grid.row_comm().ibcast_shared(
+        k,
+        if j == k {
+            Some(Arc::clone(a_local))
+        } else {
+            None
+        },
+    );
+    let rb = grid.col_comm().ibcast_shared(
+        k,
+        if i == k {
+            Some(Arc::clone(b_local))
+        } else {
+            None
+        },
+    );
+    Some((ra, rb))
+}
+
+/// Completes round `k`'s panel broadcasts: waits the in-flight requests
+/// (overlap schedule, timing split into exposed/overlapped) or performs the
+/// serialized legacy broadcasts (blocking schedule — `A`'s broadcast fully
+/// completes before `B`'s starts, the exact pre-pipelining cost structure).
+#[allow(clippy::type_complexity)]
+fn complete_panels<V: Send + Sync + dspgemm_util::WireSize + 'static>(
+    grid: &Grid,
+    k: usize,
+    a_local: &Arc<Csr<V>>,
+    b_local: &Arc<Csr<V>>,
+    flight: PanelFlight<V>,
+    timer: &mut PhaseTimer,
+) -> (Arc<Csr<V>>, Arc<Csr<V>>) {
+    match flight {
+        Some((ra, rb)) => {
+            let a_blk = await_into_phase(ra, timer, phase::BCAST);
+            let b_blk = await_into_phase(rb, timer, phase::BCAST);
+            (a_blk, b_blk)
+        }
+        None => {
+            let (i, j) = grid.coords();
+            let a_blk = timer.time(phase::BCAST, || {
+                grid.row_comm().bcast_shared(
+                    k,
+                    if j == k {
+                        Some(Arc::clone(a_local))
+                    } else {
+                        None
+                    },
+                )
+            });
+            let b_blk = timer.time(phase::BCAST, || {
+                grid.col_comm().bcast_shared(
+                    k,
+                    if i == k {
+                        Some(Arc::clone(b_local))
+                    } else {
+                        None
+                    },
+                )
+            });
+            (a_blk, b_blk)
+        }
+    }
+}
+
+/// Computes `C = A · B` with sparse SUMMA on the pipelined (overlapping)
+/// schedule. Collective over the grid.
 ///
 /// Returns the result as a dynamic distributed matrix (ready for dynamic
 /// updates) plus the local flop count.
@@ -33,59 +128,73 @@ pub fn summa<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> (DistMat<S::Elem>, u64) {
+    summa_with::<S>(grid, a, b, threads, timer, Schedule::Overlap)
+}
+
+/// [`summa`] on the serialized schedule (each round's broadcast completes
+/// before its multiply) — the pre-pipelining baseline kept for the
+/// `repro overlap` ablation. Bit-identical result, byte-identical wire
+/// volume; only the exposed/overlapped split of communication time differs.
+pub fn summa_blocking<S: Semiring>(
+    grid: &Grid,
+    a: &DistMat<S::Elem>,
+    b: &DistMat<S::Elem>,
+    threads: usize,
+    timer: &mut PhaseTimer,
+) -> (DistMat<S::Elem>, u64) {
+    summa_with::<S>(grid, a, b, threads, timer, Schedule::Blocking)
+}
+
+fn summa_with<S: Semiring>(
+    grid: &Grid,
+    a: &DistMat<S::Elem>,
+    b: &DistMat<S::Elem>,
+    threads: usize,
+    timer: &mut PhaseTimer,
+    schedule: Schedule,
+) -> (DistMat<S::Elem>, u64) {
     assert_eq!(
         a.info().ncols,
         b.info().nrows,
         "global dimension mismatch in SUMMA"
     );
     let q = grid.q();
-    let (i, j) = grid.coords();
     let mut c = DistMat::empty(grid, a.info().nrows, b.info().ncols);
     // One CSR snapshot per operand; the √p broadcast rounds then move only
     // `Arc` handles — zero payload copies in-process, identical wire volume.
     let a_local: Arc<Csr<S::Elem>> = a.block_csr_shared();
     let b_local: Arc<Csr<S::Elem>> = b.block_csr_shared();
     let mut flops = 0u64;
-    for k in 0..q {
-        let a_blk: Arc<Csr<S::Elem>> = timer.time(phase::BCAST, || {
-            grid.row_comm().bcast_shared(
-                k,
-                if j == k {
-                    Some(Arc::clone(&a_local))
-                } else {
-                    None
-                },
-            )
-        });
-        let b_blk: Arc<Csr<S::Elem>> = timer.time(phase::BCAST, || {
-            grid.col_comm().bcast_shared(
-                k,
-                if i == k {
-                    Some(Arc::clone(&b_local))
-                } else {
-                    None
-                },
-            )
-        });
-        let partial = timer.time(phase::LOCAL_MULT, || {
-            spgemm::<S, _, _>(&*a_blk, &*b_blk, threads)
-        });
-        flops += partial.flops;
-        timer.time(phase::LOCAL_UPDATE, || {
-            let block = c.block_mut();
-            partial.result.scan_rows(|r, cols, vals| {
-                for (&cc, &v) in cols.iter().zip(vals) {
-                    block.add_entry::<S>(r, cc, v);
-                }
+    run_rounds(
+        &mut (timer, &mut c, &mut flops),
+        q,
+        schedule,
+        |_ctx, k| issue_panels(grid, k, &a_local, &b_local, schedule),
+        |ctx, k, flight: PanelFlight<S::Elem>| {
+            complete_panels(grid, k, &a_local, &b_local, flight, ctx.0)
+        },
+        |ctx, _k, (a_blk, b_blk)| {
+            let (timer, c, flops) = ctx;
+            let partial = timer.time(phase::LOCAL_MULT, || {
+                spgemm::<S, _, _>(&*a_blk, &*b_blk, threads)
             });
-        });
-    }
+            **flops += partial.flops;
+            timer.time(phase::LOCAL_UPDATE, || {
+                let block = c.block_mut();
+                partial.result.scan_rows(|r, cols, vals| {
+                    for (&cc, &v) in cols.iter().zip(vals) {
+                        block.add_entry::<S>(r, cc, v);
+                    }
+                });
+            });
+        },
+    );
     (c, flops)
 }
 
 /// SUMMA fused with Bloom-filter tracking: returns `(C, F, flops)` where
 /// `F` holds, per non-zero of `C`, the ℓ=64-bit bitfield of contributing
-/// inner indices (bit `k mod 64`).
+/// inner indices (bit `k mod 64`). Pipelined schedule.
 pub fn summa_bloom<S: Semiring>(
     grid: &Grid,
     a: &DistMat<S::Elem>,
@@ -93,60 +202,73 @@ pub fn summa_bloom<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> (DistMat<S::Elem>, DistMat<u64>, u64) {
+    summa_bloom_with::<S>(grid, a, b, threads, timer, Schedule::Overlap)
+}
+
+/// [`summa_bloom`] on the serialized schedule (the `repro overlap`
+/// baseline; see [`summa_blocking`]).
+pub fn summa_bloom_blocking<S: Semiring>(
+    grid: &Grid,
+    a: &DistMat<S::Elem>,
+    b: &DistMat<S::Elem>,
+    threads: usize,
+    timer: &mut PhaseTimer,
+) -> (DistMat<S::Elem>, DistMat<u64>, u64) {
+    summa_bloom_with::<S>(grid, a, b, threads, timer, Schedule::Blocking)
+}
+
+fn summa_bloom_with<S: Semiring>(
+    grid: &Grid,
+    a: &DistMat<S::Elem>,
+    b: &DistMat<S::Elem>,
+    threads: usize,
+    timer: &mut PhaseTimer,
+    schedule: Schedule,
+) -> (DistMat<S::Elem>, DistMat<u64>, u64) {
     assert_eq!(
         a.info().ncols,
         b.info().nrows,
         "global dimension mismatch in SUMMA"
     );
     let q = grid.q();
-    let (i, j) = grid.coords();
     let mut c = DistMat::empty(grid, a.info().nrows, b.info().ncols);
     let mut f = DistMat::empty(grid, a.info().nrows, b.info().ncols);
     let a_local: Arc<Csr<S::Elem>> = a.block_csr_shared();
     let b_local: Arc<Csr<S::Elem>> = b.block_csr_shared();
+    let inner = a.info().ncols;
     let mut flops = 0u64;
-    for k in 0..q {
-        let a_blk: Arc<Csr<S::Elem>> = timer.time(phase::BCAST, || {
-            grid.row_comm().bcast_shared(
-                k,
-                if j == k {
-                    Some(Arc::clone(&a_local))
-                } else {
-                    None
-                },
-            )
-        });
-        let b_blk: Arc<Csr<S::Elem>> = timer.time(phase::BCAST, || {
-            grid.col_comm().bcast_shared(
-                k,
-                if i == k {
-                    Some(Arc::clone(&b_local))
-                } else {
-                    None
-                },
-            )
-        });
-        // Bloom bits index the *global* inner dimension.
-        let k_offset = block_range(a.info().ncols, q, k).start;
-        let partial = timer.time(phase::LOCAL_MULT, || {
-            spgemm_bloom::<S, _, _>(&*a_blk, &*b_blk, k_offset, threads)
-        });
-        flops += partial.flops;
-        timer.time(phase::LOCAL_UPDATE, || {
-            let c_block = c.block_mut();
-            partial.result.scan_rows(|r, cols, vals| {
-                for (&cc, &(v, _)) in cols.iter().zip(vals) {
-                    c_block.add_entry::<S>(r, cc, v);
-                }
+    run_rounds(
+        &mut (timer, &mut c, &mut f, &mut flops),
+        q,
+        schedule,
+        |_ctx, k| issue_panels(grid, k, &a_local, &b_local, schedule),
+        |ctx, k, flight: PanelFlight<S::Elem>| {
+            complete_panels(grid, k, &a_local, &b_local, flight, ctx.0)
+        },
+        |ctx, k, (a_blk, b_blk)| {
+            let (timer, c, f, flops) = ctx;
+            // Bloom bits index the *global* inner dimension.
+            let k_offset = block_range(inner, q, k).start;
+            let partial = timer.time(phase::LOCAL_MULT, || {
+                spgemm_bloom::<S, _, _>(&*a_blk, &*b_blk, k_offset, threads)
             });
-            let f_block = f.block_mut();
-            partial.result.scan_rows(|r, cols, vals| {
-                for (&cc, &(_, bits)) in cols.iter().zip(vals) {
-                    f_block.combine_entry(r, cc, bits, |x, y| x | y);
-                }
+            **flops += partial.flops;
+            timer.time(phase::LOCAL_UPDATE, || {
+                let c_block = c.block_mut();
+                partial.result.scan_rows(|r, cols, vals| {
+                    for (&cc, &(v, _)) in cols.iter().zip(vals) {
+                        c_block.add_entry::<S>(r, cc, v);
+                    }
+                });
+                let f_block = f.block_mut();
+                partial.result.scan_rows(|r, cols, vals| {
+                    for (&cc, &(_, bits)) in cols.iter().zip(vals) {
+                        f_block.combine_entry(r, cc, bits, |x, y| x | y);
+                    }
+                });
             });
-        });
-    }
+        },
+    );
     (c, f, flops)
 }
 

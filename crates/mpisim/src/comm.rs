@@ -2,6 +2,7 @@
 
 use crate::message::{Payload, Tag};
 use crate::network::Endpoint;
+use crate::request::{self, ProgressEntry, RankIo, Request};
 use crate::stats::CommCategory;
 use dspgemm_util::hash::mix64;
 use dspgemm_util::WireSize;
@@ -22,7 +23,7 @@ use std::sync::Arc;
 /// `Comm` is intentionally **not** `Send`: it belongs to its rank's thread,
 /// just as an `MPI_Comm` belongs to its process.
 pub struct Comm {
-    endpoint: Rc<RefCell<Endpoint>>,
+    io: RankIo,
     /// World rank of each group member, indexed by group rank.
     members: Arc<[usize]>,
     /// This rank's position within `members`.
@@ -43,7 +44,7 @@ impl Comm {
     pub(crate) fn world(endpoint: Endpoint, size: usize) -> Self {
         let rank = endpoint.rank;
         Comm {
-            endpoint: Rc::new(RefCell::new(endpoint)),
+            io: RankIo::new(endpoint),
             members: (0..size).collect::<Vec<_>>().into(),
             my_rank: rank,
             comm_id: WORLD_COMM_ID,
@@ -91,7 +92,7 @@ impl Comm {
         bytes: u64,
     ) {
         let dst_world = self.members[dst];
-        self.endpoint.borrow().send_envelope(
+        self.io.endpoint.borrow().send_envelope(
             dst_world,
             self.comm_id,
             tag,
@@ -102,17 +103,17 @@ impl Comm {
     }
 
     fn recv_internal<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
+        self.recv_internal_with(src, tag, true)
+    }
+
+    /// `expose = false` skips exposed-time metering: used by pure
+    /// synchronization (the barrier), whose waiting is load-imbalance skew
+    /// rather than communication cost.
+    fn recv_internal_with<T: Send + 'static>(&self, src: usize, tag: Tag, expose: bool) -> T {
         let src_world = self.members[src];
-        let boxed: Box<dyn Any + Send> =
-            self.endpoint
-                .borrow_mut()
-                .recv_match(src_world, self.comm_id, tag);
-        *boxed.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "type mismatch receiving from rank {src} tag {tag:?}: expected {}",
-                std::any::type_name::<T>()
-            )
-        })
+        let (boxed, _sent_at, _blocked) =
+            request::recv_match(&self.io, src_world, self.comm_id, tag, expose);
+        downcast_payload(boxed, src, tag)
     }
 
     // ------------------------------------------------------------------
@@ -136,6 +137,10 @@ impl Comm {
     /// Combined send-to-`dst` / receive-from-`src` (deadlock-free, like
     /// `MPI_Sendrecv`). Used for Algorithm 1's transpose exchange, where
     /// process `(i, j)` swaps blocks with process `(j, i)`.
+    ///
+    /// Implemented in prepost-irecv form: the receive is posted before the
+    /// send, so both directions of the exchange are in flight at once and
+    /// the wait is pure arrival time.
     pub fn sendrecv<T: Send + WireSize + 'static, U: Send + 'static>(
         &self,
         dst: usize,
@@ -143,8 +148,9 @@ impl Comm {
         src: usize,
         tag: u64,
     ) -> U {
+        let recv = self.irecv::<U>(src, tag);
         self.send(dst, tag, send_value);
-        self.recv(src, tag)
+        recv.wait()
     }
 
     /// Zero-copy [`Comm::sendrecv`]: moves one `Arc` per direction instead
@@ -160,6 +166,201 @@ impl Comm {
         tag: u64,
     ) -> Arc<T> {
         self.sendrecv(dst, send_value, src, tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Nonblocking operations
+    // ------------------------------------------------------------------
+
+    /// Nonblocking send of `value` to group rank `dst` under user `tag`.
+    ///
+    /// Sends are buffered, so the operation completes at issue; the returned
+    /// request exists for call-site symmetry with `MPI_Isend` and must still
+    /// be waited (a no-op).
+    pub fn isend<T: Send + WireSize + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        value: T,
+    ) -> Request<()> {
+        self.send(dst, tag, value);
+        Request::ready(self.io.clone(), (), "isend")
+    }
+
+    /// Zero-copy [`Comm::isend`]: moves an `Arc` handle, metered at the
+    /// pointee's packed size.
+    pub fn isend_shared<T: Send + Sync + WireSize + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        value: Arc<T>,
+    ) -> Request<()> {
+        self.isend(dst, tag, value)
+    }
+
+    /// Nonblocking receive of a `T` from group rank `src` under user `tag`.
+    /// Complete with [`Request::wait`]; poll with [`Request::test`].
+    pub fn irecv<T: Send + 'static>(&self, src: usize, tag: u64) -> Request<T> {
+        let src_world = self.members[src];
+        let user_tag = Tag::user(tag);
+        Request::from_parts(
+            self.io.clone(),
+            vec![(src_world, self.comm_id, user_tag)],
+            Box::new(move |mut payloads| {
+                downcast_payload(payloads.pop().expect("one part"), src, user_tag)
+            }),
+            "irecv",
+        )
+    }
+
+    /// Nonblocking zero-copy receive of an `Arc<T>` (pairs with
+    /// [`Comm::isend_shared`] / [`Comm::sendrecv_shared`] senders).
+    pub fn irecv_shared<T: Send + Sync + 'static>(&self, src: usize, tag: u64) -> Request<Arc<T>> {
+        self.irecv(src, tag)
+    }
+
+    /// Nonblocking zero-copy broadcast: identical binomial tree, tag
+    /// sequencing and byte metering to [`Comm::bcast_shared`], but issued
+    /// immediately and completed later.
+    ///
+    /// The root performs its tree sends at issue. A non-root registers an
+    /// arrival action with the rank's progress engine: when the parent's
+    /// envelope is drained — inside *any* blocking or polling call on this
+    /// rank, not just this request's `wait` — the payload is forwarded to
+    /// the subtree children and the request becomes ready. This is what
+    /// lets a pipelined schedule keep round `k + 1`'s panels flowing while
+    /// every rank is busy multiplying round `k`.
+    pub fn ibcast_shared<T: Send + Sync + WireSize + 'static>(
+        &self,
+        root: usize,
+        value: Option<Arc<T>>,
+    ) -> Request<Arc<T>> {
+        let p = self.size();
+        // Single-rank short-circuit: no tag, no channel slot, no metering —
+        // identical to the blocking path's zero-overhead contract.
+        if p == 1 {
+            let v = value.expect("root must supply the broadcast value");
+            return Request::ready(self.io.clone(), v, "ibcast_shared");
+        }
+        let tag = self.next_coll_tag(0);
+        let vrank = (self.my_rank + p - root) % p;
+        let (parent, children) = bcast_tree_shape(p, vrank);
+        // Group-rank children translated to world ranks, preserving the
+        // blocking tree's decreasing-mask send order.
+        let child_worlds: Vec<usize> = children
+            .iter()
+            .map(|&cv| self.members[(cv + root) % p])
+            .collect();
+        match parent {
+            None => {
+                let v = value.expect("root must supply the broadcast value");
+                let ep = self.io.endpoint.borrow();
+                for &dst_world in &child_worlds {
+                    ep.send_envelope(
+                        dst_world,
+                        self.comm_id,
+                        tag,
+                        Payload::Value(Box::new(Arc::clone(&v))),
+                        CommCategory::Bcast,
+                        v.wire_bytes(),
+                    );
+                }
+                drop(ep);
+                Request::ready(self.io.clone(), v, "ibcast_shared")
+            }
+            Some(parent_vrank) => {
+                assert!(value.is_none(), "non-root rank passed a broadcast value");
+                let parent_world = self.members[(parent_vrank + root) % p];
+                type BcastSlot<T> = Rc<RefCell<Option<(Arc<T>, std::time::Instant)>>>;
+                let slot: BcastSlot<T> = Rc::new(RefCell::new(None));
+                let action_slot = Rc::clone(&slot);
+                let action_io = self.io.clone();
+                let comm_id = self.comm_id;
+                let action = Box::new(
+                    move |boxed: Box<dyn Any + Send>, sent_at: std::time::Instant| {
+                        let v = *boxed
+                            .downcast::<Arc<T>>()
+                            .expect("broadcast payload type mismatch");
+                        let ep = action_io.endpoint.borrow();
+                        for &dst_world in &child_worlds {
+                            ep.send_envelope(
+                                dst_world,
+                                comm_id,
+                                tag,
+                                Payload::Value(Box::new(Arc::clone(&v))),
+                                CommCategory::Bcast,
+                                v.wire_bytes(),
+                            );
+                        }
+                        drop(ep);
+                        *action_slot.borrow_mut() = Some((v, sent_at));
+                    },
+                );
+                // The parent's envelope may already be buffered (a peer ran
+                // ahead while this rank was blocked elsewhere): consume it
+                // now, otherwise register for arrival.
+                let buffered =
+                    self.io
+                        .endpoint
+                        .borrow_mut()
+                        .take_pending(parent_world, self.comm_id, tag);
+                match buffered {
+                    Some((payload, sent_at)) => action(payload, sent_at),
+                    None => self.io.progress.borrow_mut().register(ProgressEntry {
+                        src_world: parent_world,
+                        comm_id: self.comm_id,
+                        tag,
+                        action,
+                    }),
+                }
+                Request::from_slot(self.io.clone(), slot, "ibcast_shared")
+            }
+        }
+    }
+
+    /// Nonblocking personalized all-to-all: sends go out at issue (buffered),
+    /// the `p - 1` receives complete at `wait`/`test`. Result layout and
+    /// metering are identical to [`Comm::alltoallv`].
+    pub fn ialltoallv<T: Send + WireSize + 'static>(
+        &self,
+        mut out: Vec<Vec<T>>,
+    ) -> Request<Vec<Vec<T>>> {
+        let p = self.size();
+        assert_eq!(out.len(), p, "alltoallv needs one chunk per destination");
+        let tag = self.next_coll_tag(0);
+        let own = std::mem::take(&mut out[self.my_rank]);
+        for (dst, chunk_slot) in out.iter_mut().enumerate() {
+            if dst != self.my_rank {
+                let chunk = std::mem::take(chunk_slot);
+                let bytes = chunk.wire_bytes();
+                self.send_internal(dst, tag, chunk, CommCategory::Alltoall, bytes);
+            }
+        }
+        if p == 1 {
+            return Request::ready(self.io.clone(), vec![own], "ialltoallv");
+        }
+        let my_rank = self.my_rank;
+        let srcs: Vec<usize> = (0..p).filter(|&s| s != my_rank).collect();
+        let parts: Vec<(usize, u64, Tag)> = srcs
+            .iter()
+            .map(|&s| (self.members[s], self.comm_id, tag))
+            .collect();
+        Request::from_parts(
+            self.io.clone(),
+            parts,
+            Box::new(move |payloads| {
+                let mut result: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+                result[my_rank] = Some(own);
+                for (src, boxed) in srcs.into_iter().zip(payloads) {
+                    result[src] = Some(downcast_payload(boxed, src, tag));
+                }
+                result
+                    .into_iter()
+                    .map(|o| o.expect("chunk from every source"))
+                    .collect()
+            }),
+            "ialltoallv",
+        )
     }
 
     // ------------------------------------------------------------------
@@ -180,7 +381,7 @@ impl Comm {
             let src = (self.my_rank + p - k) % p;
             let tag = Self::coll_tag(base, round);
             self.send_internal(dst, tag, (), CommCategory::Barrier, 0);
-            let () = self.recv_internal(src, tag);
+            let () = self.recv_internal_with(src, tag, false);
             k <<= 1;
             round += 1;
         }
@@ -206,7 +407,7 @@ impl Comm {
     ) -> T {
         self.bcast_tree(root, value, |v| {
             if count_clones {
-                self.endpoint.borrow().record_payload_clone();
+                self.io.endpoint.borrow().record_payload_clone();
             }
             v.clone()
         })
@@ -248,32 +449,20 @@ impl Comm {
         }
         let tag = self.next_coll_tag(0);
         let vrank = (self.my_rank + p - root) % p;
-        let mut mask = 1usize;
-        let mut val: Option<T> = if vrank == 0 {
-            Some(value.expect("root must supply the broadcast value"))
-        } else {
-            assert!(value.is_none(), "non-root rank passed a broadcast value");
-            None
+        // One tree-shape source for the blocking and nonblocking broadcasts:
+        // edges, send order and metering cannot drift apart.
+        let (parent, children) = bcast_tree_shape(p, vrank);
+        let v: T = match parent {
+            None => value.expect("root must supply the broadcast value"),
+            Some(parent_vrank) => {
+                assert!(value.is_none(), "non-root rank passed a broadcast value");
+                self.recv_internal((parent_vrank + root) % p, tag)
+            }
         };
-        // Receive phase: find the subtree parent.
-        while mask < p {
-            if vrank & mask != 0 {
-                let src = (self.my_rank + p - mask) % p;
-                val = Some(self.recv_internal(src, tag));
-                break;
-            }
-            mask <<= 1;
-        }
-        // Send phase: forward to children with decreasing mask.
-        mask >>= 1;
-        let v = val.expect("broadcast value must have arrived");
-        while mask > 0 {
-            if vrank + mask < p {
-                let dst = (self.my_rank + mask) % p;
-                let bytes = v.wire_bytes();
-                self.send_internal(dst, tag, duplicate(&v), CommCategory::Bcast, bytes);
-            }
-            mask >>= 1;
+        for &child_vrank in &children {
+            let dst = (child_vrank + root) % p;
+            let bytes = v.wire_bytes();
+            self.send_internal(dst, tag, duplicate(&v), CommCategory::Bcast, bytes);
         }
         v
     }
@@ -300,7 +489,35 @@ impl Comm {
 
     /// Allgather: every rank contributes one value and receives the vector of
     /// all values in group-rank order (ring algorithm, `p - 1` rounds).
+    ///
+    /// Each ring round forwards `value.clone()`; payload-sized values should
+    /// use [`Comm::allgather_shared`], which moves `Arc` handles instead.
     pub fn allgather<T: Clone + Send + WireSize + 'static>(&self, value: T) -> Vec<T> {
+        self.allgather_ring(value, T::clone)
+    }
+
+    /// Zero-copy allgather: the same ring algorithm and metering as
+    /// [`Comm::allgather`], but every forward moves one `Arc<T>` handle — a
+    /// refcount increment, never a deep clone. `T` needs no `Clone` bound,
+    /// which statically guarantees this collective cannot copy the payload.
+    /// Each ring edge is metered at the pointee's packed size, so recorded
+    /// wire volume is byte-identical to the clone-based path.
+    pub fn allgather_shared<T: Send + Sync + WireSize + 'static>(
+        &self,
+        value: Arc<T>,
+    ) -> Vec<Arc<T>> {
+        self.allgather_ring(value, Arc::clone)
+    }
+
+    /// The one ring behind both [`Comm::allgather`] flavors. `duplicate`
+    /// produces the copy forwarded each round — a deep clone on the legacy
+    /// path, an `Arc` refcount increment on the shared path — so tags,
+    /// rounds and metering cannot drift apart between them.
+    fn allgather_ring<T: Send + WireSize + 'static>(
+        &self,
+        value: T,
+        mut duplicate: impl FnMut(&T) -> T,
+    ) -> Vec<T> {
         let p = self.size();
         let base = self.next_coll_tag(0);
         let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
@@ -316,7 +533,7 @@ impl Comm {
             // that originated at (rank - r - 1).
             let send_origin = (self.my_rank + p - r) % p;
             let recv_origin = (self.my_rank + p - r - 1) % p;
-            let v = slots[send_origin].clone().expect("value to forward");
+            let v = duplicate(slots[send_origin].as_ref().expect("value to forward"));
             let bytes = v.wire_bytes();
             self.send_internal(right, tag, v, CommCategory::Gather, bytes);
             slots[recv_origin] = Some(self.recv_internal(left, tag));
@@ -464,7 +681,7 @@ impl Comm {
         // same color on every member.
         let comm_id = mix64(self.comm_id ^ mix64(split_seq).rotate_left(17) ^ mix64(color));
         Comm {
-            endpoint: Rc::clone(&self.endpoint),
+            io: self.io.clone(),
             members: members.into(),
             my_rank,
             comm_id,
@@ -476,7 +693,7 @@ impl Comm {
     /// Poisons the network after a local panic so peers blocked in `recv`
     /// fail fast instead of deadlocking (runtime-internal).
     pub(crate) fn poison_network(&self) {
-        self.endpoint.borrow().poison_all();
+        self.io.endpoint.borrow().poison_all();
     }
 
     /// Snapshot of the *whole network's* communication counters — all ranks,
@@ -484,14 +701,14 @@ impl Comm {
     /// barrier-fenced measurement region) the delta of two snapshots is the
     /// exact traffic of that region. Intended for benchmark instrumentation.
     pub fn comm_stats(&self) -> crate::stats::CommStats {
-        self.endpoint.borrow().stats_snapshot()
+        self.io.endpoint.borrow().stats_snapshot()
     }
 
     /// Network-wide count of payload deep-clones performed by clone-based
     /// collectives so far (the clone-counting test hook). Fenced by barriers,
     /// the delta of two reads proves a region moved payloads zero-copy.
     pub fn payload_clones(&self) -> u64 {
-        self.endpoint.borrow().payload_clones()
+        self.io.endpoint.borrow().payload_clones()
     }
 
     /// Duplicates the communicator with an isolated tag namespace
@@ -501,7 +718,7 @@ impl Comm {
         self.split_seq.set(split_seq + 1);
         let comm_id = mix64(self.comm_id ^ mix64(split_seq).rotate_left(29));
         Comm {
-            endpoint: Rc::clone(&self.endpoint),
+            io: self.io.clone(),
             members: Arc::clone(&self.members),
             my_rank: self.my_rank,
             comm_id,
@@ -509,4 +726,41 @@ impl Comm {
             split_seq: Cell::new(0),
         }
     }
+}
+
+/// Downcasts a received payload, with the same diagnostic as the blocking
+/// receive path on type mismatch.
+fn downcast_payload<T: Send + 'static>(boxed: Box<dyn Any + Send>, src: usize, tag: Tag) -> T {
+    *boxed.downcast::<T>().unwrap_or_else(|_| {
+        panic!(
+            "type mismatch receiving from rank {src} tag {tag:?}: expected {}",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+/// Shape of the binomial broadcast tree at virtual rank `vrank` in a group
+/// of `p`: the parent (None at the root) and the children in the blocking
+/// tree's decreasing-mask send order. Extracted from `bcast_tree` so the
+/// nonblocking broadcast reproduces the exact same edges, order and
+/// metering.
+fn bcast_tree_shape(p: usize, vrank: usize) -> (Option<usize>, Vec<usize>) {
+    let mut mask = 1usize;
+    let mut parent = None;
+    while mask < p {
+        if vrank & mask != 0 {
+            parent = Some(vrank - mask);
+            break;
+        }
+        mask <<= 1;
+    }
+    let mut children = Vec::new();
+    mask >>= 1;
+    while mask > 0 {
+        if vrank + mask < p {
+            children.push(vrank + mask);
+        }
+        mask >>= 1;
+    }
+    (parent, children)
 }

@@ -13,7 +13,10 @@
 //!   non-overtaking order per (source, tag); collectives (barrier, bcast,
 //!   gather/allgather, alltoallv, reduce/allreduce, merge-reduce) with the
 //!   same call-order contract as MPI (SPMD: all ranks of a communicator call
-//!   the same collectives in the same order).
+//!   the same collectives in the same order); nonblocking operations
+//!   (`isend`/`irecv`/`ibcast_shared`/`ialltoallv` returning [`Request`]
+//!   handles with `wait`/`test`) whose progress happens inside blocking and
+//!   polling calls, mirroring MPI's no-progress-thread model.
 //! * **Cost structure**: message *counts* and *byte volumes* are exactly what
 //!   a real MPI run would transfer (computed via [`dspgemm_util::WireSize`]);
 //!   collective algorithms use the textbook trees (binomial bcast/reduce, ring
@@ -47,10 +50,12 @@
 mod comm;
 mod message;
 mod network;
+mod request;
 mod runtime;
 mod stats;
 
 pub use comm::Comm;
 pub use message::Tag;
+pub use request::{Overlap, Request};
 pub use runtime::{run, run_on, SimOutput};
 pub use stats::{CommCategory, CommStats, RankCommStats, NUM_CATEGORIES};

@@ -53,4 +53,10 @@ pub(crate) struct Envelope {
     pub tag: Tag,
     /// The value (or poison marker).
     pub payload: Payload,
+    /// When the sender pushed the envelope — in-process transfer is
+    /// instantaneous, so this is the moment the data became *available* to
+    /// the receiver. The nonblocking layer measures a request's
+    /// communication window against it (not against `wait`, which would
+    /// count post-arrival compute as communication).
+    pub sent_at: std::time::Instant,
 }

@@ -4,6 +4,7 @@ use crate::message::{Envelope, Payload, Tag};
 use crate::stats::{CommCategory, CommStats, Meter};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Shared state of a simulated cluster: `p` inboxes and the byte meter.
 pub(crate) struct Network {
@@ -38,6 +39,7 @@ impl Network {
             peers: self.senders.clone(),
             meter: Arc::clone(&self.meter),
             pending: Vec::new(),
+            blocked_ns: 0,
         }
     }
 
@@ -51,6 +53,11 @@ impl Network {
 }
 
 /// A single rank's connection to the network.
+///
+/// The endpoint only moves envelopes; *matching policy* (direct receives,
+/// the nonblocking progress engine) lives in `comm`/`request`, which drive
+/// the primitives below so that every blocking drain can advance pending
+/// collectives.
 pub(crate) struct Endpoint {
     pub(crate) rank: usize,
     inbox: Receiver<Envelope>,
@@ -58,6 +65,11 @@ pub(crate) struct Endpoint {
     meter: Arc<Meter>,
     /// Messages received but not yet matched (out-of-order arrivals).
     pending: Vec<Envelope>,
+    /// Cumulative nanoseconds this rank has spent blocked on the inbox
+    /// (all waits, including barriers). The nonblocking layer samples it at
+    /// request issue and completion so time blocked in *other* operations is
+    /// never misattributed as compute-overlapped communication.
+    blocked_ns: u64,
 }
 
 impl Endpoint {
@@ -78,6 +90,19 @@ impl Endpoint {
         self.meter.payload_clones()
     }
 
+    /// Records compute-hidden request lifetime for this rank (the
+    /// nonblocking layer's overlap attribution).
+    #[inline]
+    pub(crate) fn record_overlapped_ns(&self, ns: u64) {
+        self.meter.record_overlapped(self.rank, ns);
+    }
+
+    /// Cumulative nanoseconds this rank has spent blocked on the inbox.
+    #[inline]
+    pub(crate) fn blocked_ns_total(&self) -> u64 {
+        self.blocked_ns
+    }
+
     /// Sends an envelope, attributing `bytes` to `category`.
     pub(crate) fn send_envelope(
         &self,
@@ -94,6 +119,7 @@ impl Endpoint {
             comm_id,
             tag,
             payload,
+            sent_at: Instant::now(),
         };
         // A closed inbox means the peer already exited; with poison-on-panic
         // this only happens after a failure elsewhere, so fail loudly.
@@ -112,47 +138,71 @@ impl Endpoint {
                     comm_id: 0,
                     tag: Tag(0),
                     payload: Payload::Poison,
+                    sent_at: Instant::now(),
                 });
             }
         }
     }
 
-    /// Blocking receive matching `(comm_id, src_world, tag)`.
-    ///
-    /// Non-matching arrivals are buffered, preserving MPI's non-overtaking
-    /// guarantee per (source, comm, tag). Receipt of poison panics.
-    pub(crate) fn recv_match(
+    /// Takes an already-buffered envelope matching `(src, comm, tag)`, if
+    /// one arrived out of order earlier. Returns the payload and the moment
+    /// the sender made it available.
+    pub(crate) fn take_pending(
         &mut self,
         src_world: usize,
         comm_id: u64,
         tag: Tag,
-    ) -> Box<dyn std::any::Any + Send> {
-        // First check the out-of-order buffer.
-        if let Some(pos) = self
+    ) -> Option<(Box<dyn std::any::Any + Send>, Instant)> {
+        let pos = self
             .pending
             .iter()
-            .position(|e| e.src_world == src_world && e.comm_id == comm_id && e.tag == tag)
-        {
-            match self.pending.remove(pos).payload {
-                Payload::Value(v) => return v,
-                Payload::Poison => panic!("peer rank {src_world} panicked"),
-            }
+            .position(|e| e.src_world == src_world && e.comm_id == comm_id && e.tag == tag)?;
+        let env = self.pending.remove(pos);
+        match env.payload {
+            Payload::Value(v) => Some((v, env.sent_at)),
+            Payload::Poison => panic!("peer rank {src_world} panicked"),
         }
-        loop {
-            let env = self
-                .inbox
-                .recv()
-                .expect("network closed while waiting for message");
-            if matches!(env.payload, Payload::Poison) {
-                panic!("peer rank {} panicked", env.src_world);
-            }
-            if env.src_world == src_world && env.comm_id == comm_id && env.tag == tag {
-                match env.payload {
-                    Payload::Value(v) => return v,
-                    Payload::Poison => unreachable!(),
-                }
-            }
-            self.pending.push(env);
+    }
+
+    /// Buffers an envelope that matched neither the caller's receive nor a
+    /// registered progress action (preserves MPI's non-overtaking guarantee
+    /// per (source, comm, tag)).
+    pub(crate) fn buffer(&mut self, env: Envelope) {
+        self.pending.push(env);
+    }
+
+    /// Non-blocking poll of the inbox. Receipt of poison panics.
+    pub(crate) fn try_next(&mut self) -> Option<Envelope> {
+        let env = self.inbox.try_recv().ok()?;
+        if matches!(env.payload, Payload::Poison) {
+            panic!("peer rank {} panicked", env.src_world);
         }
+        Some(env)
+    }
+
+    /// Blocking receive of the next envelope, returning the time this rank
+    /// spent blocked. With `record_exposed`, the blocked time is recorded
+    /// into the meter as *exposed* communication time — callers pass `false`
+    /// for pure-synchronization waits (barriers), whose skew is
+    /// load-imbalance, not communication cost. Receipt of poison panics.
+    pub(crate) fn blocking_next(
+        &mut self,
+        record_exposed: bool,
+    ) -> (Envelope, std::time::Duration) {
+        let t = Instant::now();
+        let env = self
+            .inbox
+            .recv()
+            .expect("network closed while waiting for message");
+        let blocked = t.elapsed();
+        self.blocked_ns += blocked.as_nanos() as u64;
+        if record_exposed {
+            self.meter
+                .record_exposed(self.rank, blocked.as_nanos() as u64);
+        }
+        if matches!(env.payload, Payload::Poison) {
+            panic!("peer rank {} panicked", env.src_world);
+        }
+        (env, blocked)
     }
 }

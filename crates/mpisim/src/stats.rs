@@ -56,6 +56,15 @@ impl CommCategory {
 pub(crate) struct RankCounters {
     bytes: [AtomicU64; NUM_CATEGORIES],
     msgs: [AtomicU64; NUM_CATEGORIES],
+    /// Nanoseconds this rank spent *blocked* waiting for communication
+    /// (inside a blocking receive or a `Request::wait`) — the paper-relevant
+    /// "exposed" communication time that serializes against compute.
+    exposed_ns: AtomicU64,
+    /// Nanoseconds of nonblocking-request lifetime hidden under local
+    /// compute: for each completed request, `(completion - issue) -
+    /// blocked`. Communication that progressed while the rank did useful
+    /// work — the quantity the pipelined schedulers maximize.
+    overlapped_ns: AtomicU64,
 }
 
 impl RankCounters {
@@ -95,6 +104,23 @@ impl Meter {
         self.per_rank[src_world].record(cat, bytes);
     }
 
+    /// Adds blocked-waiting time for `rank` (exposed communication).
+    #[inline]
+    pub(crate) fn record_exposed(&self, rank: usize, ns: u64) {
+        self.per_rank[rank]
+            .exposed_ns
+            .fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Adds compute-hidden request lifetime for `rank` (overlapped
+    /// communication).
+    #[inline]
+    pub(crate) fn record_overlapped(&self, rank: usize, ns: u64) {
+        self.per_rank[rank]
+            .overlapped_ns
+            .fetch_add(ns, Ordering::Relaxed);
+    }
+
     #[inline]
     pub(crate) fn record_payload_clone(&self) {
         self.payload_clones.fetch_add(1, Ordering::Relaxed);
@@ -113,6 +139,8 @@ impl Meter {
                 .map(|rc| RankCommStats {
                     bytes: std::array::from_fn(|c| rc.bytes[c].load(Ordering::Relaxed)),
                     msgs: std::array::from_fn(|c| rc.msgs[c].load(Ordering::Relaxed)),
+                    exposed_ns: rc.exposed_ns.load(Ordering::Relaxed),
+                    overlapped_ns: rc.overlapped_ns.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -126,6 +154,11 @@ pub struct RankCommStats {
     pub bytes: [u64; NUM_CATEGORIES],
     /// Messages sent by this rank, per category.
     pub msgs: [u64; NUM_CATEGORIES],
+    /// Nanoseconds spent blocked waiting for communication (exposed).
+    pub exposed_ns: u64,
+    /// Nanoseconds of nonblocking-request lifetime hidden under compute
+    /// (overlapped).
+    pub overlapped_ns: u64,
 }
 
 impl RankCommStats {
@@ -178,6 +211,50 @@ impl CommStats {
             .unwrap_or(0)
     }
 
+    /// Total nanoseconds all ranks spent blocked waiting for communication
+    /// (exposed communication time).
+    pub fn total_exposed_ns(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.exposed_ns).sum()
+    }
+
+    /// Total nanoseconds of nonblocking-request lifetime hidden under local
+    /// compute (overlapped communication time).
+    pub fn total_overlapped_ns(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.overlapped_ns).sum()
+    }
+
+    /// Fraction of communication time that was hidden under compute:
+    /// `overlapped / (overlapped + exposed)`. Zero when nothing was
+    /// communicated.
+    pub fn overlap_ratio(&self) -> f64 {
+        let exposed = self.total_exposed_ns() as f64;
+        let overlapped = self.total_overlapped_ns() as f64;
+        if exposed + overlapped == 0.0 {
+            0.0
+        } else {
+            overlapped / (exposed + overlapped)
+        }
+    }
+
+    /// The deterministic volume counters only: a copy with the wall-clock
+    /// timing fields (`exposed_ns`, `overlapped_ns`) zeroed. Two runs of the
+    /// same program have equal `volume()` but never equal timings — use this
+    /// for byte/message-parity assertions.
+    pub fn volume(&self) -> CommStats {
+        CommStats {
+            per_rank: self
+                .per_rank
+                .iter()
+                .map(|r| RankCommStats {
+                    bytes: r.bytes,
+                    msgs: r.msgs,
+                    exposed_ns: 0,
+                    overlapped_ns: 0,
+                })
+                .collect(),
+        }
+    }
+
     /// Counter-wise difference `self - earlier`, for measuring a phase.
     ///
     /// # Panics
@@ -201,6 +278,14 @@ impl CommStats {
                             .checked_sub(before.msgs[c])
                             .expect("snapshot order")
                     }),
+                    exposed_ns: now
+                        .exposed_ns
+                        .checked_sub(before.exposed_ns)
+                        .expect("snapshot order"),
+                    overlapped_ns: now
+                        .overlapped_ns
+                        .checked_sub(before.overlapped_ns)
+                        .expect("snapshot order"),
                 })
                 .collect(),
         }

@@ -31,6 +31,15 @@ pub mod channel {
     #[derive(Debug)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// Every sender was dropped and the channel is drained.
+        Disconnected,
+    }
+
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender(self.0.clone())
@@ -48,6 +57,15 @@ pub mod channel {
         /// Blocks until a value arrives or every sender is dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking poll: returns immediately whether or not a value is
+        /// available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                std::sync::mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                std::sync::mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
         }
     }
 

@@ -40,9 +40,22 @@ impl Timer {
 ///
 /// Phase names are interned in first-use order so breakdowns print in a
 /// stable, caller-controlled order.
+///
+/// Communication phases additionally distinguish *exposed* time (the rank
+/// was blocked waiting — recorded with [`PhaseTimer::add`]/`time`, counted
+/// in [`PhaseTimer::total`]) from *overlapped* time (communication hidden
+/// under another phase's compute — recorded with
+/// [`PhaseTimer::add_overlapped`], excluded from `total`). Without the
+/// split, a pipelined schedule would double-count hidden communication:
+/// once under the compute phase whose wall clock covers it and once under
+/// the communication phase. `comm_total` (= exposed + overlapped) keeps the
+/// paper's Fig. 7/12 per-phase communication breakdowns reconstructible.
 #[derive(Debug, Default, Clone)]
 pub struct PhaseTimer {
     phases: Vec<(String, Duration)>,
+    /// Per-phase communication time hidden under compute (never part of
+    /// `total()`; a phase absent here has zero overlap).
+    overlapped: Vec<(String, Duration)>,
 }
 
 impl PhaseTimer {
@@ -77,20 +90,80 @@ impl PhaseTimer {
             .unwrap_or_default()
     }
 
-    /// All `(phase, duration)` entries in first-use order.
+    /// All `(phase, duration)` entries in first-use order. Durations are
+    /// *exposed* wall time only; overlapped communication lives in
+    /// [`PhaseTimer::comm_total`].
     pub fn entries(&self) -> &[(String, Duration)] {
         &self.phases
     }
 
-    /// Sum of all phase durations.
+    /// Sum of all phase durations (exposed wall time; phases partition the
+    /// wall clock, so overlapped communication is deliberately excluded —
+    /// its wall time already belongs to the compute phase that hid it).
     pub fn total(&self) -> Duration {
         self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Adds `d` of *overlapped* communication to phase `name`: time the
+    /// operation was in flight while another phase's compute ran. Not
+    /// counted in [`PhaseTimer::total`].
+    pub fn add_overlapped(&mut self, name: &str, d: Duration) {
+        if let Some(entry) = self.overlapped.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += d;
+        } else {
+            self.overlapped.push((name.to_string(), d));
+        }
+    }
+
+    /// All `(phase, overlapped duration)` entries in first-use order.
+    pub fn overlapped_entries(&self) -> &[(String, Duration)] {
+        &self.overlapped
+    }
+
+    /// Exposed communication time of a phase — what the rank actually waited
+    /// (identical to [`PhaseTimer::get`]; named accessor for breakdowns).
+    pub fn comm_exposed(&self, name: &str) -> Duration {
+        self.get(name)
+    }
+
+    /// Overlapped (compute-hidden) communication time of a phase.
+    pub fn comm_overlapped(&self, name: &str) -> Duration {
+        self.overlapped
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or_default()
+    }
+
+    /// Total communication time of a phase: exposed + overlapped. The
+    /// overlapped component ends at data *availability* (not at the wait),
+    /// so this is the phase's issue→data-ready dependency latency — the
+    /// Fig. 7/12-comparable per-phase communication cost. Pipelining moves
+    /// time from exposed to overlapped (and can shrink the total when
+    /// senders issue earlier); it never hides cost from this number.
+    pub fn comm_total(&self, name: &str) -> Duration {
+        self.get(name) + self.comm_overlapped(name)
+    }
+
+    /// Fraction of a phase's communication hidden under compute:
+    /// `overlapped / (exposed + overlapped)`; zero for a phase with no
+    /// recorded communication.
+    pub fn overlap_ratio(&self, name: &str) -> f64 {
+        let total = self.comm_total(name);
+        if total.is_zero() {
+            0.0
+        } else {
+            self.comm_overlapped(name).as_secs_f64() / total.as_secs_f64()
+        }
     }
 
     /// Merges another timer's phases into this one (summing shared phases).
     pub fn merge(&mut self, other: &PhaseTimer) {
         for (name, d) in &other.phases {
             self.add(name, *d);
+        }
+        for (name, d) in &other.overlapped {
+            self.add_overlapped(name, *d);
         }
     }
 
@@ -103,6 +176,13 @@ impl PhaseTimer {
                 entry.1 = entry.1.max(*d);
             } else {
                 self.phases.push((name.clone(), *d));
+            }
+        }
+        for (name, d) in &other.overlapped {
+            if let Some(entry) = self.overlapped.iter_mut().find(|(n, _)| n == name) {
+                entry.1 = entry.1.max(*d);
+            } else {
+                self.overlapped.push((name.clone(), *d));
             }
         }
     }
@@ -194,6 +274,32 @@ mod tests {
         assert_eq!(mx.get("x"), Duration::from_millis(5));
         assert_eq!(mx.get("y"), Duration::from_millis(10));
         assert_eq!(mx.get("z"), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn overlapped_comm_not_double_counted() {
+        let mut pt = PhaseTimer::new();
+        // A pipelined round: 2 ms exposed bcast wait, 8 ms of the broadcast
+        // hidden under 10 ms of local multiply.
+        pt.add("bcast", Duration::from_millis(2));
+        pt.add_overlapped("bcast", Duration::from_millis(8));
+        pt.add("local mult.", Duration::from_millis(10));
+        // total() partitions wall time: hidden comm is not double-counted.
+        assert_eq!(pt.total(), Duration::from_millis(12));
+        assert_eq!(pt.comm_exposed("bcast"), Duration::from_millis(2));
+        assert_eq!(pt.comm_overlapped("bcast"), Duration::from_millis(8));
+        assert_eq!(pt.comm_total("bcast"), Duration::from_millis(10));
+        assert!((pt.overlap_ratio("bcast") - 0.8).abs() < 1e-12);
+        assert_eq!(pt.overlap_ratio("local mult."), 0.0);
+        // merge and merge_max carry the overlapped component along.
+        let mut other = PhaseTimer::new();
+        other.add_overlapped("bcast", Duration::from_millis(4));
+        let mut sum = pt.clone();
+        sum.merge(&other);
+        assert_eq!(sum.comm_overlapped("bcast"), Duration::from_millis(12));
+        let mut mx = pt.clone();
+        mx.merge_max(&other);
+        assert_eq!(mx.comm_overlapped("bcast"), Duration::from_millis(8));
     }
 
     #[test]
