@@ -13,9 +13,10 @@
 //! refresh is then served from the maintained product's change feed.
 
 use dspgemm_core::distmat::DistMat;
+use dspgemm_core::exec::Exec;
 use dspgemm_core::grid::{block_range, Grid};
 use dspgemm_core::phase;
-use dspgemm_sparse::masked_mm::{masked_spgemm_bloom, MaskSet};
+use dspgemm_sparse::masked_mm::{masked_spgemm_bloom_with, MaskSet};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Csr, Dcsr};
 use dspgemm_util::stats::PhaseTimer;
@@ -31,6 +32,20 @@ pub fn masked_product<S: Semiring>(
     b: &DistMat<S::Elem>,
     mask: &MaskSet,
     threads: usize,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<(S::Elem, u64)>, u64) {
+    masked_product_exec::<S>(grid, a, b, mask, &Exec::new(threads), timer)
+}
+
+/// [`masked_product`] under an explicit [`Exec`] — the session's view
+/// refreshes run here, so candidate-pair rescans lease the session's pooled
+/// workspaces and report their per-thread flop split.
+pub fn masked_product_exec<S: Semiring>(
+    grid: &Grid,
+    a: &DistMat<S::Elem>,
+    b: &DistMat<S::Elem>,
+    mask: &MaskSet,
+    exec: &Exec<S>,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<(S::Elem, u64)>, u64) {
     assert_eq!(
@@ -68,8 +83,9 @@ pub fn masked_product<S: Semiring>(
         });
         let k_offset = block_range(a.info().ncols, q, k).start;
         let part = timer.time(phase::LOCAL_MULT, || {
-            masked_spgemm_bloom::<S, _, _>(&*a_blk, &*b_blk, mask, k_offset, threads)
+            masked_spgemm_bloom_with::<S, _, _>(&*a_blk, &*b_blk, mask, k_offset, exec.fused())
         });
+        timer.add_thread_flops(&part.thread_flops);
         flops += part.flops;
         acc = Some(match acc {
             None => part.result,

@@ -21,12 +21,13 @@
 
 use crate::view::{BatchDelta, PendingBatch, View, ViewCx, ViewId};
 use dspgemm_core::distmat::DistMat;
-use dspgemm_core::dyn_algebraic::apply_shared_algebraic_prebuilt_tracked;
+use dspgemm_core::dyn_algebraic::apply_shared_algebraic_prebuilt_tracked_exec;
 use dspgemm_core::dyn_general::{
-    apply_shared_general_prebuilt, prepare_general_update, GeneralUpdates,
+    apply_shared_general_prebuilt_exec, prepare_general_update, GeneralUpdates,
 };
+use dspgemm_core::exec::Exec;
 use dspgemm_core::grid::Grid;
-use dspgemm_core::summa::summa_bloom;
+use dspgemm_core::summa::summa_bloom_exec;
 use dspgemm_core::update::{build_update_matrix, Dedup};
 use dspgemm_mpi::Comm;
 use dspgemm_sparse::semiring::Semiring;
@@ -36,7 +37,9 @@ use dspgemm_util::stats::PhaseTimer;
 /// A serving session: dynamic graph + maintained product + view registry.
 pub struct AnalyticsSession<S: Semiring> {
     grid: Grid,
-    threads: usize,
+    /// Local compute configuration (threads, row schedule, workspace pools
+    /// persisting across every batch and view refresh).
+    exec: Exec<S>,
     a: DistMat<S::Elem>,
     c: DistMat<S::Elem>,
     f: DistMat<u64>,
@@ -66,12 +69,13 @@ impl<S: Semiring> AnalyticsSession<S> {
         triples: Vec<Triple<S::Elem>>,
     ) -> Self {
         let grid = Grid::new(comm);
+        let exec = Exec::new(threads);
         let mut timer = PhaseTimer::new();
         let a = DistMat::from_global_triples(&grid, n, n, triples, threads, &mut timer);
-        let (c, f, flops) = summa_bloom::<S>(&grid, &a, &a, threads, &mut timer);
+        let (c, f, flops) = summa_bloom_exec::<S>(&grid, &a, &a, &exec, &mut timer);
         Self {
             grid,
-            threads,
+            exec,
             a,
             c,
             f,
@@ -112,7 +116,8 @@ impl<S: Semiring> AnalyticsSession<S> {
             grid: &self.grid,
             a: &self.a,
             c: &self.c,
-            threads: self.threads,
+            exec: &self.exec,
+            threads: self.exec.threads,
         }
     }
 
@@ -159,13 +164,13 @@ impl<S: Semiring> AnalyticsSession<S> {
         for (_, v) in &mut views {
             v.pre_batch(&self.cx(), &PendingBatch::Algebraic { star: &star });
         }
-        let (cstar, flops) = apply_shared_algebraic_prebuilt_tracked::<S>(
+        let (cstar, flops) = apply_shared_algebraic_prebuilt_tracked_exec::<S>(
             &self.grid,
             &mut self.a,
             &mut self.c,
             &mut self.f,
             &star,
-            self.threads,
+            &self.exec,
             &mut self.timer,
         );
         self.flops += flops;
@@ -197,13 +202,13 @@ impl<S: Semiring> AnalyticsSession<S> {
         for (_, v) in &mut views {
             v.pre_batch(&self.cx(), &PendingBatch::General { prep: &prep });
         }
-        let (cstar_pattern, flops) = apply_shared_general_prebuilt::<S>(
+        let (cstar_pattern, flops) = apply_shared_general_prebuilt_exec::<S>(
             &self.grid,
             &mut self.a,
             &mut self.c,
             &mut self.f,
             &prep,
-            self.threads,
+            &self.exec,
             &mut self.timer,
         );
         self.flops += flops;

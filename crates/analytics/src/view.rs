@@ -19,6 +19,7 @@
 
 use dspgemm_core::distmat::DistMat;
 use dspgemm_core::dyn_general::PreparedGeneral;
+use dspgemm_core::exec::Exec;
 use dspgemm_core::grid::Grid;
 use dspgemm_core::DistDcsr;
 use dspgemm_sparse::semiring::Semiring;
@@ -33,7 +34,11 @@ pub struct ViewCx<'a, S: Semiring> {
     pub a: &'a DistMat<S::Elem>,
     /// The maintained product `C = A·A` — old/new like `a`.
     pub c: &'a DistMat<S::Elem>,
-    /// Intra-rank worker threads.
+    /// The session's local compute configuration: views that multiply
+    /// (masked rescans) lease the session's pooled workspaces through it.
+    pub exec: &'a Exec<S>,
+    /// Intra-rank worker threads (`= exec.threads`; kept for the
+    /// vector-shaped views whose `spmv` kernels take a bare thread count).
     pub threads: usize,
 }
 

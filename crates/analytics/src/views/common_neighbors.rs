@@ -10,7 +10,7 @@
 //! delta proves changed — `O(nnz(C*))` mask probes and `O(1)` lookups into
 //! the maintained product, no extra communication at all.
 
-use crate::masked_product::masked_product;
+use crate::masked_product::masked_product_exec;
 use crate::view::{BatchDelta, View, ViewCx};
 use dspgemm_core::grid::{owner_block, Grid};
 use dspgemm_sparse::masked_mm::MaskSet;
@@ -143,14 +143,8 @@ impl<S: Semiring> View<S> for CommonNeighborsView<S> {
         // Evaluate them with one masked product (flops pruned to candidate
         // rows; see crate::masked_product for the communication trade).
         let mut timer = PhaseTimer::new();
-        let (block, flops) = masked_product::<S>(
-            cx.grid,
-            cx.a,
-            cx.a,
-            &self.local_mask,
-            cx.threads,
-            &mut timer,
-        );
+        let (block, flops) =
+            masked_product_exec::<S>(cx.grid, cx.a, cx.a, &self.local_mask, cx.exec, &mut timer);
         self.bootstrap_flops = flops;
         self.scores.clear();
         block.scan_rows(|lr, cols, vals| {

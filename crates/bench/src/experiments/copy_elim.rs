@@ -245,7 +245,11 @@ where
             result.push_row(r, &cols_buf, &vals_buf);
         }
     }
-    MmOutput { result, flops }
+    MmOutput {
+        result,
+        flops,
+        thread_flops: Vec::new(),
+    }
 }
 
 /// Local-kernel arm: full-adjacency square product `A·A`, per-row-`Vec`

@@ -487,8 +487,17 @@ pub fn fig12(cfg: &Config) -> Table {
             cell(&per_p[2]),
         ]);
     }
+    // Thread-level load balance of the local kernels, alongside the comm
+    // columns: max/mean over the per-thread flop counters.
+    t.push_row(vec![
+        "flop imbalance (max/mean)".to_string(),
+        format!("{:.2}", per_p[0].flop_imbalance()),
+        format!("{:.2}", per_p[1].flop_imbalance()),
+        format!("{:.2}", per_p[2].flop_imbalance()),
+    ]);
     t.note("bcast grows with p; local mult / reduce-scatter scale down (paper Fig. 12)");
     t.note("comm phases show comm_total = exposed + overlapped; '% hidden' = overlap ratio");
+    t.note("flop imbalance = max/mean over per-thread kernel flop counters (1.00 = even split)");
     t
 }
 

@@ -30,28 +30,38 @@
 //! maintain the filter matrix `F`) and `COMPUTE_PATTERN` of Algorithm 2.
 
 use crate::distmat::{DistDcsr, DistMat, Elem};
+use crate::exec::Exec;
 use crate::grid::{block_range, Grid};
 use crate::phase;
 use crate::pipeline::{await_into_phase, run_rounds, Schedule};
-use crate::update::{apply_add, build_update_matrix, Dedup};
+use crate::update::{apply_add_exec, build_update_matrix, Dedup};
 use dspgemm_mpi::Request;
-use dspgemm_sparse::local_mm::{spgemm, spgemm_bloom, spgemm_pattern, MmOutput};
+use dspgemm_sparse::local_mm::{
+    spgemm_bloom_with, spgemm_pattern_with, spgemm_with, KernelPlan, MmOutput,
+};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Dcsr, DhbMatrix, Index, RowScan, Triple};
 use dspgemm_util::stats::PhaseTimer;
 use std::sync::Arc;
 
-/// The local multiply/merge flavor plugged into the round structure.
+/// The local multiply/merge flavor plugged into the round structure. Each
+/// kernel selects its payload-matching workspace pool from the session's
+/// [`Exec`] via [`XYKernel::plan`], so every flavor runs scheduled and
+/// pooled.
 pub trait XYKernel<S: Semiring>: 'static {
     /// Partial-block element type.
     type Out: Elem;
+
+    /// The [`KernelPlan`] (schedule + pooled workspaces) this flavor runs
+    /// under, drawn from the session's [`Exec`].
+    fn plan(exec: &Exec<S>) -> KernelPlan<'_, Self::Out>;
 
     /// `X = A*_{k,i} · B'_{i,j}` (hypersparse left, dynamic right).
     fn mul_x(
         a_star: &Dcsr<S::Elem>,
         b_new: &DhbMatrix<S::Elem>,
         k_offset: Index,
-        threads: usize,
+        plan: KernelPlan<'_, Self::Out>,
     ) -> MmOutput<Self::Out>;
 
     /// `Y = A_{i,j} · B*_{j,k}` (dynamic left, hypersparse right via the
@@ -60,7 +70,7 @@ pub trait XYKernel<S: Semiring>: 'static {
         a_old: &DhbMatrix<S::Elem>,
         b_star: &Dcsr<S::Elem>,
         k_offset: Index,
-        threads: usize,
+        plan: KernelPlan<'_, Self::Out>,
     ) -> MmOutput<Self::Out>;
 
     /// Combines coinciding entries during aggregation.
@@ -74,22 +84,26 @@ pub struct PlainKernel;
 impl<S: Semiring> XYKernel<S> for PlainKernel {
     type Out = S::Elem;
 
+    fn plan(exec: &Exec<S>) -> KernelPlan<'_, S::Elem> {
+        exec.plain()
+    }
+
     fn mul_x(
         a_star: &Dcsr<S::Elem>,
         b_new: &DhbMatrix<S::Elem>,
         _k_offset: Index,
-        threads: usize,
+        plan: KernelPlan<'_, S::Elem>,
     ) -> MmOutput<S::Elem> {
-        spgemm::<S, _, _>(a_star, b_new, threads)
+        spgemm_with::<S, _, _>(a_star, b_new, plan)
     }
 
     fn mul_y(
         a_old: &DhbMatrix<S::Elem>,
         b_star: &Dcsr<S::Elem>,
         _k_offset: Index,
-        threads: usize,
+        plan: KernelPlan<'_, S::Elem>,
     ) -> MmOutput<S::Elem> {
-        spgemm::<S, _, _>(a_old, &b_star.row_reader(), threads)
+        spgemm_with::<S, _, _>(a_old, &b_star.row_reader(), plan)
     }
 
     fn merge(a: S::Elem, b: S::Elem) -> S::Elem {
@@ -104,22 +118,26 @@ pub struct BloomKernel;
 impl<S: Semiring> XYKernel<S> for BloomKernel {
     type Out = (S::Elem, u64);
 
+    fn plan(exec: &Exec<S>) -> KernelPlan<'_, (S::Elem, u64)> {
+        exec.fused()
+    }
+
     fn mul_x(
         a_star: &Dcsr<S::Elem>,
         b_new: &DhbMatrix<S::Elem>,
         k_offset: Index,
-        threads: usize,
+        plan: KernelPlan<'_, (S::Elem, u64)>,
     ) -> MmOutput<(S::Elem, u64)> {
-        spgemm_bloom::<S, _, _>(a_star, b_new, k_offset, threads)
+        spgemm_bloom_with::<S, _, _>(a_star, b_new, k_offset, plan)
     }
 
     fn mul_y(
         a_old: &DhbMatrix<S::Elem>,
         b_star: &Dcsr<S::Elem>,
         k_offset: Index,
-        threads: usize,
+        plan: KernelPlan<'_, (S::Elem, u64)>,
     ) -> MmOutput<(S::Elem, u64)> {
-        spgemm_bloom::<S, _, _>(a_old, &b_star.row_reader(), k_offset, threads)
+        spgemm_bloom_with::<S, _, _>(a_old, &b_star.row_reader(), k_offset, plan)
     }
 
     fn merge(a: (S::Elem, u64), b: (S::Elem, u64)) -> (S::Elem, u64) {
@@ -134,22 +152,26 @@ pub struct PatternKernel;
 impl<S: Semiring> XYKernel<S> for PatternKernel {
     type Out = u64;
 
+    fn plan(exec: &Exec<S>) -> KernelPlan<'_, u64> {
+        exec.pattern()
+    }
+
     fn mul_x(
         a_star: &Dcsr<S::Elem>,
         b_new: &DhbMatrix<S::Elem>,
         k_offset: Index,
-        threads: usize,
+        plan: KernelPlan<'_, u64>,
     ) -> MmOutput<u64> {
-        spgemm_pattern(a_star, b_new, k_offset, threads)
+        spgemm_pattern_with(a_star, b_new, k_offset, plan)
     }
 
     fn mul_y(
         a_old: &DhbMatrix<S::Elem>,
         b_star: &Dcsr<S::Elem>,
         k_offset: Index,
-        threads: usize,
+        plan: KernelPlan<'_, u64>,
     ) -> MmOutput<u64> {
-        spgemm_pattern(a_old, &b_star.row_reader(), k_offset, threads)
+        spgemm_pattern_with(a_old, &b_star.row_reader(), k_offset, plan)
     }
 
     fn merge(a: u64, b: u64) -> u64 {
@@ -171,6 +193,28 @@ pub fn compute_cstar<S: Semiring, K: XYKernel<S>>(
     a_star: &DistDcsr<S::Elem>,
     b_star: &DistDcsr<S::Elem>,
     threads: usize,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<K::Out>, u64) {
+    compute_cstar_exec::<S, K>(
+        grid,
+        a_old,
+        b_new,
+        a_star,
+        b_star,
+        &Exec::new(threads),
+        timer,
+    )
+}
+
+/// [`compute_cstar`] under an explicit [`Exec`] (persistent workspace pools
+/// + row schedule).
+pub fn compute_cstar_exec<S: Semiring, K: XYKernel<S>>(
+    grid: &Grid,
+    a_old: &DistMat<S::Elem>,
+    b_new: &DistMat<S::Elem>,
+    a_star: &DistDcsr<S::Elem>,
+    b_star: &DistDcsr<S::Elem>,
+    exec: &Exec<S>,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<K::Out>, u64) {
     let q = grid.q();
@@ -263,9 +307,10 @@ pub fn compute_cstar<S: Semiring, K: XYKernel<S>>(
                         &a_bcast,
                         b_new.block(),
                         block_range(inner, q, i).start,
-                        threads,
+                        K::plan(exec),
                     )
                 });
+                timer.add_thread_flops(&x_part.thread_flops);
                 **flops += x_part.flops;
                 let x_red = timer.time(phase::REDUCE_SCATTER, || {
                     grid.col_comm()
@@ -283,9 +328,10 @@ pub fn compute_cstar<S: Semiring, K: XYKernel<S>>(
                         a_old.block(),
                         &b_bcast,
                         block_range(inner, q, j).start,
-                        threads,
+                        K::plan(exec),
                     )
                 });
+                timer.add_thread_flops(&y_part.thread_flops);
                 **flops += y_part.flops;
                 let y_red = timer.time(phase::REDUCE_SCATTER, || {
                     grid.row_comm()
@@ -332,6 +378,18 @@ pub fn compute_cstar_shared<S: Semiring, K: XYKernel<S>>(
     star: &DistDcsr<S::Elem>,
     apply: impl FnOnce(&mut DistMat<S::Elem>),
     threads: usize,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<K::Out>, u64) {
+    compute_cstar_shared_exec::<S, K>(grid, a, star, apply, &Exec::new(threads), timer)
+}
+
+/// [`compute_cstar_shared`] under an explicit [`Exec`].
+pub fn compute_cstar_shared_exec<S: Semiring, K: XYKernel<S>>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    star: &DistDcsr<S::Elem>,
+    apply: impl FnOnce(&mut DistMat<S::Elem>),
+    exec: &Exec<S>,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<K::Out>, u64) {
     assert_eq!(
@@ -397,9 +455,10 @@ pub fn compute_cstar_shared<S: Semiring, K: XYKernel<S>>(
                         a_ref.block(),
                         &b_bcast,
                         block_range(inner, q, j).start,
-                        threads,
+                        K::plan(exec),
                     )
                 });
+                timer.add_thread_flops(&y_part.thread_flops);
                 **flops += y_part.flops;
                 let y_red = timer.time(phase::REDUCE_SCATTER, || {
                     grid.row_comm()
@@ -442,9 +501,10 @@ pub fn compute_cstar_shared<S: Semiring, K: XYKernel<S>>(
                         &a_bcast,
                         a_ref.block(),
                         block_range(inner, q, i).start,
-                        threads,
+                        K::plan(exec),
                     )
                 });
+                timer.add_thread_flops(&x_part.thread_flops);
                 **flops += x_part.flops;
                 let x_red = timer.time(phase::REDUCE_SCATTER, || {
                     grid.col_comm()
@@ -485,12 +545,26 @@ pub fn apply_shared_algebraic_prebuilt<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<S::Elem>, u64) {
-    let (cstar, flops) = compute_cstar_shared::<S, PlainKernel>(
+    apply_shared_algebraic_prebuilt_exec::<S>(grid, a, c, star, &Exec::new(threads), timer)
+}
+
+/// [`apply_shared_algebraic_prebuilt`] under an explicit [`Exec`] — the
+/// analytics session's entry point, so view refreshes reuse the session's
+/// pooled workspaces.
+pub fn apply_shared_algebraic_prebuilt_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    star: &DistDcsr<S::Elem>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<S::Elem>, u64) {
+    let (cstar, flops) = compute_cstar_shared_exec::<S, PlainKernel>(
         grid,
         a,
         star,
-        |m| apply_add::<S>(m, star, threads),
-        threads,
+        |m| apply_add_exec::<S>(m, star, exec),
+        exec,
         timer,
     );
     timer.time(phase::LOCAL_UPDATE, || {
@@ -516,12 +590,33 @@ pub fn apply_shared_algebraic_prebuilt_tracked<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<(S::Elem, u64)>, u64) {
-    let (cstar, flops) = compute_cstar_shared::<S, BloomKernel>(
+    apply_shared_algebraic_prebuilt_tracked_exec::<S>(
+        grid,
+        a,
+        c,
+        f,
+        star,
+        &Exec::new(threads),
+        timer,
+    )
+}
+
+/// [`apply_shared_algebraic_prebuilt_tracked`] under an explicit [`Exec`].
+pub fn apply_shared_algebraic_prebuilt_tracked_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    f: &mut DistMat<u64>,
+    star: &DistDcsr<S::Elem>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<(S::Elem, u64)>, u64) {
+    let (cstar, flops) = compute_cstar_shared_exec::<S, BloomKernel>(
         grid,
         a,
         star,
-        |m| apply_add::<S>(m, star, threads),
-        threads,
+        |m| apply_add_exec::<S>(m, star, exec),
+        exec,
         timer,
     );
     timer.time(phase::LOCAL_UPDATE, || {
@@ -551,6 +646,31 @@ pub fn apply_algebraic_updates<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> u64 {
+    apply_algebraic_updates_exec::<S>(
+        grid,
+        a,
+        b,
+        c,
+        a_tuples,
+        b_tuples,
+        &Exec::new(threads),
+        timer,
+    )
+}
+
+/// [`apply_algebraic_updates`] under an explicit [`Exec`] — the engine's
+/// entry point, so consecutive update batches reuse the session pools.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_algebraic_updates_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    b: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    a_tuples: Vec<Triple<S::Elem>>,
+    b_tuples: Vec<Triple<S::Elem>>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> u64 {
     let (a_star, b_star) = timer.time(phase::SCATTER, || {
         let mut inner = PhaseTimer::new();
         let a_star = build_update_matrix::<S>(
@@ -575,12 +695,12 @@ pub fn apply_algebraic_updates<S: Semiring>(
     // Eq. 1 ordering: B must be B' during the multiplication, A must still
     // be the old A.
     timer.time(phase::LOCAL_UPDATE, || {
-        apply_add::<S>(b, &b_star, threads);
+        apply_add_exec::<S>(b, &b_star, exec);
     });
     let (cstar, flops) =
-        compute_cstar::<S, PlainKernel>(grid, a, b, &a_star, &b_star, threads, timer);
+        compute_cstar_exec::<S, PlainKernel>(grid, a, b, &a_star, &b_star, exec, timer);
     timer.time(phase::LOCAL_UPDATE, || {
-        apply_add::<S>(a, &a_star, threads);
+        apply_add_exec::<S>(a, &a_star, exec);
         let block = c.block_mut();
         cstar.scan_rows(|r, cols, vals| {
             for (&cc, &v) in cols.iter().zip(vals) {
@@ -606,6 +726,32 @@ pub fn apply_algebraic_updates_tracked<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> u64 {
+    apply_algebraic_updates_tracked_exec::<S>(
+        grid,
+        a,
+        b,
+        c,
+        f,
+        a_tuples,
+        b_tuples,
+        &Exec::new(threads),
+        timer,
+    )
+}
+
+/// [`apply_algebraic_updates_tracked`] under an explicit [`Exec`].
+#[allow(clippy::too_many_arguments)]
+pub fn apply_algebraic_updates_tracked_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    b: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    f: &mut DistMat<u64>,
+    a_tuples: Vec<Triple<S::Elem>>,
+    b_tuples: Vec<Triple<S::Elem>>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> u64 {
     let (a_star, b_star) = timer.time(phase::SCATTER, || {
         let mut inner = PhaseTimer::new();
         let a_star = build_update_matrix::<S>(
@@ -627,12 +773,12 @@ pub fn apply_algebraic_updates_tracked<S: Semiring>(
         (a_star, b_star)
     });
     timer.time(phase::LOCAL_UPDATE, || {
-        apply_add::<S>(b, &b_star, threads);
+        apply_add_exec::<S>(b, &b_star, exec);
     });
     let (cstar, flops) =
-        compute_cstar::<S, BloomKernel>(grid, a, b, &a_star, &b_star, threads, timer);
+        compute_cstar_exec::<S, BloomKernel>(grid, a, b, &a_star, &b_star, exec, timer);
     timer.time(phase::LOCAL_UPDATE, || {
-        apply_add::<S>(a, &a_star, threads);
+        apply_add_exec::<S>(a, &a_star, exec);
         let c_block = c.block_mut();
         let f_block = f.block_mut();
         cstar.scan_rows(|r, cols, vals| {
@@ -649,6 +795,7 @@ pub fn apply_algebraic_updates_tracked<S: Semiring>(
 mod tests {
     use super::*;
     use crate::summa::summa;
+    use crate::update::apply_add;
     use dspgemm_mpi::run;
     use dspgemm_sparse::dense::Dense;
     use dspgemm_sparse::semiring::U64Plus;

@@ -21,13 +21,14 @@
 //!    became structurally zero ⇒ delete), and `H` replaces them in `F`.
 
 use crate::distmat::{DistDcsr, DistMat, Elem};
-use crate::dyn_algebraic::{compute_cstar, compute_cstar_shared, PatternKernel};
+use crate::dyn_algebraic::{compute_cstar_exec, compute_cstar_shared_exec, PatternKernel};
+use crate::exec::Exec;
 use crate::grid::{block_range, Grid};
 use crate::phase;
 use crate::pipeline::{await_into_phase, run_rounds, Schedule};
-use crate::update::{apply_mask, apply_merge, build_update_matrix, Dedup};
+use crate::update::{apply_mask_exec, apply_merge_exec, build_update_matrix, Dedup};
 use dspgemm_sparse::bloom::row_or_reduce;
-use dspgemm_sparse::masked_mm::{masked_spgemm_bloom, MaskSet};
+use dspgemm_sparse::masked_mm::{masked_spgemm_bloom_with, MaskSet};
 use dspgemm_sparse::ops::extract_filtered;
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Dcsr, Index, RowScan, Triple};
@@ -121,7 +122,7 @@ fn masked_recompute_rounds<S: Semiring>(
     cstar_structure: &Arc<Dcsr<()>>,
     right: &dspgemm_sparse::DhbMatrix<S::Elem>,
     inner: Index,
-    threads: usize,
+    exec: &Exec<S>,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<(S::Elem, u64)>, u64) {
     let q = grid.q();
@@ -158,14 +159,15 @@ fn masked_recompute_rounds<S: Semiring>(
             // table).
             let z_part = timer.time(phase::LOCAL_MULT, || {
                 let mask = MaskSet::from_pattern(&cstar_bcast);
-                masked_spgemm_bloom::<S, _, _>(
+                masked_spgemm_bloom_with::<S, _, _>(
                     &*ar_bcast,
                     right,
                     &mask,
                     block_range(inner, q, i).start,
-                    threads,
+                    exec.fused(),
                 )
             });
+            timer.add_thread_flops(&z_part.thread_flops);
             **flops += z_part.flops;
             let z_red = timer.time(phase::REDUCE_SCATTER, || {
                 grid.col_comm().reduce(k, z_part.result, |x, y| {
@@ -200,6 +202,24 @@ pub fn apply_general_updates<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> u64 {
+    apply_general_updates_exec::<S>(grid, a, b, c, f, a_upd, b_upd, &Exec::new(threads), timer)
+}
+
+/// [`apply_general_updates`] under an explicit [`Exec`] — the engine's
+/// entry point, so the pattern pass and masked recomputation lease from the
+/// session pools.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_general_updates_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    b: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    f: &mut DistMat<u64>,
+    a_upd: GeneralUpdates<S::Elem>,
+    b_upd: GeneralUpdates<S::Elem>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> u64 {
     let inner = a.info().ncols;
 
     // --- Update matrices (redistribution = "scatter"). ---
@@ -214,18 +234,18 @@ pub fn apply_general_updates<S: Semiring>(
 
     // --- B ← B' (Eq. 1 needs B' during pattern computation). ---
     timer.time(phase::LOCAL_UPDATE, || {
-        apply_merge::<S>(b, &b_ops.set_mat, threads);
-        apply_mask::<S>(b, &b_ops.del_mat, threads);
+        apply_merge_exec::<S>(b, &b_ops.set_mat, exec);
+        apply_mask_exec::<S>(b, &b_ops.del_mat, exec);
     });
 
     // --- COMPUTE_PATTERN: C* pattern + F* bits at each owner. ---
     let (cstar, mut flops) =
-        compute_cstar::<S, PatternKernel>(grid, a, b, &a_ops.star, &b_ops.star, threads, timer);
+        compute_cstar_exec::<S, PatternKernel>(grid, a, b, &a_ops.star, &b_ops.star, exec, timer);
 
     // --- A ← A' (the masked recomputation reads the *new* A). ---
     timer.time(phase::LOCAL_UPDATE, || {
-        apply_merge::<S>(a, &a_ops.set_mat, threads);
-        apply_mask::<S>(a, &a_ops.del_mat, threads);
+        apply_merge_exec::<S>(a, &a_ops.set_mat, exec);
+        apply_mask_exec::<S>(a, &a_ops.del_mat, exec);
     });
 
     // --- E = (F ⊕ F*) masked at C*; R = row-wise OR, allreduced over the
@@ -277,15 +297,8 @@ pub fn apply_general_updates<S: Semiring>(
     // --- √p rounds: bcast A^R over rows, C* over columns, masked multiply,
     // merge-reduce Z/H onto owners (pipelined). ---
     let cstar_structure: Arc<Dcsr<()>> = Arc::new(cstar.map(|_| ()));
-    let (z, z_flops) = masked_recompute_rounds::<S>(
-        grid,
-        &ar_t,
-        &cstar_structure,
-        b.block(),
-        inner,
-        threads,
-        timer,
-    );
+    let (z, z_flops) =
+        masked_recompute_rounds::<S>(grid, &ar_t, &cstar_structure, b.block(), inner, exec, timer);
     flops += z_flops;
 
     // --- Merge Z into C and H into F, masked at C*: recomputed entries are
@@ -339,18 +352,31 @@ pub fn apply_shared_general_prebuilt<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<u64>, u64) {
+    apply_shared_general_prebuilt_exec::<S>(grid, a, c, f, prep, &Exec::new(threads), timer)
+}
+
+/// [`apply_shared_general_prebuilt`] under an explicit [`Exec`].
+pub fn apply_shared_general_prebuilt_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    f: &mut DistMat<u64>,
+    prep: &PreparedGeneral<S::Elem>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<u64>, u64) {
     let inner = a.info().ncols;
 
     // --- COMPUTE_PATTERN around the in-place update A → A'. ---
-    let (cstar, mut flops) = compute_cstar_shared::<S, PatternKernel>(
+    let (cstar, mut flops) = compute_cstar_shared_exec::<S, PatternKernel>(
         grid,
         a,
         &prep.star,
         |m| {
-            apply_merge::<S>(m, &prep.set_mat, threads);
-            apply_mask::<S>(m, &prep.del_mat, threads);
+            apply_merge_exec::<S>(m, &prep.set_mat, exec);
+            apply_mask_exec::<S>(m, &prep.del_mat, exec);
         },
-        threads,
+        exec,
         timer,
     );
 
@@ -399,15 +425,8 @@ pub fn apply_shared_general_prebuilt<S: Semiring>(
     // --- √p rounds: bcast A^R over rows, C* over columns, masked multiply
     // against A' itself, merge-reduce Z/H onto owners (pipelined). ---
     let cstar_structure: Arc<Dcsr<()>> = Arc::new(cstar.map(|_| ()));
-    let (z, z_flops) = masked_recompute_rounds::<S>(
-        grid,
-        &ar_t,
-        &cstar_structure,
-        a.block(),
-        inner,
-        threads,
-        timer,
-    );
+    let (z, z_flops) =
+        masked_recompute_rounds::<S>(grid, &ar_t, &cstar_structure, a.block(), inner, exec, timer);
     flops += z_flops;
 
     // --- Merge Z into C and H into F, masked at C*. ---

@@ -8,10 +8,11 @@
 //! tests against static recomputation.
 
 use crate::distmat::DistMat;
-use crate::dyn_algebraic::{apply_algebraic_updates, apply_algebraic_updates_tracked};
-use crate::dyn_general::{apply_general_updates, GeneralUpdates};
+use crate::dyn_algebraic::{apply_algebraic_updates_exec, apply_algebraic_updates_tracked_exec};
+use crate::dyn_general::{apply_general_updates_exec, GeneralUpdates};
+use crate::exec::Exec;
 use crate::grid::Grid;
-use crate::summa::{summa, summa_bloom};
+use crate::summa::{summa_bloom_exec, summa_exec};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::Triple;
 use dspgemm_util::stats::PhaseTimer;
@@ -27,8 +28,10 @@ pub struct DynSpGemm<S: Semiring> {
     /// The Bloom filter matrix `F` (present iff the session tracks filters,
     /// which is required before general updates can be applied).
     pub f: Option<DistMat<u64>>,
-    /// Intra-rank thread count (the paper's OpenMP `T`).
-    pub threads: usize,
+    /// Local compute configuration: thread count (the paper's OpenMP `T`),
+    /// row schedule, and the workspace pools that persist across every
+    /// update batch and recomputation of this session.
+    pub exec: Exec<S>,
     /// Accumulated per-phase timings (Fig. 7 / Fig. 12 breakdowns).
     pub timer: PhaseTimer,
     /// Accumulated local scalar-multiplication count.
@@ -46,12 +49,24 @@ impl<S: Semiring> DynSpGemm<S> {
         threads: usize,
         track_filter: bool,
     ) -> Self {
+        Self::new_with_exec(grid, a, b, Exec::new(threads), track_filter)
+    }
+
+    /// [`DynSpGemm::new`] with an explicit local compute configuration
+    /// (row schedule ablations, pre-warmed pools). Collective over the grid.
+    pub fn new_with_exec(
+        grid: &Grid,
+        a: DistMat<S::Elem>,
+        b: DistMat<S::Elem>,
+        exec: Exec<S>,
+        track_filter: bool,
+    ) -> Self {
         let mut timer = PhaseTimer::new();
         let (c, f, flops) = if track_filter {
-            let (c, f, flops) = summa_bloom::<S>(grid, &a, &b, threads, &mut timer);
+            let (c, f, flops) = summa_bloom_exec::<S>(grid, &a, &b, &exec, &mut timer);
             (c, Some(f), flops)
         } else {
-            let (c, flops) = summa::<S>(grid, &a, &b, threads, &mut timer);
+            let (c, flops) = summa_exec::<S>(grid, &a, &b, &exec, &mut timer);
             (c, None, flops)
         };
         Self {
@@ -59,10 +74,15 @@ impl<S: Semiring> DynSpGemm<S> {
             b,
             c,
             f,
-            threads,
+            exec,
             timer,
             flops,
         }
+    }
+
+    /// Intra-rank thread count (the paper's OpenMP `T`).
+    pub fn threads(&self) -> usize {
+        self.exec.threads
     }
 
     /// Applies a batch of **algebraic** updates (`A' = A + A*`,
@@ -75,7 +95,7 @@ impl<S: Semiring> DynSpGemm<S> {
         b_updates: Vec<Triple<S::Elem>>,
     ) {
         self.flops += match &mut self.f {
-            Some(f) => apply_algebraic_updates_tracked::<S>(
+            Some(f) => apply_algebraic_updates_tracked_exec::<S>(
                 grid,
                 &mut self.a,
                 &mut self.b,
@@ -83,17 +103,17 @@ impl<S: Semiring> DynSpGemm<S> {
                 f,
                 a_updates,
                 b_updates,
-                self.threads,
+                &self.exec,
                 &mut self.timer,
             ),
-            None => apply_algebraic_updates::<S>(
+            None => apply_algebraic_updates_exec::<S>(
                 grid,
                 &mut self.a,
                 &mut self.b,
                 &mut self.c,
                 a_updates,
                 b_updates,
-                self.threads,
+                &self.exec,
                 &mut self.timer,
             ),
         };
@@ -116,7 +136,7 @@ impl<S: Semiring> DynSpGemm<S> {
             .f
             .as_mut()
             .expect("general updates require a session created with track_filter = true");
-        self.flops += apply_general_updates::<S>(
+        self.flops += apply_general_updates_exec::<S>(
             grid,
             &mut self.a,
             &mut self.b,
@@ -124,7 +144,7 @@ impl<S: Semiring> DynSpGemm<S> {
             f,
             a_updates,
             b_updates,
-            self.threads,
+            &self.exec,
             &mut self.timer,
         );
     }
@@ -135,12 +155,12 @@ impl<S: Semiring> DynSpGemm<S> {
     pub fn recompute_static(&mut self, grid: &Grid) {
         if self.f.is_some() {
             let (c, f, flops) =
-                summa_bloom::<S>(grid, &self.a, &self.b, self.threads, &mut self.timer);
+                summa_bloom_exec::<S>(grid, &self.a, &self.b, &self.exec, &mut self.timer);
             self.c = c;
             self.f = Some(f);
             self.flops += flops;
         } else {
-            let (c, flops) = summa::<S>(grid, &self.a, &self.b, self.threads, &mut self.timer);
+            let (c, flops) = summa_exec::<S>(grid, &self.a, &self.b, &self.exec, &mut self.timer);
             self.c = c;
             self.flops += flops;
         }

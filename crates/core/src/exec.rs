@@ -1,0 +1,100 @@
+//! The per-session local compute configuration: thread count, row schedule,
+//! and the workspace pools every SpGEMM path leases from.
+//!
+//! [`Exec`] is what turns the sparse crate's per-call
+//! [`KernelPlan`](dspgemm_sparse::local_mm::KernelPlan) into a *session*
+//! resource: one `Exec` lives in the engine (or is built transiently per
+//! collective call) and hands out plans whose pooled workspaces persist
+//! across SUMMA rounds, dynamic X/Y passes, masked recomputes and analytics
+//! refreshes — so the pipelined rounds of `crate::pipeline` reuse their
+//! SPA scratch and flat output buffers instead of reallocating per round.
+//!
+//! Three pools are kept because the kernel payloads differ: plain values
+//! (`S::Elem`), value+Bloom fusion (`(S::Elem, u64)`), and pattern bits
+//! (`u64`). [`crate::dyn_algebraic::XYKernel::plan`] selects the right one.
+
+use dspgemm_sparse::local_mm::KernelPlan;
+use dspgemm_sparse::semiring::Semiring;
+use dspgemm_sparse::workspace::WorkspacePool;
+use dspgemm_util::par::RowSchedule;
+
+/// Local-kernel execution context for one semiring: intra-rank thread
+/// count, row schedule, and the per-payload workspace pools.
+#[derive(Debug)]
+pub struct Exec<S: Semiring> {
+    /// Intra-rank worker threads (the paper's OpenMP `T`).
+    pub threads: usize,
+    /// Row-to-worker assignment policy for every local multiply.
+    pub schedule: RowSchedule,
+    plain: WorkspacePool<S::Elem>,
+    fused: WorkspacePool<(S::Elem, u64)>,
+    pattern: WorkspacePool<u64>,
+}
+
+impl<S: Semiring> Exec<S> {
+    /// Flop-balanced execution with `threads` workers (the default).
+    pub fn new(threads: usize) -> Self {
+        Self::with_schedule(threads, RowSchedule::default())
+    }
+
+    /// Execution with an explicit [`RowSchedule`] (ablation arms).
+    pub fn with_schedule(threads: usize, schedule: RowSchedule) -> Self {
+        Self {
+            threads,
+            schedule,
+            plain: WorkspacePool::new(),
+            fused: WorkspacePool::new(),
+            pattern: WorkspacePool::new(),
+        }
+    }
+
+    /// Plan for plain-valued kernels (`spgemm`).
+    pub fn plain(&self) -> KernelPlan<'_, S::Elem> {
+        KernelPlan::with_schedule(self.threads, self.schedule).pooled(&self.plain)
+    }
+
+    /// Plan for Bloom-fused kernels (`spgemm_bloom`, `masked_spgemm_bloom`).
+    pub fn fused(&self) -> KernelPlan<'_, (S::Elem, u64)> {
+        KernelPlan::with_schedule(self.threads, self.schedule).pooled(&self.fused)
+    }
+
+    /// Plan for pattern kernels (`spgemm_pattern`).
+    pub fn pattern(&self) -> KernelPlan<'_, u64> {
+        KernelPlan::with_schedule(self.threads, self.schedule).pooled(&self.pattern)
+    }
+
+    /// Total heap bytes idling in the three pools (workspace-reuse
+    /// regression signal; see
+    /// [`WorkspacePool::heap_bytes`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.plain.heap_bytes() + self.fused.heap_bytes() + self.pattern.heap_bytes()
+    }
+
+    /// Stashed workspace counts per pool `(plain, fused, pattern)`.
+    pub fn stashed(&self) -> (usize, usize, usize) {
+        (
+            self.plain.stashed(),
+            self.fused.stashed(),
+            self.pattern.stashed(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspgemm_sparse::semiring::U64Plus;
+
+    #[test]
+    fn plans_carry_schedule_threads_and_pools() {
+        let exec = Exec::<U64Plus>::with_schedule(3, RowSchedule::WorkStealing);
+        let p = exec.plain();
+        assert_eq!(p.threads, 3);
+        assert_eq!(p.schedule, RowSchedule::WorkStealing);
+        assert!(p.pool.is_some());
+        assert!(exec.fused().pool.is_some());
+        assert!(exec.pattern().pool.is_some());
+        assert_eq!(exec.stashed(), (0, 0, 0));
+        assert_eq!(exec.heap_bytes(), 0);
+    }
+}

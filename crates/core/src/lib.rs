@@ -31,6 +31,10 @@
 //!   broadcast/multiply rounds of every SpGEMM path over the nonblocking
 //!   collectives so round `k + 1`'s panels are in flight while round `k`'s
 //!   local multiply runs (communication/compute overlap).
+//! * [`exec`] — the session-level local compute configuration
+//!   ([`exec::Exec`]): thread count, skew-aware row schedule, and the
+//!   pooled per-thread kernel workspaces every SpGEMM path leases from, so
+//!   pipelined rounds stop reallocating accumulators.
 //!
 //! Beyond the two per-engine algorithms, [`dyn_algebraic`] and
 //! [`dyn_general`] also export *shared-operand* variants
@@ -74,6 +78,7 @@ pub mod distmat;
 pub mod dyn_algebraic;
 pub mod dyn_general;
 pub mod engine;
+pub mod exec;
 pub mod grid;
 pub mod pipeline;
 pub mod redistribute;
@@ -83,6 +88,7 @@ pub mod update;
 
 pub use distmat::{DistDcsr, DistMat};
 pub use engine::DynSpGemm;
+pub use exec::Exec;
 pub use grid::Grid;
 
 /// Phase names used by the SpGEMM breakdown (the paper's Fig. 12 series).

@@ -22,11 +22,12 @@
 //! wire volume (enforced by `tests/overlap.rs`).
 
 use crate::distmat::DistMat;
+use crate::exec::Exec;
 use crate::grid::{block_range, Grid};
 use crate::phase;
 use crate::pipeline::{await_into_phase, run_rounds, Schedule};
 use dspgemm_mpi::Request;
-use dspgemm_sparse::local_mm::{spgemm, spgemm_bloom};
+use dspgemm_sparse::local_mm::{spgemm_bloom_with, spgemm_with};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Csr, RowScan};
 use dspgemm_util::stats::PhaseTimer;
@@ -128,7 +129,20 @@ pub fn summa<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> (DistMat<S::Elem>, u64) {
-    summa_with::<S>(grid, a, b, threads, timer, Schedule::Overlap)
+    summa_exec::<S>(grid, a, b, &Exec::new(threads), timer)
+}
+
+/// [`summa`] under an explicit [`Exec`] (persistent workspace pools + row
+/// schedule): the engine/session entry point — pooled buffers live across
+/// rounds *and* across calls.
+pub fn summa_exec<S: Semiring>(
+    grid: &Grid,
+    a: &DistMat<S::Elem>,
+    b: &DistMat<S::Elem>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> (DistMat<S::Elem>, u64) {
+    summa_with::<S>(grid, a, b, exec, timer, Schedule::Overlap)
 }
 
 /// [`summa`] on the serialized schedule (each round's broadcast completes
@@ -142,14 +156,14 @@ pub fn summa_blocking<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> (DistMat<S::Elem>, u64) {
-    summa_with::<S>(grid, a, b, threads, timer, Schedule::Blocking)
+    summa_with::<S>(grid, a, b, &Exec::new(threads), timer, Schedule::Blocking)
 }
 
 fn summa_with<S: Semiring>(
     grid: &Grid,
     a: &DistMat<S::Elem>,
     b: &DistMat<S::Elem>,
-    threads: usize,
+    exec: &Exec<S>,
     timer: &mut PhaseTimer,
     schedule: Schedule,
 ) -> (DistMat<S::Elem>, u64) {
@@ -176,8 +190,9 @@ fn summa_with<S: Semiring>(
         |ctx, _k, (a_blk, b_blk)| {
             let (timer, c, flops) = ctx;
             let partial = timer.time(phase::LOCAL_MULT, || {
-                spgemm::<S, _, _>(&*a_blk, &*b_blk, threads)
+                spgemm_with::<S, _, _>(&*a_blk, &*b_blk, exec.plain())
             });
+            timer.add_thread_flops(&partial.thread_flops);
             **flops += partial.flops;
             timer.time(phase::LOCAL_UPDATE, || {
                 let block = c.block_mut();
@@ -202,7 +217,18 @@ pub fn summa_bloom<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> (DistMat<S::Elem>, DistMat<u64>, u64) {
-    summa_bloom_with::<S>(grid, a, b, threads, timer, Schedule::Overlap)
+    summa_bloom_exec::<S>(grid, a, b, &Exec::new(threads), timer)
+}
+
+/// [`summa_bloom`] under an explicit [`Exec`] (see [`summa_exec`]).
+pub fn summa_bloom_exec<S: Semiring>(
+    grid: &Grid,
+    a: &DistMat<S::Elem>,
+    b: &DistMat<S::Elem>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> (DistMat<S::Elem>, DistMat<u64>, u64) {
+    summa_bloom_with::<S>(grid, a, b, exec, timer, Schedule::Overlap)
 }
 
 /// [`summa_bloom`] on the serialized schedule (the `repro overlap`
@@ -214,14 +240,14 @@ pub fn summa_bloom_blocking<S: Semiring>(
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> (DistMat<S::Elem>, DistMat<u64>, u64) {
-    summa_bloom_with::<S>(grid, a, b, threads, timer, Schedule::Blocking)
+    summa_bloom_with::<S>(grid, a, b, &Exec::new(threads), timer, Schedule::Blocking)
 }
 
 fn summa_bloom_with<S: Semiring>(
     grid: &Grid,
     a: &DistMat<S::Elem>,
     b: &DistMat<S::Elem>,
-    threads: usize,
+    exec: &Exec<S>,
     timer: &mut PhaseTimer,
     schedule: Schedule,
 ) -> (DistMat<S::Elem>, DistMat<u64>, u64) {
@@ -250,8 +276,9 @@ fn summa_bloom_with<S: Semiring>(
             // Bloom bits index the *global* inner dimension.
             let k_offset = block_range(inner, q, k).start;
             let partial = timer.time(phase::LOCAL_MULT, || {
-                spgemm_bloom::<S, _, _>(&*a_blk, &*b_blk, k_offset, threads)
+                spgemm_bloom_with::<S, _, _>(&*a_blk, &*b_blk, k_offset, exec.fused())
             });
+            timer.add_thread_flops(&partial.thread_flops);
             **flops += partial.flops;
             timer.time(phase::LOCAL_UPDATE, || {
                 let c_block = c.block_mut();

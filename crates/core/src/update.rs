@@ -133,6 +133,17 @@ pub fn apply_add<S: Semiring>(mat: &mut DistMat<S::Elem>, upd: &DistDcsr<S::Elem
     apply_update_matrix::<S>(mat, upd, ApplyOp::Add, threads);
 }
 
+/// [`apply_add`] driven by a session [`Exec`](crate::exec::Exec) (the
+/// engine's path: one configuration object carries the thread count through
+/// kernels and apply operators alike).
+pub fn apply_add_exec<S: Semiring>(
+    mat: &mut DistMat<S::Elem>,
+    upd: &DistDcsr<S::Elem>,
+    exec: &crate::exec::Exec<S>,
+) {
+    apply_add::<S>(mat, upd, exec.threads);
+}
+
 /// `MERGE(A, A*)`: replaces the value of every position non-zero in `A*`
 /// (inserting new entries). Local-only.
 pub fn apply_merge<S: Semiring>(
@@ -143,6 +154,15 @@ pub fn apply_merge<S: Semiring>(
     apply_update_matrix::<S>(mat, upd, ApplyOp::Merge, threads);
 }
 
+/// [`apply_merge`] driven by a session [`Exec`](crate::exec::Exec).
+pub fn apply_merge_exec<S: Semiring>(
+    mat: &mut DistMat<S::Elem>,
+    upd: &DistDcsr<S::Elem>,
+    exec: &crate::exec::Exec<S>,
+) {
+    apply_merge::<S>(mat, upd, exec.threads);
+}
+
 /// `MASK(A, A*)`: deletes every position of `A` that is non-zero in `A*`.
 /// Local-only.
 pub fn apply_mask<S: Semiring>(
@@ -151,6 +171,15 @@ pub fn apply_mask<S: Semiring>(
     threads: usize,
 ) {
     apply_update_matrix::<S>(mat, upd, ApplyOp::Mask, threads);
+}
+
+/// [`apply_mask`] driven by a session [`Exec`](crate::exec::Exec).
+pub fn apply_mask_exec<S: Semiring>(
+    mat: &mut DistMat<S::Elem>,
+    upd: &DistDcsr<S::Elem>,
+    exec: &crate::exec::Exec<S>,
+) {
+    apply_mask::<S>(mat, upd, exec.threads);
 }
 
 /// Inserts block-local triples into a DHB block with `(row mod T)`

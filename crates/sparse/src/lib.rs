@@ -14,8 +14,13 @@
 //!   hash indices, modelled on the DHB data structure the paper builds on
 //!   (the paper's reference \[27\]): expected O(1) insert/update/delete of a non-zero.
 //! * [`spa`] — sparse accumulators for Gustavson's row-wise product.
+//! * [`workspace`] — pooled per-thread kernel workspaces (SPA scratch + flat
+//!   output buffers) leased per multiply, so pipelined rounds stop
+//!   reallocating.
 //! * [`local_mm`] — Gustavson SpGEMM over any semiring, with flop accounting,
-//!   optionally fused with Bloom-filter tracking (Section V-B).
+//!   optionally fused with Bloom-filter tracking (Section V-B), scheduled
+//!   over flop-balanced or work-stealing row ranges
+//!   ([`local_mm::KernelPlan`]).
 //! * [`masked_mm`] — output-masked SpGEMM used by the general dynamic
 //!   algorithm (recompute only entries masked by `C*`).
 //! * [`bloom`] — the ℓ=64-bit Bloom-filter bitfields `F`, `F*`, `E`, `R`.
@@ -38,6 +43,7 @@ pub mod ops;
 pub mod semiring;
 pub mod spa;
 pub mod triple;
+pub mod workspace;
 
 pub use csr::Csr;
 pub use dcsr::Dcsr;

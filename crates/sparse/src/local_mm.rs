@@ -25,9 +25,14 @@
 
 use crate::dcsr::Dcsr;
 use crate::semiring::Semiring;
-use crate::spa::Spa;
+use crate::workspace::{KernelWorkspace, WorkspaceLease, WorkspacePool};
 use crate::{Index, RowRead, RowScan};
-use dspgemm_util::par::parallel_map_ranges;
+use dspgemm_util::par::{
+    parallel_map_ranges_init, parallel_map_stealing, split_ranges, split_ranges_by_weight,
+    STEAL_CHUNKS_PER_THREAD,
+};
+
+pub use dspgemm_util::par::RowSchedule;
 
 /// Result of a local multiplication: the product block plus the scalar
 /// multiplication count (the paper's `flops` metric).
@@ -37,12 +42,93 @@ pub struct MmOutput<A> {
     pub result: Dcsr<A>,
     /// Number of scalar semiring multiplications performed.
     pub flops: u64,
+    /// Per-worker-thread split of `flops` (index = intra-rank thread id;
+    /// length = the call's thread count). `max/mean` over this vector is the
+    /// kernel's load-imbalance metric.
+    pub thread_flops: Vec<u64>,
+}
+
+/// Scheduling and workspace context for one kernel call: the intra-rank
+/// thread count, the [`RowSchedule`], and (optionally) the workspace pool
+/// buffers are leased from. `Copy`, so call sites pass it by value.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelPlan<'p, A> {
+    /// Intra-rank worker threads (the paper's OpenMP `T`).
+    pub threads: usize,
+    /// How rows are assigned to workers.
+    pub schedule: RowSchedule,
+    /// Pool to lease per-thread workspaces from; `None` builds ephemeral
+    /// workspaces (one allocation set per call — the pre-pooling behavior).
+    pub pool: Option<&'p WorkspacePool<A>>,
+}
+
+impl<A: Copy> KernelPlan<'_, A> {
+    /// Flop-balanced, unpooled plan — the default the `threads`-only kernel
+    /// entry points use.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            schedule: RowSchedule::default(),
+            pool: None,
+        }
+    }
+
+    /// Plan with an explicit schedule (the `repro balance` ablation arms).
+    pub fn with_schedule(threads: usize, schedule: RowSchedule) -> Self {
+        Self {
+            threads,
+            schedule,
+            pool: None,
+        }
+    }
+}
+
+impl<'p, A: Copy> KernelPlan<'p, A> {
+    /// Attaches a workspace pool.
+    pub fn pooled(mut self, pool: &'p WorkspacePool<A>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    fn lease(&self) -> PlanLease<'p, A> {
+        match self.pool {
+            Some(pool) => PlanLease::Pooled(pool.lease()),
+            None => PlanLease::Owned(KernelWorkspace::new()),
+        }
+    }
+}
+
+/// A workspace obtained through a [`KernelPlan`]: pooled (returns on drop)
+/// or ephemeral.
+enum PlanLease<'p, A: Copy> {
+    Pooled(WorkspaceLease<'p, A>),
+    Owned(KernelWorkspace<A>),
+}
+
+impl<A: Copy> std::ops::Deref for PlanLease<'_, A> {
+    type Target = KernelWorkspace<A>;
+    fn deref(&self) -> &KernelWorkspace<A> {
+        match self {
+            PlanLease::Pooled(l) => l,
+            PlanLease::Owned(w) => w,
+        }
+    }
+}
+
+impl<A: Copy> std::ops::DerefMut for PlanLease<'_, A> {
+    fn deref_mut(&mut self) -> &mut KernelWorkspace<A> {
+        match self {
+            PlanLease::Pooled(l) => &mut *l,
+            PlanLease::Owned(w) => w,
+        }
+    }
 }
 
 /// Worker result: the rows produced by one contiguous range, in the flat
 /// `(rows, row_ptr, cols, vals)` form of [`Dcsr::from_parts`]. Each worker
 /// drains its SPA straight into these buffers — no per-row `Vec`, no
 /// intermediate `(col, val)` pairs.
+#[derive(Debug)]
 pub(crate) struct FlatRows<A> {
     pub(crate) rows: Vec<Index>,
     pub(crate) row_ptr: Vec<usize>,
@@ -69,22 +155,45 @@ impl<A> FlatRows<A> {
         self.rows.push(row);
         self.row_ptr.push(self.cols.len());
     }
+
+    /// Empties the buffers, keeping their capacity (pool recycling).
+    pub(crate) fn clear(&mut self) {
+        self.rows.clear();
+        self.row_ptr.clear();
+        self.row_ptr.push(0);
+        self.cols.clear();
+        self.vals.clear();
+        self.flops = 0;
+    }
+
+    /// Capacity-held heap bytes (workspace-reuse accounting).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.rows.capacity() * std::mem::size_of::<Index>()
+            + self.row_ptr.capacity() * std::mem::size_of::<usize>()
+            + self.cols.capacity() * std::mem::size_of::<Index>()
+            + self.vals.capacity() * std::mem::size_of::<A>()
+    }
 }
 
 /// Concatenates per-range flat outputs into one [`Dcsr`]. The single-range
 /// case moves the buffers into the result without copying; multi-range
 /// output is assembled with exact `nnz`/row reservations and one bulk append
-/// per range.
+/// per range, after which the parts' buffers are recycled into `pool`.
 pub(crate) fn assemble<A: Copy>(
     nrows: Index,
     ncols: Index,
     mut parts: Vec<FlatRows<A>>,
+    pool: Option<&WorkspacePool<A>>,
 ) -> MmOutput<A> {
     let flops = parts.iter().map(|p| p.flops).sum();
     if parts.len() == 1 {
         let p = parts.pop().expect("one part");
         let result = Dcsr::from_parts(nrows, ncols, p.rows, p.row_ptr, p.cols, p.vals);
-        return MmOutput { result, flops };
+        return MmOutput {
+            result,
+            flops,
+            thread_flops: Vec::new(),
+        };
     }
     let nnz: usize = parts.iter().map(|p| p.cols.len()).sum();
     let stored_rows: usize = parts.iter().map(|p| p.rows.len()).sum();
@@ -92,15 +201,209 @@ pub(crate) fn assemble<A: Copy>(
     for p in &parts {
         result.append_rows_flat(&p.rows, &p.row_ptr, &p.cols, &p.vals);
     }
-    MmOutput { result, flops }
+    if let Some(pool) = pool {
+        for p in parts {
+            pool.put_flat(p);
+        }
+    }
+    MmOutput {
+        result,
+        flops,
+        thread_flops: Vec::new(),
+    }
+}
+
+/// Upper bound on one row's flops (and therefore its output non-zeros):
+/// `Σ_k |B[k, :]|` over the row's stored columns. Drives both the
+/// flop-weighted range split and the per-row dense-vs-hash SPA choice.
+#[inline]
+pub(crate) fn row_flop_bound<VB, R: RowRead<VB>>(b: &R, acols: &[Index]) -> u64 {
+    acols.iter().map(|&k| b.row(k).0.len() as u64).sum()
+}
+
+/// Per-stored-row flop upper bounds of `a · b`, as ascending
+/// `(row, weight)` pairs — the input of [`split_ranges_by_weight`]. One
+/// O(nnz(A)) pass with O(1) row-length lookups into `b`.
+pub(crate) fn stored_row_weights<VA, VB>(
+    a: &impl RowScan<VA>,
+    b: &impl RowRead<VB>,
+) -> Vec<(usize, u64)> {
+    let mut weights = Vec::new();
+    a.scan_rows(|i, acols, _| {
+        weights.push((i as usize, row_flop_bound(b, acols)));
+    });
+    weights
+}
+
+/// The scheduled kernel driver shared by every local SpGEMM flavor: builds
+/// the row ranges for the plan's [`RowSchedule`], runs `body` over them with
+/// one (leased) [`KernelWorkspace`] per worker, and assembles the per-range
+/// flat outputs in row order — so the result is bit-identical across
+/// schedules and thread counts.
+///
+/// `weights` is invoked only by [`RowSchedule::FlopBalanced`] (the other
+/// schedules never pay the estimation pass); its per-range capped sums
+/// double as output-capacity reservations, additionally clamped to
+/// `reservation_cap` — the kernel's own bound on its *total* output
+/// (`u64::MAX` when none; the masked kernel passes the mask size, whose
+/// pruning the unmasked weights cannot see). Kernel bodies recompute each
+/// row's bound inline (they need it for flop accounting and the SPA choice
+/// under *every* schedule) — under `FlopBalanced` that repeats the O(1)
+/// row-length lookups of the estimation pass, a deliberate trade: the
+/// lookups touch exactly the `B` row headers the multiply reads next, and
+/// threading the weights vector into four kernel bodies would buy that
+/// O(nnz(A)) back at the cost of cursor plumbing in every kernel.
+pub(crate) fn run_scheduled<A, W, F>(
+    plan: KernelPlan<'_, A>,
+    nrows: Index,
+    ncols: Index,
+    reservation_cap: u64,
+    weights: W,
+    body: F,
+) -> MmOutput<A>
+where
+    A: Copy + Send,
+    W: FnOnce() -> Vec<(usize, u64)>,
+    F: Fn(&mut KernelWorkspace<A>, std::ops::Range<usize>) + Sync,
+{
+    let threads = plan.threads.max(1);
+    let n = nrows as usize;
+    if threads == 1 || n == 0 {
+        // Inline: no scheduling decision to make, no estimation pass.
+        let mut ws = plan.lease();
+        body(&mut ws, 0..n);
+        let part = ws.take_out();
+        let flops = part.flops;
+        let mut out = assemble(nrows, ncols, vec![part], plan.pool);
+        out.thread_flops = vec![flops];
+        return out;
+    }
+    match plan.schedule {
+        RowSchedule::Contiguous | RowSchedule::FlopBalanced => {
+            let mut reservations: Vec<u64> = Vec::new();
+            let ranges = if plan.schedule == RowSchedule::Contiguous {
+                split_ranges(n, threads)
+            } else {
+                let w = weights();
+                let ranges = split_ranges_by_weight(n, threads, &w);
+                // Output-capacity upper bounds per range: a row emits at
+                // most min(w_i, ncols) entries, so the per-row-capped sum
+                // is tight even when a hub row's flop bound dwarfs ncols
+                // (the uncapped sum could reserve orders of magnitude too
+                // much, and pooled buffers never shrink). One pass over
+                // `w`: ranges are sorted, disjoint and cover 0..n, and `w`
+                // is ascending by row.
+                reservations = vec![0u64; ranges.len()];
+                let mut ri = 0;
+                for &(row, wt) in &w {
+                    while !ranges[ri].contains(&row) {
+                        ri += 1;
+                    }
+                    reservations[ri] += wt.min(ncols as u64);
+                }
+                for r in &mut reservations {
+                    *r = (*r).min(reservation_cap);
+                }
+                ranges
+            };
+            let parts = parallel_map_ranges_init(
+                ranges,
+                |t| {
+                    let mut ws = plan.lease();
+                    if let Some(&bound) = reservations.get(t) {
+                        ws.reserve_out(bound.min(isize::MAX as u64 / 16) as usize);
+                    }
+                    ws
+                },
+                |ws, range| {
+                    body(ws, range);
+                    ws.take_out()
+                },
+            );
+            let thread_flops: Vec<u64> = parts.iter().map(|p| p.flops).collect();
+            let mut out = assemble(nrows, ncols, parts, plan.pool);
+            out.thread_flops = thread_flops;
+            out
+        }
+        RowSchedule::WorkStealing => {
+            // Each worker accumulates every chunk it steals into its single
+            // flat buffer set, recording per-chunk watermarks; assembly then
+            // slices the chunks back out in chunk order. One buffer set per
+            // worker (not per chunk) keeps the pool bounded: `threads` flats
+            // recycle per call, `threads` leases pop them on the next.
+            struct ChunkMark {
+                rows: std::ops::Range<usize>,
+                flops: u64,
+            }
+            let chunks = split_ranges(n, threads * STEAL_CHUNKS_PER_THREAD);
+            let (marks, flats) = parallel_map_stealing(
+                threads,
+                chunks,
+                |_| plan.lease(),
+                |ws, range| {
+                    let rows_before = ws.out.rows.len();
+                    let flops_before = ws.out.flops;
+                    body(ws, range);
+                    ChunkMark {
+                        rows: rows_before..ws.out.rows.len(),
+                        flops: ws.out.flops - flops_before,
+                    }
+                },
+                |mut ws| ws.take_out(),
+            );
+            let nnz: usize = flats.iter().map(|fl| fl.cols.len()).sum();
+            let stored_rows: usize = flats.iter().map(|fl| fl.rows.len()).sum();
+            let mut result = Dcsr::with_capacity(nrows, ncols, stored_rows, nnz);
+            let mut thread_flops = vec![0u64; threads];
+            let mut flops = 0u64;
+            let mut rebased: Vec<usize> = Vec::new();
+            for (worker, mark) in &marks {
+                thread_flops[*worker] += mark.flops;
+                flops += mark.flops;
+                let fl = &flats[*worker];
+                let ptr = &fl.row_ptr[mark.rows.start..=mark.rows.end];
+                let base = ptr[0];
+                rebased.clear();
+                rebased.extend(ptr.iter().map(|&p| p - base));
+                result.append_rows_flat(
+                    &fl.rows[mark.rows.clone()],
+                    &rebased,
+                    &fl.cols[base..*ptr.last().expect("non-empty ptr slice")],
+                    &fl.vals[base..*ptr.last().expect("non-empty ptr slice")],
+                );
+            }
+            if let Some(pool) = plan.pool {
+                for fl in flats {
+                    pool.put_flat(fl);
+                }
+            }
+            MmOutput {
+                result,
+                flops,
+                thread_flops,
+            }
+        }
+    }
 }
 
 /// Gustavson SpGEMM: `A · B` over semiring `S`, parallelized over `threads`
-/// row ranges of `A`.
+/// flop-balanced row ranges of `A` (see [`spgemm_with`] for schedule and
+/// workspace control).
 ///
 /// # Panics
 /// Panics if the inner dimensions disagree.
 pub fn spgemm<S, L, R>(a: &L, b: &R, threads: usize) -> MmOutput<S::Elem>
+where
+    S: Semiring,
+    L: RowScan<S::Elem> + Sync,
+    R: RowRead<S::Elem> + Sync,
+{
+    spgemm_with::<S, L, R>(a, b, KernelPlan::new(threads))
+}
+
+/// [`spgemm`] under an explicit [`KernelPlan`] (schedule + workspace pool).
+/// All schedules produce bit-identical results.
+pub fn spgemm_with<S, L, R>(a: &L, b: &R, plan: KernelPlan<'_, S::Elem>) -> MmOutput<S::Elem>
 where
     S: Semiring,
     L: RowScan<S::Elem> + Sync,
@@ -117,29 +420,31 @@ where
     );
     let nrows = a.nrows();
     let ncols = b.ncols();
-    let parts = parallel_map_ranges(threads.max(1), nrows as usize, |range| {
-        let mut spa: Spa<S::Elem> = Spa::for_width(ncols);
-        let mut out = FlatRows::new();
-        a.scan_row_range(
-            range.start as Index,
-            range.end as Index,
-            |i, acols, avals| {
-                for (&k, &av) in acols.iter().zip(avals) {
-                    let (bcols, bvals) = b.row(k);
-                    out.flops += bcols.len() as u64;
-                    for (&j, &bv) in bcols.iter().zip(bvals) {
-                        spa.scatter(j, S::mul(av, bv), S::add);
+    run_scheduled(
+        plan,
+        nrows,
+        ncols,
+        u64::MAX,
+        || stored_row_weights(a, b),
+        |ws, range| {
+            a.scan_row_range(
+                range.start as Index,
+                range.end as Index,
+                |i, acols, avals| {
+                    let est = row_flop_bound(b, acols);
+                    ws.out.flops += est;
+                    ws.begin_row(ncols, est);
+                    for (&k, &av) in acols.iter().zip(avals) {
+                        let (bcols, bvals) = b.row(k);
+                        for (&j, &bv) in bcols.iter().zip(bvals) {
+                            ws.scatter(j, S::mul(av, bv), S::add);
+                        }
                     }
-                }
-                if !spa.is_empty() {
-                    spa.drain_sorted_split(&mut out.cols, &mut out.vals);
-                    out.seal_row(i);
-                }
-            },
-        );
-        out
-    });
-    assemble(nrows, ncols, parts)
+                    ws.finish_row(i);
+                },
+            );
+        },
+    )
 }
 
 /// Gustavson SpGEMM fused with Bloom-filter tracking: output entries are
@@ -160,34 +465,51 @@ where
     L: RowScan<S::Elem> + Sync,
     R: RowRead<S::Elem> + Sync,
 {
+    spgemm_bloom_with::<S, L, R>(a, b, k_offset, KernelPlan::new(threads))
+}
+
+/// [`spgemm_bloom`] under an explicit [`KernelPlan`].
+pub fn spgemm_bloom_with<S, L, R>(
+    a: &L,
+    b: &R,
+    k_offset: Index,
+    plan: KernelPlan<'_, (S::Elem, u64)>,
+) -> MmOutput<(S::Elem, u64)>
+where
+    S: Semiring,
+    L: RowScan<S::Elem> + Sync,
+    R: RowRead<S::Elem> + Sync,
+{
     assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
     let nrows = a.nrows();
     let ncols = b.ncols();
     let combine = |(v1, b1): (S::Elem, u64), (v2, b2): (S::Elem, u64)| (S::add(v1, v2), b1 | b2);
-    let parts = parallel_map_ranges(threads.max(1), nrows as usize, |range| {
-        let mut spa: Spa<(S::Elem, u64)> = Spa::for_width(ncols);
-        let mut out = FlatRows::new();
-        a.scan_row_range(
-            range.start as Index,
-            range.end as Index,
-            |i, acols, avals| {
-                for (&k, &av) in acols.iter().zip(avals) {
-                    let bit = crate::bloom::bloom_bit(k + k_offset);
-                    let (bcols, bvals) = b.row(k);
-                    out.flops += bcols.len() as u64;
-                    for (&j, &bv) in bcols.iter().zip(bvals) {
-                        spa.scatter(j, (S::mul(av, bv), bit), combine);
+    run_scheduled(
+        plan,
+        nrows,
+        ncols,
+        u64::MAX,
+        || stored_row_weights(a, b),
+        |ws, range| {
+            a.scan_row_range(
+                range.start as Index,
+                range.end as Index,
+                |i, acols, avals| {
+                    let est = row_flop_bound(b, acols);
+                    ws.out.flops += est;
+                    ws.begin_row(ncols, est);
+                    for (&k, &av) in acols.iter().zip(avals) {
+                        let bit = crate::bloom::bloom_bit(k + k_offset);
+                        let (bcols, bvals) = b.row(k);
+                        for (&j, &bv) in bcols.iter().zip(bvals) {
+                            ws.scatter(j, (S::mul(av, bv), bit), combine);
+                        }
                     }
-                }
-                if !spa.is_empty() {
-                    spa.drain_sorted_split(&mut out.cols, &mut out.vals);
-                    out.seal_row(i);
-                }
-            },
-        );
-        out
-    });
-    assemble(nrows, ncols, parts)
+                    ws.finish_row(i);
+                },
+            );
+        },
+    )
 }
 
 /// Structure-only SpGEMM: computes the *pattern* of `A · B` together with the
@@ -204,29 +526,47 @@ where
     L: RowScan<VA> + Sync,
     R: RowRead<VB> + Sync,
 {
+    spgemm_pattern_with(a, b, k_offset, KernelPlan::new(threads))
+}
+
+/// [`spgemm_pattern`] under an explicit [`KernelPlan`].
+pub fn spgemm_pattern_with<VA, VB, L, R>(
+    a: &L,
+    b: &R,
+    k_offset: Index,
+    plan: KernelPlan<'_, u64>,
+) -> MmOutput<u64>
+where
+    VA: Copy,
+    VB: Copy,
+    L: RowScan<VA> + Sync,
+    R: RowRead<VB> + Sync,
+{
     assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
     let nrows = a.nrows();
     let ncols = b.ncols();
-    let parts = parallel_map_ranges(threads.max(1), nrows as usize, |range| {
-        let mut spa: Spa<u64> = Spa::for_width(ncols);
-        let mut out = FlatRows::new();
-        a.scan_row_range(range.start as Index, range.end as Index, |i, acols, _| {
-            for &k in acols {
-                let bit = crate::bloom::bloom_bit(k + k_offset);
-                let (bcols, _) = b.row(k);
-                out.flops += bcols.len() as u64;
-                for &j in bcols {
-                    spa.scatter(j, bit, |x, y| x | y);
+    run_scheduled(
+        plan,
+        nrows,
+        ncols,
+        u64::MAX,
+        || stored_row_weights(a, b),
+        |ws, range| {
+            a.scan_row_range(range.start as Index, range.end as Index, |i, acols, _| {
+                let est = row_flop_bound(b, acols);
+                ws.out.flops += est;
+                ws.begin_row(ncols, est);
+                for &k in acols {
+                    let bit = crate::bloom::bloom_bit(k + k_offset);
+                    let (bcols, _) = b.row(k);
+                    for &j in bcols {
+                        ws.scatter(j, bit, |x, y| x | y);
+                    }
                 }
-            }
-            if !spa.is_empty() {
-                spa.drain_sorted_split(&mut out.cols, &mut out.vals);
-                out.seal_row(i);
-            }
-        });
-        out
-    });
-    assemble(nrows, ncols, parts)
+                ws.finish_row(i);
+            });
+        },
+    )
 }
 
 #[cfg(test)]

@@ -13,12 +13,10 @@
 //! entries, fused into the accumulation as in [`crate::local_mm`].
 
 use crate::dcsr::Dcsr;
-use crate::local_mm::{assemble, FlatRows, MmOutput};
+use crate::local_mm::{row_flop_bound, run_scheduled, stored_row_weights, KernelPlan, MmOutput};
 use crate::semiring::Semiring;
-use crate::spa::Spa;
 use crate::{Index, RowRead, RowScan};
 use dspgemm_util::hash::FxHashSet;
-use dspgemm_util::par::parallel_map_ranges;
 
 /// A hash set over `(row, col)` index pairs, used as an output mask.
 #[derive(Debug, Clone, Default)]
@@ -109,38 +107,63 @@ where
     L: RowScan<S::Elem> + Sync,
     R: RowRead<S::Elem> + Sync,
 {
+    masked_spgemm_bloom_with::<S, L, R>(a, b, mask, k_offset, KernelPlan::new(threads))
+}
+
+/// [`masked_spgemm_bloom`] under an explicit
+/// [`KernelPlan`](crate::local_mm::KernelPlan).
+///
+/// The scheduling weights are the *unmasked* flop upper bounds — the mask
+/// prunes work unpredictably, which is exactly the "estimates unreliable"
+/// case [`dspgemm_util::par::RowSchedule::WorkStealing`] exists for — and
+/// the per-row SPA choice caps the row estimate at the mask size (a row can
+/// never produce more entries than the mask holds).
+pub fn masked_spgemm_bloom_with<S, L, R>(
+    a: &L,
+    b: &R,
+    mask: &MaskSet,
+    k_offset: Index,
+    plan: KernelPlan<'_, (S::Elem, u64)>,
+) -> MmOutput<(S::Elem, u64)>
+where
+    S: Semiring,
+    L: RowScan<S::Elem> + Sync,
+    R: RowRead<S::Elem> + Sync,
+{
     assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
     let nrows = a.nrows();
     let ncols = b.ncols();
     let combine = |(v1, b1): (S::Elem, u64), (v2, b2): (S::Elem, u64)| (S::add(v1, v2), b1 | b2);
-    let parts = parallel_map_ranges(threads.max(1), nrows as usize, |range| {
-        let mut spa: Spa<(S::Elem, u64)> = Spa::for_width(ncols);
-        let mut out = FlatRows::new();
-        a.scan_row_range(
-            range.start as Index,
-            range.end as Index,
-            |i, acols, avals| {
-                for (&k, &av) in acols.iter().zip(avals) {
-                    let bit = crate::bloom::bloom_bit(k + k_offset);
-                    let (bcols, bvals) = b.row(k);
-                    for (&j, &bv) in bcols.iter().zip(bvals) {
-                        // The mask check precedes the multiply: unmasked terms
-                        // cost a hash probe but no flop, mirroring Section VI-B.
-                        if mask.contains(i, j) {
-                            out.flops += 1;
-                            spa.scatter(j, (S::mul(av, bv), bit), combine);
+    run_scheduled(
+        plan,
+        nrows,
+        ncols,
+        mask.len() as u64,
+        || stored_row_weights(a, b),
+        |ws, range| {
+            a.scan_row_range(
+                range.start as Index,
+                range.end as Index,
+                |i, acols, avals| {
+                    let est = row_flop_bound(b, acols);
+                    ws.begin_row(ncols, est.min(mask.len() as u64));
+                    for (&k, &av) in acols.iter().zip(avals) {
+                        let bit = crate::bloom::bloom_bit(k + k_offset);
+                        let (bcols, bvals) = b.row(k);
+                        for (&j, &bv) in bcols.iter().zip(bvals) {
+                            // The mask check precedes the multiply: unmasked terms
+                            // cost a hash probe but no flop, mirroring Section VI-B.
+                            if mask.contains(i, j) {
+                                ws.out.flops += 1;
+                                ws.scatter(j, (S::mul(av, bv), bit), combine);
+                            }
                         }
                     }
-                }
-                if !spa.is_empty() {
-                    spa.drain_sorted_split(&mut out.cols, &mut out.vals);
-                    out.seal_row(i);
-                }
-            },
-        );
-        out
-    });
-    assemble(nrows, ncols, parts)
+                    ws.finish_row(i);
+                },
+            );
+        },
+    )
 }
 
 #[cfg(test)]

@@ -33,6 +33,32 @@ impl<A: Copy> DenseSpa<A> {
         }
     }
 
+    /// Creates an accumulator with *no* scratch yet; [`DenseSpa::ensure_width`]
+    /// sizes it on first dense use. Pooled workspaces start here so kernels
+    /// whose rows all pick the hash strategy never pay the O(ncols)
+    /// allocation.
+    pub fn unsized_new() -> Self {
+        Self {
+            slots: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Grows the scratch to cover columns `0..ncols` (never shrinks — a
+    /// pooled accumulator keeps the widest scratch it has ever needed).
+    pub fn ensure_width(&mut self, ncols: Index) {
+        if self.slots.len() < ncols as usize {
+            self.slots.resize(ncols as usize, None);
+        }
+    }
+
+    /// Bytes of heap the accumulator holds (capacity-based, for the
+    /// workspace-reuse regression tests).
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Option<A>>()
+            + self.touched.capacity() * std::mem::size_of::<Index>()
+    }
+
     /// Scatters `value` into `col`, combining with any previous value.
     #[inline]
     pub fn scatter(&mut self, col: Index, value: A, combine: impl FnOnce(A, A) -> A) {
@@ -154,6 +180,13 @@ impl<A: Copy> HashSpa<A> {
             vals.push(v);
         }
     }
+
+    /// Bytes of heap the accumulator holds (capacity-based estimate; the
+    /// hash map's bucket overhead is approximated by its entry size).
+    pub fn heap_bytes(&self) -> usize {
+        self.map.capacity() * (std::mem::size_of::<Index>() + std::mem::size_of::<A>())
+            + self.scratch.capacity() * std::mem::size_of::<(Index, A)>()
+    }
 }
 
 impl<A: Copy> Default for HashSpa<A> {
@@ -165,6 +198,24 @@ impl<A: Copy> Default for HashSpa<A> {
 /// Width above which the dense scratch array is considered too large and the
 /// hash accumulator is used instead.
 pub const DENSE_SPA_MAX_WIDTH: Index = 1 << 22;
+
+/// A row prefers the dense scratch only when its flop upper bound reaches
+/// `ncols / DENSE_SPA_SPARSITY_DIV`: below that, the row touches so few
+/// columns that hash probes beat streaming a cold O(ncols) array through
+/// the cache (and an all-sparse kernel call never allocates the dense
+/// scratch at all).
+pub const DENSE_SPA_SPARSITY_DIV: u64 = 64;
+
+/// The per-row dense-vs-hash strategy choice of the pooled kernels: dense
+/// iff the width admits a dense scratch *and* the row's estimated flops
+/// clear the [`DENSE_SPA_SPARSITY_DIV`] density bar. Depends only on
+/// `(ncols, est_flops)` — never on scheduling or pool state — so every
+/// [`crate::local_mm::KernelPlan`] schedule makes identical choices
+/// (determinism across schedules).
+#[inline]
+pub fn dense_row_profitable(ncols: Index, est_flops: u64) -> bool {
+    ncols <= DENSE_SPA_MAX_WIDTH && est_flops.saturating_mul(DENSE_SPA_SPARSITY_DIV) >= ncols as u64
+}
 
 /// An accumulator that picks the dense or hash strategy by output width.
 #[derive(Debug)]

@@ -1,0 +1,351 @@
+//! Pooled per-thread kernel workspaces.
+//!
+//! Every local multiply used to build a fresh accumulator (`Spa::for_width`
+//! — an O(ncols) dense scratch per worker) and fresh flat output buffers per
+//! call; under SUMMA and the dynamic algorithms that is one full set of
+//! allocations *per round per worker*. A [`KernelWorkspace`] bundles all of
+//! a worker's reusable state — the dense SPA scratch (lazily sized), the
+//! hash SPA, its sort scratch, and the flat `(rows, row_ptr, cols, vals)`
+//! output buffers — and a [`WorkspacePool`] leases workspaces per kernel
+//! call, so pipelined rounds, dynamic X/Y passes, masked recomputes and
+//! analytics refreshes stop reallocating.
+//!
+//! Lifecycle: a worker leases a workspace for the duration of its range,
+//! accumulates rows through the per-row dense-vs-hash choice
+//! ([`crate::spa::dense_row_profitable`]), and the drained flat buffers
+//! leave as the range's output. When the lease drops, the SPA state returns
+//! to the pool; when a multi-range assembly has *copied* the flat parts into
+//! the result, their capacity returns too ([`WorkspacePool::put_flat`]).
+//! The single-range fast path instead *moves* its buffers into the result
+//! `Dcsr` (zero-copy wins over reuse there).
+//!
+//! Pools are `Sync` (a mutex-guarded stash): concurrent workers lease
+//! distinct workspaces, and a pool leased from `T` threads converges to `T`
+//! stashed workspaces whose capacities stop growing once the workload's
+//! high-water marks are reached — the invariant pinned by the
+//! workspace-reuse regression test via [`WorkspacePool::heap_bytes`].
+
+use crate::local_mm::FlatRows;
+use crate::spa::{DenseSpa, HashSpa};
+use crate::Index;
+use std::sync::Mutex;
+
+/// Which accumulator the current row scatters into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Active {
+    Dense,
+    Hash,
+}
+
+/// One worker thread's reusable kernel state: both SPA strategies plus the
+/// flat output buffers.
+#[derive(Debug)]
+pub struct KernelWorkspace<A> {
+    dense: DenseSpa<A>,
+    hash: HashSpa<A>,
+    active: Active,
+    pub(crate) out: FlatRows<A>,
+}
+
+impl<A: Copy> KernelWorkspace<A> {
+    /// A fresh workspace with no heap behind it yet.
+    pub fn new() -> Self {
+        Self {
+            dense: DenseSpa::unsized_new(),
+            hash: HashSpa::new(),
+            active: Active::Hash,
+            out: FlatRows::new(),
+        }
+    }
+
+    /// Starts a new output row: picks the dense or hash accumulator from the
+    /// row's flop upper bound (see [`crate::spa::dense_row_profitable`]) and
+    /// sizes the dense scratch on first dense use.
+    #[inline]
+    pub(crate) fn begin_row(&mut self, ncols: Index, est_flops: u64) {
+        if crate::spa::dense_row_profitable(ncols, est_flops) {
+            self.dense.ensure_width(ncols);
+            self.active = Active::Dense;
+        } else {
+            self.active = Active::Hash;
+        }
+    }
+
+    /// Scatters into the accumulator selected by [`KernelWorkspace::begin_row`].
+    #[inline]
+    pub(crate) fn scatter(&mut self, col: Index, value: A, combine: impl FnOnce(A, A) -> A) {
+        match self.active {
+            Active::Dense => self.dense.scatter(col, value, combine),
+            Active::Hash => self.hash.scatter(col, value, combine),
+        }
+    }
+
+    /// Ends the current row: if anything accumulated, drains it
+    /// (column-sorted) into the flat output buffers and seals the row.
+    #[inline]
+    pub(crate) fn finish_row(&mut self, row: Index) {
+        match self.active {
+            Active::Dense => {
+                if self.dense.is_empty() {
+                    return;
+                }
+                self.dense
+                    .drain_sorted_split(&mut self.out.cols, &mut self.out.vals);
+            }
+            Active::Hash => {
+                if self.hash.is_empty() {
+                    return;
+                }
+                self.hash
+                    .drain_sorted_split(&mut self.out.cols, &mut self.out.vals);
+            }
+        }
+        self.out.seal_row(row);
+    }
+
+    /// Reserves flat output capacity for up to `entries` more non-zeros —
+    /// callers pass the range's flop upper bound so pooled buffers reach
+    /// their high-water mark in one step instead of doubling up to it.
+    pub(crate) fn reserve_out(&mut self, entries: usize) {
+        self.out.cols.reserve(entries);
+        self.out.vals.reserve(entries);
+    }
+
+    /// Moves the accumulated flat output out of the workspace, leaving empty
+    /// (capacity-free) buffers behind. The SPA state stays for reuse.
+    pub(crate) fn take_out(&mut self) -> FlatRows<A> {
+        std::mem::replace(&mut self.out, FlatRows::new())
+    }
+
+    /// Bytes of heap currently held (capacity-based): the monotone-then-flat
+    /// signal of the workspace-reuse regression tests.
+    pub fn heap_bytes(&self) -> usize {
+        self.dense.heap_bytes() + self.hash.heap_bytes() + self.out.heap_bytes()
+    }
+}
+
+impl<A: Copy> Default for KernelWorkspace<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A stash of [`KernelWorkspace`]s leased per kernel call (plus recycled
+/// flat output buffers from multi-range assemblies).
+#[derive(Debug, Default)]
+pub struct WorkspacePool<A> {
+    stash: Mutex<Vec<KernelWorkspace<A>>>,
+    flats: Mutex<Vec<FlatRows<A>>>,
+}
+
+impl<A: Copy> WorkspacePool<A> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self {
+            stash: Mutex::new(Vec::new()),
+            flats: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Leases a workspace: pops a stashed one (topping its output buffers up
+    /// from the recycled-flat stash if they were moved out) or builds a
+    /// fresh one. The workspace returns on drop of the lease.
+    pub fn lease(&self) -> WorkspaceLease<'_, A> {
+        let mut ws = self
+            .stash
+            .lock()
+            .expect("workspace stash poisoned")
+            .pop()
+            .unwrap_or_default();
+        if ws.out.cols.capacity() == 0 {
+            if let Some(flat) = self.flats.lock().expect("flat stash poisoned").pop() {
+                ws.out = flat;
+            }
+        }
+        WorkspaceLease {
+            ws: Some(ws),
+            pool: self,
+        }
+    }
+
+    /// Returns a drained flat-output buffer set to the pool (cleared, its
+    /// capacity kept) — called by multi-range assembly after copying a
+    /// part's rows into the result.
+    pub(crate) fn put_flat(&self, mut flat: FlatRows<A>) {
+        flat.clear();
+        self.flats.lock().expect("flat stash poisoned").push(flat);
+    }
+
+    /// Number of stashed (idle) workspaces.
+    pub fn stashed(&self) -> usize {
+        self.stash.lock().expect("workspace stash poisoned").len()
+    }
+
+    /// Total heap bytes held by the pool's idle workspaces and recycled flat
+    /// buffers. Stable across repeated identical kernel calls once the
+    /// high-water capacities are reached — the workspace-reuse regression
+    /// signal.
+    pub fn heap_bytes(&self) -> usize {
+        let ws: usize = self
+            .stash
+            .lock()
+            .expect("workspace stash poisoned")
+            .iter()
+            .map(KernelWorkspace::heap_bytes)
+            .sum();
+        let fl: usize = self
+            .flats
+            .lock()
+            .expect("flat stash poisoned")
+            .iter()
+            .map(FlatRows::heap_bytes)
+            .sum();
+        ws + fl
+    }
+}
+
+/// A leased [`KernelWorkspace`]; returns to its pool on drop.
+pub struct WorkspaceLease<'p, A: Copy> {
+    ws: Option<KernelWorkspace<A>>,
+    pool: &'p WorkspacePool<A>,
+}
+
+impl<A: Copy> std::ops::Deref for WorkspaceLease<'_, A> {
+    type Target = KernelWorkspace<A>;
+    fn deref(&self) -> &KernelWorkspace<A> {
+        self.ws.as_ref().expect("lease holds a workspace")
+    }
+}
+
+impl<A: Copy> std::ops::DerefMut for WorkspaceLease<'_, A> {
+    fn deref_mut(&mut self) -> &mut KernelWorkspace<A> {
+        self.ws.as_mut().expect("lease holds a workspace")
+    }
+}
+
+impl<A: Copy> Drop for WorkspaceLease<'_, A> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool
+                .stash
+                .lock()
+                .expect("workspace stash poisoned")
+                .push(ws);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_accumulation_matches_spa_semantics() {
+        let mut ws: KernelWorkspace<u64> = KernelWorkspace::new();
+        // Dense row: wide enough estimate.
+        ws.begin_row(16, 16);
+        ws.scatter(5, 10, |a, b| a + b);
+        ws.scatter(1, 2, |a, b| a + b);
+        ws.scatter(5, 3, |a, b| a + b);
+        ws.finish_row(0);
+        // Hash row: estimate far below width/64.
+        ws.begin_row(1 << 20, 1);
+        ws.scatter(7, 4, |a, b| a + b);
+        ws.finish_row(3);
+        // Empty row leaves no trace.
+        ws.begin_row(16, 16);
+        ws.finish_row(5);
+        let flat = ws.take_out();
+        assert_eq!(flat.rows, vec![0, 3]);
+        assert_eq!(flat.row_ptr, vec![0, 2, 3]);
+        assert_eq!(flat.cols, vec![1, 5, 7]);
+        assert_eq!(flat.vals, vec![2, 13, 4]);
+        // After take_out the workspace starts a fresh output.
+        assert!(ws.out.rows.is_empty() && ws.out.cols.is_empty());
+    }
+
+    #[test]
+    fn dense_scratch_is_lazy_and_persistent() {
+        let mut ws: KernelWorkspace<u64> = KernelWorkspace::new();
+        let before = ws.heap_bytes();
+        // Hash-only use allocates no dense scratch.
+        ws.begin_row(1 << 20, 1);
+        ws.scatter(0, 1, |a, b| a + b);
+        ws.finish_row(0);
+        assert!(ws.heap_bytes() < (1 << 20));
+        let _ = before;
+        // First dense use sizes it; later narrower rows keep it.
+        ws.begin_row(1024, 1024);
+        ws.scatter(0, 1, |a, b| a + b);
+        ws.finish_row(1);
+        let sized = ws.heap_bytes();
+        ws.begin_row(512, 512);
+        ws.scatter(0, 1, |a, b| a + b);
+        ws.finish_row(2);
+        assert_eq!(ws.heap_bytes(), sized, "scratch never shrinks or regrows");
+    }
+
+    #[test]
+    fn pool_lease_and_return() {
+        let pool: WorkspacePool<u64> = WorkspacePool::new();
+        assert_eq!(pool.stashed(), 0);
+        {
+            let mut a = pool.lease();
+            let mut b = pool.lease();
+            a.begin_row(64, 64);
+            a.scatter(1, 1, |x, y| x + y);
+            a.finish_row(0);
+            b.begin_row(64, 64);
+            b.scatter(2, 2, |x, y| x + y);
+            b.finish_row(0);
+        }
+        assert_eq!(pool.stashed(), 2);
+        // Re-leasing pops a stashed workspace (no growth).
+        {
+            let _w = pool.lease();
+            assert_eq!(pool.stashed(), 1);
+        }
+        assert_eq!(pool.stashed(), 2);
+    }
+
+    #[test]
+    fn recycled_flats_restock_leases() {
+        let pool: WorkspacePool<u64> = WorkspacePool::new();
+        // Fill a workspace's flat buffers, move them out, recycle them.
+        let flat = {
+            let mut ws = pool.lease();
+            ws.reserve_out(100);
+            ws.begin_row(8, 8);
+            ws.scatter(0, 1, |x, y| x + y);
+            ws.finish_row(0);
+            ws.take_out()
+        };
+        let cap = flat.cols.capacity();
+        assert!(cap >= 100);
+        pool.put_flat(flat);
+        // The next lease inherits the recycled capacity.
+        let ws = pool.lease();
+        assert!(ws.out.cols.capacity() >= 100);
+        assert!(ws.out.rows.is_empty() && ws.out.cols.is_empty());
+        drop(ws);
+        // Steady state: repeated lease → fill → recycle cycles stop growing
+        // the pool's heap after the first cycle.
+        let cycle = |pool: &WorkspacePool<u64>| {
+            let flat = {
+                let mut ws = pool.lease();
+                for r in 0..20 {
+                    ws.begin_row(8, 8);
+                    ws.scatter(r % 8, 1, |x, y| x + y);
+                    ws.finish_row(r);
+                }
+                ws.take_out()
+            };
+            pool.put_flat(flat);
+            pool.heap_bytes()
+        };
+        let first = cycle(&pool);
+        for _ in 0..3 {
+            assert_eq!(cycle(&pool), first, "pool heap must not regrow");
+        }
+    }
+}

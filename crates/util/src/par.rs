@@ -12,6 +12,43 @@
 //!   update tuples into local dynamic matrices in parallel (Section IV-B);
 //! * [`parallel_map_ranges`] — row-range parallelism for local Gustavson
 //!   multiplication (Section VI-A).
+//!
+//! On the paper's power-law inputs, equal-*count* row ranges put wildly
+//! unequal *work* on the workers (one hub row can carry orders of magnitude
+//! more flops than a thousand tail rows), so the SpGEMM kernels schedule by
+//! [`RowSchedule`]: contiguous equal-count splitting (the ablation
+//! baseline), flop-weighted splitting ([`split_ranges_by_weight`]), or
+//! chunked work stealing ([`parallel_map_stealing`]) when per-row estimates
+//! are unreliable. All three produce ranges/chunks in ascending row order,
+//! so concatenating per-range outputs yields bit-identical results
+//! regardless of the schedule.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How a kernel's row space is assigned to intra-rank worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowSchedule {
+    /// `threads` contiguous ranges of near-equal row *count* — the
+    /// pre-balancing behavior, kept as the ablation baseline
+    /// (`repro balance`).
+    Contiguous,
+    /// Contiguous ranges of near-equal estimated *flops* (per-row upper
+    /// bounds `Σ_k |B[k,:]|` over the stored rows, split by prefix sum).
+    /// The default: one pass of estimation buys an even work split while
+    /// keeping ranges contiguous (deterministic concatenation order).
+    #[default]
+    FlopBalanced,
+    /// Many small contiguous chunks pulled from an atomic cursor: whichever
+    /// worker is free takes the next chunk. Robust when flop estimates are
+    /// unreliable (e.g. heavily masked multiplies); per-chunk outputs are
+    /// reassembled in chunk order, so the result stays deterministic.
+    WorkStealing,
+}
+
+/// Chunks handed out per worker under [`RowSchedule::WorkStealing`]: enough
+/// slack that a single hub-heavy chunk cannot serialize the tail, small
+/// enough that the cursor is not contended.
+pub const STEAL_CHUNKS_PER_THREAD: usize = 8;
 
 /// Runs `f(t)` for every shard id `t in 0..threads`, in parallel when
 /// `threads > 1`. Each shard conventionally processes the items with
@@ -81,6 +118,143 @@ pub fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
+/// Splits `0..n` into exactly `parts` contiguous ranges of near-equal total
+/// *weight*, given per-row weights for the non-empty rows as ascending
+/// `(row, weight)` pairs (rows absent from `weighted` have weight zero).
+///
+/// Boundary `j` is placed after the first row whose running weight reaches
+/// `total · j / parts` — a prefix-sum walk, O(|weighted|). A single row
+/// heavier than `total / parts` cannot be split (row granularity), so its
+/// range simply absorbs the overshoot; trailing ranges may be empty. Falls
+/// back to [`split_ranges`] when all weights are zero.
+pub fn split_ranges_by_weight(
+    n: usize,
+    parts: usize,
+    weighted: &[(usize, u64)],
+) -> Vec<std::ops::Range<usize>> {
+    assert!(parts >= 1);
+    debug_assert!(weighted.windows(2).all(|w| w[0].0 < w[1].0));
+    let total: u128 = weighted.iter().map(|&(_, w)| w as u128).sum();
+    if parts == 1 || total == 0 {
+        return split_ranges(n, parts);
+    }
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc: u128 = 0;
+    for &(row, w) in weighted {
+        acc += w as u128;
+        if out.len() + 1 < parts && acc * parts as u128 >= total * (out.len() as u128 + 1) {
+            // Cut after this row: stored rows are ascending, so row >= start
+            // and the range is non-empty.
+            out.push(start..row + 1);
+            start = row + 1;
+        }
+    }
+    out.push(start..n);
+    while out.len() < parts {
+        out.push(n..n);
+    }
+    out
+}
+
+/// Maps the given contiguous ranges through `f` in parallel (one worker per
+/// range), returning per-range results in order. `init(t)` builds worker
+/// `t`'s private state (scratch buffers, leased workspaces) once, before its
+/// range is processed — the schedule-aware twin of [`parallel_map_ranges`].
+pub fn parallel_map_ranges_init<W, R, I, F>(
+    ranges: Vec<std::ops::Range<usize>>,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    I: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, std::ops::Range<usize>) -> R + Sync,
+{
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(|r| f(&mut init(0), r)).collect();
+    }
+    std::thread::scope(|scope| {
+        let (init, f) = (&init, &f);
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(t, r)| scope.spawn(move || f(&mut init(t), r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel range worker panicked"))
+            .collect()
+    })
+}
+
+/// Chunked work stealing: `threads` workers pull chunks off an atomic cursor
+/// until none remain; worker `t`'s state comes from `init(t)` once and is
+/// folded into a final per-worker value by `finish` when the cursor runs
+/// dry. Returns one `(worker, result)` pair per chunk **in chunk order**
+/// (which worker processed a chunk varies run to run, but the reassembled
+/// output does not) plus the per-worker finals in worker order.
+pub fn parallel_map_stealing<W, R, T, I, F, G>(
+    threads: usize,
+    chunks: Vec<std::ops::Range<usize>>,
+    init: I,
+    f: F,
+    finish: G,
+) -> (Vec<(usize, R)>, Vec<T>)
+where
+    R: Send,
+    T: Send,
+    I: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, std::ops::Range<usize>) -> R + Sync,
+    G: Fn(W) -> T + Sync,
+{
+    assert!(threads >= 1);
+    if threads == 1 || chunks.len() <= 1 {
+        let mut w = init(0);
+        let results = chunks.into_iter().map(|c| (0, f(&mut w, c))).collect();
+        return (results, vec![finish(w)]);
+    }
+    let n_chunks = chunks.len();
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<(Vec<(usize, R)>, T)> = std::thread::scope(|scope| {
+        let (init, f, finish, cursor, chunks) = (&init, &f, &finish, &cursor, &chunks);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut w = init(t);
+                    let mut mine = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n_chunks {
+                            break;
+                        }
+                        mine.push((idx, f(&mut w, chunks[idx].clone())));
+                    }
+                    (mine, finish(w))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("work-stealing worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<(usize, R)>> = (0..n_chunks).map(|_| None).collect();
+    let mut finals = Vec::with_capacity(threads);
+    for (t, (worker_results, fin)) in per_worker.into_iter().enumerate() {
+        for (idx, r) in worker_results {
+            debug_assert!(slots[idx].is_none(), "chunk processed twice");
+            slots[idx] = Some((t, r));
+        }
+        finals.push(fin);
+    }
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every chunk processed"))
+        .collect();
+    (results, finals)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +312,112 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn weighted_split_covers_and_balances() {
+        // Row 0 carries half the weight; rows 1..10 share the rest.
+        let mut weighted = vec![(0usize, 90u64)];
+        weighted.extend((1..10).map(|r| (r, 10)));
+        let rs = split_ranges_by_weight(10, 3, &weighted);
+        assert_eq!(rs.len(), 3);
+        // Contiguous cover of 0..10.
+        let mut pos = 0;
+        for r in &rs {
+            assert_eq!(r.start, pos);
+            pos = r.end;
+        }
+        assert_eq!(pos, 10);
+        // The hub row is alone in its range; the tail is split by weight.
+        assert_eq!(rs[0], 0..1);
+        let w_of = |r: &std::ops::Range<usize>| -> u64 {
+            weighted
+                .iter()
+                .filter(|&&(row, _)| r.contains(&row))
+                .map(|&(_, w)| w)
+                .sum()
+        };
+        assert!(w_of(&rs[1]) > 0 && w_of(&rs[2]) > 0);
+    }
+
+    #[test]
+    fn weighted_split_zero_weight_falls_back() {
+        assert_eq!(split_ranges_by_weight(10, 3, &[]), split_ranges(10, 3));
+        assert_eq!(split_ranges_by_weight(10, 1, &[(2, 5)]), vec![0..10]);
+    }
+
+    #[test]
+    fn weighted_split_pads_empty_tail_ranges() {
+        // All weight in row 0: every boundary lands immediately.
+        let rs = split_ranges_by_weight(4, 4, &[(0, 100)]);
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs[0], 0..1);
+        assert_eq!(rs.last().unwrap().end, 4);
+        let total: usize = rs.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn ranges_init_builds_state_per_worker() {
+        let ranges = split_ranges(100, 4);
+        let results = parallel_map_ranges_init(
+            ranges,
+            |t| (t, Vec::<usize>::new()),
+            |(t, scratch), r| {
+                scratch.extend(r.clone());
+                (*t, scratch.len())
+            },
+        );
+        assert_eq!(results.len(), 4);
+        for (t, (worker, len)) in results.iter().enumerate() {
+            assert_eq!(t, *worker);
+            assert_eq!(*len, 25);
+        }
+    }
+
+    #[test]
+    fn stealing_covers_all_chunks_in_order() {
+        let chunks = split_ranges(103, 16);
+        let (results, finals) = parallel_map_stealing(
+            4,
+            chunks.clone(),
+            |_| (),
+            |(), r| r.collect::<Vec<usize>>(),
+            |()| (),
+        );
+        assert_eq!(results.len(), 16);
+        assert_eq!(finals.len(), 4);
+        let flat: Vec<usize> = results.into_iter().flat_map(|(_, v)| v).collect();
+        assert_eq!(flat, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_single_thread_runs_inline() {
+        let (results, finals) =
+            parallel_map_stealing(1, split_ranges(10, 4), |t| t, |t, r| (*t, r.len()), |t| t);
+        assert!(results.iter().all(|&(w, (tw, _))| w == 0 && tw == 0));
+        let total: usize = results.iter().map(|&(_, (_, l))| l).sum();
+        assert_eq!(total, 10);
+        assert_eq!(finals, vec![0]);
+    }
+
+    #[test]
+    fn stealing_reuses_worker_state_and_finishes_it() {
+        // Each worker's state counts the chunks it processed; the finals
+        // carry the per-worker totals, which must partition the chunk count
+        // (state persists across steals, finish sees the final state).
+        let (results, finals) = parallel_map_stealing(
+            3,
+            split_ranges(90, 9),
+            |_| 0usize,
+            |count, _r| {
+                *count += 1;
+                *count
+            },
+            |count| count,
+        );
+        assert_eq!(results.len(), 9);
+        assert_eq!(finals.len(), 3);
+        assert_eq!(finals.iter().sum::<usize>(), 9);
     }
 }

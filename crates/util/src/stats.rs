@@ -56,6 +56,11 @@ pub struct PhaseTimer {
     /// Per-phase communication time hidden under compute (never part of
     /// `total()`; a phase absent here has zero overlap).
     overlapped: Vec<(String, Duration)>,
+    /// Accumulated per-worker-thread flop counts of the local SpGEMM
+    /// kernels (index = intra-rank thread id). The max/mean ratio over this
+    /// vector is the thread-level load-imbalance metric of the `repro`
+    /// reports.
+    thread_flops: Vec<u64>,
 }
 
 impl PhaseTimer {
@@ -157,6 +162,31 @@ impl PhaseTimer {
         }
     }
 
+    /// Accumulates one kernel call's per-worker-thread flop counts
+    /// (element-wise; the vector grows to the largest thread count seen).
+    pub fn add_thread_flops(&mut self, per_thread: &[u64]) {
+        if self.thread_flops.len() < per_thread.len() {
+            self.thread_flops.resize(per_thread.len(), 0);
+        }
+        for (acc, &f) in self.thread_flops.iter_mut().zip(per_thread) {
+            *acc += f;
+        }
+    }
+
+    /// Accumulated per-worker-thread flop counts (empty if no kernel
+    /// reported any).
+    pub fn thread_flops(&self) -> &[u64] {
+        &self.thread_flops
+    }
+
+    /// Thread-level flop imbalance: `max / mean` over the per-thread
+    /// counters. 1.0 is a perfect split; `threads` is the worst case (all
+    /// work on one thread). Returns 1.0 when fewer than two threads
+    /// reported or no flops were recorded.
+    pub fn flop_imbalance(&self) -> f64 {
+        flop_imbalance(&self.thread_flops)
+    }
+
     /// Merges another timer's phases into this one (summing shared phases).
     pub fn merge(&mut self, other: &PhaseTimer) {
         for (name, d) in &other.phases {
@@ -165,6 +195,7 @@ impl PhaseTimer {
         for (name, d) in &other.overlapped {
             self.add_overlapped(name, *d);
         }
+        self.add_thread_flops(&other.thread_flops);
     }
 
     /// Element-wise maximum over phases: for per-rank timers this yields the
@@ -185,7 +216,26 @@ impl PhaseTimer {
                 self.overlapped.push((name.clone(), *d));
             }
         }
+        if self.thread_flops.len() < other.thread_flops.len() {
+            self.thread_flops.resize(other.thread_flops.len(), 0);
+        }
+        for (acc, &f) in self.thread_flops.iter_mut().zip(&other.thread_flops) {
+            *acc = (*acc).max(f);
+        }
     }
+}
+
+/// `max / mean` over per-thread flop counters (see
+/// [`PhaseTimer::flop_imbalance`]); usable directly on counters pooled
+/// across ranks.
+pub fn flop_imbalance(per_thread: &[u64]) -> f64 {
+    let total: u64 = per_thread.iter().sum();
+    if per_thread.len() < 2 || total == 0 {
+        return 1.0;
+    }
+    let max = *per_thread.iter().max().expect("non-empty") as f64;
+    let mean = total as f64 / per_thread.len() as f64;
+    max / mean
 }
 
 /// Formats a byte count with binary units (`1.5 GiB`).
@@ -300,6 +350,29 @@ mod tests {
         let mut mx = pt.clone();
         mx.merge_max(&other);
         assert_eq!(mx.comm_overlapped("bcast"), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn thread_flop_counters_and_imbalance() {
+        let mut pt = PhaseTimer::new();
+        assert_eq!(pt.flop_imbalance(), 1.0);
+        pt.add_thread_flops(&[10, 10]);
+        pt.add_thread_flops(&[20, 0, 10]); // grows to 3 threads
+        assert_eq!(pt.thread_flops(), &[30, 10, 10]);
+        // max = 30, mean = 50/3.
+        assert!((pt.flop_imbalance() - 30.0 / (50.0 / 3.0)).abs() < 1e-12);
+        // merge sums element-wise; merge_max takes the element maximum.
+        let mut other = PhaseTimer::new();
+        other.add_thread_flops(&[5, 100]);
+        let mut sum = pt.clone();
+        sum.merge(&other);
+        assert_eq!(sum.thread_flops(), &[35, 110, 10]);
+        let mut mx = pt.clone();
+        mx.merge_max(&other);
+        assert_eq!(mx.thread_flops(), &[30, 100, 10]);
+        // Free-function form for cross-rank pools.
+        assert_eq!(flop_imbalance(&[7]), 1.0);
+        assert!((flop_imbalance(&[4, 0, 0, 0]) - 4.0).abs() < 1e-12);
     }
 
     #[test]
