@@ -10,15 +10,19 @@
 //! many views.
 //!
 //! * [`session`] — the session object: batch application, view registry,
-//!   and the query API (point lookups, per-row top-k, global aggregates).
+//!   and the query API (point lookups, per-row top-k, global aggregates) —
+//!   every query served from the latest published epoch.
+//! * [`snapshot`] — pinned epochs ([`SessionSnapshot`]): immutable `{A, C,
+//!   views, epoch}` published after every committed batch, so readers query
+//!   bit-stable state while batches keep draining.
 //! * [`view`] — the [`View`] trait and the shared batch/delta types.
 //! * [`views`] — the built-in views: [`TriangleCountView`] (incremental
 //!   masked-sum triangle counting), [`CommonNeighborsView`]
 //!   (link-prediction scores over a candidate mask, bootstrapped with the
 //!   masked SpGEMM kernel), and [`DegreeView`] / [`KHopView`] (vector
 //!   analytics over the distributed SpMV kernel).
-//! * [`masked_product`] — distributed masked SpGEMM (SUMMA rounds, local
-//!   flops pruned to an output mask).
+//! * [`mod@masked_product`] — distributed masked SpGEMM (SUMMA rounds,
+//!   local flops pruned to an output mask).
 //!
 //! ## Quickstart
 //!
@@ -55,10 +59,15 @@
 
 pub mod masked_product;
 pub mod session;
+pub mod snapshot;
 pub mod view;
 pub mod views;
 
 pub use masked_product::masked_product;
 pub use session::AnalyticsSession;
-pub use view::{BatchDelta, PendingBatch, View, ViewCx, ViewId};
+pub use snapshot::SessionSnapshot;
+pub use view::{BatchDelta, FrozenView, PendingBatch, View, ViewCx, ViewId};
+pub use views::common_neighbors::ScoreReading;
+pub use views::triangles::TriangleReading;
+pub use views::vector::VectorReading;
 pub use views::{CommonNeighborsView, DegreeView, KHopView, TriangleCountView};

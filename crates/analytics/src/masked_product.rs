@@ -4,7 +4,7 @@
 //! rank's block of the product. The round structure is sparse SUMMA's
 //! (operand blocks still travel — the mask cannot prune *communication*,
 //! because a masked entry may draw contributions from every inner block),
-//! but the local kernel is [`masked_spgemm_bloom`], so *compute* is pruned
+//! but the local kernel is [`masked_spgemm_bloom_with`], so *compute* is pruned
 //! to `O(flops reaching masked positions)` — the Section VI-B trade
 //! rebuilt-hash-table-vs-broadcast observation applies unchanged.
 //!

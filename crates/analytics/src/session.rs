@@ -13,12 +13,21 @@
 //! 3. the shared-operand dynamic SpGEMM hook patches `A`, `C` and `F`
 //!    (Algorithm 1 for algebraic inserts, Algorithm 2 for general updates)
 //!    and surfaces this rank's product delta `C*`;
-//! 4. every view refreshes from the shared delta (`post_batch`).
+//! 4. every view refreshes from the shared delta (`post_batch`);
+//! 5. the batch **commits**: the session publishes an immutable
+//!    [`SessionSnapshot`] epoch (block-granular copy-on-write over `A` and
+//!    `C`, plus a frozen reading of every view).
+//!
+//! Queries never touch the live matrices: the session's query API reads the
+//! latest published epoch, and [`AnalyticsSession::pin`] hands out an epoch
+//! handle that stays bit-stable while further batches commit — see
+//! [`crate::snapshot`].
 //!
 //! Sessions are SPMD: construct and drive them identically on every rank of
 //! a [`dspgemm_mpi::run`] closure. All public methods marked *collective*
 //! must be called by all ranks in the same order.
 
+use crate::snapshot::SessionSnapshot;
 use crate::view::{BatchDelta, PendingBatch, View, ViewCx, ViewId};
 use dspgemm_core::distmat::DistMat;
 use dspgemm_core::dyn_algebraic::apply_shared_algebraic_prebuilt_tracked_exec;
@@ -27,12 +36,14 @@ use dspgemm_core::dyn_general::{
 };
 use dspgemm_core::exec::Exec;
 use dspgemm_core::grid::Grid;
+use dspgemm_core::snapshot::{SnapshotMat, SnapshotStore};
 use dspgemm_core::summa::summa_bloom_exec;
 use dspgemm_core::update::{build_update_matrix, Dedup};
 use dspgemm_mpi::Comm;
 use dspgemm_sparse::semiring::Semiring;
-use dspgemm_sparse::{Index, RowScan, Triple};
+use dspgemm_sparse::{Index, Triple};
 use dspgemm_util::stats::PhaseTimer;
+use std::sync::Arc;
 
 /// A serving session: dynamic graph + maintained product + view registry.
 pub struct AnalyticsSession<S: Semiring> {
@@ -45,6 +56,9 @@ pub struct AnalyticsSession<S: Semiring> {
     f: DistMat<u64>,
     views: Vec<(ViewId, Box<dyn View<S>>)>,
     next_view: u64,
+    /// Published epochs (latest held strongly; older epochs live while
+    /// pinned). Every committed batch and every view registration publishes.
+    store: SnapshotStore<SessionSnapshot<S>>,
     /// Accumulated phase timings across construction and every batch.
     pub timer: PhaseTimer,
     /// Accumulated local scalar multiplications.
@@ -73,7 +87,7 @@ impl<S: Semiring> AnalyticsSession<S> {
         let mut timer = PhaseTimer::new();
         let a = DistMat::from_global_triples(&grid, n, n, triples, threads, &mut timer);
         let (c, f, flops) = summa_bloom_exec::<S>(&grid, &a, &a, &exec, &mut timer);
-        Self {
+        let mut session = Self {
             grid,
             exec,
             a,
@@ -81,10 +95,14 @@ impl<S: Semiring> AnalyticsSession<S> {
             f,
             views: Vec::new(),
             next_view: 0,
+            store: SnapshotStore::new(),
             timer,
             flops,
             batches_applied: 0,
-        }
+        };
+        // Epoch 0: the initial product, queryable before any batch.
+        session.publish();
+        session
     }
 
     /// The session's process grid.
@@ -122,14 +140,67 @@ impl<S: Semiring> AnalyticsSession<S> {
     }
 
     /// Registers a view, bootstrapping it from the current state, and
-    /// returns its handle. Collective; all ranks must register the same
-    /// views in the same order.
+    /// returns its handle. Publishes a new epoch (so the view's frozen
+    /// reading is pinnable immediately). Collective; all ranks must
+    /// register the same views in the same order.
     pub fn register(&mut self, mut view: Box<dyn View<S>>) -> ViewId {
         view.bootstrap(&self.cx());
         let id = ViewId(self.next_view);
         self.next_view += 1;
         self.views.push((id, view));
+        self.publish();
         id
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch publishing & pinning (the serving interface)
+    // ------------------------------------------------------------------
+
+    /// Publishes the current `{A, C, views}` as the next epoch. Local-only
+    /// (no collectives): the matrices convert copy-on-write — only blocks
+    /// the last batch touched are re-encoded, untouched blocks are
+    /// re-shared from the previous epoch — and each view freezes its
+    /// current reading. SPMD callers publish in lockstep, so epoch numbers
+    /// agree on every rank.
+    fn publish(&mut self) -> Arc<SessionSnapshot<S>> {
+        let a = SnapshotMat::new(self.a.info().clone(), self.a.snapshot_csr());
+        let c = SnapshotMat::new(self.c.info().clone(), self.c.snapshot_csr());
+        let views: Vec<_> = self
+            .views
+            .iter_mut()
+            .map(|(id, v)| {
+                let name = v.name().to_string();
+                (*id, name, v.freeze())
+            })
+            .collect();
+        self.store
+            .publish_with(|epoch| SessionSnapshot::new(epoch, a, c, views))
+    }
+
+    /// Pins the current epoch: an immutable `{A, C, views, epoch}` the
+    /// caller can query bit-stably while further batches commit. A pin is
+    /// an `Arc` clone — O(1), no data copied; drop it to release the
+    /// epoch's retained blocks.
+    pub fn pin(&self) -> Arc<SessionSnapshot<S>> {
+        Arc::clone(self.latest())
+    }
+
+    /// The current epoch number (0 = initial product; every batch and view
+    /// registration increments it).
+    pub fn epoch(&self) -> u64 {
+        self.latest().epoch()
+    }
+
+    /// The snapshot registry (retention diagnostics: how many epochs are
+    /// still pinned and their memory footprint).
+    pub fn snapshots(&self) -> &SnapshotStore<SessionSnapshot<S>> {
+        &self.store
+    }
+
+    fn latest(&self) -> &Arc<SessionSnapshot<S>> {
+        self.store
+            .latest()
+            .expect("sessions publish epoch 0 at construction")
     }
 
     /// Read access to a registered view.
@@ -185,6 +256,9 @@ impl<S: Semiring> AnalyticsSession<S> {
             );
         }
         self.views = views;
+        // Commit: readers pinned at the previous epoch keep it; new queries
+        // see this batch exactly.
+        self.publish();
     }
 
     /// Applies a batch of **general** updates (deletions and value writes
@@ -223,6 +297,9 @@ impl<S: Semiring> AnalyticsSession<S> {
             );
         }
         self.views = views;
+        // Commit: readers pinned at the previous epoch keep it; new queries
+        // see this batch exactly.
+        self.publish();
     }
 
     /// Deletes the given `(u, v)` positions from the graph (a general
@@ -234,89 +311,59 @@ impl<S: Semiring> AnalyticsSession<S> {
     }
 
     // ------------------------------------------------------------------
-    // Query API
+    // Query API — every query runs against the latest *pinned* epoch, not
+    // the live matrices: the update path and the query path share no
+    // mutable state. Pin an epoch yourself ([`AnalyticsSession::pin`]) for
+    // repeatable reads across batches.
     // ------------------------------------------------------------------
 
-    /// Point lookup `c(u, v)` in the maintained product: owner-local read +
-    /// one single-element broadcast. Every rank returns the same value.
-    /// Collective.
+    /// Point lookup `c(u, v)` in the maintained product at the current
+    /// epoch: owner-local read + one single-element broadcast. Every rank
+    /// returns the same value. Collective.
     pub fn product_entry(&self, u: Index, v: Index) -> Option<S::Elem> {
-        self.c.get_collective(&self.grid, u, v)
+        self.latest().product_entry(&self.grid, u, v)
     }
 
-    /// Point lookup `a(u, v)` in the adjacency matrix. Collective.
+    /// Point lookup `a(u, v)` in the adjacency matrix at the current
+    /// epoch. Collective.
     pub fn adjacency_entry(&self, u: Index, v: Index) -> Option<S::Elem> {
-        self.a.get_collective(&self.grid, u, v)
+        self.latest().adjacency_entry(&self.grid, u, v)
     }
 
     /// The `k` heaviest entries of product row `u` under `score` (greater is
-    /// better; ties broken by column for determinism). The row's owners
-    /// contribute their local entries, one allgather merges them, and every
-    /// rank returns the same list. `score` must be a pure function agreed on
-    /// all ranks. Collective.
+    /// better; ties broken by column for determinism) at the current epoch.
+    /// The row's owners contribute their local entries, one zero-copy
+    /// allgather merges them, and every rank returns the same list. `score`
+    /// must be a pure function agreed on all ranks. Collective.
     pub fn product_row_topk(
         &self,
         u: Index,
         k: usize,
         score: impl Fn(&S::Elem) -> f64,
     ) -> Vec<(Index, S::Elem)> {
-        let info = self.c.info();
-        let mine: Vec<(Index, S::Elem)> = if info.row_range.contains(&u) {
-            let lr = u - info.row_range.start;
-            let (cols, vals) = self.c.block().row_ref(lr).entries();
-            cols.iter()
-                .zip(vals)
-                .map(|(&lc, &val)| (lc + info.col_range.start, val))
-                .collect()
-        } else {
-            Vec::new()
-        };
-        // Zero-copy merge: the ring moves `Arc` handles of the per-rank
-        // entry lists, never deep-cloning a list on a forward.
-        let mut all: Vec<(Index, S::Elem)> = self
-            .grid
-            .world()
-            .allgather_shared(std::sync::Arc::new(mine))
-            .iter()
-            .flat_map(|part| part.iter().copied())
-            .collect();
-        all.sort_unstable_by(|(ca, va), (cb, vb)| {
-            score(vb)
-                .partial_cmp(&score(va))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(ca.cmp(cb))
-        });
-        all.truncate(k);
-        all
+        self.latest().product_row_topk(&self.grid, u, k, score)
     }
 
-    /// Global aggregate over the maintained product: folds every local
-    /// entry (global coordinates) into `init` and allreduces the per-rank
-    /// folds with `combine`. Every rank returns the total. Collective.
+    /// Global aggregate over the maintained product at the current epoch:
+    /// folds every entry (global coordinates, row-major order) into `init`
+    /// and allreduces the per-rank folds with `combine`. Every rank returns
+    /// the total. Collective.
     pub fn product_aggregate<T>(
         &self,
         init: T,
-        mut fold: impl FnMut(T, Index, Index, S::Elem) -> T,
+        fold: impl FnMut(T, Index, Index, S::Elem) -> T,
         combine: impl FnMut(T, T) -> T,
     ) -> T
     where
         T: Clone + Send + dspgemm_util::WireSize + 'static,
     {
-        let info = self.c.info();
-        let mut acc = Some(init);
-        self.c.block().scan_rows(|r, cols, vals| {
-            for (&lc, &v) in cols.iter().zip(vals) {
-                let (gr, gc) = info.to_global(r, lc);
-                let cur = acc.take().expect("fold accumulator present");
-                acc = Some(fold(cur, gr, gc, v));
-            }
-        });
-        let local = acc.expect("fold accumulator present");
-        self.grid.world().allreduce(local, combine)
+        self.latest()
+            .product_aggregate(&self.grid, init, fold, combine)
     }
 
-    /// Global non-zero counts `(nnz(A), nnz(C))`. Collective.
+    /// Global non-zero counts `(nnz(A), nnz(C))` at the current epoch.
+    /// Collective.
     pub fn global_nnz(&self) -> (u64, u64) {
-        (self.a.global_nnz(&self.grid), self.c.global_nnz(&self.grid))
+        self.latest().global_nnz(&self.grid)
     }
 }

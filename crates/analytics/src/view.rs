@@ -25,6 +25,15 @@ use dspgemm_core::DistDcsr;
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::Dcsr;
 use std::any::Any;
+use std::sync::Arc;
+
+/// A frozen, immutable reading of one view's state, captured into a
+/// published session epoch (see
+/// [`SessionSnapshot`](crate::snapshot::SessionSnapshot)). Downcast with
+/// [`SessionSnapshot::view_as`](crate::snapshot::SessionSnapshot::view_as)
+/// to the view's documented reading type (e.g.
+/// [`TriangleReading`](crate::views::triangles::TriangleReading)).
+pub type FrozenView = Arc<dyn Any + Send + Sync>;
 
 /// Read access to the session state handed to view callbacks.
 pub struct ViewCx<'a, S: Semiring> {
@@ -92,6 +101,18 @@ pub trait View<S: Semiring>: 'static {
     /// Refreshes the view *after* the batch was applied (`cx` shows the new
     /// state, `delta` the shared change feed). Collective.
     fn post_batch(&mut self, cx: &ViewCx<'_, S>, delta: &BatchDelta<'_, S>);
+
+    /// Captures an immutable reading of the current state for epoch
+    /// publishing — pinned readers query the frozen reading while the live
+    /// view keeps refreshing. Local-only (no collectives): the session
+    /// publishes after every batch and a collective here would tax every
+    /// batch. Views with non-trivial state should keep the reading behind
+    /// an `Arc` cache (invalidated on refresh) so an unchanged view is
+    /// re-shared into the next epoch by refcount, like the matrix blocks.
+    /// Default: a unit reading (the view is not snapshot-queryable).
+    fn freeze(&mut self) -> FrozenView {
+        Arc::new(())
+    }
 
     /// Downcast support for typed access through the session registry.
     fn as_any(&self) -> &dyn Any;

@@ -4,14 +4,14 @@
 //! neighbors of `u` and `v` — the classic link-prediction score. The view
 //! tracks a *fixed candidate set* of `(u, v)` pairs (e.g. non-edges proposed
 //! by a recommender): registration evaluates the candidates with one
-//! masked product ([`crate::masked_product`], built on the
+//! masked product ([`mod@crate::masked_product`], built on the
 //! `sparse::masked_mm` kernel, pruning local flops to candidate rows);
 //! afterwards each batch refreshes only the candidates that the shared `C*`
 //! delta proves changed — `O(nnz(C*))` mask probes and `O(1)` lookups into
 //! the maintained product, no extra communication at all.
 
 use crate::masked_product::masked_product_exec;
-use crate::view::{BatchDelta, View, ViewCx};
+use crate::view::{BatchDelta, FrozenView, View, ViewCx};
 use dspgemm_core::grid::{owner_block, Grid};
 use dspgemm_sparse::masked_mm::MaskSet;
 use dspgemm_sparse::semiring::Semiring;
@@ -19,10 +19,65 @@ use dspgemm_sparse::{Index, RowScan};
 use dspgemm_util::stats::PhaseTimer;
 use dspgemm_util::FxHashMap;
 use std::any::Any;
+use std::sync::Arc;
 
 #[inline]
 fn pack(u: Index, v: Index) -> u64 {
     ((u as u64) << 32) | v as u64
+}
+
+/// The frozen reading of a [`CommonNeighborsView`] inside a published
+/// epoch: this rank's candidate scores at publish time, behind an `Arc`
+/// shared with the view's freeze cache — pinning and querying copy no
+/// score data. The merge collectives ([`ScoreReading::top_k`]) work
+/// exactly like the live view's, but against the pinned scores.
+#[derive(Debug, Clone)]
+pub struct ScoreReading<S: Semiring> {
+    local: Arc<Vec<(Index, Index, S::Elem)>>,
+}
+
+impl<S: Semiring> ScoreReading<S> {
+    /// Locally-owned candidates with a structurally non-zero score at the
+    /// pinned epoch, as `(u, v, score)`.
+    pub fn local_scores(&self) -> &[(Index, Index, S::Elem)] {
+        &self.local
+    }
+
+    /// The `k` best-scoring candidates at the pinned epoch (same contract
+    /// as [`CommonNeighborsView::top_k`]). Collective; all ranks must hold
+    /// the same epoch.
+    pub fn top_k(
+        &self,
+        grid: &Grid,
+        k: usize,
+        rank_of: impl Fn(&S::Elem) -> f64,
+    ) -> Vec<(Index, Index, S::Elem)> {
+        merge_topk::<S>(grid, Arc::clone(&self.local), k, rank_of)
+    }
+}
+
+/// The shared zero-copy allgather merge behind live and pinned `top_k`:
+/// the ring moves the `Arc` handle, never a copy of the score list.
+fn merge_topk<S: Semiring>(
+    grid: &Grid,
+    mine: Arc<Vec<(Index, Index, S::Elem)>>,
+    k: usize,
+    rank_of: impl Fn(&S::Elem) -> f64,
+) -> Vec<(Index, Index, S::Elem)> {
+    let mut all: Vec<(Index, Index, S::Elem)> = grid
+        .world()
+        .allgather_shared(mine)
+        .iter()
+        .flat_map(|part| part.iter().copied())
+        .collect();
+    all.sort_unstable_by(|(ua, va, sa), (ub, vb, sb)| {
+        rank_of(sb)
+            .partial_cmp(&rank_of(sa))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then((ua, va).cmp(&(ub, vb)))
+    });
+    all.truncate(k);
+    all
 }
 
 /// Maintained `(A·A)_{u,v}` scores for a fixed, replicated candidate set.
@@ -34,6 +89,9 @@ pub struct CommonNeighborsView<S: Semiring> {
     /// Packed global pair → current score, for locally-owned candidates
     /// whose product entry is structurally present.
     scores: FxHashMap<u64, S::Elem>,
+    /// Cached frozen reading, rebuilt only after the scores change — an
+    /// unchanged view is re-shared into the next epoch by refcount.
+    frozen: Option<FrozenView>,
     /// Local flops spent by the bootstrap masked product.
     pub bootstrap_flops: u64,
     /// Candidate scores refreshed across all batches (diagnostics).
@@ -48,6 +106,7 @@ impl<S: Semiring> CommonNeighborsView<S> {
             candidates,
             local_mask: MaskSet::default(),
             scores: FxHashMap::default(),
+            frozen: None,
             bootstrap_flops: 0,
             refreshed_entries: 0,
         }
@@ -91,23 +150,9 @@ impl<S: Semiring> CommonNeighborsView<S> {
         k: usize,
         rank_of: impl Fn(&S::Elem) -> f64,
     ) -> Vec<(Index, Index, S::Elem)> {
-        let mine: Vec<(Index, Index, S::Elem)> = self.local_scores().collect();
         // Zero-copy merge: the ring moves `Arc` handles of the per-rank
         // score lists, never deep-cloning a list on a forward.
-        let mut all: Vec<(Index, Index, S::Elem)> = grid
-            .world()
-            .allgather_shared(std::sync::Arc::new(mine))
-            .iter()
-            .flat_map(|part| part.iter().copied())
-            .collect();
-        all.sort_unstable_by(|(ua, va, sa), (ub, vb, sb)| {
-            rank_of(sb)
-                .partial_cmp(&rank_of(sa))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then((ua, va).cmp(&(ub, vb)))
-        });
-        all.truncate(k);
-        all
+        merge_topk::<S>(grid, Arc::new(self.local_scores().collect()), k, rank_of)
     }
 
     /// Refreshes one owned candidate from the maintained product.
@@ -122,6 +167,7 @@ impl<S: Semiring> CommonNeighborsView<S> {
                 self.scores.remove(&pack(gu, gv));
             }
         }
+        self.frozen = None;
         self.refreshed_entries += 1;
     }
 }
@@ -147,6 +193,7 @@ impl<S: Semiring> View<S> for CommonNeighborsView<S> {
             masked_product_exec::<S>(cx.grid, cx.a, cx.a, &self.local_mask, cx.exec, &mut timer);
         self.bootstrap_flops = flops;
         self.scores.clear();
+        self.frozen = None;
         block.scan_rows(|lr, cols, vals| {
             for (&lc, &(v, _)) in cols.iter().zip(vals) {
                 let (gu, gv) = info.to_global(lr, lc);
@@ -178,6 +225,19 @@ impl<S: Semiring> View<S> for CommonNeighborsView<S> {
         for (lr, lc) in touched {
             self.refresh_at(cx, lr, lc);
         }
+    }
+
+    fn freeze(&mut self) -> FrozenView {
+        // Rebuilt only when a batch actually touched a candidate score;
+        // otherwise the cached reading is re-shared by refcount.
+        if self.frozen.is_none() {
+            let mut local: Vec<(Index, Index, S::Elem)> = self.local_scores().collect();
+            local.sort_unstable_by_key(|&(u, v, _)| (u, v));
+            self.frozen = Some(Arc::new(ScoreReading::<S> {
+                local: Arc::new(local),
+            }));
+        }
+        self.frozen.clone().expect("cache filled above")
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -18,11 +18,34 @@
 //! is kept as the fallback for general batches (deletions invalidate the
 //! additive decomposition because `C* `carries patterns, not value deltas).
 
-use crate::view::{BatchDelta, PendingBatch, View, ViewCx};
+use crate::view::{BatchDelta, FrozenView, PendingBatch, View, ViewCx};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Index, RowScan};
 use dspgemm_util::FxHashSet;
 use std::any::Any;
+use std::sync::Arc;
+
+/// The frozen reading of a [`TriangleCountView`] inside a published epoch:
+/// the maintained count at publish time, immutable forever after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriangleReading {
+    masked_sum: u64,
+}
+
+impl TriangleReading {
+    /// The triangle count at the pinned epoch.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.masked_sum / 6
+    }
+
+    /// The raw masked sum at the pinned epoch (each triangle counted 6
+    /// times).
+    #[inline]
+    pub fn masked_sum(&self) -> u64 {
+        self.masked_sum
+    }
+}
 
 #[inline]
 fn pack(r: Index, c: Index) -> u64 {
@@ -131,6 +154,13 @@ impl<S: Semiring<Elem = u64>> View<S> for TriangleCountView {
             }
         }
         self.pending_new.clear();
+    }
+
+    fn freeze(&mut self) -> FrozenView {
+        // A `Copy` scalar: nothing worth caching.
+        Arc::new(TriangleReading {
+            masked_sum: self.masked_sum,
+        })
     }
 
     fn as_any(&self) -> &dyn Any {

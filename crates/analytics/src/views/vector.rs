@@ -7,12 +7,36 @@
 //! without any per-view bookkeeping. Compare the static-recompute
 //! alternative the benchmarks measure: a full SUMMA product per batch.
 
-use crate::view::{BatchDelta, View, ViewCx};
+use crate::view::{BatchDelta, FrozenView, View, ViewCx};
 use dspgemm_core::grid::{owner_block, Grid};
 use dspgemm_core::spmv::{spmv, spmv_chain, DistVec};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::Index;
 use std::any::Any;
+use std::sync::Arc;
+
+/// The frozen reading of a [`DegreeView`] or [`KHopView`] inside a
+/// published epoch: the maintained vector at publish time (row- or
+/// column-aligned exactly like the live view's). The vector is shared with
+/// the live view by refcount — freezing copies no data.
+#[derive(Debug, Clone)]
+pub struct VectorReading<S: Semiring> {
+    y: Option<Arc<DistVec<S::Elem>>>,
+}
+
+impl<S: Semiring> VectorReading<S> {
+    /// The pinned vector (`None` only if the view was frozen before
+    /// bootstrap, which the session registry never does).
+    pub fn vector(&self) -> Option<&DistVec<S::Elem>> {
+        self.y.as_deref()
+    }
+
+    /// The full pinned vector on every rank (one allgather). Collective;
+    /// all ranks must hold the same epoch.
+    pub fn to_global(&self, grid: &Grid) -> Option<Vec<S::Elem>> {
+        self.y.as_deref().map(|y| y.to_global(grid))
+    }
+}
 
 /// Maintained row-aggregate vector `y = A · x̄` for a constant `x̄` — with
 /// unit edge values over `(+, ·)` this is the weighted out-degree of every
@@ -20,7 +44,8 @@ use std::any::Any;
 /// incident edge.
 pub struct DegreeView<S: Semiring> {
     one: S::Elem,
-    y: Option<DistVec<S::Elem>>,
+    /// Maintained vector, shared by refcount with frozen epoch readings.
+    y: Option<Arc<DistVec<S::Elem>>>,
     /// Local flops spent across refreshes.
     pub flops: u64,
 }
@@ -40,12 +65,12 @@ impl<S: Semiring> DegreeView<S> {
         let x = DistVec::constant(cx.grid, n, self.one);
         let (y, fl) = spmv::<S>(cx.grid, cx.a, &x, cx.threads);
         self.flops += fl;
-        self.y = Some(y);
+        self.y = Some(Arc::new(y));
     }
 
     /// The maintained vector (row-aligned; `None` before bootstrap).
     pub fn vector(&self) -> Option<&DistVec<S::Elem>> {
-        self.y.as_ref()
+        self.y.as_deref()
     }
 
     /// Collective point lookup of vertex `u`'s aggregate. `None` only
@@ -66,7 +91,7 @@ impl<S: Semiring> DegreeView<S> {
 
     /// The full vector on every rank (one allgather). Collective.
     pub fn to_global(&self, grid: &Grid) -> Option<Vec<S::Elem>> {
-        self.y.as_ref().map(|y| y.to_global(grid))
+        self.y.as_deref().map(|y| y.to_global(grid))
     }
 }
 
@@ -83,6 +108,11 @@ impl<S: Semiring> View<S> for DegreeView<S> {
         self.refresh(cx);
     }
 
+    fn freeze(&mut self) -> FrozenView {
+        // Refcount clone of the maintained vector — no data copied.
+        Arc::new(VectorReading::<S> { y: self.y.clone() })
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -94,7 +124,8 @@ impl<S: Semiring> View<S> for DegreeView<S> {
 pub struct KHopView<S: Semiring> {
     seeds: Vec<(Index, S::Elem)>,
     hops: usize,
-    y: Option<DistVec<S::Elem>>,
+    /// Maintained vector, shared by refcount with frozen epoch readings.
+    y: Option<Arc<DistVec<S::Elem>>>,
     /// Local flops spent across refreshes.
     pub flops: u64,
 }
@@ -117,13 +148,13 @@ impl<S: Semiring> KHopView<S> {
         let x = DistVec::from_entries(cx.grid, n, &self.seeds, S::zero());
         let (y, fl) = spmv_chain::<S>(cx.grid, cx.a, x, self.hops, cx.threads);
         self.flops += fl;
-        self.y = Some(y);
+        self.y = Some(Arc::new(y));
     }
 
     /// The maintained sweep result (column-aligned; `None` before
     /// bootstrap).
     pub fn vector(&self) -> Option<&DistVec<S::Elem>> {
-        self.y.as_ref()
+        self.y.as_deref()
     }
 
     /// Collective point lookup of vertex `u`'s sweep value. Every rank
@@ -143,7 +174,7 @@ impl<S: Semiring> KHopView<S> {
 
     /// The full vector on every rank (one allgather). Collective.
     pub fn to_global(&self, grid: &Grid) -> Option<Vec<S::Elem>> {
-        self.y.as_ref().map(|y| y.to_global(grid))
+        self.y.as_deref().map(|y| y.to_global(grid))
     }
 
     /// Number of vertices whose sweep value is not the semiring zero —
@@ -166,6 +197,11 @@ impl<S: Semiring> View<S> for KHopView<S> {
 
     fn post_batch(&mut self, cx: &ViewCx<'_, S>, _delta: &BatchDelta<'_, S>) {
         self.refresh(cx);
+    }
+
+    fn freeze(&mut self) -> FrozenView {
+        // Refcount clone of the maintained vector — no data copied.
+        Arc::new(VectorReading::<S> { y: self.y.clone() })
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -5,7 +5,7 @@
 //!
 //! experiments:
 //!   table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b fig9 fig10 fig11 fig12
-//!   ablation-redist ablation-bloom ablation-agg analytics copy-elim overlap balance
+//!   ablation-redist ablation-bloom ablation-agg analytics copy-elim overlap balance serve
 //!   data        (= table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b)
 //!   spgemm      (= fig9 fig10 fig11 fig12)
 //!   ablations   (= the three ablations)
@@ -22,13 +22,13 @@
 //! ```
 
 use dspgemm_bench::experiments::{
-    ablations, analytics, balance, construction, copy_elim, overlap, spgemm, table1, updates,
+    ablations, analytics, balance, construction, copy_elim, overlap, serve, spgemm, table1, updates,
 };
 use dspgemm_bench::Config;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablation-redist|ablation-bloom|ablation-agg|analytics|copy-elim|overlap|balance|data|spgemm|ablations|all> [--divisor N] [--p N] [--threads N] [--batches N] [--instances N] [--seed N] [--smoke]"
+        "usage: repro <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablation-redist|ablation-bloom|ablation-agg|analytics|copy-elim|overlap|balance|serve|data|spgemm|ablations|all> [--divisor N] [--p N] [--threads N] [--batches N] [--instances N] [--seed N] [--smoke]"
     );
     std::process::exit(2);
 }
@@ -158,6 +158,7 @@ fn main() {
             "copy-elim" => copy_elim::run(&cfg),
             "overlap" => overlap::run(&cfg),
             "balance" => balance::run(&cfg),
+            "serve" => serve::run(&cfg),
             "ablation-redist" => ablations::redistribution(&cfg),
             "ablation-bloom" => ablations::bloom_filter(&cfg),
             "ablation-agg" => ablations::aggregation(&cfg),

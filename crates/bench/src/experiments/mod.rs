@@ -11,6 +11,7 @@
 //! | [`overlap`] | pipelined vs. blocking round schedules: exposed-communication reduction under identical wire volume (beyond the paper) |
 //! | [`balance`] | contiguous vs. flop-balanced vs. work-stealing local-kernel schedules: thread-level flop imbalance on skewed proxies (beyond the paper) |
 //! | [`analytics`] | maintained-view serving vs. static recomputation (the `dspgemm-analytics` layer; beyond the paper) |
+//! | [`serve`] | snapshot-isolated query serving vs. blocking baseline: query p50/p99, stale-read distance, epoch retention (beyond the paper) |
 
 pub mod ablations;
 pub mod analytics;
@@ -18,6 +19,7 @@ pub mod balance;
 pub mod construction;
 pub mod copy_elim;
 pub mod overlap;
+pub mod serve;
 pub mod spgemm;
 pub mod table1;
 pub mod updates;

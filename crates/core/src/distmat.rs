@@ -73,10 +73,19 @@ impl BlockInfo {
 }
 
 /// A dynamic distributed matrix: DHB blocks on a 2D grid.
+///
+/// Alongside the mutable DHB block the matrix keeps a lazily-built, shared
+/// CSR image of the block (`csr_cache`) for the snapshot layer: the cache is
+/// invalidated whenever the block is actually mutated and rebuilt on the
+/// next [`DistMat::snapshot_csr`] call — so publishing an epoch after a
+/// batch converts exactly the blocks the batch touched, and untouched blocks
+/// are re-shared into the new epoch by a refcount increment (block-granular
+/// copy-on-write; see [`crate::snapshot`]).
 #[derive(Debug, Clone)]
 pub struct DistMat<V> {
     info: BlockInfo,
     block: DhbMatrix<V>,
+    csr_cache: Option<Arc<Csr<V>>>,
 }
 
 impl<V: Elem> DistMat<V> {
@@ -84,7 +93,11 @@ impl<V: Elem> DistMat<V> {
     pub fn empty(grid: &Grid, nrows: Index, ncols: Index) -> Self {
         let info = BlockInfo::for_rank(grid, nrows, ncols);
         let block = DhbMatrix::new(info.local_rows(), info.local_cols());
-        Self { info, block }
+        Self {
+            info,
+            block,
+            csr_cache: None,
+        }
     }
 
     /// Builds from rank-local triples with **global** indices: redistributes
@@ -118,6 +131,10 @@ impl<V: Elem> DistMat<V> {
         let local = timer.time(crate::redistribute::phase::LOCAL_CONSTRUCT, || {
             self.to_local_triples(mine)
         });
+        if local.is_empty() {
+            return;
+        }
+        self.csr_cache = None;
         timer.time(crate::redistribute::phase::LOCAL_ADDITION, || {
             crate::update::apply_local_triples_set(&mut self.block, &local, threads);
         });
@@ -145,9 +162,14 @@ impl<V: Elem> DistMat<V> {
         &self.block
     }
 
-    /// Mutable access to the local block.
+    /// Mutable access to the local block. Conservatively invalidates the
+    /// cached CSR snapshot image: the next [`DistMat::snapshot_csr`] call
+    /// rebuilds it. Callers that can prove a batch leaves the block
+    /// untouched (empty update block) should skip the call instead — that
+    /// is what keeps publishing copy-on-write at block granularity.
     #[inline]
     pub fn block_mut(&mut self) -> &mut DhbMatrix<V> {
+        self.csr_cache = None;
         &mut self.block
     }
 
@@ -202,7 +224,30 @@ impl<V: Elem> DistMat<V> {
     /// moves the same `Arc` (one refcount increment per receiver instead of
     /// a deep clone per round).
     pub fn block_csr_shared(&self) -> Arc<Csr<V>> {
-        Arc::new(self.block.to_csr())
+        match &self.csr_cache {
+            Some(cached) => Arc::clone(cached),
+            None => Arc::new(self.block.to_csr()),
+        }
+    }
+
+    /// The shared CSR image of the local block for epoch publishing,
+    /// rebuilt only if the block was mutated since the last call — the
+    /// copy-on-write primitive behind [`crate::snapshot`]: publishing an
+    /// epoch whose block is unchanged re-shares the previous epoch's `Arc`
+    /// (a refcount increment, `Arc::ptr_eq` with the prior image).
+    pub fn snapshot_csr(&mut self) -> Arc<Csr<V>> {
+        if self.csr_cache.is_none() {
+            self.csr_cache = Some(Arc::new(self.block.to_csr()));
+        }
+        Arc::clone(self.csr_cache.as_ref().expect("cache just filled"))
+    }
+
+    /// Whether the cached CSR snapshot image is valid (i.e. the block was
+    /// not mutated since the last [`DistMat::snapshot_csr`]) — COW
+    /// diagnostics for tests.
+    #[inline]
+    pub fn snapshot_cached(&self) -> bool {
+        self.csr_cache.is_some()
     }
 
     /// Snapshot of the local block as a DCSR.

@@ -568,6 +568,9 @@ pub fn apply_shared_algebraic_prebuilt_exec<S: Semiring>(
         timer,
     );
     timer.time(phase::LOCAL_UPDATE, || {
+        if cstar.nnz() == 0 {
+            return; // keep the block's snapshot image valid (COW publish)
+        }
         let block = c.block_mut();
         cstar.scan_rows(|r, cols, vals| {
             for (&cc, &v) in cols.iter().zip(vals) {
@@ -620,6 +623,9 @@ pub fn apply_shared_algebraic_prebuilt_tracked_exec<S: Semiring>(
         timer,
     );
     timer.time(phase::LOCAL_UPDATE, || {
+        if cstar.nnz() == 0 {
+            return; // keep the blocks' snapshot images valid (COW publish)
+        }
         let c_block = c.block_mut();
         let f_block = f.block_mut();
         cstar.scan_rows(|r, cols, vals| {
@@ -701,6 +707,9 @@ pub fn apply_algebraic_updates_exec<S: Semiring>(
         compute_cstar_exec::<S, PlainKernel>(grid, a, b, &a_star, &b_star, exec, timer);
     timer.time(phase::LOCAL_UPDATE, || {
         apply_add_exec::<S>(a, &a_star, exec);
+        if cstar.nnz() == 0 {
+            return; // keep the block's snapshot image valid (COW publish)
+        }
         let block = c.block_mut();
         cstar.scan_rows(|r, cols, vals| {
             for (&cc, &v) in cols.iter().zip(vals) {
@@ -779,6 +788,9 @@ pub fn apply_algebraic_updates_tracked_exec<S: Semiring>(
         compute_cstar_exec::<S, BloomKernel>(grid, a, b, &a_star, &b_star, exec, timer);
     timer.time(phase::LOCAL_UPDATE, || {
         apply_add_exec::<S>(a, &a_star, exec);
+        if cstar.nnz() == 0 {
+            return; // keep the blocks' snapshot images valid (COW publish)
+        }
         let c_block = c.block_mut();
         let f_block = f.block_mut();
         cstar.scan_rows(|r, cols, vals| {

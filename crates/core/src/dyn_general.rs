@@ -304,6 +304,9 @@ pub fn apply_general_updates_exec<S: Semiring>(
     // --- Merge Z into C and H into F, masked at C*: recomputed entries are
     // replaced, vanished entries deleted. ---
     timer.time(phase::LOCAL_UPDATE, || {
+        if cstar.nnz() == 0 {
+            return; // keep the blocks' snapshot images valid (COW publish)
+        }
         let mut z_lookup: FxHashMap<u64, (S::Elem, u64)> = FxHashMap::default();
         z_lookup.reserve(z.nnz());
         z.scan_rows(|r, cols, vals| {
@@ -338,7 +341,9 @@ pub fn apply_general_updates_exec<S: Semiring>(
 /// positions whose values were recomputed or deleted — the change feed for
 /// maintained views) plus the local flop count. Collective.
 ///
-/// `COMPUTE_PATTERN` runs through [`compute_cstar_shared`]'s split round
+/// `COMPUTE_PATTERN` runs through
+/// [`compute_cstar_shared`](crate::dyn_algebraic::compute_cstar_shared)'s
+/// split round
 /// structure (`Y` rounds against the old `A`, MERGE/MASK application, `X`
 /// rounds against the new `A'`); the subsequent filter reduction, `A^R`
 /// extraction and masked recomputation read only the post-update matrix, so
@@ -431,6 +436,9 @@ pub fn apply_shared_general_prebuilt_exec<S: Semiring>(
 
     // --- Merge Z into C and H into F, masked at C*. ---
     timer.time(phase::LOCAL_UPDATE, || {
+        if cstar.nnz() == 0 {
+            return; // keep the blocks' snapshot images valid (COW publish)
+        }
         let mut z_lookup: FxHashMap<u64, (S::Elem, u64)> = FxHashMap::default();
         z_lookup.reserve(z.nnz());
         z.scan_rows(|r, cols, vals| {

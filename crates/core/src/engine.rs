@@ -12,18 +12,23 @@ use crate::dyn_algebraic::{apply_algebraic_updates_exec, apply_algebraic_updates
 use crate::dyn_general::{apply_general_updates_exec, GeneralUpdates};
 use crate::exec::Exec;
 use crate::grid::Grid;
+use crate::snapshot::{Snapshot, SnapshotMat, SnapshotStore};
 use crate::summa::{summa_bloom_exec, summa_exec};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::Triple;
 use dspgemm_util::stats::PhaseTimer;
+use std::sync::Arc;
 
 /// A dynamic SpGEMM session maintaining `C = A · B` under batched updates.
 pub struct DynSpGemm<S: Semiring> {
-    /// Left operand (dynamic).
+    /// Left operand (dynamic). Mutating it directly (rather than through
+    /// the `apply_*` batch calls) requires an explicit SPMD
+    /// [`DynSpGemm::publish`] before the next [`DynSpGemm::snapshot`] —
+    /// see the latter's docs.
     pub a: DistMat<S::Elem>,
-    /// Right operand (dynamic).
+    /// Right operand (dynamic). Same direct-mutation caveat as `a`.
     pub b: DistMat<S::Elem>,
-    /// The maintained product.
+    /// The maintained product. Same direct-mutation caveat as `a`.
     pub c: DistMat<S::Elem>,
     /// The Bloom filter matrix `F` (present iff the session tracks filters,
     /// which is required before general updates can be applied).
@@ -36,6 +41,11 @@ pub struct DynSpGemm<S: Semiring> {
     pub timer: PhaseTimer,
     /// Accumulated local scalar-multiplication count.
     pub flops: u64,
+    /// Published epochs of `{A, C}` (see [`crate::snapshot`]); the latest is
+    /// held here, older ones live as long as a reader pins them.
+    snapshots: SnapshotStore<Snapshot<S::Elem>>,
+    /// Whether a batch committed since the last publish.
+    dirty: bool,
 }
 
 impl<S: Semiring> DynSpGemm<S> {
@@ -69,7 +79,7 @@ impl<S: Semiring> DynSpGemm<S> {
             let (c, flops) = summa_exec::<S>(grid, &a, &b, &exec, &mut timer);
             (c, None, flops)
         };
-        Self {
+        let mut eng = Self {
             a,
             b,
             c,
@@ -77,12 +87,71 @@ impl<S: Semiring> DynSpGemm<S> {
             exec,
             timer,
             flops,
-        }
+            snapshots: SnapshotStore::new(),
+            dirty: false,
+        };
+        // Epoch 0: the initial product, queryable before any batch.
+        eng.publish();
+        eng
     }
 
     /// Intra-rank thread count (the paper's OpenMP `T`).
     pub fn threads(&self) -> usize {
         self.exec.threads
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch-versioned snapshots (the serving interface)
+    // ------------------------------------------------------------------
+
+    /// Publishes the current `{A, C}` as the next epoch and returns the
+    /// pinned handle. Local-only (no collectives): every rank converts at
+    /// most the blocks the batches since the last publish touched —
+    /// untouched blocks are re-shared copy-on-write from the previous
+    /// epoch. SPMD callers publish in lockstep, so epoch numbers agree on
+    /// every rank.
+    pub fn publish(&mut self) -> Arc<Snapshot<S::Elem>> {
+        let a = SnapshotMat::new(self.a.info().clone(), self.a.snapshot_csr());
+        let c = SnapshotMat::new(self.c.info().clone(), self.c.snapshot_csr());
+        self.dirty = false;
+        self.snapshots
+            .publish_with(|epoch| Snapshot::new(epoch, a, c))
+    }
+
+    /// Pins the current epoch: returns the latest published snapshot,
+    /// publishing first if engine batches ([`DynSpGemm::apply_algebraic`],
+    /// [`DynSpGemm::apply_general`], [`DynSpGemm::recompute_static`])
+    /// committed since the last publish — so the returned epoch always
+    /// reflects every committed batch. Readers keep the returned `Arc` for
+    /// as long as they need repeatable reads; the `apply_*` paths never
+    /// mutate a published epoch.
+    ///
+    /// The lazy-publish decision must be rank-uniform (publishing advances
+    /// the epoch counter), so it keys on the *collective* batch calls
+    /// above. Callers that mutate the public matrix fields directly (e.g.
+    /// `eng.a.block_mut()`) must follow up with an explicit SPMD
+    /// [`DynSpGemm::publish`] — `snapshot()` cannot observe such mutations,
+    /// and any per-rank content check would let ranks' epoch numbers
+    /// diverge (a rank whose local block a batch left untouched would skip
+    /// the publish its peers perform).
+    pub fn snapshot(&mut self) -> Arc<Snapshot<S::Elem>> {
+        if self.dirty || self.snapshots.latest().is_none() {
+            self.publish()
+        } else {
+            Arc::clone(self.snapshots.latest().expect("published above"))
+        }
+    }
+
+    /// The latest published epoch number (`None` before the first publish —
+    /// unreachable through the public constructors, which publish epoch 0).
+    pub fn epoch(&self) -> Option<u64> {
+        self.snapshots.latest().map(|s| s.epoch())
+    }
+
+    /// The snapshot registry (retention diagnostics: how many epochs are
+    /// still pinned, and their memory footprint).
+    pub fn snapshots(&self) -> &SnapshotStore<Snapshot<S::Elem>> {
+        &self.snapshots
     }
 
     /// Applies a batch of **algebraic** updates (`A' = A + A*`,
@@ -94,6 +163,7 @@ impl<S: Semiring> DynSpGemm<S> {
         a_updates: Vec<Triple<S::Elem>>,
         b_updates: Vec<Triple<S::Elem>>,
     ) {
+        self.dirty = true;
         self.flops += match &mut self.f {
             Some(f) => apply_algebraic_updates_tracked_exec::<S>(
                 grid,
@@ -136,6 +206,7 @@ impl<S: Semiring> DynSpGemm<S> {
             .f
             .as_mut()
             .expect("general updates require a session created with track_filter = true");
+        self.dirty = true;
         self.flops += apply_general_updates_exec::<S>(
             grid,
             &mut self.a,
@@ -153,6 +224,7 @@ impl<S: Semiring> DynSpGemm<S> {
     /// from scratch — the static strategy the paper's competitors are forced
     /// into. Useful as a baseline and as a repair path. Collective.
     pub fn recompute_static(&mut self, grid: &Grid) {
+        self.dirty = true;
         if self.f.is_some() {
             let (c, f, flops) =
                 summa_bloom_exec::<S>(grid, &self.a, &self.b, &self.exec, &mut self.timer);

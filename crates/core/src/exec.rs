@@ -2,7 +2,7 @@
 //! and the workspace pools every SpGEMM path leases from.
 //!
 //! [`Exec`] is what turns the sparse crate's per-call
-//! [`KernelPlan`](dspgemm_sparse::local_mm::KernelPlan) into a *session*
+//! [`dspgemm_sparse::local_mm::KernelPlan`] into a *session*
 //! resource: one `Exec` lives in the engine (or is built transiently per
 //! collective call) and hands out plans whose pooled workspaces persist
 //! across SUMMA rounds, dynamic X/Y passes, masked recomputes and analytics

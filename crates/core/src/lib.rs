@@ -35,6 +35,11 @@
 //!   ([`exec::Exec`]): thread count, skew-aware row schedule, and the
 //!   pooled per-thread kernel workspaces every SpGEMM path leases from, so
 //!   pipelined rounds stop reallocating accumulators.
+//! * [`snapshot`] — epoch-versioned immutable snapshots of `{A, C}`
+//!   published after committed batches ([`snapshot::Snapshot`]), built
+//!   block-granular copy-on-write over the live matrices; readers pin an
+//!   epoch and query it bit-stably while further batches commit — the
+//!   serving interface behind `dspgemm-analytics`.
 //!
 //! Beyond the two per-engine algorithms, [`dyn_algebraic`] and
 //! [`dyn_general`] also export *shared-operand* variants
@@ -82,6 +87,7 @@ pub mod exec;
 pub mod grid;
 pub mod pipeline;
 pub mod redistribute;
+pub mod snapshot;
 pub mod spmv;
 pub mod summa;
 pub mod update;
@@ -90,6 +96,7 @@ pub use distmat::{DistDcsr, DistMat};
 pub use engine::DynSpGemm;
 pub use exec::Exec;
 pub use grid::Grid;
+pub use snapshot::{Snapshot, SnapshotMat, SnapshotStore};
 
 /// Phase names used by the SpGEMM breakdown (the paper's Fig. 12 series).
 pub mod phase {

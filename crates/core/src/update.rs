@@ -6,9 +6,23 @@
 //! 2. [`build_update_matrix`] redistributes them (two-phase counting-sort
 //!    alltoall) and assembles this rank's block of the hypersparse update
 //!    matrix `A*` in DCSR layout;
-//! 3. one of the *purely local* application operators finishes the job:
-//!    [`apply_add`] (`A += A*`), [`apply_merge`] (`MERGE`), or [`apply_mask`]
-//!    (`MASK`), each parallelized over `T` shards by `row mod T`.
+//! 3. one of the *purely local* application operators finishes the job —
+//!    [`apply_add_exec`] (`A += A*`), [`apply_merge_exec`] (`MERGE`), or
+//!    [`apply_mask_exec`] (`MASK`) — each parallelized over the shards of
+//!    the session [`Exec`](crate::exec::Exec) by `row mod T`.
+//!
+//! The `_exec` operators are the primary entry points: the engine, the
+//! analytics session and the pipelined SpGEMM paths all drive application
+//! through a session [`Exec`](crate::exec::Exec) so one configuration
+//! object carries the thread count (and, for the kernels, the row schedule
+//! and pooled workspaces) everywhere. The bare-`threads` forms
+//! ([`apply_add`], [`apply_merge`], [`apply_mask`]) survive as thin
+//! conveniences for tests and one-off callers that have no session.
+//!
+//! An update matrix empty on this rank is applied as a guaranteed no-op
+//! that leaves the dynamic block — and its cached snapshot image —
+//! untouched, so the next published epoch re-shares the block
+//! copy-on-write (see [`crate::snapshot`]).
 
 use crate::distmat::{DistDcsr, DistMat, Elem};
 use crate::grid::Grid;
@@ -110,6 +124,12 @@ fn apply_update_matrix<S: Semiring>(
         upd.info(),
         "matrix/update distribution mismatch"
     );
+    if upd.local_nnz() == 0 {
+        // Nothing routed to this rank: leave the block (and its cached
+        // snapshot image) untouched, so the next published epoch re-shares
+        // this block copy-on-write instead of reconverting it.
+        return;
+    }
     let threads = threads.max(1);
     // Group the update's stored rows by (row mod T) — the paper's partition
     // for lock-free parallel application.
@@ -128,14 +148,16 @@ fn apply_update_matrix<S: Semiring>(
     mat.block_mut().recount_nnz();
 }
 
-/// `A += A*` over the semiring addition (algebraic updates). Local-only.
+/// [`apply_add_exec`] with a bare thread count (test/one-off convenience;
+/// sessions use the `_exec` form). Local-only.
 pub fn apply_add<S: Semiring>(mat: &mut DistMat<S::Elem>, upd: &DistDcsr<S::Elem>, threads: usize) {
     apply_update_matrix::<S>(mat, upd, ApplyOp::Add, threads);
 }
 
-/// [`apply_add`] driven by a session [`Exec`](crate::exec::Exec) (the
-/// engine's path: one configuration object carries the thread count through
-/// kernels and apply operators alike).
+/// `A += A*` over the semiring addition (algebraic updates), driven by a
+/// session [`Exec`](crate::exec::Exec) — the engine's path: one
+/// configuration object carries the thread count through kernels and apply
+/// operators alike. Local-only.
 pub fn apply_add_exec<S: Semiring>(
     mat: &mut DistMat<S::Elem>,
     upd: &DistDcsr<S::Elem>,
@@ -144,8 +166,8 @@ pub fn apply_add_exec<S: Semiring>(
     apply_add::<S>(mat, upd, exec.threads);
 }
 
-/// `MERGE(A, A*)`: replaces the value of every position non-zero in `A*`
-/// (inserting new entries). Local-only.
+/// [`apply_merge_exec`] with a bare thread count (test/one-off
+/// convenience). Local-only.
 pub fn apply_merge<S: Semiring>(
     mat: &mut DistMat<S::Elem>,
     upd: &DistDcsr<S::Elem>,
@@ -154,7 +176,9 @@ pub fn apply_merge<S: Semiring>(
     apply_update_matrix::<S>(mat, upd, ApplyOp::Merge, threads);
 }
 
-/// [`apply_merge`] driven by a session [`Exec`](crate::exec::Exec).
+/// `MERGE(A, A*)`: replaces the value of every position non-zero in `A*`
+/// (inserting new entries), driven by a session
+/// [`Exec`](crate::exec::Exec). Local-only.
 pub fn apply_merge_exec<S: Semiring>(
     mat: &mut DistMat<S::Elem>,
     upd: &DistDcsr<S::Elem>,
@@ -163,8 +187,8 @@ pub fn apply_merge_exec<S: Semiring>(
     apply_merge::<S>(mat, upd, exec.threads);
 }
 
-/// `MASK(A, A*)`: deletes every position of `A` that is non-zero in `A*`.
-/// Local-only.
+/// [`apply_mask_exec`] with a bare thread count (test/one-off
+/// convenience). Local-only.
 pub fn apply_mask<S: Semiring>(
     mat: &mut DistMat<S::Elem>,
     upd: &DistDcsr<S::Elem>,
@@ -173,7 +197,8 @@ pub fn apply_mask<S: Semiring>(
     apply_update_matrix::<S>(mat, upd, ApplyOp::Mask, threads);
 }
 
-/// [`apply_mask`] driven by a session [`Exec`](crate::exec::Exec).
+/// `MASK(A, A*)`: deletes every position of `A` that is non-zero in `A*`,
+/// driven by a session [`Exec`](crate::exec::Exec). Local-only.
 pub fn apply_mask_exec<S: Semiring>(
     mat: &mut DistMat<S::Elem>,
     upd: &DistDcsr<S::Elem>,

@@ -1,0 +1,169 @@
+//! Edge cases of the two-phase update redistribution that the model-based
+//! tests skip: per-rank empty tuple sets, total concentration of a batch
+//! into a single block, index spaces smaller than the grid side (zero-width
+//! blocks), and the documented clean rejection of non-square process
+//! counts.
+
+use dspgemm_core::grid::{block_range, owner_block, Grid};
+use dspgemm_core::redistribute::redistribute;
+use dspgemm_core::update::{apply_add, build_update_matrix, Dedup};
+use dspgemm_core::DistMat;
+use dspgemm_mpi::run;
+use dspgemm_sparse::semiring::U64Plus;
+use dspgemm_sparse::{Index, Triple};
+use dspgemm_util::stats::PhaseTimer;
+
+/// Only one rank (and not rank 0) contributes tuples; every other rank's
+/// set is empty. Nothing may be lost, duplicated, or misrouted, and the
+/// empty contributors must still complete both alltoall phases.
+#[test]
+fn single_nonzero_contributor_any_rank() {
+    let n: Index = 30;
+    for p in [4usize, 9] {
+        for feeder in [1usize, p - 1] {
+            let out = run(p, move |comm| {
+                let grid = Grid::new(comm);
+                let mine: Vec<Triple<u64>> = if comm.rank() == feeder {
+                    (0..n)
+                        .flat_map(|r| (0..n).map(move |c| Triple::new(r, c, (r * n + c) as u64)))
+                        .collect()
+                } else {
+                    vec![]
+                };
+                let mut timer = PhaseTimer::new();
+                let got = redistribute(&grid, n, n, mine, &mut timer);
+                let (i, j) = grid.coords();
+                let rr = block_range(n, grid.q(), i);
+                let cr = block_range(n, grid.q(), j);
+                assert!(got
+                    .iter()
+                    .all(|t| rr.contains(&t.row) && cr.contains(&t.col)));
+                got.len()
+            });
+            let total: usize = out.results.iter().sum();
+            assert_eq!(total, (n * n) as usize, "p={p} feeder={feeder}");
+        }
+    }
+}
+
+/// Every rank's whole batch targets one single block: that owner receives
+/// everything (deduplicated correctly through the update-matrix build) and
+/// all other ranks' update application is the no-op fast path that keeps
+/// their blocks untouched.
+#[test]
+fn all_tuples_concentrated_in_one_block() {
+    let n: Index = 30;
+    let out = run(9, move |comm| {
+        let grid = Grid::new(comm);
+        let mut timer = PhaseTimer::new();
+        // Target the last block: a cell owned by grid position (q-1, q-1).
+        let target = n - 1;
+        let mine: Vec<Triple<u64>> = (0..5)
+            .map(|k| Triple::new(target, target - k, 1 + comm.rank() as u64))
+            .collect();
+        let mut mat = DistMat::<u64>::empty(&grid, n, n);
+        let upd = build_update_matrix::<U64Plus>(&grid, n, n, mine, Dedup::Add, &mut timer);
+        apply_add::<U64Plus>(&mut mat, &upd, 2);
+        (upd.local_nnz(), mat.local_nnz(), upd.global_nnz(&grid))
+    });
+    // Exactly one rank owns every tuple; the per-coordinate dedup summed
+    // all 9 ranks' contributions into 5 stored entries.
+    let owners: Vec<_> = out.results.iter().filter(|&&(u, _, _)| u > 0).collect();
+    assert_eq!(owners.len(), 1);
+    assert_eq!(owners[0].0, 5);
+    assert_eq!(owners[0].1, 5);
+    assert!(out.results.iter().all(|&(_, _, g)| g == 5));
+    // Everyone else's dynamic block stayed empty (the no-op apply path).
+    assert_eq!(out.results.iter().map(|&(_, m, _)| m).sum::<usize>(), 5);
+}
+
+/// An index space smaller than the grid side: `block_range(n, q, b)` hands
+/// the trailing blocks width zero, so some grid rows/columns own nothing.
+/// Routing must still deliver every tuple to the (unique) owning block and
+/// zero-width ranks must receive nothing.
+#[test]
+fn index_space_smaller_than_grid_side() {
+    let n: Index = 2; // q = 3 for p = 9: block widths are 1, 1, 0.
+    let out = run(9, move |comm| {
+        let grid = Grid::new(comm);
+        let mut timer = PhaseTimer::new();
+        let mine: Vec<Triple<u64>> = vec![
+            Triple::new(0, 0, 1 + comm.rank() as u64),
+            Triple::new(0, 1, 10),
+            Triple::new(1, 0, 20),
+            Triple::new(1, 1, 30),
+        ];
+        let got = redistribute(&grid, n, n, mine, &mut timer);
+        let (i, j) = grid.coords();
+        let rr = block_range(n, grid.q(), i);
+        let cr = block_range(n, grid.q(), j);
+        // Zero-width ranks receive nothing; owners receive their cell from
+        // all 9 contributors.
+        if rr.is_empty() || cr.is_empty() {
+            assert!(got.is_empty());
+        } else {
+            assert_eq!(got.len(), 9, "each rank contributed my cell once");
+            assert!(got
+                .iter()
+                .all(|t| rr.contains(&t.row) && cr.contains(&t.col)));
+        }
+        got.len()
+    });
+    let total: usize = out.results.iter().sum();
+    assert_eq!(total, 4 * 9);
+    // owner_block agrees with block_range on the degenerate decomposition.
+    for x in 0..n {
+        let (b, lo) = owner_block(n, 3, x);
+        let r = block_range(n, 3, b);
+        assert!(r.contains(&x));
+        assert_eq!(lo, r.start);
+    }
+}
+
+/// Empty batches on every rank still run both phases and build valid empty
+/// update matrices whose application is a no-op (the COW fast path).
+#[test]
+fn empty_batches_everywhere_build_valid_empty_updates() {
+    let out = run(4, |comm| {
+        let grid = Grid::new(comm);
+        let mut timer = PhaseTimer::new();
+        let n: Index = 12;
+        let mut mat = DistMat::from_global_triples(
+            &grid,
+            n,
+            n,
+            if comm.rank() == 0 {
+                vec![Triple::new(1u32, 2u32, 7u64)]
+            } else {
+                vec![]
+            },
+            1,
+            &mut timer,
+        );
+        let before = mat.snapshot_csr();
+        let upd = build_update_matrix::<U64Plus>(&grid, n, n, vec![], Dedup::Add, &mut timer);
+        apply_add::<U64Plus>(&mut mat, &upd, 2);
+        // The no-op apply left the cached snapshot image untouched: the
+        // next publish re-shares the same `Arc` (COW) instead of
+        // reconverting the block.
+        let after = mat.snapshot_csr();
+        (
+            upd.local_nnz(),
+            mat.local_nnz(),
+            std::sync::Arc::ptr_eq(&before, &after),
+        )
+    });
+    assert!(out.results.iter().all(|&(u, _, same)| u == 0 && same));
+    assert_eq!(out.results.iter().map(|&(_, m, _)| m).sum::<usize>(), 1);
+}
+
+/// Non-square process counts are rejected with the documented panic — the
+/// clean fallback (the same restriction CombBLAS imposes), not a hang or a
+/// wrong grid.
+#[test]
+#[should_panic(expected = "not a perfect square")]
+fn non_square_process_count_rejected_cleanly() {
+    run(8, |comm| {
+        let _ = Grid::new(comm);
+    });
+}

@@ -164,6 +164,15 @@ impl<V: Copy> Csr<V> {
         Csr::from_triples::<S>(self.nrows, self.ncols, triples)
     }
 
+    /// Heap bytes held by the three storage arrays (capacity, not length) —
+    /// the snapshot-retention regression signal: a published epoch's memory
+    /// footprint is the sum of its blocks' `heap_bytes`.
+    pub fn heap_bytes(&self) -> usize {
+        self.row_ptr.capacity() * std::mem::size_of::<usize>()
+            + self.cols.capacity() * std::mem::size_of::<Index>()
+            + self.vals.capacity() * std::mem::size_of::<V>()
+    }
+
     /// Internal consistency check (row pointers monotone, indices in range).
     pub fn validate(&self) -> Result<(), String> {
         if self.row_ptr.len() != self.nrows as usize + 1 {

@@ -14,7 +14,7 @@
 //! shared-memory parallelization of different output rows, Section VI-A).
 //!
 //! Output assembly is **allocation-flat**: each worker range drains its SPA
-//! into one reusable `(rows, row_ptr, cols, vals)` buffer set ([`FlatRows`])
+//! into one reusable `(rows, row_ptr, cols, vals)` buffer set (`FlatRows`)
 //! and the final [`Dcsr`] is built by bulk moves/appends with exact `nnz`
 //! reservation — no per-row `Vec`s, no double copy through staging buffers.
 //!

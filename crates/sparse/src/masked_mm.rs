@@ -111,7 +111,7 @@ where
 }
 
 /// [`masked_spgemm_bloom`] under an explicit
-/// [`KernelPlan`](crate::local_mm::KernelPlan).
+/// [`KernelPlan`].
 ///
 /// The scheduling weights are the *unmasked* flop upper bounds — the mask
 /// prunes work unpredictably, which is exactly the "estimates unreliable"

@@ -15,7 +15,7 @@
 //! ([`crate::spa::dense_row_profitable`]), and the drained flat buffers
 //! leave as the range's output. When the lease drops, the SPA state returns
 //! to the pool; when a multi-range assembly has *copied* the flat parts into
-//! the result, their capacity returns too ([`WorkspacePool::put_flat`]).
+//! the result, their capacity returns too (`WorkspacePool::put_flat`).
 //! The single-range fast path instead *moves* its buffers into the result
 //! `Dcsr` (zero-copy wins over reuse there).
 //!
