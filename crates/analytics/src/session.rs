@@ -45,6 +45,36 @@ use dspgemm_sparse::{Index, Triple};
 use dspgemm_util::stats::PhaseTimer;
 use std::sync::Arc;
 
+/// Epoch-staleness bucket label used in query-latency histogram names:
+/// `query.{kind}.stale{bucket}`. Staleness is how many epochs behind the
+/// session the answered snapshot was (`0` = served the latest epoch).
+pub fn staleness_bucket(stale: u64) -> &'static str {
+    match stale {
+        0 => "0",
+        1 => "1",
+        2..=3 => "2-3",
+        4..=7 => "4-7",
+        _ => "8plus",
+    }
+}
+
+/// Records one query's latency into the process-global metrics registry
+/// under `query.{kind}.stale{bucket}`. No-op while observability is
+/// disabled ([`dspgemm_obs::enabled`]), so the serving hot path pays one
+/// relaxed atomic load by default. Callers serving a pinned
+/// [`SessionSnapshot`] pass `stale = session_epoch - snapshot_epoch`; the
+/// session's own query API records staleness `0` (it always answers from
+/// the latest epoch).
+pub fn observe_query(kind: &str, stale: u64, latency: std::time::Duration) {
+    if !dspgemm_obs::enabled() {
+        return;
+    }
+    dspgemm_obs::global().observe_duration(
+        &format!("query.{kind}.stale{}", staleness_bucket(stale)),
+        latency,
+    );
+}
+
 /// A serving session: dynamic graph + maintained product + view registry.
 pub struct AnalyticsSession<S: Semiring> {
     grid: Grid,
@@ -173,8 +203,34 @@ impl<S: Semiring> AnalyticsSession<S> {
                 (*id, name, v.freeze())
             })
             .collect();
-        self.store
-            .publish_with(|epoch| SessionSnapshot::new(epoch, a, c, views))
+        let snap = self
+            .store
+            .publish_with(|epoch| SessionSnapshot::new(epoch, a, c, views));
+        self.record_load(snap.epoch());
+        snap
+    }
+
+    /// Emits the `epoch_publish` trace instant and refreshes this rank's
+    /// per-block load gauges (local nnz of `A` and `C`, accumulated local
+    /// flops — the skew signal a rebalancing policy would key on).
+    fn record_load(&self, epoch: u64) {
+        let nnz_a = self.a.block().nnz() as u64;
+        let nnz_c = self.c.block().nnz() as u64;
+        dspgemm_obs::instant(
+            "engine",
+            "epoch_publish",
+            &[
+                ("epoch", epoch),
+                ("nnz_a", nnz_a),
+                ("nnz_c", nnz_c),
+                ("flops", self.flops),
+            ],
+        );
+        let rank = dspgemm_obs::thread_rank();
+        let reg = dspgemm_obs::global();
+        reg.gauge_set(&format!("engine.block_nnz.a.rank{rank}"), nnz_a as f64);
+        reg.gauge_set(&format!("engine.block_nnz.c.rank{rank}"), nnz_c as f64);
+        reg.gauge_set(&format!("engine.block_flops.rank{rank}"), self.flops as f64);
     }
 
     /// Pins the current epoch: an immutable `{A, C, views, epoch}` the
@@ -221,6 +277,8 @@ impl<S: Semiring> AnalyticsSession<S> {
     /// rank), refreshing the product and every view from one shared
     /// redistribution. Collective.
     pub fn insert_edges(&mut self, tuples: Vec<Triple<S::Elem>>) {
+        let _sp =
+            dspgemm_obs::span("engine", "apply_algebraic").attr("updates", tuples.len() as u64);
         let star = build_update_matrix::<S>(
             &self.grid,
             self.a.info().nrows,
@@ -265,6 +323,7 @@ impl<S: Semiring> AnalyticsSession<S> {
     /// incompatible with the semiring addition) via Algorithm 2, refreshing
     /// the product and every view. Collective.
     pub fn apply_general(&mut self, upd: GeneralUpdates<S::Elem>) {
+        let _sp = dspgemm_obs::span("engine", "apply_general").attr("updates", upd.len() as u64);
         let prep = prepare_general_update::<S>(
             &self.grid,
             self.a.info().nrows,
@@ -321,13 +380,17 @@ impl<S: Semiring> AnalyticsSession<S> {
     /// epoch: owner-local read + one single-element broadcast. Every rank
     /// returns the same value. Collective.
     pub fn product_entry(&self, u: Index, v: Index) -> Option<S::Elem> {
-        self.latest().product_entry(&self.grid, u, v)
+        timed_query("product_entry", || {
+            self.latest().product_entry(&self.grid, u, v)
+        })
     }
 
     /// Point lookup `a(u, v)` in the adjacency matrix at the current
     /// epoch. Collective.
     pub fn adjacency_entry(&self, u: Index, v: Index) -> Option<S::Elem> {
-        self.latest().adjacency_entry(&self.grid, u, v)
+        timed_query("adjacency_entry", || {
+            self.latest().adjacency_entry(&self.grid, u, v)
+        })
     }
 
     /// The `k` heaviest entries of product row `u` under `score` (greater is
@@ -341,7 +404,9 @@ impl<S: Semiring> AnalyticsSession<S> {
         k: usize,
         score: impl Fn(&S::Elem) -> f64,
     ) -> Vec<(Index, S::Elem)> {
-        self.latest().product_row_topk(&self.grid, u, k, score)
+        timed_query("product_row_topk", || {
+            self.latest().product_row_topk(&self.grid, u, k, score)
+        })
     }
 
     /// Global aggregate over the maintained product at the current epoch:
@@ -357,13 +422,30 @@ impl<S: Semiring> AnalyticsSession<S> {
     where
         T: Clone + Send + dspgemm_util::WireSize + 'static,
     {
-        self.latest()
-            .product_aggregate(&self.grid, init, fold, combine)
+        timed_query("product_aggregate", || {
+            self.latest()
+                .product_aggregate(&self.grid, init, fold, combine)
+        })
     }
 
     /// Global non-zero counts `(nnz(A), nnz(C))` at the current epoch.
     /// Collective.
     pub fn global_nnz(&self) -> (u64, u64) {
-        self.latest().global_nnz(&self.grid)
+        timed_query("global_nnz", || self.latest().global_nnz(&self.grid))
     }
+}
+
+/// Runs a session-API query under a `query` trace span and records its
+/// latency into `query.{kind}.stale0` (the session API always answers
+/// from the latest epoch). Straight call-through while observability is
+/// disabled.
+fn timed_query<T>(kind: &'static str, f: impl FnOnce() -> T) -> T {
+    if !dspgemm_obs::enabled() {
+        return f();
+    }
+    let _sp = dspgemm_obs::span("query", kind).attr("staleness", 0);
+    let t0 = std::time::Instant::now();
+    let out = f();
+    observe_query(kind, 0, t0.elapsed());
+    out
 }

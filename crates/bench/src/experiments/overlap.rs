@@ -13,9 +13,8 @@ use crate::experiments::{edges_to_triples, prepare_instances, rank_slice, Prepar
 use crate::measure::{median, timed_collective};
 use crate::report::{ms, ratio, Table};
 use crate::Config;
-use dspgemm_core::dyn_algebraic::apply_algebraic_updates;
 use dspgemm_core::summa::{summa, summa_blocking};
-use dspgemm_core::{DistMat, Grid};
+use dspgemm_core::{DistMat, DynSpGemm, Grid};
 use dspgemm_graph::stream::ReplacementDraws;
 use dspgemm_sparse::semiring::F64Plus;
 use dspgemm_sparse::Triple;
@@ -112,7 +111,10 @@ pub fn summa_arm(cfg: &Config, inst: &Prepared, p: usize, pipelined: bool) -> Ov
 }
 
 /// The dynamic-update arm (pipelined engine only — the dynamic paths have
-/// no blocking twin; reported for its achieved overlap ratio).
+/// no blocking twin; reported for its achieved overlap ratio). Runs
+/// through the [`DynSpGemm`] session and snapshots after every batch, so
+/// a traced run carries the full batch lifecycle: redistribute and
+/// apply-batch spans plus one `epoch_publish` instant per batch.
 pub fn dynamic_arm(cfg: &Config, inst: &Prepared, p: usize) -> OverlapArm {
     let n = inst.n;
     let (threads, batches, seed) = (cfg.threads, cfg.batches.max(1), cfg.seed);
@@ -121,9 +123,9 @@ pub fn dynamic_arm(cfg: &Config, inst: &Prepared, p: usize) -> OverlapArm {
         let grid = Grid::new(comm);
         let mut timer = PhaseTimer::new();
         let mine = edges_to_triples(&rank_slice(edges, comm.rank(), p));
-        let mut a = DistMat::from_global_triples(&grid, n, n, mine.clone(), threads, &mut timer);
-        let mut b = DistMat::from_global_triples(&grid, n, n, mine, threads, &mut timer);
-        let (mut c, _) = summa::<F64Plus>(&grid, &a, &b, threads, &mut timer);
+        let a = DistMat::from_global_triples(&grid, n, n, mine.clone(), threads, &mut timer);
+        let b = DistMat::from_global_triples(&grid, n, n, mine, threads, &mut timer);
+        let mut eng = DynSpGemm::<F64Plus>::new(&grid, a, b, threads, false);
         let mut a_draws = ReplacementDraws::new(OVERLAP_BATCH, seed, comm.rank());
         let mut b_draws = ReplacementDraws::new(OVERLAP_BATCH, seed ^ 0x9e37, comm.rank());
         comm.barrier();
@@ -141,9 +143,11 @@ pub fn dynamic_arm(cfg: &Config, inst: &Prepared, p: usize) -> OverlapArm {
                 .map(|(u, v)| Triple::new(u, v, 1.0))
                 .collect();
             let (_, d) = timed_collective(comm, || {
-                apply_algebraic_updates::<F64Plus>(
-                    &grid, &mut a, &mut b, &mut c, a_batch, b_batch, threads, &mut timer,
-                )
+                eng.apply_algebraic(&grid, a_batch, b_batch);
+                // Commit the batch as the next epoch (local-only) — the
+                // serving pattern, and the source of `epoch_publish`
+                // events in a traced run.
+                eng.snapshot();
             });
             times.push(d);
         }
@@ -233,10 +237,48 @@ pub fn run(cfg: &Config) -> Table {
         ratio(dynamic.overlap_ratio()),
     ]);
 
+    // Observability ablation: rerun the pipelined arm with the tracer
+    // forced off and forced on. Tracing must be purely observational —
+    // bit-identical C and byte-identical wire volume across the pair.
+    let was = dspgemm_obs::enabled();
+    dspgemm_obs::set_enabled(false);
+    let untraced = summa_arm(cfg, inst, cfg.p, true);
+    dspgemm_obs::set_enabled(true);
+    let traced = summa_arm(cfg, inst, cfg.p, true);
+    dspgemm_obs::set_enabled(was);
+    if !was {
+        // Nothing will export this run's events; drop them.
+        let _ = dspgemm_obs::drain();
+    }
+    assert_eq!(
+        untraced.bytes, traced.bytes,
+        "tracing must leave wire volume byte-identical"
+    );
+    assert_eq!(
+        untraced.msgs, traced.msgs,
+        "tracing must leave message count identical"
+    );
+    assert_eq!(
+        untraced.result, traced.result,
+        "traced SUMMA must be bit-identical to the untraced run"
+    );
+    t.push_row(vec![
+        "static SUMMA, pipelined + tracer on (parity-checked vs. tracer off)".to_string(),
+        ms(traced.wall),
+        dspgemm_util::stats::format_bytes(traced.bytes),
+        ns_ms(traced.exposed_ns),
+        ns_ms(traced.overlapped_ns),
+        ratio(traced.overlap_ratio()),
+    ]);
+
     t.note("wire bytes and result C are asserted identical across schedules (bytes move, never values)");
     t.note(
         "exposed = ranks blocked waiting; overlapped = issue-to-availability window covered by \
          compute",
+    );
+    t.note(
+        "tracer ablation: the tracer-on rerun is asserted bit-identical (result) and \
+         byte-identical (wire volume, message count) to a tracer-off run of the same arm",
     );
     t
 }
@@ -250,9 +292,10 @@ mod tests {
         let mut cfg = Config::smoke();
         cfg.instances = 1;
         cfg.batches = 1;
-        // The run itself asserts byte-parity and bit-identical C.
+        // The run itself asserts byte-parity and bit-identical C, plus
+        // the tracer-on/off parity pair.
         let t = run(&cfg);
-        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows.len(), 4);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! times are end-to-end batch times, i.e. critical path).
 
 use dspgemm_mpi::{Comm, CommStats};
+use dspgemm_obs::Histogram;
 use std::time::{Duration, Instant};
 
 /// Modeled interconnect bandwidth: the paper's cluster uses 100 GBit
@@ -67,17 +68,20 @@ pub fn measured_collective<R>(comm: &Comm, op: impl FnOnce() -> R) -> (R, BatchC
 pub fn median_cost(costs: &[BatchCost]) -> BatchCost {
     BatchCost {
         wall: median(&costs.iter().map(|c| c.wall).collect::<Vec<_>>()),
-        crit_bytes: {
-            let mut v: Vec<u64> = costs.iter().map(|c| c.crit_bytes).collect();
-            v.sort_unstable();
-            v.get(v.len() / 2).copied().unwrap_or(0)
-        },
-        msgs: {
-            let mut v: Vec<u64> = costs.iter().map(|c| c.msgs).collect();
-            v.sort_unstable();
-            v.get(v.len() / 2).copied().unwrap_or(0)
-        },
+        crit_bytes: median_u64(costs.iter().map(|c| c.crit_bytes)),
+        msgs: median_u64(costs.iter().map(|c| c.msgs)),
     }
+}
+
+/// Median of a `u64` stream via the shared log-bucketed histogram (no
+/// sample stored or sorted; ≤ one sub-bucket of error — see
+/// [`dspgemm_obs::SUB_BITS`]).
+fn median_u64(vals: impl Iterator<Item = u64>) -> u64 {
+    let mut h = Histogram::new();
+    for v in vals {
+        h.record(v);
+    }
+    h.quantile(0.5)
 }
 
 /// Times `op` as a collective: barrier, run, barrier; returns the duration
@@ -101,14 +105,15 @@ pub fn mean(durations: &[Duration]) -> Duration {
 
 /// Median duration of a slice — the robust per-batch aggregate on an
 /// oversubscribed host, where a descheduled rank occasionally inflates a
-/// single batch by an order of magnitude.
+/// single batch by an order of magnitude. Computed through the shared
+/// log-bucketed [`Histogram`] (same rank selection as the sort-based
+/// estimator it replaced, within one sub-bucket of error).
 pub fn median(durations: &[Duration]) -> Duration {
-    if durations.is_empty() {
-        return Duration::ZERO;
+    let mut h = Histogram::new();
+    for d in durations {
+        h.record_duration(*d);
     }
-    let mut v = durations.to_vec();
-    v.sort_unstable();
-    v[v.len() / 2]
+    h.quantile_duration(0.5)
 }
 
 #[cfg(test)]

@@ -114,8 +114,34 @@ impl<S: Semiring> DynSpGemm<S> {
         let a = SnapshotMat::new(self.a.info().clone(), self.a.snapshot_csr());
         let c = SnapshotMat::new(self.c.info().clone(), self.c.snapshot_csr());
         self.dirty = false;
-        self.snapshots
-            .publish_with(|epoch| Snapshot::new(epoch, a, c))
+        let snap = self
+            .snapshots
+            .publish_with(|epoch| Snapshot::new(epoch, a, c));
+        self.record_load(snap.epoch());
+        snap
+    }
+
+    /// Emits the `epoch_publish` trace instant and refreshes this rank's
+    /// per-block load gauges — local nnz of `A` and `C` plus accumulated
+    /// local flops, the skew signal a rebalancing policy would key on.
+    fn record_load(&self, epoch: u64) {
+        let nnz_a = self.a.block().nnz() as u64;
+        let nnz_c = self.c.block().nnz() as u64;
+        dspgemm_obs::instant(
+            "engine",
+            "epoch_publish",
+            &[
+                ("epoch", epoch),
+                ("nnz_a", nnz_a),
+                ("nnz_c", nnz_c),
+                ("flops", self.flops),
+            ],
+        );
+        let rank = dspgemm_obs::thread_rank();
+        let reg = dspgemm_obs::global();
+        reg.gauge_set(&format!("engine.block_nnz.a.rank{rank}"), nnz_a as f64);
+        reg.gauge_set(&format!("engine.block_nnz.c.rank{rank}"), nnz_c as f64);
+        reg.gauge_set(&format!("engine.block_flops.rank{rank}"), self.flops as f64);
     }
 
     /// Pins the current epoch: returns the latest published snapshot,
@@ -163,6 +189,8 @@ impl<S: Semiring> DynSpGemm<S> {
         a_updates: Vec<Triple<S::Elem>>,
         b_updates: Vec<Triple<S::Elem>>,
     ) {
+        let _sp = dspgemm_obs::span("engine", "apply_algebraic")
+            .attr("updates", (a_updates.len() + b_updates.len()) as u64);
         self.dirty = true;
         self.flops += match &mut self.f {
             Some(f) => apply_algebraic_updates_tracked_exec::<S>(
@@ -202,6 +230,8 @@ impl<S: Semiring> DynSpGemm<S> {
         a_updates: GeneralUpdates<S::Elem>,
         b_updates: GeneralUpdates<S::Elem>,
     ) {
+        let _sp = dspgemm_obs::span("engine", "apply_general")
+            .attr("updates", (a_updates.len() + b_updates.len()) as u64);
         let f = self
             .f
             .as_mut()
@@ -224,6 +254,7 @@ impl<S: Semiring> DynSpGemm<S> {
     /// from scratch — the static strategy the paper's competitors are forced
     /// into. Useful as a baseline and as a repair path. Collective.
     pub fn recompute_static(&mut self, grid: &Grid) {
+        let _sp = dspgemm_obs::span("engine", "recompute");
         self.dirty = true;
         if self.f.is_some() {
             let (c, f, flops) =

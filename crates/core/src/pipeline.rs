@@ -69,6 +69,7 @@ pub fn run_rounds<Ctx, Flight, Ready>(
                 if k + 1 < rounds {
                     flight = Some(issue(ctx, k + 1));
                 }
+                let _sp = dspgemm_obs::span("round", "round").attr("round", k as u64);
                 body(ctx, k, ready);
             }
         }
@@ -76,6 +77,7 @@ pub fn run_rounds<Ctx, Flight, Ready>(
             for k in 0..rounds {
                 let flight = issue(ctx, k);
                 let ready = complete(ctx, k, flight);
+                let _sp = dspgemm_obs::span("round", "round").attr("round", k as u64);
                 body(ctx, k, ready);
             }
         }

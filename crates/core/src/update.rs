@@ -53,6 +53,7 @@ pub fn build_update_matrix<S: Semiring>(
     dedup: Dedup,
     timer: &mut PhaseTimer,
 ) -> DistDcsr<S::Elem> {
+    let _sp = dspgemm_obs::span("engine", "redistribute").attr("updates", tuples.len() as u64);
     let mine = redistribute(grid, nrows, ncols, tuples, timer);
     timer.time(phase::LOCAL_CONSTRUCT, || {
         let info = crate::distmat::BlockInfo::for_rank(grid, nrows, ncols);

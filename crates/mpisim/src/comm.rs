@@ -126,12 +126,22 @@ impl Comm {
     /// non-overtaking per (source, tag).
     pub fn send<T: Send + WireSize + 'static>(&self, dst: usize, tag: u64, value: T) {
         let bytes = value.wire_bytes();
+        let _sp = dspgemm_obs::span("comm", "send").attr("bytes", bytes);
         self.send_internal(dst, Tag::user(tag), value, CommCategory::P2p, bytes);
     }
 
     /// Blocking receive of a `T` from group rank `src` under user `tag`.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
-        self.recv_internal(src, Tag::user(tag))
+        let mut sp = dspgemm_obs::span("comm", "recv");
+        let user_tag = Tag::user(tag);
+        let src_world = self.members[src];
+        let (boxed, _sent_at, blocked) =
+            request::recv_match(&self.io, src_world, self.comm_id, user_tag, true);
+        sp.set_attr(
+            "exposed_ns",
+            u64::try_from(blocked.as_nanos()).unwrap_or(u64::MAX),
+        );
+        downcast_payload(boxed, src, user_tag)
     }
 
     /// Combined send-to-`dst` / receive-from-`src` (deadlock-free, like
@@ -373,6 +383,7 @@ impl Comm {
         if p == 1 {
             return;
         }
+        let _sp = dspgemm_obs::span("comm", "barrier");
         let base = self.next_coll_tag(0);
         let mut k = 1usize;
         let mut round = 0u64;
@@ -447,6 +458,7 @@ impl Comm {
         if p == 1 {
             return value.expect("root must supply the broadcast value");
         }
+        let mut sp = dspgemm_obs::span("comm", "bcast");
         let tag = self.next_coll_tag(0);
         let vrank = (self.my_rank + p - root) % p;
         // One tree-shape source for the blocking and nonblocking broadcasts:
@@ -459,6 +471,9 @@ impl Comm {
                 self.recv_internal((parent_vrank + root) % p, tag)
             }
         };
+        if dspgemm_obs::enabled() {
+            sp.set_attr("bytes", v.wire_bytes());
+        }
         for &child_vrank in &children {
             let dst = (child_vrank + root) % p;
             let bytes = v.wire_bytes();
@@ -470,6 +485,7 @@ impl Comm {
     /// Gathers one value per rank at `root` (group-rank order). Returns
     /// `Some(values)` at the root, `None` elsewhere.
     pub fn gather<T: Send + WireSize + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        let _sp = dspgemm_obs::span("comm", "gather");
         let tag = self.next_coll_tag(0);
         if self.my_rank == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
@@ -525,6 +541,8 @@ impl Comm {
         if p == 1 {
             return slots.into_iter().map(|o| o.expect("own value")).collect();
         }
+        let mut sp = dspgemm_obs::span("comm", "allgather");
+        let mut sent_bytes = 0u64;
         let right = (self.my_rank + 1) % p;
         let left = (self.my_rank + p - 1) % p;
         for r in 0..p - 1 {
@@ -535,9 +553,11 @@ impl Comm {
             let recv_origin = (self.my_rank + p - r - 1) % p;
             let v = duplicate(slots[send_origin].as_ref().expect("value to forward"));
             let bytes = v.wire_bytes();
+            sent_bytes += bytes;
             self.send_internal(right, tag, v, CommCategory::Gather, bytes);
             slots[recv_origin] = Some(self.recv_internal(left, tag));
         }
+        sp.set_attr("bytes", sent_bytes);
         slots
             .into_iter()
             .map(|o| o.expect("allgather slot"))
@@ -551,6 +571,8 @@ impl Comm {
     pub fn alltoallv<T: Send + WireSize + 'static>(&self, mut out: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let p = self.size();
         assert_eq!(out.len(), p, "alltoallv needs one chunk per destination");
+        let mut sp = dspgemm_obs::span("comm", "alltoallv");
+        let mut sent_bytes = 0u64;
         let tag = self.next_coll_tag(0);
         let mut result: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
         // Keep own chunk.
@@ -560,9 +582,11 @@ impl Comm {
             if dst != self.my_rank {
                 let chunk = std::mem::take(chunk_slot);
                 let bytes = chunk.wire_bytes();
+                sent_bytes += bytes;
                 self.send_internal(dst, tag, chunk, CommCategory::Alltoall, bytes);
             }
         }
+        sp.set_attr("bytes", sent_bytes);
         for (src, slot) in result.iter_mut().enumerate() {
             if src != self.my_rank {
                 *slot = Some(self.recv_internal(src, tag));
@@ -590,6 +614,7 @@ impl Comm {
         if p == 1 {
             return Some(value);
         }
+        let mut sp = dspgemm_obs::span("comm", "reduce");
         let vrank = (self.my_rank + p - root) % p;
         let mut acc = value;
         let mut mask = 1usize;
@@ -605,6 +630,7 @@ impl Comm {
                 let peer_v = vrank & !mask;
                 let dst = (peer_v + root) % p;
                 let bytes = acc.wire_bytes();
+                sp.set_attr("bytes", bytes);
                 self.send_internal(dst, tag, acc, CommCategory::Reduce, bytes);
                 return None;
             }

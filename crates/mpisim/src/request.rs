@@ -486,8 +486,20 @@ impl<T: 'static> Request<T> {
     /// Like [`Request::wait`], additionally returning the request's timing
     /// split (for per-phase attribution in `PhaseTimer`-style breakdowns).
     pub fn wait_timed(mut self) -> (T, Overlap) {
+        // The wait span carries the request's full time attribution: how
+        // long this wait was exposed, and how much of the communication
+        // window local compute covered (from the envelope availability
+        // stamps — see "Time attribution" above).
+        let mut sp = dspgemm_obs::span("comm", self.what);
         self.complete_blocking();
-        self.result.take().expect("completed request has a result")
+        let (value, timing) = self.result.take().expect("completed request has a result");
+        if dspgemm_obs::enabled() {
+            let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+            sp.set_attr("window_ns", ns(timing.window));
+            sp.set_attr("exposed_ns", ns(timing.exposed));
+            sp.set_attr("overlapped_ns", ns(timing.overlapped()));
+        }
+        (value, timing)
     }
 }
 

@@ -65,6 +65,9 @@ where
                     .name(format!("rank-{rank}"))
                     .stack_size(stack_bytes)
                     .spawn_scoped(scope, move || {
+                        // Attribute every trace span recorded on this
+                        // thread to its simulated rank.
+                        dspgemm_obs::set_thread_rank(rank);
                         let comm = Comm::world(endpoint, p);
                         let outcome = catch_unwind(AssertUnwindSafe(|| f(&comm)));
                         if outcome.is_err() {

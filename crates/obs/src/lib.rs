@@ -1,0 +1,69 @@
+//! # dspgemm-obs — unified tracing & metrics for the dspgemm workspace
+//!
+//! One observability layer replaces three ad-hoc mechanisms (per-experiment
+//! sort-based percentiles, scattered stopwatches, hand-rolled aggregation):
+//!
+//! * **[`trace`]** — a span tracer with thread-local ring buffers recording
+//!   `(rank, phase, span, t_start, t_end, attrs)` and a Chrome
+//!   `trace_event` exporter, so any `repro` run can emit a timeline
+//!   openable in `chrome://tracing` / Perfetto. Zero-cost when disabled:
+//!   one relaxed atomic load, no clock reads, nothing recorded.
+//! * **[`metrics`]** — counters, gauges, and log-bucketed mergeable
+//!   [`Histogram`]s (no sample is ever stored or sorted) behind a named
+//!   [`Registry`]; the single source for every percentile the benchmarks
+//!   report.
+//! * **[`json`]** — the dependency-free JSON writer/parser backing the
+//!   exporters and the chrome-trace schema validator (the workspace builds
+//!   fully offline; there is no serde).
+//!
+//! This crate is deliberately **std-only with no workspace dependencies**:
+//! it sits below `dspgemm-util` (whose `PhaseTimer` is a facade over
+//! [`metrics::CounterBank`]) and is used directly by the simulator, the
+//! engine, the analytics session, and the benches.
+//!
+//! ## Span taxonomy
+//!
+//! Phases (chrome-trace categories) are dot-free lowercase nouns:
+//!
+//! | phase    | spans / instants                                         |
+//! |----------|----------------------------------------------------------|
+//! | `comm`   | `send`, `recv`, `wait`, `bcast`, `allgather`, `alltoallv`, `reduce`, `barrier` — attrs: `bytes`, `exposed_ns`, `overlapped_ns` |
+//! | `engine` | `redistribute`, `apply_batch`, `recompute`; instant `epoch_publish` — attrs: `epoch`, `nnz`, `flops`, `updates` |
+//! | `round`  | `round` (one per SUMMA/pipeline round) — attrs: `round`   |
+//! | `query`  | `product_entry`, `row_topk`, … — attrs: `staleness`       |
+//!
+//! ## Quick example
+//!
+//! ```
+//! dspgemm_obs::set_enabled(true);
+//! {
+//!     let _s = dspgemm_obs::span("comm", "send").attr("bytes", 4096);
+//!     // ... the traced work ...
+//! }
+//! dspgemm_obs::set_enabled(false);
+//! let events = dspgemm_obs::drain();
+//! let json = dspgemm_obs::chrome_trace_json(&events);
+//! dspgemm_obs::validate_chrome_trace(&json).expect("schema-valid trace");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{CounterBank, Histogram, Registry, RegistrySnapshot, SUB_BITS};
+pub use trace::{
+    chrome_trace_json, clear_thread_rank, drain, enabled, flush_thread, instant, set_enabled,
+    set_thread_rank, span, thread_rank, validate_chrome_trace, validate_chrome_trace_file,
+    write_chrome_trace, EventKind, Span, SpanEvent, TraceSummary,
+};
+
+/// The process-global metrics registry — what `repro --metrics-out`
+/// serialises. Library code records into local histograms/banks and merges
+/// here at phase boundaries.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}

@@ -5,7 +5,18 @@
 //! addition; Fig. 12: send-recv / bcast / local mult / scatter /
 //! reduce-scatter). [`PhaseTimer`] accumulates named phase durations so the
 //! reproduction can print the same breakdowns.
+//!
+//! Since the unified observability layer landed, [`PhaseTimer`] is a thin
+//! facade over `dspgemm_obs`'s metrics primitives: every phase (and every
+//! overlapped-communication entry) is an ordered nanosecond counter in an
+//! [`obs_metrics::CounterBank`], and `merge`/`merge_max` are the bank's
+//! sum/max reductions. The Duration-based API is unchanged;
+//! [`PhaseTimer::export_into`] publishes the accumulated state into a
+//! [`dspgemm_obs::Registry`] so benchmark artifacts render from registry
+//! snapshots.
 
+use dspgemm_obs::metrics as obs_metrics;
+use obs_metrics::CounterBank;
 use std::time::{Duration, Instant};
 
 /// A simple wall-clock stopwatch.
@@ -52,15 +63,22 @@ impl Timer {
 /// paper's Fig. 7/12 per-phase communication breakdowns reconstructible.
 #[derive(Debug, Default, Clone)]
 pub struct PhaseTimer {
-    phases: Vec<(String, Duration)>,
+    /// Exposed wall time per phase, nanoseconds, first-use order.
+    phases: CounterBank,
     /// Per-phase communication time hidden under compute (never part of
-    /// `total()`; a phase absent here has zero overlap).
-    overlapped: Vec<(String, Duration)>,
+    /// `total()`; a phase absent here has zero overlap). Nanoseconds.
+    overlapped: CounterBank,
     /// Accumulated per-worker-thread flop counts of the local SpGEMM
     /// kernels (index = intra-rank thread id). The max/mean ratio over this
     /// vector is the thread-level load-imbalance metric of the `repro`
     /// reports.
     thread_flops: Vec<u64>,
+}
+
+/// Duration → nanosecond counter value (saturating; `u64` nanoseconds hold
+/// ~585 years).
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 impl PhaseTimer {
@@ -71,11 +89,7 @@ impl PhaseTimer {
 
     /// Adds `d` to phase `name` (creating it if new).
     pub fn add(&mut self, name: &str, d: Duration) {
-        if let Some(entry) = self.phases.iter_mut().find(|(n, _)| n == name) {
-            entry.1 += d;
-        } else {
-            self.phases.push((name.to_string(), d));
-        }
+        self.phases.add(name, ns(d));
     }
 
     /// Times the closure and attributes the duration to `name`.
@@ -88,41 +102,41 @@ impl PhaseTimer {
 
     /// Total time of a phase (zero if absent).
     pub fn get(&self, name: &str) -> Duration {
-        self.phases
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| *d)
-            .unwrap_or_default()
+        Duration::from_nanos(self.phases.get(name))
     }
 
     /// All `(phase, duration)` entries in first-use order. Durations are
     /// *exposed* wall time only; overlapped communication lives in
     /// [`PhaseTimer::comm_total`].
-    pub fn entries(&self) -> &[(String, Duration)] {
-        &self.phases
+    pub fn entries(&self) -> Vec<(String, Duration)> {
+        self.phases
+            .entries()
+            .iter()
+            .map(|(n, v)| (n.clone(), Duration::from_nanos(*v)))
+            .collect()
     }
 
     /// Sum of all phase durations (exposed wall time; phases partition the
     /// wall clock, so overlapped communication is deliberately excluded —
     /// its wall time already belongs to the compute phase that hid it).
     pub fn total(&self) -> Duration {
-        self.phases.iter().map(|(_, d)| *d).sum()
+        Duration::from_nanos(self.phases.total())
     }
 
     /// Adds `d` of *overlapped* communication to phase `name`: time the
     /// operation was in flight while another phase's compute ran. Not
     /// counted in [`PhaseTimer::total`].
     pub fn add_overlapped(&mut self, name: &str, d: Duration) {
-        if let Some(entry) = self.overlapped.iter_mut().find(|(n, _)| n == name) {
-            entry.1 += d;
-        } else {
-            self.overlapped.push((name.to_string(), d));
-        }
+        self.overlapped.add(name, ns(d));
     }
 
     /// All `(phase, overlapped duration)` entries in first-use order.
-    pub fn overlapped_entries(&self) -> &[(String, Duration)] {
-        &self.overlapped
+    pub fn overlapped_entries(&self) -> Vec<(String, Duration)> {
+        self.overlapped
+            .entries()
+            .iter()
+            .map(|(n, v)| (n.clone(), Duration::from_nanos(*v)))
+            .collect()
     }
 
     /// Exposed communication time of a phase — what the rank actually waited
@@ -133,11 +147,7 @@ impl PhaseTimer {
 
     /// Overlapped (compute-hidden) communication time of a phase.
     pub fn comm_overlapped(&self, name: &str) -> Duration {
-        self.overlapped
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| *d)
-            .unwrap_or_default()
+        Duration::from_nanos(self.overlapped.get(name))
     }
 
     /// Total communication time of a phase: exposed + overlapped. The
@@ -189,12 +199,8 @@ impl PhaseTimer {
 
     /// Merges another timer's phases into this one (summing shared phases).
     pub fn merge(&mut self, other: &PhaseTimer) {
-        for (name, d) in &other.phases {
-            self.add(name, *d);
-        }
-        for (name, d) in &other.overlapped {
-            self.add_overlapped(name, *d);
-        }
+        self.phases.merge_sum(&other.phases);
+        self.overlapped.merge_sum(&other.overlapped);
         self.add_thread_flops(&other.thread_flops);
     }
 
@@ -202,25 +208,31 @@ impl PhaseTimer {
     /// critical-path view (the slowest rank per phase), which is what the
     /// paper's breakdown figures show.
     pub fn merge_max(&mut self, other: &PhaseTimer) {
-        for (name, d) in &other.phases {
-            if let Some(entry) = self.phases.iter_mut().find(|(n, _)| n == name) {
-                entry.1 = entry.1.max(*d);
-            } else {
-                self.phases.push((name.clone(), *d));
-            }
-        }
-        for (name, d) in &other.overlapped {
-            if let Some(entry) = self.overlapped.iter_mut().find(|(n, _)| n == name) {
-                entry.1 = entry.1.max(*d);
-            } else {
-                self.overlapped.push((name.clone(), *d));
-            }
-        }
+        self.phases.merge_max(&other.phases);
+        self.overlapped.merge_max(&other.overlapped);
         if self.thread_flops.len() < other.thread_flops.len() {
             self.thread_flops.resize(other.thread_flops.len(), 0);
         }
         for (acc, &f) in self.thread_flops.iter_mut().zip(&other.thread_flops) {
             *acc = (*acc).max(f);
+        }
+    }
+
+    /// Publishes the accumulated state into a metrics registry under
+    /// `prefix`: phase nanoseconds as `{prefix}.phase_ns.{name}`,
+    /// overlapped nanoseconds as `{prefix}.overlapped_ns.{name}`, and
+    /// per-thread flops as `{prefix}.thread_flops.{tid}` — the bridge that
+    /// lets benchmark artifacts render from registry snapshots instead of
+    /// hand-rolled aggregation.
+    pub fn export_into(&self, reg: &dspgemm_obs::Registry, prefix: &str) {
+        for (n, v) in self.phases.entries() {
+            reg.counter_add(&format!("{prefix}.phase_ns.{n}"), *v);
+        }
+        for (n, v) in self.overlapped.entries() {
+            reg.counter_add(&format!("{prefix}.overlapped_ns.{n}"), *v);
+        }
+        for (tid, f) in self.thread_flops.iter().enumerate() {
+            reg.counter_add(&format!("{prefix}.thread_flops.{tid}"), *f);
         }
     }
 }
@@ -294,7 +306,7 @@ mod tests {
         assert_eq!(pt.get("absent"), Duration::ZERO);
         assert_eq!(pt.total(), Duration::from_millis(10));
         // Order of first use is preserved.
-        let names: Vec<&str> = pt.entries().iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<String> = pt.entries().into_iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["sort", "comm"]);
     }
 
@@ -373,6 +385,21 @@ mod tests {
         // Free-function form for cross-rank pools.
         assert_eq!(flop_imbalance(&[7]), 1.0);
         assert!((flop_imbalance(&[4, 0, 0, 0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_into_registry() {
+        let mut pt = PhaseTimer::new();
+        pt.add("bcast", Duration::from_nanos(1500));
+        pt.add_overlapped("bcast", Duration::from_nanos(500));
+        pt.add_thread_flops(&[7, 9]);
+        let reg = dspgemm_obs::Registry::new();
+        pt.export_into(&reg, "t");
+        pt.export_into(&reg, "t"); // counters accumulate
+        assert_eq!(reg.counter("t.phase_ns.bcast"), 3000);
+        assert_eq!(reg.counter("t.overlapped_ns.bcast"), 1000);
+        assert_eq!(reg.counter("t.thread_flops.0"), 14);
+        assert_eq!(reg.counter("t.thread_flops.1"), 18);
     }
 
     #[test]

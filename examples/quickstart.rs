@@ -63,7 +63,7 @@ fn main() {
             for (name, d) in engine.timer.entries() {
                 println!(
                     "    {name:<18} {}",
-                    dspgemm::util::stats::format_duration(*d)
+                    dspgemm::util::stats::format_duration(d)
                 );
             }
         }

@@ -10,5 +10,6 @@ pub use dspgemm_baselines as baselines;
 pub use dspgemm_core as core;
 pub use dspgemm_graph as graph;
 pub use dspgemm_mpi as mpi;
+pub use dspgemm_obs as obs;
 pub use dspgemm_sparse as sparse;
 pub use dspgemm_util as util;
