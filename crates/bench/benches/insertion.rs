@@ -14,6 +14,7 @@ fn cfg() -> Config {
         batches: 3,
         instances: 1,
         seed: 7,
+        batch_size: 4096,
     }
 }
 

@@ -5,7 +5,7 @@
 //!
 //! experiments:
 //!   table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b fig9 fig10 fig11 fig12
-//!   ablation-redist ablation-bloom ablation-agg analytics copy-elim overlap balance serve
+//!   ablation-redist ablation-bloom ablation-agg analytics copy-elim overlap commavoid balance serve
 //!   data        (= table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b)
 //!   spgemm      (= fig9 fig10 fig11 fig12)
 //!   ablations   (= the three ablations)
@@ -18,6 +18,8 @@
 //!   --batches N       batches per instance            (default 10)
 //!   --instances N     catalog instances to run        (default 6, max 12)
 //!   --seed N          master seed                     (default fixed)
+//!   --batch-size N    per-rank dynamic update batch   (default 4096;
+//!                     the overlap and commavoid arms)
 //!   --smoke           tiny configuration for CI
 //!   --trace-out F     enable the span tracer; write a Chrome trace_event
 //!                     JSON (chrome://tracing / Perfetto) covering every
@@ -28,13 +30,14 @@
 //! ```
 
 use dspgemm_bench::experiments::{
-    ablations, analytics, balance, construction, copy_elim, overlap, serve, spgemm, table1, updates,
+    ablations, analytics, balance, commavoid, construction, copy_elim, overlap, serve, spgemm,
+    table1, updates,
 };
 use dspgemm_bench::Config;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablation-redist|ablation-bloom|ablation-agg|analytics|copy-elim|overlap|balance|serve|data|spgemm|ablations|all> [--divisor N] [--p N] [--threads N] [--batches N] [--instances N] [--seed N] [--smoke] [--trace-out FILE] [--metrics-out FILE]"
+        "usage: repro <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablation-redist|ablation-bloom|ablation-agg|analytics|copy-elim|overlap|commavoid|balance|serve|data|spgemm|ablations|all> [--divisor N] [--p N] [--threads N] [--batches N] [--instances N] [--seed N] [--batch-size N] [--smoke] [--trace-out FILE] [--metrics-out FILE]"
     );
     std::process::exit(2);
 }
@@ -88,6 +91,13 @@ fn main() {
             }
             "--seed" => {
                 cfg.seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 1;
+            }
+            "--batch-size" => {
+                cfg.batch_size = args
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -179,6 +189,7 @@ fn main() {
             "analytics" => analytics::run(&cfg),
             "copy-elim" => copy_elim::run(&cfg),
             "overlap" => overlap::run(&cfg),
+            "commavoid" => commavoid::run(&cfg),
             "balance" => balance::run(&cfg),
             "serve" => serve::run(&cfg),
             "ablation-redist" => ablations::redistribution(&cfg),

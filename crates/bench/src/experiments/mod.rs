@@ -9,6 +9,7 @@
 //! | [`ablations`] | §IV-B redistribution claim, §V-A aggregation claim, §V-B Bloom claim |
 //! | [`copy_elim`] | zero-copy collective payloads + flat-buffer local SpGEMM (transport-cost ablation; beyond the paper) |
 //! | [`overlap`] | pipelined vs. blocking round schedules: exposed-communication reduction under identical wire volume (beyond the paper) |
+//! | [`commavoid`] | virtual transposition (§V-C) + inter-batch redistribution lookahead: transpose exchange eliminated from the wire, redistribution hidden under SpGEMM (beyond the paper) |
 //! | [`balance`] | contiguous vs. flop-balanced vs. work-stealing local-kernel schedules: thread-level flop imbalance on skewed proxies (beyond the paper) |
 //! | [`analytics`] | maintained-view serving vs. static recomputation (the `dspgemm-analytics` layer; beyond the paper) |
 //! | [`serve`] | snapshot-isolated query serving vs. blocking baseline: query p50/p99, stale-read distance, epoch retention (beyond the paper) |
@@ -16,6 +17,7 @@
 pub mod ablations;
 pub mod analytics;
 pub mod balance;
+pub mod commavoid;
 pub mod construction;
 pub mod copy_elim;
 pub mod overlap;

@@ -21,10 +21,6 @@ use dspgemm_sparse::Triple;
 use dspgemm_util::stats::PhaseTimer;
 use std::time::Duration;
 
-/// Per-rank update batch size for the dynamic arm (matches the copy-elim
-/// ablation so numbers are comparable across PRs).
-const OVERLAP_BATCH: usize = 4096;
-
 /// Outcome of one schedule arm.
 #[derive(Debug, Clone)]
 pub struct OverlapArm {
@@ -118,6 +114,7 @@ pub fn summa_arm(cfg: &Config, inst: &Prepared, p: usize, pipelined: bool) -> Ov
 pub fn dynamic_arm(cfg: &Config, inst: &Prepared, p: usize) -> OverlapArm {
     let n = inst.n;
     let (threads, batches, seed) = (cfg.threads, cfg.batches.max(1), cfg.seed);
+    let batch_size = cfg.batch_size;
     let edges = &inst.edges;
     let out = dspgemm_mpi::run(p, |comm| {
         let grid = Grid::new(comm);
@@ -126,8 +123,8 @@ pub fn dynamic_arm(cfg: &Config, inst: &Prepared, p: usize) -> OverlapArm {
         let a = DistMat::from_global_triples(&grid, n, n, mine.clone(), threads, &mut timer);
         let b = DistMat::from_global_triples(&grid, n, n, mine, threads, &mut timer);
         let mut eng = DynSpGemm::<F64Plus>::new(&grid, a, b, threads, false);
-        let mut a_draws = ReplacementDraws::new(OVERLAP_BATCH, seed, comm.rank());
-        let mut b_draws = ReplacementDraws::new(OVERLAP_BATCH, seed ^ 0x9e37, comm.rank());
+        let mut a_draws = ReplacementDraws::new(batch_size, seed, comm.rank());
+        let mut b_draws = ReplacementDraws::new(batch_size, seed ^ 0x9e37, comm.rank());
         comm.barrier();
         let before = comm.comm_stats();
         let mut times = Vec::new();
@@ -229,7 +226,7 @@ pub fn run(cfg: &Config) -> Table {
 
     let dynamic = dynamic_arm(cfg, inst, cfg.p);
     t.push_row(vec![
-        format!("dynamic updates, pipelined ({} / rank)", OVERLAP_BATCH),
+        format!("dynamic updates, pipelined ({} / rank)", cfg.batch_size),
         ms(dynamic.wall),
         dspgemm_util::stats::format_bytes(dynamic.bytes),
         ns_ms(dynamic.exposed_ns),

@@ -30,6 +30,10 @@ pub struct Config {
     pub instances: usize,
     /// Master seed.
     pub seed: u64,
+    /// Per-rank update batch size for the dynamic arms (`overlap`,
+    /// `commavoid`); matches the copy-elim ablation's historical constant
+    /// so numbers stay comparable across PRs.
+    pub batch_size: usize,
 }
 
 impl Default for Config {
@@ -46,6 +50,7 @@ impl Default for Config {
             batches: 10,
             instances: 6,
             seed: 0xD59E_2022,
+            batch_size: 4096,
         }
     }
 }
@@ -60,6 +65,7 @@ impl Config {
             batches: 2,
             instances: 2,
             seed: 7,
+            batch_size: 4096,
         }
     }
 }

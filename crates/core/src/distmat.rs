@@ -267,19 +267,18 @@ impl<V: Elem> DistMat<V> {
             .collect()
     }
 
-    /// The distributed transpose `Aᵀ` (collective over the grid).
+    /// The distributed transpose `Aᵀ`, **materialized** through the
+    /// standard two-phase redistribution: one `O(nnz/p)` exchange, after
+    /// which every algorithm applies unchanged (collective over the grid).
     ///
-    /// Section V-C describes *virtual* transposition — adjusting which
-    /// blocks are broadcast over rows vs. columns so `AᵀB`, `ABᵀ` and
-    /// `AᵀBᵀ` need no data movement beyond (sometimes less than) the
-    /// untransposed algorithm. This reproduction supports transposed
-    /// products by *materializing* the transpose once through the standard
-    /// two-phase redistribution: one `O(nnz/p)` exchange, after which every
-    /// algorithm applies unchanged. For the dynamic use case the transposed
-    /// operand is maintained incrementally like any other dynamic matrix
-    /// (transpose the update tuples), so the one-off cost amortizes away;
-    /// the virtual variant's constant-factor saving is noted in DESIGN.md
-    /// as the remaining gap to Section V-C.
+    /// Section V-C's *virtual* transposition — no materialization, no
+    /// wire bytes — is implemented where it pays: static `Aᵀ·B` products
+    /// run through [`crate::summa::summa_transposed`] (panels transposed
+    /// root-side, locally), and the dynamic update paths route transposed
+    /// update blocks via [`crate::dyn_algebraic::TransposeMode::Virtual`]
+    /// (the default — see the `repro commavoid` ablation). Materializing
+    /// remains the right tool when the transposed operand is reused across
+    /// many products, where the one-off exchange amortizes away.
     pub fn transposed(&self, grid: &Grid, threads: usize) -> DistMat<V> {
         let mut timer = PhaseTimer::new();
         let flipped: Vec<Triple<V>> = self

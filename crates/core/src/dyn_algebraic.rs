@@ -25,6 +25,20 @@
 //! Communication volume: `O(max(nnz(A*)+nnz(B*), nnz(C*))/√p)` versus
 //! SUMMA's `O((nnz(A)+nnz(B'))/√p)` — the whole point of the paper.
 //!
+//! **Virtual transposition (Section V-C).** Step 1's point-to-point
+//! exchange exists only to park each update block at its transposed grid
+//! position before the broadcasts. The communication-avoiding variant
+//! ([`TransposeMode::Virtual`], the default) removes that wire round
+//! entirely: the update batch is redistributed *twice* — once in natural
+//! layout (the local `A += A*` application needs it) and once with flipped
+//! tuples and swapped dimensions ([`crate::update::build_update_matrix_pair`]),
+//! so every rank's transposed-layout block already **is** its
+//! transposed-position block, just transposed. A purely local counting-sort
+//! transposition recovers the broadcast payload bit-for-bit
+//! ([`StarView::Transposed`]), the `send/recv` phase carries zero
+//! point-to-point bytes, and `C` is bit-identical by construction — the
+//! `repro commavoid` ablation asserts both.
+//!
 //! The module is generic over an [`XYKernel`] so the identical communication
 //! structure also serves the Bloom-fused variant (engine sessions that
 //! maintain the filter matrix `F`) and `COMPUTE_PATTERN` of Algorithm 2.
@@ -34,7 +48,10 @@ use crate::exec::Exec;
 use crate::grid::{block_range, Grid};
 use crate::phase;
 use crate::pipeline::{await_into_phase, run_rounds, Schedule};
-use crate::update::{apply_add_exec, build_update_matrix, Dedup};
+use crate::update::{
+    apply_add_exec, build_update_matrix, build_update_matrix_pair, start_update_matrix,
+    start_update_matrix_pair, Dedup, StarPair,
+};
 use dspgemm_mpi::Request;
 use dspgemm_sparse::local_mm::{
     spgemm_bloom_with, spgemm_pattern_with, spgemm_with, KernelPlan, MmOutput,
@@ -179,19 +196,198 @@ impl<S: Semiring> XYKernel<S> for PatternKernel {
     }
 }
 
-/// Runs the transpose exchange, `√p` broadcast rounds, local multiplications
-/// and sparse merge-reductions of Algorithm 1, returning this rank's block
-/// of `C* = A*·B' + A·B*` plus the local flop count. Collective over the
-/// grid.
+/// How Algorithm 1's round roots obtain the transposed-position update
+/// blocks they broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransposeMode {
+    /// Physical point-to-point exchange with the transposed peer rank
+    /// (Fig. 1a; the pre-Section-V-C schedule) — kept as the
+    /// `repro commavoid` ablation baseline.
+    Physical,
+    /// Virtual transposition (Section V-C, the default): the update batch
+    /// is additionally built in transposed layout, so every round root
+    /// recovers its broadcast payload by a purely local transposition of
+    /// its own block. The transpose-exchange phase moves zero bytes.
+    #[default]
+    Virtual,
+}
+
+/// One update-matrix operand of the `C*` round structure, tagged with its
+/// layout — the `Transposed` operand view of the communication-avoiding
+/// schedulers.
+#[derive(Debug, Clone, Copy)]
+pub enum StarView<'a, V: Elem> {
+    /// `A*` in natural layout (`A*_{i,j}` at rank `(i, j)`): the round
+    /// roots' blocks are obtained with the point-to-point transpose
+    /// exchange.
+    Natural(&'a DistDcsr<V>),
+    /// `(A*)ᵀ` as built by [`crate::update::build_update_matrix_pair`]
+    /// (`(A*_{j,i})ᵀ` at rank `(i, j)`): the round roots' blocks are
+    /// recovered by a local counting-sort transposition — zero wire bytes.
+    Transposed(&'a DistDcsr<V>),
+}
+
+impl<'a, V: Elem> StarView<'a, V> {
+    /// The underlying distributed matrix, whatever its layout.
+    fn dist(&self) -> &'a DistDcsr<V> {
+        match self {
+            StarView::Natural(d) | StarView::Transposed(d) => d,
+        }
+    }
+
+    /// Local non-zero count (the global sum is layout-independent, so the
+    /// collective empty-batch elision agrees across modes).
+    pub fn local_nnz(&self) -> usize {
+        self.dist().local_nnz()
+    }
+}
+
+/// The update-matrix build(s) one operand of a batch needs under a given
+/// [`TransposeMode`] — what [`apply_algebraic_updates_prebuilt_exec`]
+/// consumes and the engine's lookahead queue completes in the background.
+pub enum StarBuild<V: Elem> {
+    /// Natural layout only; rounds resolve via the physical exchange.
+    Physical(DistDcsr<V>),
+    /// Natural + transposed layouts; rounds resolve locally (Section V-C).
+    Virtual(StarPair<V>),
+}
+
+impl<V: Elem> StarBuild<V> {
+    /// The natural-layout matrix (what `A += A*` applies).
+    pub fn natural(&self) -> &DistDcsr<V> {
+        match self {
+            StarBuild::Physical(d) => d,
+            StarBuild::Virtual(p) => &p.natural,
+        }
+    }
+
+    /// The operand view the round structure consumes.
+    pub fn view(&self) -> StarView<'_, V> {
+        match self {
+            StarBuild::Physical(d) => StarView::Natural(d),
+            StarBuild::Virtual(p) => StarView::Transposed(&p.transposed),
+        }
+    }
+}
+
+/// Builds one operand's update matrix (or matrix pair) from
+/// globally-indexed tuples under the given mode. Collective over the grid.
+pub fn build_star<S: Semiring>(
+    grid: &Grid,
+    nrows: dspgemm_sparse::Index,
+    ncols: dspgemm_sparse::Index,
+    tuples: Vec<Triple<S::Elem>>,
+    mode: TransposeMode,
+    timer: &mut PhaseTimer,
+) -> StarBuild<S::Elem> {
+    match mode {
+        TransposeMode::Physical => StarBuild::Physical(build_update_matrix::<S>(
+            grid,
+            nrows,
+            ncols,
+            tuples,
+            Dedup::Add,
+            timer,
+        )),
+        TransposeMode::Virtual => StarBuild::Virtual(build_update_matrix_pair::<S>(
+            grid,
+            nrows,
+            ncols,
+            tuples,
+            Dedup::Add,
+            timer,
+        )),
+    }
+}
+
+/// Resolves up to two [`StarView`] operands into the blocks Algorithm 1's
+/// round roots broadcast (`A*_{j,i}` at rank `(i, j)`). One helper serves
+/// the two-operand and the shared-operand paths:
+///
+/// * [`StarView::Natural`] items run the physical transpose exchange, both
+///   directions of every item posted nonblocking (irecvs first, then the
+///   buffered sends) under [`phase::SEND_RECV`], so concurrent items cross
+///   the wire together instead of serializing;
+/// * [`StarView::Transposed`] items never touch the wire: the rank's own
+///   block already *is* the transposed-position block in transposed form,
+///   and a pooled local counting-sort transposition
+///   ([`Dcsr::transpose_into`] through the session's [`Exec`]) recovers the
+///   payload bit-for-bit under [`phase::TRANSPOSE_LOCAL`] (Section V-C).
+///
+/// `None` items (globally empty update sides) stay `None`.
+fn resolve_star_blocks<S: Semiring>(
+    grid: &Grid,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+    items: [Option<(StarView<'_, S::Elem>, u64)>; 2],
+) -> [Option<Arc<Dcsr<S::Elem>>>; 2] {
+    let mut out: [Option<Arc<Dcsr<S::Elem>>>; 2] = [None, None];
+    // Transposed views first: purely local, no peer coordination needed.
+    for (slot, item) in out.iter_mut().zip(&items) {
+        if let Some((StarView::Transposed(t), _)) = item {
+            let _sp =
+                dspgemm_obs::span("engine", "transpose_virtual").attr("nnz", t.local_nnz() as u64);
+            *slot = Some(timer.time(phase::TRANSPOSE_LOCAL, || {
+                let mut ws = exec.transpose_ws();
+                Arc::new(t.block().transpose_into(&mut ws))
+            }));
+        }
+    }
+    // Natural views: the transpose exchange of Fig. 1a.
+    let peer = grid.transpose_rank();
+    if peer == grid.world().rank() {
+        for (slot, item) in out.iter_mut().zip(&items) {
+            if let Some((StarView::Natural(d), _)) = item {
+                *slot = Some(d.block_shared());
+            }
+        }
+        return out;
+    }
+    if !items
+        .iter()
+        .any(|i| matches!(i, Some((StarView::Natural(_), _))))
+    {
+        return out;
+    }
+    timer.time(phase::SEND_RECV, || {
+        type BlockRecv<V> = Option<Request<Arc<Dcsr<V>>>>;
+        let mut recvs: [BlockRecv<S::Elem>; 2] = [None, None];
+        for (r, item) in recvs.iter_mut().zip(&items) {
+            if let Some((StarView::Natural(_), tag)) = item {
+                *r = Some(grid.world().irecv_shared::<Dcsr<S::Elem>>(peer, *tag));
+            }
+        }
+        for item in &items {
+            if let Some((StarView::Natural(d), tag)) = item {
+                grid.world()
+                    .isend_shared(peer, *tag, d.block_shared())
+                    .wait();
+            }
+        }
+        for (slot, r) in out.iter_mut().zip(recvs) {
+            if let Some(req) = r {
+                *slot = Some(req.wait());
+            }
+        }
+    });
+    out
+}
+
+/// Runs the transpose exchange (or its local virtual replacement), `√p`
+/// broadcast rounds, local multiplications and sparse merge-reductions of
+/// Algorithm 1, returning this rank's block of `C* = A*·B' + A·B*` plus the
+/// local flop count. Collective over the grid.
 ///
 /// Inputs obey Eq. 1's timing: `a_old` is `A` *before* its updates, `b_new`
-/// is `B'` *after* its updates.
+/// is `B'` *after* its updates. The update operands arrive as [`StarView`]s,
+/// so callers choose per operand whether round roots resolve their blocks
+/// physically (wire exchange) or virtually (local transposition).
 pub fn compute_cstar<S: Semiring, K: XYKernel<S>>(
     grid: &Grid,
     a_old: &DistMat<S::Elem>,
     b_new: &DistMat<S::Elem>,
-    a_star: &DistDcsr<S::Elem>,
-    b_star: &DistDcsr<S::Elem>,
+    a_star: StarView<'_, S::Elem>,
+    b_star: StarView<'_, S::Elem>,
     threads: usize,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<K::Out>, u64) {
@@ -212,8 +408,8 @@ pub fn compute_cstar_exec<S: Semiring, K: XYKernel<S>>(
     grid: &Grid,
     a_old: &DistMat<S::Elem>,
     b_new: &DistMat<S::Elem>,
-    a_star: &DistDcsr<S::Elem>,
-    b_star: &DistDcsr<S::Elem>,
+    a_star: StarView<'_, S::Elem>,
+    b_star: StarView<'_, S::Elem>,
     exec: &Exec<S>,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<K::Out>, u64) {
@@ -224,10 +420,12 @@ pub fn compute_cstar_exec<S: Semiring, K: XYKernel<S>>(
     let my_block_cols = b_new.info().local_cols();
 
     // Empty-side elision: a globally empty update matrix contributes nothing
-    // to Eq. 1, so its whole pass (transpose send, broadcasts, multiplies,
-    // reductions) is skipped. The decision is collective-safe because it is
-    // made from the allreduced global nnz, agreed on all ranks. This is the
-    // common case in the paper's Fig. 9 protocol, where `B` is static.
+    // to Eq. 1, so its whole pass (transpose resolution, broadcasts,
+    // multiplies, reductions) is skipped. The decision is collective-safe
+    // because it is made from the allreduced global nnz, agreed on all ranks
+    // (and layout-independent: natural and transposed builds hold the same
+    // global entry set). This is the common case in the paper's Fig. 9
+    // protocol, where `B` is static.
     let (a_star_nnz, b_star_nnz) = {
         let both = grid.world().allreduce(
             [a_star.local_nnz() as u64, b_star.local_nnz() as u64],
@@ -236,36 +434,19 @@ pub fn compute_cstar_exec<S: Semiring, K: XYKernel<S>>(
         (both[0], both[1])
     };
 
-    // Step 1: transpose exchange — A*_{i,j} to (j,i); likewise B*. Blocks
-    // travel as shared handles, and both directions of both exchanges are
-    // posted nonblocking (irecv first, then the buffered sends), so the two
-    // update blocks cross the wire concurrently instead of serializing.
+    // Step 1: round roots obtain their transposed-position blocks — a wire
+    // exchange for natural views, a local transposition for transposed ones.
     const TAG_AT: u64 = 101;
     const TAG_BT: u64 = 102;
-    let peer = grid.transpose_rank();
-    type Exchanged<V> = (Option<Arc<Dcsr<V>>>, Option<Arc<Dcsr<V>>>);
-    let (at_blk, bt_blk): Exchanged<S::Elem> = timer.time(phase::SEND_RECV, || {
-        if peer == grid.world().rank() {
-            let at = (a_star_nnz != 0).then(|| a_star.block_shared());
-            let bt = (b_star_nnz != 0).then(|| b_star.block_shared());
-            return (at, bt);
-        }
-        let at_recv =
-            (a_star_nnz != 0).then(|| grid.world().irecv_shared::<Dcsr<S::Elem>>(peer, TAG_AT));
-        let bt_recv =
-            (b_star_nnz != 0).then(|| grid.world().irecv_shared::<Dcsr<S::Elem>>(peer, TAG_BT));
-        if a_star_nnz != 0 {
-            grid.world()
-                .isend_shared(peer, TAG_AT, a_star.block_shared())
-                .wait();
-        }
-        if b_star_nnz != 0 {
-            grid.world()
-                .isend_shared(peer, TAG_BT, b_star.block_shared())
-                .wait();
-        }
-        (at_recv.map(Request::wait), bt_recv.map(Request::wait))
-    });
+    let [at_blk, bt_blk] = resolve_star_blocks::<S>(
+        grid,
+        exec,
+        timer,
+        [
+            (a_star_nnz != 0).then_some((a_star, TAG_AT)),
+            (b_star_nnz != 0).then_some((b_star, TAG_BT)),
+        ],
+    );
 
     // Step 2 + 3: √p rounds of broadcasts, local multiplies, aggregation —
     // pipelined: round k+1's update-block broadcasts are in flight while
@@ -375,7 +556,7 @@ pub fn compute_cstar_exec<S: Semiring, K: XYKernel<S>>(
 pub fn compute_cstar_shared<S: Semiring, K: XYKernel<S>>(
     grid: &Grid,
     a: &mut DistMat<S::Elem>,
-    star: &DistDcsr<S::Elem>,
+    star: StarView<'_, S::Elem>,
     apply: impl FnOnce(&mut DistMat<S::Elem>),
     threads: usize,
     timer: &mut PhaseTimer,
@@ -387,7 +568,7 @@ pub fn compute_cstar_shared<S: Semiring, K: XYKernel<S>>(
 pub fn compute_cstar_shared_exec<S: Semiring, K: XYKernel<S>>(
     grid: &Grid,
     a: &mut DistMat<S::Elem>,
-    star: &DistDcsr<S::Elem>,
+    star: StarView<'_, S::Elem>,
     apply: impl FnOnce(&mut DistMat<S::Elem>),
     exec: &Exec<S>,
     timer: &mut PhaseTimer,
@@ -404,26 +585,23 @@ pub fn compute_cstar_shared_exec<S: Semiring, K: XYKernel<S>>(
     let my_block_cols = a.info().local_cols();
 
     // Empty-batch elision, agreed collectively (cf. `compute_cstar`).
-    let star_nnz = star.global_nnz(grid);
+    let star_nnz = grid
+        .world()
+        .allreduce(star.local_nnz() as u64, |x, y| x + y);
     if star_nnz == 0 {
         timer.time(phase::LOCAL_UPDATE, || apply(a));
         return (Dcsr::empty(my_block_rows, my_block_cols), 0);
     }
 
-    // One transpose exchange serves both passes: rank (i,j) obtains
-    // A*_{j,i}, so in round k the row-comm member k of row i holds A*_{k,i}
-    // and the col-comm member k of column j holds A*_{k,j}ᵀ-positioned
-    // block, exactly as in Algorithm 1.
+    // One transposed-block resolution serves both passes: rank (i,j)
+    // obtains A*_{j,i} — by wire exchange (natural view) or by local
+    // transposition of its own transposed-layout block (virtual view) — so
+    // in round k the row-comm member k of row i holds A*_{k,i} and the
+    // col-comm member k of column j holds A*_{k,j}, exactly as in
+    // Algorithm 1.
     const TAG_SHARED: u64 = 104;
-    let peer = grid.transpose_rank();
-    let star_t: Arc<Dcsr<S::Elem>> = timer.time(phase::SEND_RECV, || {
-        if peer == grid.world().rank() {
-            star.block_shared()
-        } else {
-            grid.world()
-                .sendrecv_shared(peer, star.block_shared(), peer, TAG_SHARED)
-        }
-    });
+    let [star_t, _] = resolve_star_blocks::<S>(grid, exec, timer, [Some((star, TAG_SHARED)), None]);
+    let star_t: Arc<Dcsr<S::Elem>> = star_t.expect("nonempty operand resolves to a block");
 
     let mut flops = 0u64;
 
@@ -559,11 +737,47 @@ pub fn apply_shared_algebraic_prebuilt_exec<S: Semiring>(
     exec: &Exec<S>,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<S::Elem>, u64) {
+    apply_shared_algebraic_view_exec::<S>(grid, a, c, StarView::Natural(star), star, exec, timer)
+}
+
+/// [`apply_shared_algebraic_prebuilt_exec`] from a prebuilt [`StarPair`]:
+/// the round roots resolve their blocks by local transposition instead of
+/// the wire exchange (Section V-C), and the natural half feeds `A += A*`.
+pub fn apply_shared_algebraic_prebuilt_pair_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    pair: &StarPair<S::Elem>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<S::Elem>, u64) {
+    apply_shared_algebraic_view_exec::<S>(
+        grid,
+        a,
+        c,
+        StarView::Transposed(&pair.transposed),
+        &pair.natural,
+        exec,
+        timer,
+    )
+}
+
+/// Common body of the shared plain variants: `view` drives the round
+/// structure, `natural` drives the in-place `A += A*`.
+fn apply_shared_algebraic_view_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    view: StarView<'_, S::Elem>,
+    natural: &DistDcsr<S::Elem>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<S::Elem>, u64) {
     let (cstar, flops) = compute_cstar_shared_exec::<S, PlainKernel>(
         grid,
         a,
-        star,
-        |m| apply_add_exec::<S>(m, star, exec),
+        view,
+        |m| apply_add_exec::<S>(m, natural, exec),
         exec,
         timer,
     );
@@ -614,11 +828,60 @@ pub fn apply_shared_algebraic_prebuilt_tracked_exec<S: Semiring>(
     exec: &Exec<S>,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<(S::Elem, u64)>, u64) {
+    apply_shared_algebraic_tracked_view_exec::<S>(
+        grid,
+        a,
+        c,
+        f,
+        StarView::Natural(star),
+        star,
+        exec,
+        timer,
+    )
+}
+
+/// [`apply_shared_algebraic_prebuilt_tracked_exec`] from a prebuilt
+/// [`StarPair`] (virtual transposition, Section V-C).
+#[allow(clippy::too_many_arguments)]
+pub fn apply_shared_algebraic_prebuilt_tracked_pair_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    f: &mut DistMat<u64>,
+    pair: &StarPair<S::Elem>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<(S::Elem, u64)>, u64) {
+    apply_shared_algebraic_tracked_view_exec::<S>(
+        grid,
+        a,
+        c,
+        f,
+        StarView::Transposed(&pair.transposed),
+        &pair.natural,
+        exec,
+        timer,
+    )
+}
+
+/// Common body of the shared tracked variants (cf.
+/// `apply_shared_algebraic_view_exec`).
+#[allow(clippy::too_many_arguments)]
+fn apply_shared_algebraic_tracked_view_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    f: &mut DistMat<u64>,
+    view: StarView<'_, S::Elem>,
+    natural: &DistDcsr<S::Elem>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> (Dcsr<(S::Elem, u64)>, u64) {
     let (cstar, flops) = compute_cstar_shared_exec::<S, BloomKernel>(
         grid,
         a,
-        star,
-        |m| apply_add_exec::<S>(m, star, exec),
+        view,
+        |m| apply_add_exec::<S>(m, natural, exec),
         exec,
         timer,
     );
@@ -666,6 +929,8 @@ pub fn apply_algebraic_updates<S: Semiring>(
 
 /// [`apply_algebraic_updates`] under an explicit [`Exec`] — the engine's
 /// entry point, so consecutive update batches reuse the session pools.
+/// Defaults to [`TransposeMode::Virtual`] (Section V-C); `C` is
+/// bit-identical across modes.
 #[allow(clippy::too_many_arguments)]
 pub fn apply_algebraic_updates_exec<S: Semiring>(
     grid: &Grid,
@@ -677,36 +942,100 @@ pub fn apply_algebraic_updates_exec<S: Semiring>(
     exec: &Exec<S>,
     timer: &mut PhaseTimer,
 ) -> u64 {
-    let (a_star, b_star) = timer.time(phase::SCATTER, || {
-        let mut inner = PhaseTimer::new();
-        let a_star = build_update_matrix::<S>(
-            grid,
-            a.info().nrows,
-            a.info().ncols,
-            a_tuples,
-            Dedup::Add,
-            &mut inner,
-        );
-        let b_star = build_update_matrix::<S>(
-            grid,
-            b.info().nrows,
-            b.info().ncols,
-            b_tuples,
-            Dedup::Add,
-            &mut inner,
-        );
-        (a_star, b_star)
-    });
+    apply_algebraic_updates_mode_exec::<S>(
+        grid,
+        a,
+        b,
+        c,
+        a_tuples,
+        b_tuples,
+        TransposeMode::default(),
+        exec,
+        timer,
+    )
+}
 
+/// [`apply_algebraic_updates_exec`] under an explicit [`TransposeMode`] —
+/// the `repro commavoid` ablation switch.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_algebraic_updates_mode_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    b: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    a_tuples: Vec<Triple<S::Elem>>,
+    b_tuples: Vec<Triple<S::Elem>>,
+    mode: TransposeMode,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> u64 {
+    let (a_star, b_star) = build_star_operands::<S>(grid, a, b, a_tuples, b_tuples, mode, timer);
+    apply_algebraic_updates_prebuilt_exec::<S>(grid, a, b, c, &a_star, &b_star, exec, timer)
+}
+
+/// Builds both operands' update matrices under [`phase::SCATTER`], issuing
+/// both row-phase `IALLTOALLV`s before completing either so the
+/// redistributions cross the wire concurrently. Collective.
+fn build_star_operands<S: Semiring>(
+    grid: &Grid,
+    a: &DistMat<S::Elem>,
+    b: &DistMat<S::Elem>,
+    a_tuples: Vec<Triple<S::Elem>>,
+    b_tuples: Vec<Triple<S::Elem>>,
+    mode: TransposeMode,
+    timer: &mut PhaseTimer,
+) -> (StarBuild<S::Elem>, StarBuild<S::Elem>) {
+    let (an, ac) = (a.info().nrows, a.info().ncols);
+    let (bn, bc) = (b.info().nrows, b.info().ncols);
+    timer.time(phase::SCATTER, || {
+        let mut inner = PhaseTimer::new();
+        match mode {
+            TransposeMode::Physical => {
+                let pa = start_update_matrix::<S>(grid, an, ac, a_tuples, Dedup::Add, &mut inner);
+                let pb = start_update_matrix::<S>(grid, bn, bc, b_tuples, Dedup::Add, &mut inner);
+                (
+                    StarBuild::Physical(pa.finish(grid, &mut inner)),
+                    StarBuild::Physical(pb.finish(grid, &mut inner)),
+                )
+            }
+            TransposeMode::Virtual => {
+                let pa =
+                    start_update_matrix_pair::<S>(grid, an, ac, a_tuples, Dedup::Add, &mut inner);
+                let pb =
+                    start_update_matrix_pair::<S>(grid, bn, bc, b_tuples, Dedup::Add, &mut inner);
+                (
+                    StarBuild::Virtual(pa.finish(grid, &mut inner)),
+                    StarBuild::Virtual(pb.finish(grid, &mut inner)),
+                )
+            }
+        }
+    })
+}
+
+/// Algebraic-update step from **pre-built** update operands: applies
+/// `B += B*`, runs Algorithm 1's rounds, applies `A += A*` and patches `C`.
+/// The engine's inter-batch lookahead completes builds in the background
+/// and drains them through this entry point. Collective.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_algebraic_updates_prebuilt_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    b: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    a_star: &StarBuild<S::Elem>,
+    b_star: &StarBuild<S::Elem>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> u64 {
     // Eq. 1 ordering: B must be B' during the multiplication, A must still
     // be the old A.
     timer.time(phase::LOCAL_UPDATE, || {
-        apply_add_exec::<S>(b, &b_star, exec);
+        apply_add_exec::<S>(b, b_star.natural(), exec);
     });
     let (cstar, flops) =
-        compute_cstar_exec::<S, PlainKernel>(grid, a, b, &a_star, &b_star, exec, timer);
+        compute_cstar_exec::<S, PlainKernel>(grid, a, b, a_star.view(), b_star.view(), exec, timer);
     timer.time(phase::LOCAL_UPDATE, || {
-        apply_add_exec::<S>(a, &a_star, exec);
+        apply_add_exec::<S>(a, a_star.natural(), exec);
         if cstar.nnz() == 0 {
             return; // keep the block's snapshot image valid (COW publish)
         }
@@ -748,7 +1077,8 @@ pub fn apply_algebraic_updates_tracked<S: Semiring>(
     )
 }
 
-/// [`apply_algebraic_updates_tracked`] under an explicit [`Exec`].
+/// [`apply_algebraic_updates_tracked`] under an explicit [`Exec`]. Defaults
+/// to [`TransposeMode::Virtual`] (Section V-C).
 #[allow(clippy::too_many_arguments)]
 pub fn apply_algebraic_updates_tracked_exec<S: Semiring>(
     grid: &Grid,
@@ -761,33 +1091,62 @@ pub fn apply_algebraic_updates_tracked_exec<S: Semiring>(
     exec: &Exec<S>,
     timer: &mut PhaseTimer,
 ) -> u64 {
-    let (a_star, b_star) = timer.time(phase::SCATTER, || {
-        let mut inner = PhaseTimer::new();
-        let a_star = build_update_matrix::<S>(
-            grid,
-            a.info().nrows,
-            a.info().ncols,
-            a_tuples,
-            Dedup::Add,
-            &mut inner,
-        );
-        let b_star = build_update_matrix::<S>(
-            grid,
-            b.info().nrows,
-            b.info().ncols,
-            b_tuples,
-            Dedup::Add,
-            &mut inner,
-        );
-        (a_star, b_star)
-    });
+    apply_algebraic_updates_tracked_mode_exec::<S>(
+        grid,
+        a,
+        b,
+        c,
+        f,
+        a_tuples,
+        b_tuples,
+        TransposeMode::default(),
+        exec,
+        timer,
+    )
+}
+
+/// [`apply_algebraic_updates_tracked_exec`] under an explicit
+/// [`TransposeMode`].
+#[allow(clippy::too_many_arguments)]
+pub fn apply_algebraic_updates_tracked_mode_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    b: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    f: &mut DistMat<u64>,
+    a_tuples: Vec<Triple<S::Elem>>,
+    b_tuples: Vec<Triple<S::Elem>>,
+    mode: TransposeMode,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> u64 {
+    let (a_star, b_star) = build_star_operands::<S>(grid, a, b, a_tuples, b_tuples, mode, timer);
+    apply_algebraic_updates_tracked_prebuilt_exec::<S>(
+        grid, a, b, c, f, &a_star, &b_star, exec, timer,
+    )
+}
+
+/// Tracked analog of [`apply_algebraic_updates_prebuilt_exec`]: also
+/// maintains the Bloom filter matrix `F`. Collective.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_algebraic_updates_tracked_prebuilt_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    b: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    f: &mut DistMat<u64>,
+    a_star: &StarBuild<S::Elem>,
+    b_star: &StarBuild<S::Elem>,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> u64 {
     timer.time(phase::LOCAL_UPDATE, || {
-        apply_add_exec::<S>(b, &b_star, exec);
+        apply_add_exec::<S>(b, b_star.natural(), exec);
     });
     let (cstar, flops) =
-        compute_cstar_exec::<S, BloomKernel>(grid, a, b, &a_star, &b_star, exec, timer);
+        compute_cstar_exec::<S, BloomKernel>(grid, a, b, a_star.view(), b_star.view(), exec, timer);
     timer.time(phase::LOCAL_UPDATE, || {
-        apply_add_exec::<S>(a, &a_star, exec);
+        apply_add_exec::<S>(a, a_star.natural(), exec);
         if cstar.nnz() == 0 {
             return; // keep the blocks' snapshot images valid (COW publish)
         }

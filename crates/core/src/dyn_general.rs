@@ -21,7 +21,9 @@
 //!    became structurally zero ⇒ delete), and `H` replaces them in `F`.
 
 use crate::distmat::{DistDcsr, DistMat, Elem};
-use crate::dyn_algebraic::{compute_cstar_exec, compute_cstar_shared_exec, PatternKernel};
+use crate::dyn_algebraic::{
+    compute_cstar_exec, compute_cstar_shared_exec, PatternKernel, StarView, TransposeMode,
+};
 use crate::exec::Exec;
 use crate::grid::{block_range, Grid};
 use crate::phase;
@@ -78,11 +80,29 @@ pub struct PreparedGeneral<V> {
     pub del_mat: DistDcsr<V>,
     /// Structural union of both — the `A*` of `COMPUTE_PATTERN`.
     pub star: DistDcsr<V>,
+    /// `star` rebuilt in transposed layout (flipped tuples, swapped
+    /// dimensions) when the batch was prepared for
+    /// [`TransposeMode::Virtual`]: `COMPUTE_PATTERN`'s round roots then
+    /// resolve their blocks by local transposition instead of the wire
+    /// exchange (Section V-C). `None` ⇒ physical resolution.
+    pub star_t: Option<DistDcsr<V>>,
+}
+
+impl<V: Elem> PreparedGeneral<V> {
+    /// The operand view `COMPUTE_PATTERN` consumes: the transposed-layout
+    /// build when present, else the natural star.
+    pub fn view(&self) -> StarView<'_, V> {
+        match &self.star_t {
+            Some(t) => StarView::Transposed(t),
+            None => StarView::Natural(&self.star),
+        }
+    }
 }
 
 /// Redistributes one operand's general-update batch (the only communication
 /// of update assembly) and builds its MERGE/MASK/pattern matrices.
-/// Collective over the grid.
+/// Collective over the grid. Resolution stays physical (`star_t = None`);
+/// use [`prepare_general_update_mode`] to opt into virtual transposition.
 pub fn prepare_general_update<S: Semiring>(
     grid: &Grid,
     nrows: Index,
@@ -90,6 +110,35 @@ pub fn prepare_general_update<S: Semiring>(
     upd: GeneralUpdates<S::Elem>,
     timer: &mut PhaseTimer,
 ) -> PreparedGeneral<S::Elem> {
+    prepare_general_update_mode::<S>(grid, nrows, ncols, upd, TransposeMode::Physical, timer)
+}
+
+/// [`prepare_general_update`] under an explicit [`TransposeMode`]. Under
+/// [`TransposeMode::Virtual`] the combined structural pattern is
+/// additionally redistributed with flipped tuples and swapped dimensions;
+/// ordering the flipped stream deletes-first (zero values), then sets, and
+/// deduplicating [`Dedup::LastWins`] reproduces the natural star's values
+/// exactly — a position covered by any set keeps the last set value, a
+/// delete-only position keeps the semiring zero — so `COMPUTE_PATTERN`'s
+/// broadcast payloads are bit-identical across modes. `mode` must agree on
+/// all ranks (it changes the collective schedule). Collective.
+pub fn prepare_general_update_mode<S: Semiring>(
+    grid: &Grid,
+    nrows: Index,
+    ncols: Index,
+    upd: GeneralUpdates<S::Elem>,
+    mode: TransposeMode,
+    timer: &mut PhaseTimer,
+) -> PreparedGeneral<S::Elem> {
+    let combined_t = matches!(mode, TransposeMode::Virtual).then(|| {
+        let mut v: Vec<Triple<S::Elem>> = upd
+            .deletes
+            .iter()
+            .map(|&(r, c)| Triple::new(c, r, S::zero()))
+            .collect();
+        v.extend(upd.sets.iter().map(|t| Triple::new(t.col, t.row, t.val)));
+        v
+    });
     let del_tuples: Vec<Triple<S::Elem>> = upd
         .deletes
         .iter()
@@ -101,10 +150,13 @@ pub fn prepare_general_update<S: Semiring>(
     // to A* to indicate that the corresponding entries have changed").
     let star_block = Dcsr::merge_with(set_mat.block(), del_mat.block(), |a, _| a);
     let star = DistDcsr::from_block(grid, nrows, ncols, star_block);
+    let star_t = combined_t
+        .map(|tuples| build_update_matrix::<S>(grid, ncols, nrows, tuples, Dedup::LastWins, timer));
     PreparedGeneral {
         set_mat,
         del_mat,
         star,
+        star_t,
     }
 }
 
@@ -207,7 +259,7 @@ pub fn apply_general_updates<S: Semiring>(
 
 /// [`apply_general_updates`] under an explicit [`Exec`] — the engine's
 /// entry point, so the pattern pass and masked recomputation lease from the
-/// session pools.
+/// session pools. Defaults to [`TransposeMode::Virtual`] (Section V-C).
 #[allow(clippy::too_many_arguments)]
 pub fn apply_general_updates_exec<S: Semiring>(
     grid: &Grid,
@@ -220,15 +272,59 @@ pub fn apply_general_updates_exec<S: Semiring>(
     exec: &Exec<S>,
     timer: &mut PhaseTimer,
 ) -> u64 {
+    apply_general_updates_mode_exec::<S>(
+        grid,
+        a,
+        b,
+        c,
+        f,
+        a_upd,
+        b_upd,
+        TransposeMode::default(),
+        exec,
+        timer,
+    )
+}
+
+/// [`apply_general_updates_exec`] under an explicit [`TransposeMode`] —
+/// the `repro commavoid` ablation switch for Algorithm 2's
+/// `COMPUTE_PATTERN` phase (the `A^R` exchange of the masked recompute is
+/// physical in both modes: `A^R` is data-dependent and cannot be prebuilt
+/// at redistribution time).
+#[allow(clippy::too_many_arguments)]
+pub fn apply_general_updates_mode_exec<S: Semiring>(
+    grid: &Grid,
+    a: &mut DistMat<S::Elem>,
+    b: &mut DistMat<S::Elem>,
+    c: &mut DistMat<S::Elem>,
+    f: &mut DistMat<u64>,
+    a_upd: GeneralUpdates<S::Elem>,
+    b_upd: GeneralUpdates<S::Elem>,
+    mode: TransposeMode,
+    exec: &Exec<S>,
+    timer: &mut PhaseTimer,
+) -> u64 {
     let inner = a.info().ncols;
 
     // --- Update matrices (redistribution = "scatter"). ---
     let (a_ops, b_ops) = timer.time(phase::SCATTER, || {
         let mut inner_t = PhaseTimer::new();
-        let a_ops =
-            prepare_general_update::<S>(grid, a.info().nrows, a.info().ncols, a_upd, &mut inner_t);
-        let b_ops =
-            prepare_general_update::<S>(grid, b.info().nrows, b.info().ncols, b_upd, &mut inner_t);
+        let a_ops = prepare_general_update_mode::<S>(
+            grid,
+            a.info().nrows,
+            a.info().ncols,
+            a_upd,
+            mode,
+            &mut inner_t,
+        );
+        let b_ops = prepare_general_update_mode::<S>(
+            grid,
+            b.info().nrows,
+            b.info().ncols,
+            b_upd,
+            mode,
+            &mut inner_t,
+        );
         (a_ops, b_ops)
     });
 
@@ -240,7 +336,7 @@ pub fn apply_general_updates_exec<S: Semiring>(
 
     // --- COMPUTE_PATTERN: C* pattern + F* bits at each owner. ---
     let (cstar, mut flops) =
-        compute_cstar_exec::<S, PatternKernel>(grid, a, b, &a_ops.star, &b_ops.star, exec, timer);
+        compute_cstar_exec::<S, PatternKernel>(grid, a, b, a_ops.view(), b_ops.view(), exec, timer);
 
     // --- A ← A' (the masked recomputation reads the *new* A). ---
     timer.time(phase::LOCAL_UPDATE, || {
@@ -376,7 +472,7 @@ pub fn apply_shared_general_prebuilt_exec<S: Semiring>(
     let (cstar, mut flops) = compute_cstar_shared_exec::<S, PatternKernel>(
         grid,
         a,
-        &prep.star,
+        prep.view(),
         |m| {
             apply_merge_exec::<S>(m, &prep.set_mat, exec);
             apply_mask_exec::<S>(m, &prep.del_mat, exec);

@@ -8,16 +8,40 @@
 //! tests against static recomputation.
 
 use crate::distmat::DistMat;
-use crate::dyn_algebraic::{apply_algebraic_updates_exec, apply_algebraic_updates_tracked_exec};
-use crate::dyn_general::{apply_general_updates_exec, GeneralUpdates};
+use crate::dyn_algebraic::{
+    apply_algebraic_updates_mode_exec, apply_algebraic_updates_prebuilt_exec,
+    apply_algebraic_updates_tracked_mode_exec, apply_algebraic_updates_tracked_prebuilt_exec,
+    StarBuild, TransposeMode,
+};
+use crate::dyn_general::{apply_general_updates_mode_exec, GeneralUpdates};
 use crate::exec::Exec;
 use crate::grid::Grid;
 use crate::snapshot::{Snapshot, SnapshotMat, SnapshotStore};
 use crate::summa::{summa_bloom_exec, summa_exec};
+use crate::update::{
+    start_update_matrix, start_update_matrix_pair, Dedup, PendingStarPair, PendingUpdateMatrix,
+};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::Triple;
 use dspgemm_util::stats::PhaseTimer;
 use std::sync::Arc;
+
+/// An algebraic batch whose redistribution row-phase `IALLTOALLV`s are in
+/// flight — the content of [`DynSpGemm`]'s depth-1 lookahead slot. One
+/// handle per operand (two per operand under virtual transposition, where
+/// each star is built in both layouts).
+enum PendingBatch<S: Semiring> {
+    /// Natural-layout builds only ([`TransposeMode::Physical`]).
+    Physical {
+        a: Box<PendingUpdateMatrix<S>>,
+        b: Box<PendingUpdateMatrix<S>>,
+    },
+    /// Natural + transposed builds ([`TransposeMode::Virtual`]).
+    Virtual {
+        a: Box<PendingStarPair<S>>,
+        b: Box<PendingStarPair<S>>,
+    },
+}
 
 /// A dynamic SpGEMM session maintaining `C = A · B` under batched updates.
 pub struct DynSpGemm<S: Semiring> {
@@ -41,11 +65,21 @@ pub struct DynSpGemm<S: Semiring> {
     pub timer: PhaseTimer,
     /// Accumulated local scalar-multiplication count.
     pub flops: u64,
+    /// How update-SpGEMM round roots obtain their transposed-position
+    /// blocks ([`TransposeMode::Virtual`] — the communication-avoiding
+    /// Section V-C schedule — by default). Must be rank-uniform: the mode
+    /// changes the collective schedule. The maintained `C` is bit-identical
+    /// across modes.
+    pub transpose_mode: TransposeMode,
     /// Published epochs of `{A, C}` (see [`crate::snapshot`]); the latest is
     /// held here, older ones live as long as a reader pins them.
     snapshots: SnapshotStore<Snapshot<S::Elem>>,
     /// Whether a batch committed since the last publish.
     dirty: bool,
+    /// The depth-1 inter-batch lookahead slot: a submitted algebraic batch
+    /// whose redistribution is in flight (see
+    /// [`DynSpGemm::submit_algebraic`]).
+    pending: Option<PendingBatch<S>>,
 }
 
 impl<S: Semiring> DynSpGemm<S> {
@@ -87,8 +121,10 @@ impl<S: Semiring> DynSpGemm<S> {
             exec,
             timer,
             flops,
+            transpose_mode: TransposeMode::default(),
             snapshots: SnapshotStore::new(),
             dirty: false,
+            pending: None,
         };
         // Epoch 0: the initial product, queryable before any batch.
         eng.publish();
@@ -110,7 +146,18 @@ impl<S: Semiring> DynSpGemm<S> {
     /// untouched blocks are re-shared copy-on-write from the previous
     /// epoch. SPMD callers publish in lockstep, so epoch numbers agree on
     /// every rank.
+    ///
+    /// # Panics
+    /// Panics if a [`DynSpGemm::submit_algebraic`] batch is still in
+    /// flight: publishing would capture pre-batch content on every rank
+    /// while the batch's redistribution is already on the wire, and a later
+    /// flush would silently postdate it. Call [`DynSpGemm::flush`] first
+    /// (epoch contents then match the sequential schedule exactly).
     pub fn publish(&mut self) -> Arc<Snapshot<S::Elem>> {
+        assert!(
+            self.pending.is_none(),
+            "flush() the submitted algebraic batch before publish()/snapshot()"
+        );
         let a = SnapshotMat::new(self.a.info().clone(), self.a.snapshot_csr());
         let c = SnapshotMat::new(self.c.info().clone(), self.c.snapshot_csr());
         self.dirty = false;
@@ -161,6 +208,10 @@ impl<S: Semiring> DynSpGemm<S> {
     /// diverge (a rank whose local block a batch left untouched would skip
     /// the publish its peers perform).
     pub fn snapshot(&mut self) -> Arc<Snapshot<S::Elem>> {
+        assert!(
+            self.pending.is_none(),
+            "flush() the submitted algebraic batch before publish()/snapshot()"
+        );
         if self.dirty || self.snapshots.latest().is_none() {
             self.publish()
         } else {
@@ -182,18 +233,21 @@ impl<S: Semiring> DynSpGemm<S> {
 
     /// Applies a batch of **algebraic** updates (`A' = A + A*`,
     /// `B' = B + B*` under the semiring addition) via Algorithm 1.
-    /// Tuples carry global indices and may live on any rank. Collective.
+    /// Tuples carry global indices and may live on any rank. A pending
+    /// [`DynSpGemm::submit_algebraic`] batch is flushed first, preserving
+    /// submission order. Collective.
     pub fn apply_algebraic(
         &mut self,
         grid: &Grid,
         a_updates: Vec<Triple<S::Elem>>,
         b_updates: Vec<Triple<S::Elem>>,
     ) {
+        self.flush(grid);
         let _sp = dspgemm_obs::span("engine", "apply_algebraic")
             .attr("updates", (a_updates.len() + b_updates.len()) as u64);
         self.dirty = true;
         self.flops += match &mut self.f {
-            Some(f) => apply_algebraic_updates_tracked_exec::<S>(
+            Some(f) => apply_algebraic_updates_tracked_mode_exec::<S>(
                 grid,
                 &mut self.a,
                 &mut self.b,
@@ -201,16 +255,150 @@ impl<S: Semiring> DynSpGemm<S> {
                 f,
                 a_updates,
                 b_updates,
+                self.transpose_mode,
                 &self.exec,
                 &mut self.timer,
             ),
-            None => apply_algebraic_updates_exec::<S>(
+            None => apply_algebraic_updates_mode_exec::<S>(
                 grid,
                 &mut self.a,
                 &mut self.b,
                 &mut self.c,
                 a_updates,
                 b_updates,
+                self.transpose_mode,
+                &self.exec,
+                &mut self.timer,
+            ),
+        };
+    }
+
+    /// Submits a batch of algebraic updates with **inter-batch
+    /// pipelining**: the batch's redistribution row phase is issued
+    /// nonblocking (`IALLTOALLV`) and parked in the depth-1 lookahead
+    /// slot; the *previously* submitted batch (if any) is then completed
+    /// and applied — its SpGEMM rounds, merge-reductions and local updates
+    /// run while the progress engine moves the new batch's redistribution
+    /// in the background. Collective; every rank must submit the same
+    /// sequence of batches.
+    ///
+    /// The queue is bounded at depth 1 by construction: submitting drains
+    /// the previous batch before returning, so at most one redistribution
+    /// is ever in flight across batches ([`DynSpGemm::pending_depth`]).
+    /// Wire traffic is byte-identical to the sequential
+    /// [`DynSpGemm::apply_algebraic`] schedule — both run the same
+    /// two-phase redistribution code path; only the completion point moves
+    /// — and the maintained `C` is bit-identical because batches still
+    /// apply in submission order. Observable state (the public matrix
+    /// fields, epochs) reflects a submitted batch only once a later
+    /// `submit_algebraic`, [`DynSpGemm::flush`], or batch call completes
+    /// it; [`DynSpGemm::publish`]/[`DynSpGemm::snapshot`] refuse to run
+    /// with a batch still pending so epoch contents always equal the
+    /// sequential schedule's.
+    pub fn submit_algebraic(
+        &mut self,
+        grid: &Grid,
+        a_updates: Vec<Triple<S::Elem>>,
+        b_updates: Vec<Triple<S::Elem>>,
+    ) {
+        let _sp = dspgemm_obs::span("engine", "redist_lookahead")
+            .attr("updates", (a_updates.len() + b_updates.len()) as u64);
+        let (an, ac) = (self.a.info().nrows, self.a.info().ncols);
+        let (bn, bc) = (self.b.info().nrows, self.b.info().ncols);
+        // Issue the new batch's row phase first so it is already in flight
+        // while the previous batch (drained below) computes.
+        let newly = match self.transpose_mode {
+            TransposeMode::Physical => PendingBatch::Physical {
+                a: Box::new(start_update_matrix::<S>(
+                    grid,
+                    an,
+                    ac,
+                    a_updates,
+                    Dedup::Add,
+                    &mut self.timer,
+                )),
+                b: Box::new(start_update_matrix::<S>(
+                    grid,
+                    bn,
+                    bc,
+                    b_updates,
+                    Dedup::Add,
+                    &mut self.timer,
+                )),
+            },
+            TransposeMode::Virtual => PendingBatch::Virtual {
+                a: Box::new(start_update_matrix_pair::<S>(
+                    grid,
+                    an,
+                    ac,
+                    a_updates,
+                    Dedup::Add,
+                    &mut self.timer,
+                )),
+                b: Box::new(start_update_matrix_pair::<S>(
+                    grid,
+                    bn,
+                    bc,
+                    b_updates,
+                    Dedup::Add,
+                    &mut self.timer,
+                )),
+            },
+        };
+        let previous = self.pending.replace(newly);
+        self.complete(grid, previous);
+    }
+
+    /// Completes and applies the submitted batch still in flight, if any —
+    /// the linearization point of [`DynSpGemm::submit_algebraic`].
+    /// Idempotent. Collective when a batch is pending (rank-uniform by the
+    /// submit discipline).
+    pub fn flush(&mut self, grid: &Grid) {
+        let previous = self.pending.take();
+        self.complete(grid, previous);
+    }
+
+    /// Number of submitted batches whose redistribution is in flight
+    /// (0 or 1 — the lookahead is depth-bounded).
+    pub fn pending_depth(&self) -> usize {
+        usize::from(self.pending.is_some())
+    }
+
+    /// Finishes a pending batch's redistributions (await into
+    /// `redist. comm.` exposed/overlapped, then the column phase) and
+    /// applies it through the prebuilt Algorithm-1 path.
+    fn complete(&mut self, grid: &Grid, batch: Option<PendingBatch<S>>) {
+        let Some(batch) = batch else { return };
+        self.dirty = true;
+        let (a_star, b_star) = match batch {
+            PendingBatch::Physical { a, b } => (
+                StarBuild::Physical(a.finish(grid, &mut self.timer)),
+                StarBuild::Physical(b.finish(grid, &mut self.timer)),
+            ),
+            PendingBatch::Virtual { a, b } => (
+                StarBuild::Virtual(a.finish(grid, &mut self.timer)),
+                StarBuild::Virtual(b.finish(grid, &mut self.timer)),
+            ),
+        };
+        self.flops += match &mut self.f {
+            Some(f) => apply_algebraic_updates_tracked_prebuilt_exec::<S>(
+                grid,
+                &mut self.a,
+                &mut self.b,
+                &mut self.c,
+                f,
+                &a_star,
+                &b_star,
+                &self.exec,
+                &mut self.timer,
+            ),
+            None => apply_algebraic_updates_prebuilt_exec::<S>(
+                grid,
+                &mut self.a,
+                &mut self.b,
+                &mut self.c,
+                &a_star,
+                &b_star,
                 &self.exec,
                 &mut self.timer,
             ),
@@ -230,6 +418,7 @@ impl<S: Semiring> DynSpGemm<S> {
         a_updates: GeneralUpdates<S::Elem>,
         b_updates: GeneralUpdates<S::Elem>,
     ) {
+        self.flush(grid);
         let _sp = dspgemm_obs::span("engine", "apply_general")
             .attr("updates", (a_updates.len() + b_updates.len()) as u64);
         let f = self
@@ -237,7 +426,7 @@ impl<S: Semiring> DynSpGemm<S> {
             .as_mut()
             .expect("general updates require a session created with track_filter = true");
         self.dirty = true;
-        self.flops += apply_general_updates_exec::<S>(
+        self.flops += apply_general_updates_mode_exec::<S>(
             grid,
             &mut self.a,
             &mut self.b,
@@ -245,6 +434,7 @@ impl<S: Semiring> DynSpGemm<S> {
             f,
             a_updates,
             b_updates,
+            self.transpose_mode,
             &self.exec,
             &mut self.timer,
         );
@@ -254,6 +444,7 @@ impl<S: Semiring> DynSpGemm<S> {
     /// from scratch — the static strategy the paper's competitors are forced
     /// into. Useful as a baseline and as a repair path. Collective.
     pub fn recompute_static(&mut self, grid: &Grid) {
+        self.flush(grid);
         let _sp = dspgemm_obs::span("engine", "recompute");
         self.dirty = true;
         if self.f.is_some() {
@@ -343,6 +534,70 @@ mod tests {
         let ds = Dense::from_triples::<U64Plus>(24, 24, c_static.as_ref().unwrap());
         assert_eq!(dd.diff(&ds), vec![]);
         assert!(*flops > 0);
+    }
+
+    #[test]
+    fn submitted_batches_match_sequential_application() {
+        let n: Index = 20;
+        for p in [1usize, 4, 9] {
+            let out = run(p, move |comm| {
+                let grid = Grid::new(comm);
+                let mut timer = PhaseTimer::new();
+                let feed = |s: u64| {
+                    if comm.rank() == 0 {
+                        random_triples(s, n, 50)
+                    } else {
+                        vec![]
+                    }
+                };
+                let a = DistMat::from_global_triples(&grid, n, n, feed(1), 1, &mut timer);
+                let b = DistMat::from_global_triples(&grid, n, n, feed(2), 1, &mut timer);
+                let mut seq = DynSpGemm::<U64Plus>::new(&grid, a.clone(), b.clone(), 1, false);
+                let mut pip = DynSpGemm::<U64Plus>::new(&grid, a, b, 1, false);
+                for round in 0..4u64 {
+                    let a_ups = random_triples(40 + round, n, 6);
+                    let b_ups = random_triples(80 + round, n, 6);
+                    seq.apply_algebraic(&grid, a_ups.clone(), b_ups.clone());
+                    pip.submit_algebraic(&grid, a_ups, b_ups);
+                    assert!(pip.pending_depth() <= 1, "lookahead must stay depth-1");
+                }
+                assert_eq!(pip.pending_depth(), 1);
+                pip.flush(&grid);
+                assert_eq!(pip.pending_depth(), 0);
+                pip.flush(&grid); // idempotent
+                                  // Epoch sequence equals the sequential schedule's.
+                let (se, pe) = (seq.snapshot().epoch(), pip.snapshot().epoch());
+                assert_eq!(se, pe);
+                (
+                    seq.c.gather_to_root(comm),
+                    pip.c.gather_to_root(comm),
+                    seq.flops == pip.flops,
+                )
+            });
+            let (c_seq, c_pip, flops_eq) = &out.results[0];
+            assert_eq!(c_seq, c_pip, "p={p}: pipelined C diverged");
+            assert!(flops_eq, "p={p}: pipelined flop count diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_refuses_pending_batch() {
+        let out = run(1, |comm| {
+            let grid = Grid::new(comm);
+            let a = DistMat::<u64>::empty(&grid, 8, 8);
+            let b = DistMat::<u64>::empty(&grid, 8, 8);
+            let mut eng = DynSpGemm::<U64Plus>::new(&grid, a, b, 1, false);
+            eng.submit_algebraic(&grid, vec![Triple::new(0, 0, 1)], vec![]);
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                eng.snapshot();
+            }))
+            .is_err();
+            // After a flush the snapshot succeeds and reflects the batch.
+            eng.flush(&grid);
+            let snap = eng.snapshot();
+            panicked && snap.epoch() > 0
+        });
+        assert!(out.results[0]);
     }
 
     #[test]

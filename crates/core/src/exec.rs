@@ -15,7 +15,7 @@
 
 use dspgemm_sparse::local_mm::KernelPlan;
 use dspgemm_sparse::semiring::Semiring;
-use dspgemm_sparse::workspace::WorkspacePool;
+use dspgemm_sparse::workspace::{TransposeLease, TransposePool, WorkspacePool};
 use dspgemm_util::par::RowSchedule;
 
 /// Local-kernel execution context for one semiring: intra-rank thread
@@ -29,6 +29,7 @@ pub struct Exec<S: Semiring> {
     plain: WorkspacePool<S::Elem>,
     fused: WorkspacePool<(S::Elem, u64)>,
     pattern: WorkspacePool<u64>,
+    transpose: TransposePool<S::Elem>,
 }
 
 impl<S: Semiring> Exec<S> {
@@ -45,6 +46,7 @@ impl<S: Semiring> Exec<S> {
             plain: WorkspacePool::new(),
             fused: WorkspacePool::new(),
             pattern: WorkspacePool::new(),
+            transpose: TransposePool::new(),
         }
     }
 
@@ -63,11 +65,21 @@ impl<S: Semiring> Exec<S> {
         KernelPlan::with_schedule(self.threads, self.schedule).pooled(&self.pattern)
     }
 
-    /// Total heap bytes idling in the three pools (workspace-reuse
+    /// Leases a pooled transposition workspace for the virtual-transpose
+    /// local step (`Csr::transpose_into` / `Dcsr::transpose_into`); the
+    /// workspace returns to the pool on drop.
+    pub fn transpose_ws(&self) -> TransposeLease<'_, S::Elem> {
+        self.transpose.lease()
+    }
+
+    /// Total heap bytes idling in the pools (workspace-reuse
     /// regression signal; see
     /// [`WorkspacePool::heap_bytes`]).
     pub fn heap_bytes(&self) -> usize {
-        self.plain.heap_bytes() + self.fused.heap_bytes() + self.pattern.heap_bytes()
+        self.plain.heap_bytes()
+            + self.fused.heap_bytes()
+            + self.pattern.heap_bytes()
+            + self.transpose.heap_bytes()
     }
 
     /// Stashed workspace counts per pool `(plain, fused, pattern)`.

@@ -112,4 +112,8 @@ pub mod phase {
     pub const REDUCE_SCATTER: &str = "reduce-scatter";
     /// Applying updates / merged results into local dynamic matrices.
     pub const LOCAL_UPDATE: &str = "local update";
+    /// Local counting-sort transposition of a rank's own block — the
+    /// virtual-transposition replacement for [`SEND_RECV`] (Section V-C):
+    /// pure local work where the physical path paid a wire exchange.
+    pub const TRANSPOSE_LOCAL: &str = "transpose local";
 }

@@ -16,6 +16,8 @@
 //! `redistribution` ablation bench).
 
 use crate::grid::{owner_block, Grid};
+use crate::pipeline::await_into_phase;
+use dspgemm_mpi::Request;
 use dspgemm_sparse::{Index, Triple};
 use dspgemm_util::stats::PhaseTimer;
 use dspgemm_util::WireSize;
@@ -34,27 +36,56 @@ pub mod phase {
     pub const LOCAL_ADDITION: &str = "local addition";
 }
 
-/// Routes every tuple to the rank owning its `(row, col)` position under the
-/// grid's 2D block distribution of an `nrows × ncols` matrix. Returns this
-/// rank's tuples (still globally indexed). Phase durations are accumulated
-/// into `timer`.
-pub fn redistribute<V>(
+/// The in-flight first half of a [`redistribute`]: the row-phase
+/// `IALLTOALLV` has been issued (its sends are on the wire and progress
+/// under whatever the caller does next) but not yet awaited. Produced by
+/// [`redistribute_start`], consumed by [`redistribute_finish`].
+///
+/// This is the handle behind the engine's depth-1 inter-batch lookahead:
+/// batch `k + 1`'s redistribution crosses the wire while batch `k`'s SpGEMM
+/// rounds and epoch publish run.
+pub struct InflightRedist<V: Copy + Send + Sync + WireSize + 'static> {
+    req: Request<Vec<Vec<Triple<V>>>>,
+}
+
+/// Issues the first (row) phase of the two-phase redistribution
+/// nonblocking: counting-sorts the tuples by destination grid row and
+/// starts the column-communicator `IALLTOALLV`. Collective over the grid
+/// (every rank must issue in the same order); complete with
+/// [`redistribute_finish`].
+pub fn redistribute_start<V>(
     grid: &Grid,
     nrows: Index,
-    ncols: Index,
     tuples: Vec<Triple<V>>,
+    timer: &mut PhaseTimer,
+) -> InflightRedist<V>
+where
+    V: Copy + Send + Sync + WireSize + 'static,
+{
+    let q = grid.q();
+    let chunks = timer.time(phase::REDIST_SORT, || {
+        partition_by(tuples, q, |t| owner_block(nrows, q, t.row).0)
+    });
+    InflightRedist {
+        req: grid.col_comm().ialltoallv(chunks),
+    }
+}
+
+/// Completes a redistribution started with [`redistribute_start`]: awaits
+/// the row phase (blocked time goes into [`phase::REDIST_COMM`] exposed,
+/// compute-hidden time into its overlapped share) and runs the second
+/// (column) phase. Returns this rank's tuples, still globally indexed.
+pub fn redistribute_finish<V>(
+    grid: &Grid,
+    ncols: Index,
+    inflight: InflightRedist<V>,
     timer: &mut PhaseTimer,
 ) -> Vec<Triple<V>>
 where
     V: Copy + Send + Sync + WireSize + 'static,
 {
     let q = grid.q();
-
-    // Phase 1: to the correct grid row, exchanging within my grid column.
-    let chunks = timer.time(phase::REDIST_SORT, || {
-        partition_by(tuples, q, |t| owner_block(nrows, q, t.row).0)
-    });
-    let received = timer.time(phase::REDIST_COMM, || grid.col_comm().alltoallv(chunks));
+    let received = await_into_phase(inflight.req, timer, phase::REDIST_COMM);
     let tuples: Vec<Triple<V>> = timer.time(phase::MEM_MANAGEMENT, || {
         let total = received.iter().map(Vec::len).sum();
         let mut v = Vec::with_capacity(total);
@@ -77,6 +108,29 @@ where
         }
         v
     })
+}
+
+/// Routes every tuple to the rank owning its `(row, col)` position under the
+/// grid's 2D block distribution of an `nrows × ncols` matrix. Returns this
+/// rank's tuples (still globally indexed). Phase durations are accumulated
+/// into `timer`.
+///
+/// Composed as [`redistribute_start`] + [`redistribute_finish`] back to
+/// back, so the sequential path and the engine's pipelined lookahead share
+/// one code path — same sorts, same collectives, byte-identical wire
+/// traffic.
+pub fn redistribute<V>(
+    grid: &Grid,
+    nrows: Index,
+    ncols: Index,
+    tuples: Vec<Triple<V>>,
+    timer: &mut PhaseTimer,
+) -> Vec<Triple<V>>
+where
+    V: Copy + Send + Sync + WireSize + 'static,
+{
+    let inflight = redistribute_start(grid, nrows, tuples, timer);
+    redistribute_finish(grid, ncols, inflight, timer)
 }
 
 /// The counting-sort distribution pass: one counting pass for exact bucket

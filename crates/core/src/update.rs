@@ -26,7 +26,7 @@
 
 use crate::distmat::{DistDcsr, DistMat, Elem};
 use crate::grid::Grid;
-use crate::redistribute::{phase, redistribute};
+use crate::redistribute::{phase, redistribute_finish, redistribute_start, InflightRedist};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{dhb::DhbRow, Dcsr, DhbMatrix, Index, Triple};
 use dspgemm_util::par::parallel_for_each_shard;
@@ -43,18 +43,17 @@ pub enum Dedup {
     Add,
 }
 
-/// Redistributes globally-indexed update tuples and assembles this rank's
-/// hypersparse `A*` block. Collective over the grid.
-pub fn build_update_matrix<S: Semiring>(
+/// Assembles this rank's hypersparse block from its already-routed,
+/// globally-indexed tuples (the purely local tail of
+/// [`build_update_matrix`]).
+fn assemble_update_block<S: Semiring>(
     grid: &Grid,
     nrows: Index,
     ncols: Index,
-    tuples: Vec<Triple<S::Elem>>,
+    mine: Vec<Triple<S::Elem>>,
     dedup: Dedup,
     timer: &mut PhaseTimer,
 ) -> DistDcsr<S::Elem> {
-    let _sp = dspgemm_obs::span("engine", "redistribute").attr("updates", tuples.len() as u64);
-    let mine = redistribute(grid, nrows, ncols, tuples, timer);
     timer.time(phase::LOCAL_CONSTRUCT, || {
         let info = crate::distmat::BlockInfo::for_rank(grid, nrows, ncols);
         let mut local: Vec<Triple<S::Elem>> = mine
@@ -72,6 +71,143 @@ pub fn build_update_matrix<S: Semiring>(
         let block = Dcsr::from_sorted_triples(info.local_rows(), info.local_cols(), &local);
         DistDcsr::from_block(grid, nrows, ncols, block)
     })
+}
+
+/// An update-matrix build whose first redistribution phase is in flight
+/// (see [`crate::redistribute::redistribute_start`]). Produced by
+/// [`start_update_matrix`], completed by [`PendingUpdateMatrix::finish`] —
+/// the unit the engine's depth-1 lookahead queues.
+pub struct PendingUpdateMatrix<S: Semiring> {
+    nrows: Index,
+    ncols: Index,
+    dedup: Dedup,
+    inflight: InflightRedist<S::Elem>,
+}
+
+impl<S: Semiring> PendingUpdateMatrix<S> {
+    /// Awaits the in-flight exchange, runs the second redistribution phase
+    /// and assembles this rank's block. Collective over the grid.
+    pub fn finish(self, grid: &Grid, timer: &mut PhaseTimer) -> DistDcsr<S::Elem> {
+        let mine = redistribute_finish(grid, self.ncols, self.inflight, timer);
+        assemble_update_block::<S>(grid, self.nrows, self.ncols, mine, self.dedup, timer)
+    }
+}
+
+/// Issues the first redistribution phase of an update-matrix build
+/// nonblocking and returns the pending handle. Collective over the grid
+/// (same issue order on every rank).
+pub fn start_update_matrix<S: Semiring>(
+    grid: &Grid,
+    nrows: Index,
+    ncols: Index,
+    tuples: Vec<Triple<S::Elem>>,
+    dedup: Dedup,
+    timer: &mut PhaseTimer,
+) -> PendingUpdateMatrix<S> {
+    let _sp = dspgemm_obs::span("engine", "redistribute").attr("updates", tuples.len() as u64);
+    let inflight = redistribute_start(grid, nrows, tuples, timer);
+    PendingUpdateMatrix {
+        nrows,
+        ncols,
+        dedup,
+        inflight,
+    }
+}
+
+/// Redistributes globally-indexed update tuples and assembles this rank's
+/// hypersparse `A*` block. Collective over the grid. Composed as
+/// [`start_update_matrix`] + [`PendingUpdateMatrix::finish`], so the
+/// sequential path and the engine's inter-batch lookahead share one code
+/// path (byte-identical wire traffic).
+pub fn build_update_matrix<S: Semiring>(
+    grid: &Grid,
+    nrows: Index,
+    ncols: Index,
+    tuples: Vec<Triple<S::Elem>>,
+    dedup: Dedup,
+    timer: &mut PhaseTimer,
+) -> DistDcsr<S::Elem> {
+    start_update_matrix::<S>(grid, nrows, ncols, tuples, dedup, timer).finish(grid, timer)
+}
+
+/// The natural- and transposed-layout builds of one update matrix — what
+/// the virtual-transposition rounds of Section V-C consume.
+///
+/// `natural` is the standard `A*` (rank `(i, j)` holds `A*_{i,j}`; the
+/// local `A += A*` application needs this layout). `transposed` is
+/// `(A*)ᵀ` built by routing the *flipped* tuples through the same two-phase
+/// redistribution with swapped dimensions, so rank `(i, j)` holds
+/// `(A*_{j,i})ᵀ` — exactly the block it would have received from its
+/// transposed peer in Algorithm 1's point-to-point exchange, already
+/// transposed. A purely local counting-sort transposition
+/// ([`Dcsr::transpose_into`]) recovers the broadcast payload `A*_{j,i}`
+/// bit-for-bit, and the `TAG_AT`/`TAG_BT`/`TAG_SHARED` wire exchange
+/// disappears.
+#[derive(Debug, Clone)]
+pub struct StarPair<V> {
+    /// The natural-layout update matrix (`A*_{i,j}` at rank `(i, j)`).
+    pub natural: DistDcsr<V>,
+    /// The transposed-layout build (`(A*_{j,i})ᵀ` at rank `(i, j)`).
+    pub transposed: DistDcsr<V>,
+}
+
+/// A [`StarPair`] build with both first redistribution phases in flight.
+/// Produced by [`start_update_matrix_pair`].
+pub struct PendingStarPair<S: Semiring> {
+    natural: PendingUpdateMatrix<S>,
+    transposed: PendingUpdateMatrix<S>,
+}
+
+impl<S: Semiring> PendingStarPair<S> {
+    /// Completes both builds. Collective over the grid.
+    pub fn finish(self, grid: &Grid, timer: &mut PhaseTimer) -> StarPair<S::Elem> {
+        StarPair {
+            natural: self.natural.finish(grid, timer),
+            transposed: self.transposed.finish(grid, timer),
+        }
+    }
+}
+
+/// Issues the first redistribution phase of both layouts of one update
+/// matrix (natural tuples, then flipped tuples with swapped dimensions) and
+/// returns the pending pair. The two `IALLTOALLV`s cross the wire
+/// concurrently. Collective over the grid.
+pub fn start_update_matrix_pair<S: Semiring>(
+    grid: &Grid,
+    nrows: Index,
+    ncols: Index,
+    tuples: Vec<Triple<S::Elem>>,
+    dedup: Dedup,
+    timer: &mut PhaseTimer,
+) -> PendingStarPair<S> {
+    // Flip (r, c, v) → (c, r, v) *before* routing: the transposed layout is
+    // an ordinary update-matrix build of the flipped entry set. Stable
+    // sorting + dedup then reproduce the exact values of the natural build
+    // (same input order, same fold order), so the two layouts are exact
+    // transposes of each other entry-for-entry.
+    let flipped: Vec<Triple<S::Elem>> = tuples
+        .iter()
+        .map(|t| Triple::new(t.col, t.row, t.val))
+        .collect();
+    let natural = start_update_matrix::<S>(grid, nrows, ncols, tuples, dedup, timer);
+    let transposed = start_update_matrix::<S>(grid, ncols, nrows, flipped, dedup, timer);
+    PendingStarPair {
+        natural,
+        transposed,
+    }
+}
+
+/// Builds both layouts of one update matrix (see [`StarPair`]). Collective
+/// over the grid.
+pub fn build_update_matrix_pair<S: Semiring>(
+    grid: &Grid,
+    nrows: Index,
+    ncols: Index,
+    tuples: Vec<Triple<S::Elem>>,
+    dedup: Dedup,
+    timer: &mut PhaseTimer,
+) -> StarPair<S::Elem> {
+    start_update_matrix_pair::<S>(grid, nrows, ncols, tuples, dedup, timer).finish(grid, timer)
 }
 
 /// One stored row of an update block borrowed for application:

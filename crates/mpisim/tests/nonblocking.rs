@@ -304,3 +304,49 @@ fn blocking_recv_racing_posted_irecv_panics() {
         }
     });
 }
+
+#[test]
+fn inflight_ialltoallv_survives_sibling_collectives() {
+    // The inter-batch lookahead issues an `ialltoallv` on one communicator
+    // (the process-column), then runs whole SpGEMM rounds — broadcasts,
+    // reductions, barriers on *sibling* communicators split from the same
+    // world — before waiting on it. The in-flight request must neither lose
+    // messages nor steal the siblings' traffic.
+    for p in [4usize, 9] {
+        let q = (p as f64).sqrt() as usize;
+        let chunks = |rank: usize| -> Vec<Vec<u64>> {
+            (0..p)
+                .map(|dst| vec![(rank * 100 + dst) as u64; rank % 3 + 1])
+                .collect()
+        };
+        let sequential = run(p, move |c| {
+            let redist = c.alltoallv(chunks(c.rank()));
+            let row = c.split((c.rank() / q) as u64, (c.rank() % q) as u64);
+            let col = c.split((c.rank() % q) as u64, (c.rank() / q) as u64);
+            let mut acc = 0u64;
+            for k in 0..q {
+                let v = row.bcast(k, (row.rank() == k).then(|| payload(k, 48)));
+                acc = acc.wrapping_add(col.allreduce(v.iter().sum::<u64>(), |x, y| x + y));
+                c.barrier();
+            }
+            (redist, acc)
+        });
+        let overlapped = run(p, move |c| {
+            let redist = c.ialltoallv(chunks(c.rank()));
+            let row = c.split((c.rank() / q) as u64, (c.rank() % q) as u64);
+            let col = c.split((c.rank() % q) as u64, (c.rank() / q) as u64);
+            let mut acc = 0u64;
+            for k in 0..q {
+                let v = row.bcast(k, (row.rank() == k).then(|| payload(k, 48)));
+                acc = acc.wrapping_add(col.allreduce(v.iter().sum::<u64>(), |x, y| x + y));
+                c.barrier();
+            }
+            (redist.wait(), acc)
+        });
+        assert_parity(
+            &sequential,
+            &overlapped,
+            &format!("ialltoallv across sibling collectives p={p}"),
+        );
+    }
+}

@@ -204,6 +204,133 @@ impl<A: Copy> WorkspacePool<A> {
     }
 }
 
+/// Reusable scratch for counting-sort transposition
+/// ([`crate::Csr::transpose_into`] / [`crate::Dcsr::transpose_into`]).
+///
+/// Transposition needs an `O(ncols)` counter/cursor array plus fresh output
+/// storage; under the virtual-transposition round structure that is one full
+/// set of allocations per round. This workspace keeps the counter scratch
+/// across calls and recycles output buffers handed back through the
+/// `recycle_into` methods, so steady-state transposes allocate nothing once
+/// the high-water capacities are reached.
+#[derive(Debug)]
+pub struct TransposeWorkspace<V> {
+    /// Per-output-row counter/cursor scratch (regrown lazily, never shrunk).
+    pub(crate) counts: Vec<usize>,
+    /// Recycled output buffers (returned via `Csr::recycle_into` /
+    /// `Dcsr::recycle_into` when the caller owns the result exclusively).
+    pub(crate) spare_row_ptr: Vec<usize>,
+    pub(crate) spare_rows: Vec<Index>,
+    pub(crate) spare_cols: Vec<Index>,
+    pub(crate) spare_vals: Vec<V>,
+}
+
+impl<V> Default for TransposeWorkspace<V> {
+    fn default() -> Self {
+        Self {
+            counts: Vec::new(),
+            spare_row_ptr: Vec::new(),
+            spare_rows: Vec::new(),
+            spare_cols: Vec::new(),
+            spare_vals: Vec::new(),
+        }
+    }
+}
+
+impl<V: Copy> TransposeWorkspace<V> {
+    /// A fresh workspace with no heap behind it yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes of heap currently held (capacity-based) — the
+    /// monotone-then-flat signal of the transpose-reuse regression tests.
+    pub fn heap_bytes(&self) -> usize {
+        (self.counts.capacity() + self.spare_row_ptr.capacity()) * std::mem::size_of::<usize>()
+            + (self.spare_rows.capacity() + self.spare_cols.capacity())
+                * std::mem::size_of::<Index>()
+            + self.spare_vals.capacity() * std::mem::size_of::<V>()
+    }
+}
+
+/// A stash of [`TransposeWorkspace`]s leased per transpose call, mirroring
+/// [`WorkspacePool`]: concurrent callers lease distinct workspaces and the
+/// stash converges to the caller count with stable capacities.
+#[derive(Debug, Default)]
+pub struct TransposePool<V> {
+    stash: Mutex<Vec<TransposeWorkspace<V>>>,
+}
+
+impl<V: Copy> TransposePool<V> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self {
+            stash: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Leases a workspace: pops a stashed one or builds a fresh one. The
+    /// workspace returns on drop of the lease.
+    pub fn lease(&self) -> TransposeLease<'_, V> {
+        let ws = self
+            .stash
+            .lock()
+            .expect("transpose stash poisoned")
+            .pop()
+            .unwrap_or_default();
+        TransposeLease {
+            ws: Some(ws),
+            pool: self,
+        }
+    }
+
+    /// Number of stashed (idle) workspaces.
+    pub fn stashed(&self) -> usize {
+        self.stash.lock().expect("transpose stash poisoned").len()
+    }
+
+    /// Total heap bytes held by the pool's idle workspaces.
+    pub fn heap_bytes(&self) -> usize {
+        self.stash
+            .lock()
+            .expect("transpose stash poisoned")
+            .iter()
+            .map(TransposeWorkspace::heap_bytes)
+            .sum()
+    }
+}
+
+/// A leased [`TransposeWorkspace`]; returns to its pool on drop.
+pub struct TransposeLease<'p, V: Copy> {
+    ws: Option<TransposeWorkspace<V>>,
+    pool: &'p TransposePool<V>,
+}
+
+impl<V: Copy> std::ops::Deref for TransposeLease<'_, V> {
+    type Target = TransposeWorkspace<V>;
+    fn deref(&self) -> &TransposeWorkspace<V> {
+        self.ws.as_ref().expect("lease holds a workspace")
+    }
+}
+
+impl<V: Copy> std::ops::DerefMut for TransposeLease<'_, V> {
+    fn deref_mut(&mut self) -> &mut TransposeWorkspace<V> {
+        self.ws.as_mut().expect("lease holds a workspace")
+    }
+}
+
+impl<V: Copy> Drop for TransposeLease<'_, V> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool
+                .stash
+                .lock()
+                .expect("transpose stash poisoned")
+                .push(ws);
+        }
+    }
+}
+
 /// A leased [`KernelWorkspace`]; returns to its pool on drop.
 pub struct WorkspaceLease<'p, A: Copy> {
     ws: Option<KernelWorkspace<A>>,
@@ -301,6 +428,24 @@ mod tests {
         }
         assert_eq!(pool.stashed(), 2);
         // Re-leasing pops a stashed workspace (no growth).
+        {
+            let _w = pool.lease();
+            assert_eq!(pool.stashed(), 1);
+        }
+        assert_eq!(pool.stashed(), 2);
+    }
+
+    #[test]
+    fn transpose_pool_lease_and_return() {
+        let pool: TransposePool<u64> = TransposePool::new();
+        assert_eq!(pool.stashed(), 0);
+        {
+            let a = pool.lease();
+            let b = pool.lease();
+            assert_eq!(a.heap_bytes(), 0);
+            assert_eq!(b.heap_bytes(), 0);
+        }
+        assert_eq!(pool.stashed(), 2);
         {
             let _w = pool.lease();
             assert_eq!(pool.stashed(), 1);
