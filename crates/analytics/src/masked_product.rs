@@ -14,7 +14,7 @@
 
 use dspgemm_core::distmat::DistMat;
 use dspgemm_core::exec::Exec;
-use dspgemm_core::grid::{block_range, Grid};
+use dspgemm_core::grid::Grid;
 use dspgemm_core::phase;
 use dspgemm_sparse::masked_mm::{masked_spgemm_bloom_with, MaskSet};
 use dspgemm_sparse::semiring::Semiring;
@@ -81,7 +81,7 @@ pub fn masked_product_exec<S: Semiring>(
                 },
             )
         });
-        let k_offset = block_range(a.info().ncols, q, k).start;
+        let k_offset = a.info().layout().col_start(k);
         let part = timer.time(phase::LOCAL_MULT, || {
             masked_spgemm_bloom_with::<S, _, _>(&*a_blk, &*b_blk, mask, k_offset, exec.fused())
         });

@@ -13,6 +13,7 @@
 use crate::masked_product::masked_product_exec;
 use crate::view::{BatchDelta, FrozenView, View, ViewCx};
 use dspgemm_core::grid::{owner_block, Grid};
+use dspgemm_core::Layout;
 use dspgemm_sparse::masked_mm::MaskSet;
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Index, RowScan};
@@ -86,6 +87,10 @@ pub struct CommonNeighborsView<S: Semiring> {
     candidates: Vec<(Index, Index)>,
     /// Block-local mask over this rank's owned candidates.
     local_mask: MaskSet,
+    /// The product layout the masks and scores were built against (captured
+    /// at bootstrap; point lookups route owners by it, so they stay correct
+    /// when the session runs under rebalanced cuts).
+    layout: Option<Arc<Layout>>,
     /// Packed global pair → current score, for locally-owned candidates
     /// whose product entry is structurally present.
     scores: FxHashMap<u64, S::Elem>,
@@ -105,6 +110,7 @@ impl<S: Semiring> CommonNeighborsView<S> {
         Self {
             candidates,
             local_mask: MaskSet::default(),
+            layout: None,
             scores: FxHashMap::default(),
             frozen: None,
             bootstrap_flops: 0,
@@ -129,8 +135,10 @@ impl<S: Semiring> CommonNeighborsView<S> {
     /// not a candidate or its product entry is structurally zero). Every
     /// rank returns the same value; one single-element broadcast.
     pub fn score(&self, grid: &Grid, n: Index, u: Index, v: Index) -> Option<S::Elem> {
-        let (bi, _) = owner_block(n, grid.q(), u);
-        let (bj, _) = owner_block(n, grid.q(), v);
+        let (bi, bj) = match &self.layout {
+            Some(l) => (l.row_owner(u).0, l.col_owner(v).0),
+            None => (owner_block(n, grid.q(), u).0, owner_block(n, grid.q(), v).0),
+        };
         let owner = grid.rank_of(bi, bj);
         let mine = if grid.world().rank() == owner {
             Some(self.scores.get(&pack(u, v)).copied())
@@ -180,6 +188,7 @@ impl<S: Semiring> View<S> for CommonNeighborsView<S> {
     fn bootstrap(&mut self, cx: &ViewCx<'_, S>) {
         // Which candidates does this rank's product block own?
         let info = cx.c.info();
+        self.layout = Some(Arc::clone(info.layout()));
         self.local_mask = MaskSet::from_pairs(
             self.candidates
                 .iter()

@@ -8,7 +8,7 @@
 //! alternative the benchmarks measure: a full SUMMA product per batch.
 
 use crate::view::{BatchDelta, FrozenView, View, ViewCx};
-use dspgemm_core::grid::{owner_block, Grid};
+use dspgemm_core::grid::Grid;
 use dspgemm_core::spmv::{spmv, spmv_chain, DistVec};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::Index;
@@ -61,8 +61,9 @@ impl<S: Semiring> DegreeView<S> {
     }
 
     fn refresh(&mut self, cx: &ViewCx<'_, S>) {
-        let n = cx.a.info().ncols;
-        let x = DistVec::constant(cx.grid, n, self.one);
+        // Conformal with the (possibly rebalanced) snapshot layout.
+        let cuts = Arc::new(cx.a.info().layout().col_cuts().to_vec());
+        let x = DistVec::constant_in(cx.grid, cuts, self.one);
         let (y, fl) = spmv::<S>(cx.grid, cx.a, &x, cx.threads);
         self.flops += fl;
         self.y = Some(Arc::new(y));
@@ -77,7 +78,7 @@ impl<S: Semiring> DegreeView<S> {
     /// before bootstrap. Every rank returns the same value.
     pub fn degree(&self, grid: &Grid, u: Index) -> Option<S::Elem> {
         let y = self.y.as_ref()?;
-        let (b, lo) = owner_block(y.len(), grid.q(), u);
+        let (b, lo) = y.owner_stripe(u);
         // Row-aligned: every rank of grid row `b` holds the segment; let the
         // row's first member answer.
         let owner = grid.rank_of(b, 0);
@@ -144,8 +145,9 @@ impl<S: Semiring> KHopView<S> {
     }
 
     fn refresh(&mut self, cx: &ViewCx<'_, S>) {
-        let n = cx.a.info().ncols;
-        let x = DistVec::from_entries(cx.grid, n, &self.seeds, S::zero());
+        // Conformal with the (possibly rebalanced) snapshot layout.
+        let cuts = Arc::new(cx.a.info().layout().col_cuts().to_vec());
+        let x = DistVec::from_entries_in(cx.grid, cuts, &self.seeds, S::zero());
         let (y, fl) = spmv_chain::<S>(cx.grid, cx.a, x, self.hops, cx.threads);
         self.flops += fl;
         self.y = Some(Arc::new(y));
@@ -161,7 +163,7 @@ impl<S: Semiring> KHopView<S> {
     /// returns the same value.
     pub fn value_at(&self, grid: &Grid, u: Index) -> Option<S::Elem> {
         let y = self.y.as_ref()?;
-        let (b, lo) = owner_block(y.len(), grid.q(), u);
+        let (b, lo) = y.owner_stripe(u);
         // Column-aligned: every rank of grid column `b` holds the segment.
         let owner = grid.rank_of(0, b);
         let mine = if grid.world().rank() == owner {

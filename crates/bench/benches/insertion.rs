@@ -15,6 +15,7 @@ fn cfg() -> Config {
         instances: 1,
         seed: 7,
         batch_size: 4096,
+        ..Config::default()
     }
 }
 

@@ -5,7 +5,7 @@
 //!
 //! experiments:
 //!   table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b fig9 fig10 fig11 fig12
-//!   ablation-redist ablation-bloom ablation-agg analytics copy-elim overlap commavoid balance serve
+//!   ablation-redist ablation-bloom ablation-agg analytics copy-elim overlap commavoid balance serve rebalance
 //!   data        (= table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b)
 //!   spgemm      (= fig9 fig10 fig11 fig12)
 //!   ablations   (= the three ablations)
@@ -20,6 +20,9 @@
 //!   --seed N          master seed                     (default fixed)
 //!   --batch-size N    per-rank dynamic update batch   (default 4096;
 //!                     the overlap and commavoid arms)
+//!   --rebalance-threshold X   max/mean load imbalance above which the
+//!                     adaptive arm of `rebalance` migrates (default 1.5)
+//!   --rebalance-cooldown N    min epochs between migrations (default 2)
 //!   --smoke           tiny configuration for CI
 //!   --trace-out F     enable the span tracer; write a Chrome trace_event
 //!                     JSON (chrome://tracing / Perfetto) covering every
@@ -30,14 +33,14 @@
 //! ```
 
 use dspgemm_bench::experiments::{
-    ablations, analytics, balance, commavoid, construction, copy_elim, overlap, serve, spgemm,
-    table1, updates,
+    ablations, analytics, balance, commavoid, construction, copy_elim, overlap, rebalance, serve,
+    spgemm, table1, updates,
 };
 use dspgemm_bench::Config;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablation-redist|ablation-bloom|ablation-agg|analytics|copy-elim|overlap|commavoid|balance|serve|data|spgemm|ablations|all> [--divisor N] [--p N] [--threads N] [--batches N] [--instances N] [--seed N] [--batch-size N] [--smoke] [--trace-out FILE] [--metrics-out FILE]"
+        "usage: repro <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablation-redist|ablation-bloom|ablation-agg|analytics|copy-elim|overlap|commavoid|balance|serve|rebalance|data|spgemm|ablations|all> [--divisor N] [--p N] [--threads N] [--batches N] [--instances N] [--seed N] [--batch-size N] [--rebalance-threshold X] [--rebalance-cooldown N] [--smoke] [--trace-out FILE] [--metrics-out FILE]"
     );
     std::process::exit(2);
 }
@@ -103,8 +106,24 @@ fn main() {
                     .unwrap_or_else(|| usage());
                 i += 1;
             }
+            "--rebalance-threshold" => {
+                cfg.rebalance_threshold = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 1;
+            }
+            "--rebalance-cooldown" => {
+                cfg.rebalance_cooldown = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 1;
+            }
             "--smoke" => {
+                let keep = (cfg.rebalance_threshold, cfg.rebalance_cooldown);
                 cfg = Config::smoke();
+                (cfg.rebalance_threshold, cfg.rebalance_cooldown) = keep;
             }
             "--trace-out" => {
                 trace_out = Some(args.get(i + 1).map(Into::into).unwrap_or_else(|| usage()));
@@ -191,6 +210,7 @@ fn main() {
             "overlap" => overlap::run(&cfg),
             "commavoid" => commavoid::run(&cfg),
             "balance" => balance::run(&cfg),
+            "rebalance" => rebalance::run(&cfg),
             "serve" => serve::run(&cfg),
             "ablation-redist" => ablations::redistribution(&cfg),
             "ablation-bloom" => ablations::bloom_filter(&cfg),

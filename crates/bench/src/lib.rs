@@ -34,6 +34,11 @@ pub struct Config {
     /// `commavoid`); matches the copy-elim ablation's historical constant
     /// so numbers stay comparable across PRs.
     pub batch_size: usize,
+    /// Max/mean per-rank load imbalance above which the adaptive arm of
+    /// `repro rebalance` migrates block boundaries.
+    pub rebalance_threshold: f64,
+    /// Minimum epochs between migrations in the adaptive arm.
+    pub rebalance_cooldown: u64,
 }
 
 impl Default for Config {
@@ -51,6 +56,8 @@ impl Default for Config {
             instances: 6,
             seed: 0xD59E_2022,
             batch_size: 4096,
+            rebalance_threshold: 1.5,
+            rebalance_cooldown: 2,
         }
     }
 }
@@ -66,6 +73,8 @@ impl Config {
             instances: 2,
             seed: 7,
             batch_size: 4096,
+            rebalance_threshold: 1.5,
+            rebalance_cooldown: 2,
         }
     }
 }

@@ -7,8 +7,9 @@
 //! framework "requires the user to mark dynamic matrices and update matrices
 //! appropriately" — in this reproduction the marking is the Rust type.
 
-use crate::grid::{block_range, Grid};
-use crate::redistribute::redistribute;
+use crate::grid::Grid;
+use crate::layout::{uniform_layout, Layout};
+use crate::redistribute::redistribute_in;
 use dspgemm_mpi::Comm;
 use dspgemm_sparse::{Csr, Dcsr, DhbMatrix, Index, Triple};
 use dspgemm_util::stats::PhaseTimer;
@@ -22,6 +23,12 @@ pub trait Elem: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 's
 impl<T> Elem for T where T: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 'static {}
 
 /// Shape and placement of this rank's block of a distributed matrix.
+///
+/// Carries the full [`Layout`] (shared, one `Arc` per matrix) so that
+/// redistribution routing, collective lookups, and SUMMA round offsets all
+/// read the *matrix's* cut points rather than assuming the uniform split —
+/// the distribution itself is dynamic once the engine's rebalancer moves
+/// the cuts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockInfo {
     /// Global row count.
@@ -32,18 +39,41 @@ pub struct BlockInfo {
     pub row_range: Range<Index>,
     /// Global columns owned by this rank.
     pub col_range: Range<Index>,
+    layout: Arc<Layout>,
 }
 
 impl BlockInfo {
-    /// Computes this rank's block of an `nrows × ncols` matrix on `grid`.
+    /// Computes this rank's block of an `nrows × ncols` matrix on `grid`
+    /// under the uniform (static) layout.
     pub fn for_rank(grid: &Grid, nrows: Index, ncols: Index) -> Self {
+        Self::for_rank_in(grid, &uniform_layout(nrows, ncols, grid.q()))
+    }
+
+    /// Computes this rank's block under an explicit layout.
+    pub fn for_rank_in(grid: &Grid, layout: &Arc<Layout>) -> Self {
+        assert_eq!(layout.q(), grid.q(), "layout must target the grid side");
         let (i, j) = grid.coords();
         Self {
-            nrows,
-            ncols,
-            row_range: block_range(nrows, grid.q(), i),
-            col_range: block_range(ncols, grid.q(), j),
+            nrows: layout.nrows(),
+            ncols: layout.ncols(),
+            row_range: layout.row_range(i),
+            col_range: layout.col_range(j),
+            layout: Arc::clone(layout),
         }
+    }
+
+    /// The distribution's cut points (shared across the matrix's ranks).
+    #[inline]
+    pub fn layout(&self) -> &Arc<Layout> {
+        &self.layout
+    }
+
+    /// The world rank owning global position `(r, c)` under this layout.
+    #[inline]
+    pub fn owner_rank(&self, grid: &Grid, r: Index, c: Index) -> usize {
+        let (bi, _) = self.layout.row_owner(r);
+        let (bj, _) = self.layout.col_owner(c);
+        grid.rank_of(bi, bj)
     }
 
     /// Local block height.
@@ -72,6 +102,18 @@ impl BlockInfo {
     }
 }
 
+/// What one [`DistMat::migrate_to`] call did on this rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Entries whose owner changed away from this rank (sent).
+    pub moved_out: usize,
+    /// Entries whose owner changed to this rank (received).
+    pub moved_in: usize,
+    /// Whether this rank's ranges changed (block rebuilt, CSR cache
+    /// dropped); `false` means the block and its cache survived untouched.
+    pub changed: bool,
+}
+
 /// A dynamic distributed matrix: DHB blocks on a 2D grid.
 ///
 /// Alongside the mutable DHB block the matrix keeps a lazily-built, shared
@@ -89,9 +131,15 @@ pub struct DistMat<V> {
 }
 
 impl<V: Elem> DistMat<V> {
-    /// An empty dynamic matrix of global shape `nrows × ncols`.
+    /// An empty dynamic matrix of global shape `nrows × ncols` under the
+    /// uniform layout.
     pub fn empty(grid: &Grid, nrows: Index, ncols: Index) -> Self {
-        let info = BlockInfo::for_rank(grid, nrows, ncols);
+        Self::empty_in(grid, &uniform_layout(nrows, ncols, grid.q()))
+    }
+
+    /// An empty dynamic matrix under an explicit layout.
+    pub fn empty_in(grid: &Grid, layout: &Arc<Layout>) -> Self {
+        let info = BlockInfo::for_rank_in(grid, layout);
         let block = DhbMatrix::new(info.local_rows(), info.local_cols());
         Self {
             info,
@@ -127,7 +175,7 @@ impl<V: Elem> DistMat<V> {
         threads: usize,
         timer: &mut PhaseTimer,
     ) {
-        let mine = redistribute(grid, self.info.nrows, self.info.ncols, triples, timer);
+        let mine = redistribute_in(grid, self.info.layout(), triples, timer);
         let local = timer.time(crate::redistribute::phase::LOCAL_CONSTRUCT, || {
             self.to_local_triples(mine)
         });
@@ -202,9 +250,7 @@ impl<V: Elem> DistMat<V> {
     /// `O(log p)`-round broadcast of a single element. Collective over the
     /// grid; all ranks must pass the same coordinate.
     pub fn get_collective(&self, grid: &Grid, r: Index, c: Index) -> Option<V> {
-        let (bi, _) = crate::grid::owner_block(self.info.nrows, grid.q(), r);
-        let (bj, _) = crate::grid::owner_block(self.info.ncols, grid.q(), c);
-        let owner = grid.rank_of(bi, bj);
+        let owner = self.info.owner_rank(grid, r, c);
         let mine = if grid.world().rank() == owner {
             Some(self.get_local(r, c).expect("owner rank holds the block"))
         } else {
@@ -296,6 +342,77 @@ impl<V: Elem> DistMat<V> {
         )
     }
 
+    /// Moves this rank's block to a new layout: stripe migration through
+    /// the two-phase redistribution path. Collective over the grid (every
+    /// rank calls with the same layout).
+    ///
+    /// Only entries whose owner *changes* cross the wire — the boundary
+    /// stripes between the old and new cuts. A rank whose ranges are
+    /// untouched by the new cuts keeps its block **and its cached CSR
+    /// snapshot image** (the `Arc` survives, so the next epoch publish
+    /// re-shares it by refcount increment exactly as if no migration had
+    /// happened); migrated blocks are rebuilt and their caches dropped.
+    pub fn migrate_to(
+        &mut self,
+        grid: &Grid,
+        layout: &Arc<Layout>,
+        threads: usize,
+        timer: &mut PhaseTimer,
+    ) -> MigrationStats {
+        let new_info = BlockInfo::for_rank_in(grid, layout);
+        assert_eq!(new_info.nrows, self.info.nrows, "migration keeps shape");
+        assert_eq!(new_info.ncols, self.info.ncols, "migration keeps shape");
+        let changed =
+            new_info.row_range != self.info.row_range || new_info.col_range != self.info.col_range;
+        // Split the local entries at the new boundaries. Unchanged ranks
+        // scan but keep everything local.
+        let (mut stay, mut outgoing) = (Vec::new(), Vec::new());
+        if changed {
+            for t in self.to_global_triples() {
+                if new_info.row_range.contains(&t.row) && new_info.col_range.contains(&t.col) {
+                    stay.push(t);
+                } else {
+                    outgoing.push(t);
+                }
+            }
+        }
+        let moved_out = outgoing.len();
+        // Collective even when this rank moves nothing: peers may be
+        // routing entries here.
+        let incoming = redistribute_in(grid, layout, outgoing, timer);
+        let moved_in = incoming.len();
+        if !changed {
+            debug_assert!(
+                incoming.is_empty(),
+                "a rank with unchanged ranges cannot receive entries"
+            );
+            // Only the layout handle changes: block and CSR cache survive.
+            self.info = new_info;
+            return MigrationStats {
+                moved_out,
+                moved_in,
+                changed,
+            };
+        }
+        self.info = new_info;
+        self.csr_cache = None;
+        self.block = DhbMatrix::new(self.info.local_rows(), self.info.local_cols());
+        stay.extend(incoming);
+        let local = timer.time(crate::redistribute::phase::LOCAL_CONSTRUCT, || {
+            self.to_local_triples(stay)
+        });
+        if !local.is_empty() {
+            timer.time(crate::redistribute::phase::LOCAL_ADDITION, || {
+                crate::update::apply_local_triples_set(&mut self.block, &local, threads);
+            });
+        }
+        MigrationStats {
+            moved_out,
+            moved_in,
+            changed,
+        }
+    }
+
     /// Gathers the whole matrix to world rank 0 as sorted global triples
     /// (testing/diagnostics; collective over the grid).
     pub fn gather_to_root(&self, comm: &Comm) -> Option<Vec<Triple<V>>> {
@@ -322,16 +439,26 @@ pub struct DistDcsr<V> {
 }
 
 impl<V: Elem> DistDcsr<V> {
-    /// An empty distributed DCSR.
+    /// An empty distributed DCSR under the uniform layout.
     pub fn empty(grid: &Grid, nrows: Index, ncols: Index) -> Self {
-        let info = BlockInfo::for_rank(grid, nrows, ncols);
+        Self::empty_in(grid, &uniform_layout(nrows, ncols, grid.q()))
+    }
+
+    /// An empty distributed DCSR under an explicit layout.
+    pub fn empty_in(grid: &Grid, layout: &Arc<Layout>) -> Self {
+        let info = BlockInfo::for_rank_in(grid, layout);
         let block = Arc::new(Dcsr::empty(info.local_rows(), info.local_cols()));
         Self { info, block }
     }
 
     /// Wraps an already-local block (must match the rank's block shape).
     pub fn from_block(grid: &Grid, nrows: Index, ncols: Index, block: Dcsr<V>) -> Self {
-        let info = BlockInfo::for_rank(grid, nrows, ncols);
+        Self::from_block_in(grid, &uniform_layout(nrows, ncols, grid.q()), block)
+    }
+
+    /// Wraps an already-local block under an explicit layout.
+    pub fn from_block_in(grid: &Grid, layout: &Arc<Layout>, block: Dcsr<V>) -> Self {
+        let info = BlockInfo::for_rank_in(grid, layout);
         assert_eq!(block.nrows(), info.local_rows(), "block shape mismatch");
         assert_eq!(block.ncols(), info.local_cols(), "block shape mismatch");
         Self {

@@ -45,12 +45,13 @@
 
 use crate::distmat::{DistDcsr, DistMat, Elem};
 use crate::exec::Exec;
-use crate::grid::{block_range, Grid};
+use crate::grid::Grid;
+use crate::layout::uniform_layout;
 use crate::phase;
 use crate::pipeline::{await_into_phase, run_rounds, Schedule};
 use crate::update::{
-    apply_add_exec, build_update_matrix, build_update_matrix_pair, start_update_matrix,
-    start_update_matrix_pair, Dedup, StarPair,
+    apply_add_exec, build_update_matrix_in, build_update_matrix_pair_in, start_update_matrix_in,
+    start_update_matrix_pair_in, Dedup, StarPair,
 };
 use dspgemm_mpi::Request;
 use dspgemm_sparse::local_mm::{
@@ -271,7 +272,8 @@ impl<V: Elem> StarBuild<V> {
 }
 
 /// Builds one operand's update matrix (or matrix pair) from
-/// globally-indexed tuples under the given mode. Collective over the grid.
+/// globally-indexed tuples under the given mode, routed by the uniform
+/// layout. Collective over the grid.
 pub fn build_star<S: Semiring>(
     grid: &Grid,
     nrows: dspgemm_sparse::Index,
@@ -280,19 +282,37 @@ pub fn build_star<S: Semiring>(
     mode: TransposeMode,
     timer: &mut PhaseTimer,
 ) -> StarBuild<S::Elem> {
+    build_star_in::<S>(
+        grid,
+        &uniform_layout(nrows, ncols, grid.q()),
+        tuples,
+        mode,
+        timer,
+    )
+}
+
+/// [`build_star`] under an explicit [`crate::layout::Layout`] — update
+/// operands must route
+/// under the same (possibly rebalanced) cuts as the matrix they patch.
+/// Collective over the grid.
+pub fn build_star_in<S: Semiring>(
+    grid: &Grid,
+    layout: &Arc<crate::layout::Layout>,
+    tuples: Vec<Triple<S::Elem>>,
+    mode: TransposeMode,
+    timer: &mut PhaseTimer,
+) -> StarBuild<S::Elem> {
     match mode {
-        TransposeMode::Physical => StarBuild::Physical(build_update_matrix::<S>(
+        TransposeMode::Physical => StarBuild::Physical(build_update_matrix_in::<S>(
             grid,
-            nrows,
-            ncols,
+            layout,
             tuples,
             Dedup::Add,
             timer,
         )),
-        TransposeMode::Virtual => StarBuild::Virtual(build_update_matrix_pair::<S>(
+        TransposeMode::Virtual => StarBuild::Virtual(build_update_matrix_pair_in::<S>(
             grid,
-            nrows,
-            ncols,
+            layout,
             tuples,
             Dedup::Add,
             timer,
@@ -415,7 +435,6 @@ pub fn compute_cstar_exec<S: Semiring, K: XYKernel<S>>(
 ) -> (Dcsr<K::Out>, u64) {
     let q = grid.q();
     let (i, j) = grid.coords();
-    let inner = a_old.info().ncols; // contraction dimension (= B rows)
     let my_block_rows = a_old.info().local_rows();
     let my_block_cols = b_new.info().local_cols();
 
@@ -487,7 +506,7 @@ pub fn compute_cstar_exec<S: Semiring, K: XYKernel<S>>(
                     K::mul_x(
                         &a_bcast,
                         b_new.block(),
-                        block_range(inner, q, i).start,
+                        b_new.info().row_range.start,
                         K::plan(exec),
                     )
                 });
@@ -508,7 +527,7 @@ pub fn compute_cstar_exec<S: Semiring, K: XYKernel<S>>(
                     K::mul_y(
                         a_old.block(),
                         &b_bcast,
-                        block_range(inner, q, j).start,
+                        a_old.info().col_range.start,
                         K::plan(exec),
                     )
                 });
@@ -580,7 +599,6 @@ pub fn compute_cstar_shared_exec<S: Semiring, K: XYKernel<S>>(
     );
     let q = grid.q();
     let (i, j) = grid.coords();
-    let inner = a.info().ncols;
     let my_block_rows = a.info().local_rows();
     let my_block_cols = a.info().local_cols();
 
@@ -632,7 +650,7 @@ pub fn compute_cstar_shared_exec<S: Semiring, K: XYKernel<S>>(
                     K::mul_y(
                         a_ref.block(),
                         &b_bcast,
-                        block_range(inner, q, j).start,
+                        a_ref.info().col_range.start,
                         K::plan(exec),
                     )
                 });
@@ -678,7 +696,7 @@ pub fn compute_cstar_shared_exec<S: Semiring, K: XYKernel<S>>(
                     K::mul_x(
                         &a_bcast,
                         a_ref.block(),
-                        block_range(inner, q, i).start,
+                        a_ref.info().row_range.start,
                         K::plan(exec),
                     )
                 });
@@ -985,24 +1003,36 @@ fn build_star_operands<S: Semiring>(
     mode: TransposeMode,
     timer: &mut PhaseTimer,
 ) -> (StarBuild<S::Elem>, StarBuild<S::Elem>) {
-    let (an, ac) = (a.info().nrows, a.info().ncols);
-    let (bn, bc) = (b.info().nrows, b.info().ncols);
+    let a_layout = Arc::clone(a.info().layout());
+    let b_layout = Arc::clone(b.info().layout());
     timer.time(phase::SCATTER, || {
         let mut inner = PhaseTimer::new();
         match mode {
             TransposeMode::Physical => {
-                let pa = start_update_matrix::<S>(grid, an, ac, a_tuples, Dedup::Add, &mut inner);
-                let pb = start_update_matrix::<S>(grid, bn, bc, b_tuples, Dedup::Add, &mut inner);
+                let pa =
+                    start_update_matrix_in::<S>(grid, &a_layout, a_tuples, Dedup::Add, &mut inner);
+                let pb =
+                    start_update_matrix_in::<S>(grid, &b_layout, b_tuples, Dedup::Add, &mut inner);
                 (
                     StarBuild::Physical(pa.finish(grid, &mut inner)),
                     StarBuild::Physical(pb.finish(grid, &mut inner)),
                 )
             }
             TransposeMode::Virtual => {
-                let pa =
-                    start_update_matrix_pair::<S>(grid, an, ac, a_tuples, Dedup::Add, &mut inner);
-                let pb =
-                    start_update_matrix_pair::<S>(grid, bn, bc, b_tuples, Dedup::Add, &mut inner);
+                let pa = start_update_matrix_pair_in::<S>(
+                    grid,
+                    &a_layout,
+                    a_tuples,
+                    Dedup::Add,
+                    &mut inner,
+                );
+                let pb = start_update_matrix_pair_in::<S>(
+                    grid,
+                    &b_layout,
+                    b_tuples,
+                    Dedup::Add,
+                    &mut inner,
+                );
                 (
                     StarBuild::Virtual(pa.finish(grid, &mut inner)),
                     StarBuild::Virtual(pb.finish(grid, &mut inner)),
@@ -1478,7 +1508,14 @@ mod tests {
             let (c0, _) = summa::<U64Plus>(&grid, &a, &b, 1, &mut timer);
             // Static strategy: apply updates, recompute from scratch.
             let ups = random_triples(77 + comm.rank() as u64, n, batch);
-            let a_star = build_update_matrix::<U64Plus>(&grid, n, n, ups, Dedup::Add, &mut timer);
+            let a_star = crate::update::build_update_matrix::<U64Plus>(
+                &grid,
+                n,
+                n,
+                ups,
+                Dedup::Add,
+                &mut timer,
+            );
             apply_add::<U64Plus>(&mut a, &a_star, 1);
             let (c1, _) = summa::<U64Plus>(&grid, &a, &b, 1, &mut timer);
             let _ = (c0, c1);

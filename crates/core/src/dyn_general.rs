@@ -25,10 +25,11 @@ use crate::dyn_algebraic::{
     compute_cstar_exec, compute_cstar_shared_exec, PatternKernel, StarView, TransposeMode,
 };
 use crate::exec::Exec;
-use crate::grid::{block_range, Grid};
+use crate::grid::Grid;
+use crate::layout::{uniform_layout, Layout};
 use crate::phase;
 use crate::pipeline::{await_into_phase, run_rounds, Schedule};
-use crate::update::{apply_mask_exec, apply_merge_exec, build_update_matrix, Dedup};
+use crate::update::{apply_mask_exec, apply_merge_exec, build_update_matrix_in, Dedup};
 use dspgemm_sparse::bloom::row_or_reduce;
 use dspgemm_sparse::masked_mm::{masked_spgemm_bloom_with, MaskSet};
 use dspgemm_sparse::ops::extract_filtered;
@@ -130,6 +131,25 @@ pub fn prepare_general_update_mode<S: Semiring>(
     mode: TransposeMode,
     timer: &mut PhaseTimer,
 ) -> PreparedGeneral<S::Elem> {
+    prepare_general_update_mode_in::<S>(
+        grid,
+        &uniform_layout(nrows, ncols, grid.q()),
+        upd,
+        mode,
+        timer,
+    )
+}
+
+/// [`prepare_general_update_mode`] under an explicit [`Layout`] — the form
+/// the engine uses so general-update operands route under the session's
+/// (possibly rebalanced) cuts. Collective.
+pub fn prepare_general_update_mode_in<S: Semiring>(
+    grid: &Grid,
+    layout: &Arc<Layout>,
+    upd: GeneralUpdates<S::Elem>,
+    mode: TransposeMode,
+    timer: &mut PhaseTimer,
+) -> PreparedGeneral<S::Elem> {
     let combined_t = matches!(mode, TransposeMode::Virtual).then(|| {
         let mut v: Vec<Triple<S::Elem>> = upd
             .deletes
@@ -144,14 +164,21 @@ pub fn prepare_general_update_mode<S: Semiring>(
         .iter()
         .map(|&(r, c)| Triple::new(r, c, S::zero()))
         .collect();
-    let set_mat = build_update_matrix::<S>(grid, nrows, ncols, upd.sets, Dedup::LastWins, timer);
-    let del_mat = build_update_matrix::<S>(grid, nrows, ncols, del_tuples, Dedup::LastWins, timer);
+    let set_mat = build_update_matrix_in::<S>(grid, layout, upd.sets, Dedup::LastWins, timer);
+    let del_mat = build_update_matrix_in::<S>(grid, layout, del_tuples, Dedup::LastWins, timer);
     // A* = sets ∪ deletes structurally (deletions "add a structural non-zero
     // to A* to indicate that the corresponding entries have changed").
     let star_block = Dcsr::merge_with(set_mat.block(), del_mat.block(), |a, _| a);
-    let star = DistDcsr::from_block(grid, nrows, ncols, star_block);
-    let star_t = combined_t
-        .map(|tuples| build_update_matrix::<S>(grid, ncols, nrows, tuples, Dedup::LastWins, timer));
+    let star = DistDcsr::from_block_in(grid, layout, star_block);
+    let star_t = combined_t.map(|tuples| {
+        build_update_matrix_in::<S>(
+            grid,
+            &Arc::new(layout.transposed()),
+            tuples,
+            Dedup::LastWins,
+            timer,
+        )
+    });
     PreparedGeneral {
         set_mat,
         del_mat,
@@ -173,7 +200,7 @@ fn masked_recompute_rounds<S: Semiring>(
     ar_t: &Arc<Dcsr<S::Elem>>,
     cstar_structure: &Arc<Dcsr<()>>,
     right: &dspgemm_sparse::DhbMatrix<S::Elem>,
-    inner: Index,
+    k_offset: Index,
     exec: &Exec<S>,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<(S::Elem, u64)>, u64) {
@@ -215,7 +242,7 @@ fn masked_recompute_rounds<S: Semiring>(
                     &*ar_bcast,
                     right,
                     &mask,
-                    block_range(inner, q, i).start,
+                    k_offset,
                     exec.fused(),
                 )
             });
@@ -304,27 +331,13 @@ pub fn apply_general_updates_mode_exec<S: Semiring>(
     exec: &Exec<S>,
     timer: &mut PhaseTimer,
 ) -> u64 {
-    let inner = a.info().ncols;
-
     // --- Update matrices (redistribution = "scatter"). ---
     let (a_ops, b_ops) = timer.time(phase::SCATTER, || {
         let mut inner_t = PhaseTimer::new();
-        let a_ops = prepare_general_update_mode::<S>(
-            grid,
-            a.info().nrows,
-            a.info().ncols,
-            a_upd,
-            mode,
-            &mut inner_t,
-        );
-        let b_ops = prepare_general_update_mode::<S>(
-            grid,
-            b.info().nrows,
-            b.info().ncols,
-            b_upd,
-            mode,
-            &mut inner_t,
-        );
+        let a_layout = Arc::clone(a.info().layout());
+        let b_layout = Arc::clone(b.info().layout());
+        let a_ops = prepare_general_update_mode_in::<S>(grid, &a_layout, a_upd, mode, &mut inner_t);
+        let b_ops = prepare_general_update_mode_in::<S>(grid, &b_layout, b_upd, mode, &mut inner_t);
         (a_ops, b_ops)
     });
 
@@ -393,8 +406,15 @@ pub fn apply_general_updates_mode_exec<S: Semiring>(
     // --- √p rounds: bcast A^R over rows, C* over columns, masked multiply,
     // merge-reduce Z/H onto owners (pipelined). ---
     let cstar_structure: Arc<Dcsr<()>> = Arc::new(cstar.map(|_| ()));
-    let (z, z_flops) =
-        masked_recompute_rounds::<S>(grid, &ar_t, &cstar_structure, b.block(), inner, exec, timer);
+    let (z, z_flops) = masked_recompute_rounds::<S>(
+        grid,
+        &ar_t,
+        &cstar_structure,
+        b.block(),
+        b.info().row_range.start,
+        exec,
+        timer,
+    );
     flops += z_flops;
 
     // --- Merge Z into C and H into F, masked at C*: recomputed entries are
@@ -466,8 +486,6 @@ pub fn apply_shared_general_prebuilt_exec<S: Semiring>(
     exec: &Exec<S>,
     timer: &mut PhaseTimer,
 ) -> (Dcsr<u64>, u64) {
-    let inner = a.info().ncols;
-
     // --- COMPUTE_PATTERN around the in-place update A → A'. ---
     let (cstar, mut flops) = compute_cstar_shared_exec::<S, PatternKernel>(
         grid,
@@ -526,8 +544,15 @@ pub fn apply_shared_general_prebuilt_exec<S: Semiring>(
     // --- √p rounds: bcast A^R over rows, C* over columns, masked multiply
     // against A' itself, merge-reduce Z/H onto owners (pipelined). ---
     let cstar_structure: Arc<Dcsr<()>> = Arc::new(cstar.map(|_| ()));
-    let (z, z_flops) =
-        masked_recompute_rounds::<S>(grid, &ar_t, &cstar_structure, a.block(), inner, exec, timer);
+    let (z, z_flops) = masked_recompute_rounds::<S>(
+        grid,
+        &ar_t,
+        &cstar_structure,
+        a.block(),
+        a.info().row_range.start,
+        exec,
+        timer,
+    );
     flops += z_flops;
 
     // --- Merge Z into C and H into F, masked at C*. ---

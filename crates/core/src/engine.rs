@@ -7,7 +7,7 @@
 //! `C = A · B` after every call — verified end-to-end by the integration
 //! tests against static recomputation.
 
-use crate::distmat::DistMat;
+use crate::distmat::{DistMat, MigrationStats};
 use crate::dyn_algebraic::{
     apply_algebraic_updates_mode_exec, apply_algebraic_updates_prebuilt_exec,
     apply_algebraic_updates_tracked_mode_exec, apply_algebraic_updates_tracked_prebuilt_exec,
@@ -16,13 +16,16 @@ use crate::dyn_algebraic::{
 use crate::dyn_general::{apply_general_updates_mode_exec, GeneralUpdates};
 use crate::exec::Exec;
 use crate::grid::Grid;
+use crate::layout::Layout;
+use crate::rebalance::{imbalance, read_rank_load_gauges, RebalanceConfig, Rebalancer};
 use crate::snapshot::{Snapshot, SnapshotMat, SnapshotStore};
 use crate::summa::{summa_bloom_exec, summa_exec};
 use crate::update::{
-    start_update_matrix, start_update_matrix_pair, Dedup, PendingStarPair, PendingUpdateMatrix,
+    start_update_matrix_in, start_update_matrix_pair_in, Dedup, PendingStarPair,
+    PendingUpdateMatrix,
 };
 use dspgemm_sparse::semiring::Semiring;
-use dspgemm_sparse::Triple;
+use dspgemm_sparse::{Index, Triple};
 use dspgemm_util::stats::PhaseTimer;
 use std::sync::Arc;
 
@@ -80,6 +83,10 @@ pub struct DynSpGemm<S: Semiring> {
     /// whose redistribution is in flight (see
     /// [`DynSpGemm::submit_algebraic`]).
     pending: Option<PendingBatch<S>>,
+    /// The dynamic inter-rank rebalancing policy (opt-in via
+    /// [`DynSpGemm::enable_rebalancing`]; `None` keeps the distribution
+    /// static, the pre-rebalancing behavior).
+    rebalancer: Option<Rebalancer>,
 }
 
 impl<S: Semiring> DynSpGemm<S> {
@@ -125,6 +132,7 @@ impl<S: Semiring> DynSpGemm<S> {
             snapshots: SnapshotStore::new(),
             dirty: false,
             pending: None,
+            rebalancer: None,
         };
         // Epoch 0: the initial product, queryable before any batch.
         eng.publish();
@@ -303,42 +311,40 @@ impl<S: Semiring> DynSpGemm<S> {
     ) {
         let _sp = dspgemm_obs::span("engine", "redist_lookahead")
             .attr("updates", (a_updates.len() + b_updates.len()) as u64);
-        let (an, ac) = (self.a.info().nrows, self.a.info().ncols);
-        let (bn, bc) = (self.b.info().nrows, self.b.info().ncols);
+        // Route under the operands' *current* layouts: after a rebalancing
+        // migration the update matrices must land on the new owners.
+        let a_layout = Arc::clone(self.a.info().layout());
+        let b_layout = Arc::clone(self.b.info().layout());
         // Issue the new batch's row phase first so it is already in flight
         // while the previous batch (drained below) computes.
         let newly = match self.transpose_mode {
             TransposeMode::Physical => PendingBatch::Physical {
-                a: Box::new(start_update_matrix::<S>(
+                a: Box::new(start_update_matrix_in::<S>(
                     grid,
-                    an,
-                    ac,
+                    &a_layout,
                     a_updates,
                     Dedup::Add,
                     &mut self.timer,
                 )),
-                b: Box::new(start_update_matrix::<S>(
+                b: Box::new(start_update_matrix_in::<S>(
                     grid,
-                    bn,
-                    bc,
+                    &b_layout,
                     b_updates,
                     Dedup::Add,
                     &mut self.timer,
                 )),
             },
             TransposeMode::Virtual => PendingBatch::Virtual {
-                a: Box::new(start_update_matrix_pair::<S>(
+                a: Box::new(start_update_matrix_pair_in::<S>(
                     grid,
-                    an,
-                    ac,
+                    &a_layout,
                     a_updates,
                     Dedup::Add,
                     &mut self.timer,
                 )),
-                b: Box::new(start_update_matrix_pair::<S>(
+                b: Box::new(start_update_matrix_pair_in::<S>(
                     grid,
-                    bn,
-                    bc,
+                    &b_layout,
                     b_updates,
                     Dedup::Add,
                     &mut self.timer,
@@ -458,6 +464,122 @@ impl<S: Semiring> DynSpGemm<S> {
             self.c = c;
             self.flops += flops;
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic inter-rank rebalancing
+    // ------------------------------------------------------------------
+
+    /// Opts this session into metrics-driven inter-rank rebalancing:
+    /// [`DynSpGemm::maybe_rebalance`] becomes live with the given trigger
+    /// configuration. Requires square operands (one square cut vector keeps
+    /// `A`, `B`, `C`, `F` mutually SUMMA-conformal through every
+    /// migration). Must be enabled rank-uniformly.
+    ///
+    /// # Panics
+    /// Panics if the session's matrices are not all square of one size.
+    pub fn enable_rebalancing(&mut self, cfg: RebalanceConfig) {
+        let (an, ac) = (self.a.info().nrows, self.a.info().ncols);
+        let (bn, bc) = (self.b.info().nrows, self.b.info().ncols);
+        assert!(
+            an == ac && bn == bc && an == bn,
+            "rebalancing requires square operands of one size (got A {an}x{ac}, B {bn}x{bc})"
+        );
+        self.rebalancer = Some(Rebalancer::new(cfg));
+    }
+
+    /// The rebalancing policy state, when enabled (migration/byte counters
+    /// and the last observed imbalance).
+    pub fn rebalancer(&self) -> Option<&Rebalancer> {
+        self.rebalancer.as_ref()
+    }
+
+    /// One rebalancing step: publishes the current epoch (refreshing the
+    /// per-rank load gauges), has world rank 0 read all ranks' gauges and
+    /// decide — max/mean nnz imbalance vs. the configured threshold, under
+    /// the migration cooldown — and, when the verdict is a new cut vector,
+    /// migrates `A`, `B`, `C` (and `F`) to the new [`Layout`] through the
+    /// two-phase redistribution path and re-publishes under it. Returns
+    /// whether a migration happened. No-op unless
+    /// [`DynSpGemm::enable_rebalancing`] was called. Collective over the
+    /// grid.
+    ///
+    /// Pinned pre-migration snapshots are untouched: they keep their own
+    /// layout inside their [`crate::distmat::BlockInfo`], so epoch readers
+    /// stay bit-stable across the remap. Migration wire cost is metered
+    /// from each rank's own alltoall byte counters (summed network-wide)
+    /// and accumulated on the session's [`Rebalancer`] plus the
+    /// `engine.rebalance.*` metrics.
+    pub fn maybe_rebalance(&mut self, grid: &Grid) -> bool {
+        if self.rebalancer.is_none() {
+            return false;
+        }
+        self.flush(grid);
+        // Publish (lazily) so every rank's gauges reflect the latest
+        // committed batch, then fence before the root reads them.
+        self.snapshot();
+        grid.world().barrier();
+        let epoch = self.epoch().unwrap_or(0);
+        let layout = Arc::clone(self.a.info().layout());
+        let verdict: (f64, Option<Vec<Index>>) = {
+            let mine = (grid.world().rank() == 0).then(|| {
+                let loads = read_rank_load_gauges(grid.p());
+                let reb = self.rebalancer.as_ref().expect("checked above");
+                (
+                    imbalance(&loads),
+                    reb.decide(layout.row_cuts(), &loads, epoch),
+                )
+            });
+            grid.world().bcast(0, mine)
+        };
+        let (imb, cuts) = verdict;
+        self.rebalancer
+            .as_mut()
+            .expect("checked above")
+            .note_decision(imb);
+        dspgemm_obs::global().gauge_set("engine.rebalance.imbalance", imb);
+        let Some(cuts) = cuts else { return false };
+        let _sp = dspgemm_obs::span("engine", "migrate").attr("epoch", epoch);
+        let new_layout = Arc::new(Layout::square(cuts));
+        let me = grid.world().rank();
+        let cat = dspgemm_mpi::CommCategory::Alltoall as usize;
+        let sent_before = grid.world().comm_stats().per_rank[me].bytes[cat];
+        let threads = self.exec.threads;
+        let sa = self
+            .a
+            .migrate_to(grid, &new_layout, threads, &mut self.timer);
+        let sb = self
+            .b
+            .migrate_to(grid, &new_layout, threads, &mut self.timer);
+        let sc = self
+            .c
+            .migrate_to(grid, &new_layout, threads, &mut self.timer);
+        let sf = match &mut self.f {
+            Some(f) => f.migrate_to(grid, &new_layout, threads, &mut self.timer),
+            None => MigrationStats::default(),
+        };
+        // Fence, then meter this rank's own migration sends (a rank's own
+        // byte counters move only on its own sends, so the delta is exact
+        // and deterministic) and sum them network-wide.
+        grid.world().barrier();
+        let sent = grid.world().comm_stats().per_rank[me].bytes[cat] - sent_before;
+        let bytes = grid.world().allreduce(sent, |x, y| x + y);
+        let moved_in = (sa.moved_in + sb.moved_in + sc.moved_in + sf.moved_in) as u64;
+        dspgemm_obs::instant(
+            "engine",
+            "migrated",
+            &[("epoch", epoch), ("bytes", bytes), ("moved_in", moved_in)],
+        );
+        let reg = dspgemm_obs::global();
+        reg.counter_add("engine.rebalance.bytes", bytes);
+        let reb = self.rebalancer.as_mut().expect("checked above");
+        reb.note_migration(epoch, bytes);
+        reg.gauge_set("engine.rebalance.migrations", reb.migrations() as f64);
+        // Re-publish under the new layout: the next epoch carries the new
+        // cuts, pinned pre-migration epochs keep the old ones.
+        self.dirty = true;
+        self.publish();
+        true
     }
 }
 

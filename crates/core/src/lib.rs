@@ -4,6 +4,13 @@
 //!
 //! * [`grid`] — the `√p × √p` process grid with row/column communicators and
 //!   the 2D block distribution (Section IV).
+//! * [`layout`] — explicit block layouts ([`Layout`]): the monotone row/col
+//!   cut points of the distribution, uniform by default, movable at run
+//!   time; plus the weighted cut solver [`layout::rebalance_cuts`].
+//! * [`rebalance`] — the metrics-driven [`Rebalancer`]: reads the per-rank
+//!   load gauges the engine publishes each epoch and, past a configurable
+//!   imbalance threshold, migrates block boundaries (stripe
+//!   re-redistribution) to a freshly solved layout.
 //! * [`distmat`] — dynamic distributed matrices ([`DistMat`], DHB blocks)
 //!   and hypersparse distributed update matrices ([`DistDcsr`]).
 //! * [`redistribute`] — the two-phase counting-sort/alltoall update
@@ -85,7 +92,9 @@ pub mod dyn_general;
 pub mod engine;
 pub mod exec;
 pub mod grid;
+pub mod layout;
 pub mod pipeline;
+pub mod rebalance;
 pub mod redistribute;
 pub mod snapshot;
 pub mod spmv;
@@ -96,6 +105,8 @@ pub use distmat::{DistDcsr, DistMat};
 pub use engine::DynSpGemm;
 pub use exec::Exec;
 pub use grid::Grid;
+pub use layout::Layout;
+pub use rebalance::{RebalanceConfig, Rebalancer};
 pub use snapshot::{Snapshot, SnapshotMat, SnapshotStore};
 
 /// Phase names used by the SpGEMM breakdown (the paper's Fig. 12 series).

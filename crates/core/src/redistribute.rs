@@ -16,6 +16,7 @@
 //! `redistribution` ablation bench).
 
 use crate::grid::{owner_block, Grid};
+use crate::layout::Layout;
 use crate::pipeline::await_into_phase;
 use dspgemm_mpi::Request;
 use dspgemm_sparse::{Index, Triple};
@@ -133,6 +134,82 @@ where
     redistribute_finish(grid, ncols, inflight, timer)
 }
 
+/// Layout-keyed twin of [`redistribute_start`]: routes by the explicit cut
+/// points of `layout` instead of the uniform closed form. Same sorts, same
+/// collectives — under [`Layout::uniform`] the wire traffic is
+/// byte-identical to the uniform path.
+pub fn redistribute_start_in<V>(
+    grid: &Grid,
+    layout: &Layout,
+    tuples: Vec<Triple<V>>,
+    timer: &mut PhaseTimer,
+) -> InflightRedist<V>
+where
+    V: Copy + Send + Sync + WireSize + 'static,
+{
+    let q = grid.q();
+    debug_assert_eq!(layout.q(), q, "layout must target the grid side");
+    let chunks = timer.time(phase::REDIST_SORT, || {
+        partition_by(tuples, q, |t| layout.row_owner(t.row).0)
+    });
+    InflightRedist {
+        req: grid.col_comm().ialltoallv(chunks),
+    }
+}
+
+/// Layout-keyed twin of [`redistribute_finish`].
+pub fn redistribute_finish_in<V>(
+    grid: &Grid,
+    layout: &Layout,
+    inflight: InflightRedist<V>,
+    timer: &mut PhaseTimer,
+) -> Vec<Triple<V>>
+where
+    V: Copy + Send + Sync + WireSize + 'static,
+{
+    let q = grid.q();
+    debug_assert_eq!(layout.q(), q, "layout must target the grid side");
+    let received = await_into_phase(inflight.req, timer, phase::REDIST_COMM);
+    let tuples: Vec<Triple<V>> = timer.time(phase::MEM_MANAGEMENT, || {
+        let total = received.iter().map(Vec::len).sum();
+        let mut v = Vec::with_capacity(total);
+        for chunk in received {
+            v.extend(chunk);
+        }
+        v
+    });
+    let chunks = timer.time(phase::REDIST_SORT, || {
+        partition_by(tuples, q, |t| layout.col_owner(t.col).0)
+    });
+    let received = timer.time(phase::REDIST_COMM, || grid.row_comm().alltoallv(chunks));
+    timer.time(phase::MEM_MANAGEMENT, || {
+        let total = received.iter().map(Vec::len).sum();
+        let mut v = Vec::with_capacity(total);
+        for chunk in received {
+            v.extend(chunk);
+        }
+        v
+    })
+}
+
+/// Layout-keyed twin of [`redistribute`]: routes every tuple to the rank
+/// owning its `(row, col)` position under the explicit cut points of
+/// `layout`. This is the path stripe migration and all post-rebalance
+/// update routing take; the uniform entry points above remain the static
+/// fast path.
+pub fn redistribute_in<V>(
+    grid: &Grid,
+    layout: &Layout,
+    tuples: Vec<Triple<V>>,
+    timer: &mut PhaseTimer,
+) -> Vec<Triple<V>>
+where
+    V: Copy + Send + Sync + WireSize + 'static,
+{
+    let inflight = redistribute_start_in(grid, layout, tuples, timer);
+    redistribute_finish_in(grid, layout, inflight, timer)
+}
+
 /// The counting-sort distribution pass: one counting pass for exact bucket
 /// capacities, one scatter pass into per-bucket vectors. `O(n + buckets)`,
 /// no comparisons — the paper's alternative to the competitors' comparison
@@ -196,6 +273,59 @@ mod tests {
                 "p={p}: no tuple lost or duplicated"
             );
         }
+    }
+
+    #[test]
+    fn layout_routing_matches_ownership() {
+        // Deliberately skewed cuts, including a narrow middle stripe: every
+        // tuple must land on the rank whose layout ranges contain it.
+        let n: Index = 30;
+        let out = run(9, move |comm| {
+            let grid = Grid::new(comm);
+            let layout = Layout::square(vec![0, 3, 5, n]);
+            let mine: Vec<Triple<u64>> = (0..n)
+                .flat_map(|r| (0..n).map(move |c| Triple::new(r, c, (r * n + c) as u64)))
+                .filter(|t| (t.val as usize) % comm.size() == comm.rank())
+                .collect();
+            let mut timer = PhaseTimer::new();
+            let got = redistribute_in(&grid, &layout, mine, &mut timer);
+            let (i, j) = grid.coords();
+            let (rr, cr) = (layout.row_range(i), layout.col_range(j));
+            for t in &got {
+                assert!(rr.contains(&t.row) && cr.contains(&t.col));
+                assert_eq!(t.val, (t.row * n + t.col) as u64);
+            }
+            got.len()
+        });
+        let total: usize = out.results.iter().sum();
+        assert_eq!(total, (n * n) as usize, "no tuple lost or duplicated");
+    }
+
+    #[test]
+    fn uniform_layout_routing_is_byte_identical() {
+        // The layout-keyed path under a uniform layout must produce the
+        // same wire volume as the closed-form path (same chunks, same
+        // collectives).
+        let n: Index = 37;
+        let mk = |comm: &dspgemm_mpi::Comm| -> Vec<Triple<u64>> {
+            (0..n)
+                .flat_map(|r| (0..n).map(move |c| Triple::new(r, c, (r * n + c) as u64)))
+                .filter(|t| (t.val as usize) % comm.size() == comm.rank())
+                .collect()
+        };
+        let uni = run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let mut timer = PhaseTimer::new();
+            redistribute(&grid, n, n, mk(comm), &mut timer).len()
+        });
+        let lay = run(4, move |comm| {
+            let grid = Grid::new(comm);
+            let layout = Layout::uniform(n, n, grid.q());
+            let mut timer = PhaseTimer::new();
+            redistribute_in(&grid, &layout, mk(comm), &mut timer).len()
+        });
+        assert_eq!(uni.results, lay.results);
+        assert_eq!(uni.stats.volume(), lay.stats.volume());
     }
 
     #[test]

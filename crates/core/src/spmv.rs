@@ -25,7 +25,8 @@
 //! operand.
 
 use crate::distmat::{DistMat, Elem};
-use crate::grid::{block_range, Grid};
+use crate::grid::Grid;
+use crate::layout::{owner_of, uniform_cuts};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Index, RowScan};
 use dspgemm_util::par::parallel_map_ranges;
@@ -54,34 +55,64 @@ pub enum Align {
 pub struct DistVec<V> {
     n: Index,
     align: Align,
+    /// The `q + 1` monotone stripe cuts the segments follow — the uniform
+    /// split unless the vector was built conformal to a rebalanced matrix
+    /// layout ([`DistVec::from_fn_in`]).
+    cuts: Arc<Vec<Index>>,
     seg: Arc<Vec<V>>,
 }
 
 impl<V: Elem> DistVec<V> {
     /// Builds a column-aligned vector from a generator evaluated at every
-    /// global index of this rank's segment. `f` must be a pure function of
-    /// the index (all ranks of a grid column evaluate it for the same
-    /// indices), so no communication is needed.
-    pub fn from_fn(grid: &Grid, n: Index, mut f: impl FnMut(Index) -> V) -> Self {
+    /// global index of this rank's segment, under the uniform stripe cuts.
+    /// `f` must be a pure function of the index (all ranks of a grid column
+    /// evaluate it for the same indices), so no communication is needed.
+    pub fn from_fn(grid: &Grid, n: Index, f: impl FnMut(Index) -> V) -> Self {
+        Self::from_fn_in(grid, Arc::new(uniform_cuts(n, grid.q())), f)
+    }
+
+    /// [`DistVec::from_fn`] under an explicit stripe cut vector (`q + 1`
+    /// monotone cuts starting at `0`) — the form conformal to a rebalanced
+    /// matrix layout ([`crate::layout::Layout::col_cuts`] for an [`spmv`]
+    /// input).
+    pub fn from_fn_in(grid: &Grid, cuts: Arc<Vec<Index>>, mut f: impl FnMut(Index) -> V) -> Self {
+        assert_eq!(cuts.len(), grid.q() + 1, "one cut per grid stripe plus end");
         let (_, j) = grid.coords();
-        let range = block_range(n, grid.q(), j);
+        let range = cuts[j]..cuts[j + 1];
         Self {
-            n,
+            n: *cuts.last().expect("validated: q + 1 cuts"),
             align: Align::Col,
             seg: Arc::new(range.map(&mut f).collect()),
+            cuts,
         }
     }
 
-    /// A column-aligned constant vector.
+    /// A column-aligned constant vector under the uniform stripe cuts.
     pub fn constant(grid: &Grid, n: Index, value: V) -> Self {
         Self::from_fn(grid, n, |_| value)
     }
 
+    /// A column-aligned constant vector under an explicit stripe cut vector.
+    pub fn constant_in(grid: &Grid, cuts: Arc<Vec<Index>>, value: V) -> Self {
+        Self::from_fn_in(grid, cuts, |_| value)
+    }
+
     /// A column-aligned vector that is `zero` everywhere except at the given
-    /// `(index, value)` entries. `entries` must be identical on all ranks
-    /// (each rank keeps the ones falling in its segment).
+    /// `(index, value)` entries, under the uniform stripe cuts. `entries`
+    /// must be identical on all ranks (each rank keeps the ones falling in
+    /// its segment).
     pub fn from_entries(grid: &Grid, n: Index, entries: &[(Index, V)], zero: V) -> Self {
-        let mut v = Self::constant(grid, n, zero);
+        Self::from_entries_in(grid, Arc::new(uniform_cuts(n, grid.q())), entries, zero)
+    }
+
+    /// [`DistVec::from_entries`] under an explicit stripe cut vector.
+    pub fn from_entries_in(
+        grid: &Grid,
+        cuts: Arc<Vec<Index>>,
+        entries: &[(Index, V)],
+        zero: V,
+    ) -> Self {
+        let mut v = Self::constant_in(grid, cuts, zero);
         let range = v.range(grid);
         let seg = Arc::make_mut(&mut v.seg);
         for &(idx, val) in entries {
@@ -116,6 +147,12 @@ impl<V: Elem> DistVec<V> {
         &self.seg
     }
 
+    /// The stripe cut points the segments follow (length `q + 1`).
+    #[inline]
+    pub fn cuts(&self) -> &[Index] {
+        &self.cuts
+    }
+
     /// Global index range of this rank's segment.
     pub fn range(&self, grid: &Grid) -> Range<Index> {
         let (i, j) = grid.coords();
@@ -123,7 +160,14 @@ impl<V: Elem> DistVec<V> {
             Align::Col => j,
             Align::Row => i,
         };
-        block_range(self.n, grid.q(), b)
+        self.cuts[b]..self.cuts[b + 1]
+    }
+
+    /// The stripe holding global index `u` and that stripe's start — the
+    /// grid row (row-aligned) or column (column-aligned) whose ranks hold
+    /// `u`'s segment entry.
+    pub fn owner_stripe(&self, u: Index) -> (usize, Index) {
+        owner_of(&self.cuts, u)
     }
 
     /// Re-aligns between row and column alignment via the transpose
@@ -148,6 +192,7 @@ impl<V: Elem> DistVec<V> {
         Self {
             n: self.n,
             align,
+            cuts: self.cuts,
             seg,
         }
     }
@@ -184,7 +229,11 @@ pub fn spmv<S: Semiring>(
     threads: usize,
 ) -> (DistVec<S::Elem>, u64) {
     assert_eq!(x.align, Align::Col, "spmv input must be column-aligned");
-    assert_eq!(a.info().ncols, x.n, "dimension mismatch in SpMV");
+    assert_eq!(
+        a.info().layout().col_cuts(),
+        &x.cuts[..],
+        "SpMV input must be conformal with A's column cuts"
+    );
     let local_rows = a.info().local_rows() as usize;
     debug_assert_eq!(a.info().local_cols() as usize, x.seg.len());
 
@@ -224,6 +273,7 @@ pub fn spmv<S: Semiring>(
         DistVec {
             n: a.info().nrows,
             align: Align::Row,
+            cuts: Arc::new(a.info().layout().row_cuts().to_vec()),
             seg,
         },
         flops,

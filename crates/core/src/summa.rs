@@ -23,7 +23,7 @@
 
 use crate::distmat::DistMat;
 use crate::exec::Exec;
-use crate::grid::{block_range, Grid};
+use crate::grid::Grid;
 use crate::phase;
 use crate::pipeline::{await_into_phase, run_rounds, Schedule};
 use dspgemm_mpi::Request;
@@ -167,13 +167,13 @@ fn summa_with<S: Semiring>(
     timer: &mut PhaseTimer,
     schedule: Schedule,
 ) -> (DistMat<S::Elem>, u64) {
-    assert_eq!(
-        a.info().ncols,
-        b.info().nrows,
-        "global dimension mismatch in SUMMA"
+    assert!(
+        a.info().layout().conformal_inner(b.info().layout()),
+        "SUMMA contraction needs A's column cuts to equal B's row cuts"
     );
     let q = grid.q();
-    let mut c = DistMat::empty(grid, a.info().nrows, b.info().ncols);
+    let c_layout = Arc::new(a.info().layout().product(b.info().layout()));
+    let mut c = DistMat::empty_in(grid, &c_layout);
     // One CSR snapshot per operand; the √p broadcast rounds then move only
     // `Arc` handles — zero payload copies in-process, identical wire volume.
     let a_local: Arc<Csr<S::Elem>> = a.block_csr_shared();
@@ -245,13 +245,14 @@ pub fn summa_transposed_exec<S: Semiring>(
     timer: &mut PhaseTimer,
 ) -> (DistMat<S::Elem>, u64) {
     assert_eq!(
-        a.info().nrows,
-        b.info().nrows,
+        a.info().layout().row_cuts(),
+        b.info().layout().row_cuts(),
         "global dimension mismatch in transposed SUMMA: Aᵀ·B contracts over the rows of A and B"
     );
     let q = grid.q();
     let (i, j) = grid.coords();
-    let mut c = DistMat::empty(grid, a.info().ncols, b.info().ncols);
+    let c_layout = Arc::new(a.info().layout().transposed().product(b.info().layout()));
+    let mut c = DistMat::empty_in(grid, &c_layout);
     let b_local: Arc<Csr<S::Elem>> = b.block_csr_shared();
     // Root-side local transposition of this rank's own panel (done once;
     // round r broadcasts it from every rank with column coordinate r).
@@ -351,17 +352,16 @@ fn summa_bloom_with<S: Semiring>(
     timer: &mut PhaseTimer,
     schedule: Schedule,
 ) -> (DistMat<S::Elem>, DistMat<u64>, u64) {
-    assert_eq!(
-        a.info().ncols,
-        b.info().nrows,
-        "global dimension mismatch in SUMMA"
+    assert!(
+        a.info().layout().conformal_inner(b.info().layout()),
+        "SUMMA contraction needs A's column cuts to equal B's row cuts"
     );
     let q = grid.q();
-    let mut c = DistMat::empty(grid, a.info().nrows, b.info().ncols);
-    let mut f = DistMat::empty(grid, a.info().nrows, b.info().ncols);
+    let c_layout = Arc::new(a.info().layout().product(b.info().layout()));
+    let mut c = DistMat::empty_in(grid, &c_layout);
+    let mut f = DistMat::empty_in(grid, &c_layout);
     let a_local: Arc<Csr<S::Elem>> = a.block_csr_shared();
     let b_local: Arc<Csr<S::Elem>> = b.block_csr_shared();
-    let inner = a.info().ncols;
     let mut flops = 0u64;
     run_rounds(
         &mut (timer, &mut c, &mut f, &mut flops),
@@ -374,7 +374,7 @@ fn summa_bloom_with<S: Semiring>(
         |ctx, k, (a_blk, b_blk)| {
             let (timer, c, f, flops) = ctx;
             // Bloom bits index the *global* inner dimension.
-            let k_offset = block_range(inner, q, k).start;
+            let k_offset = a.info().layout().col_start(k);
             let partial = timer.time(phase::LOCAL_MULT, || {
                 spgemm_bloom_with::<S, _, _>(&*a_blk, &*b_blk, k_offset, exec.fused())
             });

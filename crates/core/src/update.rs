@@ -26,13 +26,15 @@
 
 use crate::distmat::{DistDcsr, DistMat, Elem};
 use crate::grid::Grid;
-use crate::redistribute::{phase, redistribute_finish, redistribute_start, InflightRedist};
+use crate::layout::{uniform_layout, Layout};
+use crate::redistribute::{phase, redistribute_finish_in, redistribute_start_in, InflightRedist};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{dhb::DhbRow, Dcsr, DhbMatrix, Index, Triple};
 use dspgemm_util::par::parallel_for_each_shard;
 use dspgemm_util::sort::counting_sort_by_key;
 use dspgemm_util::stats::PhaseTimer;
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// How duplicate coordinates within one update batch combine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,14 +50,13 @@ pub enum Dedup {
 /// [`build_update_matrix`]).
 fn assemble_update_block<S: Semiring>(
     grid: &Grid,
-    nrows: Index,
-    ncols: Index,
+    layout: &Arc<Layout>,
     mine: Vec<Triple<S::Elem>>,
     dedup: Dedup,
     timer: &mut PhaseTimer,
 ) -> DistDcsr<S::Elem> {
     timer.time(phase::LOCAL_CONSTRUCT, || {
-        let info = crate::distmat::BlockInfo::for_rank(grid, nrows, ncols);
+        let info = crate::distmat::BlockInfo::for_rank_in(grid, layout);
         let mut local: Vec<Triple<S::Elem>> = mine
             .into_iter()
             .map(|t| {
@@ -69,7 +70,7 @@ fn assemble_update_block<S: Semiring>(
             Dedup::Add => dspgemm_sparse::triple::dedup_add::<S>(&mut local),
         }
         let block = Dcsr::from_sorted_triples(info.local_rows(), info.local_cols(), &local);
-        DistDcsr::from_block(grid, nrows, ncols, block)
+        DistDcsr::from_block_in(grid, layout, block)
     })
 }
 
@@ -78,8 +79,7 @@ fn assemble_update_block<S: Semiring>(
 /// [`start_update_matrix`], completed by [`PendingUpdateMatrix::finish`] —
 /// the unit the engine's depth-1 lookahead queues.
 pub struct PendingUpdateMatrix<S: Semiring> {
-    nrows: Index,
-    ncols: Index,
+    layout: Arc<Layout>,
     dedup: Dedup,
     inflight: InflightRedist<S::Elem>,
 }
@@ -88,14 +88,15 @@ impl<S: Semiring> PendingUpdateMatrix<S> {
     /// Awaits the in-flight exchange, runs the second redistribution phase
     /// and assembles this rank's block. Collective over the grid.
     pub fn finish(self, grid: &Grid, timer: &mut PhaseTimer) -> DistDcsr<S::Elem> {
-        let mine = redistribute_finish(grid, self.ncols, self.inflight, timer);
-        assemble_update_block::<S>(grid, self.nrows, self.ncols, mine, self.dedup, timer)
+        let mine = redistribute_finish_in(grid, &self.layout, self.inflight, timer);
+        assemble_update_block::<S>(grid, &self.layout, mine, self.dedup, timer)
     }
 }
 
 /// Issues the first redistribution phase of an update-matrix build
-/// nonblocking and returns the pending handle. Collective over the grid
-/// (same issue order on every rank).
+/// nonblocking and returns the pending handle, routing and assembling under
+/// the uniform layout. Collective over the grid (same issue order on every
+/// rank).
 pub fn start_update_matrix<S: Semiring>(
     grid: &Grid,
     nrows: Index,
@@ -104,21 +105,39 @@ pub fn start_update_matrix<S: Semiring>(
     dedup: Dedup,
     timer: &mut PhaseTimer,
 ) -> PendingUpdateMatrix<S> {
+    start_update_matrix_in::<S>(
+        grid,
+        &uniform_layout(nrows, ncols, grid.q()),
+        tuples,
+        dedup,
+        timer,
+    )
+}
+
+/// [`start_update_matrix`] under an explicit layout — the form the engine
+/// uses so update matrices always match the (possibly rebalanced) layout of
+/// the matrix they apply to.
+pub fn start_update_matrix_in<S: Semiring>(
+    grid: &Grid,
+    layout: &Arc<Layout>,
+    tuples: Vec<Triple<S::Elem>>,
+    dedup: Dedup,
+    timer: &mut PhaseTimer,
+) -> PendingUpdateMatrix<S> {
     let _sp = dspgemm_obs::span("engine", "redistribute").attr("updates", tuples.len() as u64);
-    let inflight = redistribute_start(grid, nrows, tuples, timer);
+    let inflight = redistribute_start_in(grid, layout, tuples, timer);
     PendingUpdateMatrix {
-        nrows,
-        ncols,
+        layout: Arc::clone(layout),
         dedup,
         inflight,
     }
 }
 
 /// Redistributes globally-indexed update tuples and assembles this rank's
-/// hypersparse `A*` block. Collective over the grid. Composed as
-/// [`start_update_matrix`] + [`PendingUpdateMatrix::finish`], so the
-/// sequential path and the engine's inter-batch lookahead share one code
-/// path (byte-identical wire traffic).
+/// hypersparse `A*` block under the uniform layout. Collective over the
+/// grid. Composed as [`start_update_matrix`] + [`PendingUpdateMatrix::finish`],
+/// so the sequential path and the engine's inter-batch lookahead share one
+/// code path (byte-identical wire traffic).
 pub fn build_update_matrix<S: Semiring>(
     grid: &Grid,
     nrows: Index,
@@ -128,6 +147,17 @@ pub fn build_update_matrix<S: Semiring>(
     timer: &mut PhaseTimer,
 ) -> DistDcsr<S::Elem> {
     start_update_matrix::<S>(grid, nrows, ncols, tuples, dedup, timer).finish(grid, timer)
+}
+
+/// [`build_update_matrix`] under an explicit layout.
+pub fn build_update_matrix_in<S: Semiring>(
+    grid: &Grid,
+    layout: &Arc<Layout>,
+    tuples: Vec<Triple<S::Elem>>,
+    dedup: Dedup,
+    timer: &mut PhaseTimer,
+) -> DistDcsr<S::Elem> {
+    start_update_matrix_in::<S>(grid, layout, tuples, dedup, timer).finish(grid, timer)
 }
 
 /// The natural- and transposed-layout builds of one update matrix — what
@@ -180,6 +210,24 @@ pub fn start_update_matrix_pair<S: Semiring>(
     dedup: Dedup,
     timer: &mut PhaseTimer,
 ) -> PendingStarPair<S> {
+    start_update_matrix_pair_in::<S>(
+        grid,
+        &uniform_layout(nrows, ncols, grid.q()),
+        tuples,
+        dedup,
+        timer,
+    )
+}
+
+/// [`start_update_matrix_pair`] under an explicit layout; the transposed
+/// build routes under [`Layout::transposed`].
+pub fn start_update_matrix_pair_in<S: Semiring>(
+    grid: &Grid,
+    layout: &Arc<Layout>,
+    tuples: Vec<Triple<S::Elem>>,
+    dedup: Dedup,
+    timer: &mut PhaseTimer,
+) -> PendingStarPair<S> {
     // Flip (r, c, v) → (c, r, v) *before* routing: the transposed layout is
     // an ordinary update-matrix build of the flipped entry set. Stable
     // sorting + dedup then reproduce the exact values of the natural build
@@ -189,8 +237,9 @@ pub fn start_update_matrix_pair<S: Semiring>(
         .iter()
         .map(|t| Triple::new(t.col, t.row, t.val))
         .collect();
-    let natural = start_update_matrix::<S>(grid, nrows, ncols, tuples, dedup, timer);
-    let transposed = start_update_matrix::<S>(grid, ncols, nrows, flipped, dedup, timer);
+    let natural = start_update_matrix_in::<S>(grid, layout, tuples, dedup, timer);
+    let transposed =
+        start_update_matrix_in::<S>(grid, &Arc::new(layout.transposed()), flipped, dedup, timer);
     PendingStarPair {
         natural,
         transposed,
@@ -208,6 +257,17 @@ pub fn build_update_matrix_pair<S: Semiring>(
     timer: &mut PhaseTimer,
 ) -> StarPair<S::Elem> {
     start_update_matrix_pair::<S>(grid, nrows, ncols, tuples, dedup, timer).finish(grid, timer)
+}
+
+/// [`build_update_matrix_pair`] under an explicit layout.
+pub fn build_update_matrix_pair_in<S: Semiring>(
+    grid: &Grid,
+    layout: &Arc<Layout>,
+    tuples: Vec<Triple<S::Elem>>,
+    dedup: Dedup,
+    timer: &mut PhaseTimer,
+) -> StarPair<S::Elem> {
+    start_update_matrix_pair_in::<S>(grid, layout, tuples, dedup, timer).finish(grid, timer)
 }
 
 /// One stored row of an update block borrowed for application:

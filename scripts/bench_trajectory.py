@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Collate the per-PR benchmark records (BENCH_pr*.json) into one
+performance trajectory.
+
+Each PR that changes performance lands a BENCH_pr<N>.json at the repo root
+with a shared envelope (pr, title, date, host, benchmark_command, note)
+plus free-form result sections. This script walks them in PR order and
+prints a readable trajectory — one block per PR with its headline summary
+lines — or, with --json, emits the collated records as a single document
+(e.g. for plotting).
+
+Usage:
+    python3 scripts/bench_trajectory.py [--json] [repo_root]
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+
+def load_records(root):
+    """All BENCH_pr*.json records under `root`, sorted by PR number."""
+    records = []
+    for path in glob.glob(os.path.join(root, "BENCH_pr*.json")):
+        m = re.search(r"BENCH_pr(\d+)\.json$", os.path.basename(path))
+        if not m:
+            continue
+        with open(path) as f:
+            doc = json.load(f)
+        doc.setdefault("pr", int(m.group(1)))
+        doc["_path"] = os.path.basename(path)
+        records.append(doc)
+    records.sort(key=lambda d: d["pr"])
+    return records
+
+
+ENVELOPE = {"pr", "title", "date", "host", "benchmark_command", "note", "_path"}
+
+
+def summaries(doc):
+    """Yield (section, summary) for every result section that carries one."""
+    for key, val in doc.items():
+        if key in ENVELOPE or not isinstance(val, dict):
+            continue
+        s = val.get("summary")
+        if isinstance(s, str):
+            yield key, s
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--json", action="store_true", help="emit one collated JSON document")
+    ap.add_argument("root", nargs="?", default=os.path.join(os.path.dirname(__file__), ".."))
+    args = ap.parse_args()
+
+    records = load_records(args.root)
+    if not records:
+        print("no BENCH_pr*.json records found under", args.root, file=sys.stderr)
+        return 1
+
+    if args.json:
+        out = [{k: v for k, v in doc.items() if k != "_path"} for doc in records]
+        json.dump({"trajectory": out}, sys.stdout, indent=2)
+        print()
+        return 0
+
+    for doc in records:
+        print(f"PR {doc['pr']} ({doc.get('date', '?')}) — {doc.get('title', doc['_path'])}")
+        cmd = doc.get("benchmark_command")
+        if cmd:
+            print(f"  cmd: {cmd}")
+        found = False
+        for section, summary in summaries(doc):
+            found = True
+            print(f"  [{section}] {summary}")
+        if not found:
+            note = doc.get("note", "")
+            if note:
+                print(f"  {note[:300]}")
+        print()
+    print(f"{len(records)} benchmark records collated.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
