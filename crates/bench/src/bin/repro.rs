@@ -5,7 +5,7 @@
 //!
 //! experiments:
 //!   table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b fig9 fig10 fig11 fig12
-//!   ablation-redist ablation-bloom ablation-agg analytics copy-elim overlap commavoid balance serve rebalance
+//!   ablation-redist ablation-bloom ablation-agg analytics copy-elim overlap commavoid balance serve rebalance faults
 //!   data        (= table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b)
 //!   spgemm      (= fig9 fig10 fig11 fig12)
 //!   ablations   (= the three ablations)
@@ -23,6 +23,10 @@
 //!   --rebalance-threshold X   max/mean load imbalance above which the
 //!                     adaptive arm of `rebalance` migrates (default 1.5)
 //!   --rebalance-cooldown N    min epochs between migrations (default 2)
+//!   --crash-batch N   batch at which the crash arm of `faults` kills a
+//!                     rank (default 1; >= --batches disables the crash)
+//!   --anchor-period N committed epochs between recovery anchors in
+//!                     `faults` (default 2)
 //!   --smoke           tiny configuration for CI
 //!   --trace-out F     enable the span tracer; write a Chrome trace_event
 //!                     JSON (chrome://tracing / Perfetto) covering every
@@ -33,8 +37,8 @@
 //! ```
 
 use dspgemm_bench::experiments::{
-    ablations, analytics, balance, commavoid, construction, copy_elim, overlap, rebalance, serve,
-    spgemm, table1, updates,
+    ablations, analytics, balance, commavoid, construction, copy_elim, faults, overlap, rebalance,
+    serve, spgemm, table1, updates,
 };
 use dspgemm_bench::Config;
 
@@ -120,10 +124,34 @@ fn main() {
                     .unwrap_or_else(|| usage());
                 i += 1;
             }
+            "--crash-batch" => {
+                cfg.crash_batch = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 1;
+            }
+            "--anchor-period" => {
+                cfg.anchor_period = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 1;
+            }
             "--smoke" => {
-                let keep = (cfg.rebalance_threshold, cfg.rebalance_cooldown);
+                let keep = (
+                    cfg.rebalance_threshold,
+                    cfg.rebalance_cooldown,
+                    cfg.crash_batch,
+                    cfg.anchor_period,
+                );
                 cfg = Config::smoke();
-                (cfg.rebalance_threshold, cfg.rebalance_cooldown) = keep;
+                (
+                    cfg.rebalance_threshold,
+                    cfg.rebalance_cooldown,
+                    cfg.crash_batch,
+                    cfg.anchor_period,
+                ) = keep;
             }
             "--trace-out" => {
                 trace_out = Some(args.get(i + 1).map(Into::into).unwrap_or_else(|| usage()));
@@ -211,6 +239,7 @@ fn main() {
             "commavoid" => commavoid::run(&cfg),
             "balance" => balance::run(&cfg),
             "rebalance" => rebalance::run(&cfg),
+            "faults" => faults::run(&cfg),
             "serve" => serve::run(&cfg),
             "ablation-redist" => ablations::redistribution(&cfg),
             "ablation-bloom" => ablations::bloom_filter(&cfg),

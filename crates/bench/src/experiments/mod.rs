@@ -12,6 +12,7 @@
 //! | [`commavoid`] | virtual transposition (§V-C) + inter-batch redistribution lookahead: transpose exchange eliminated from the wire, redistribution hidden under SpGEMM (beyond the paper) |
 //! | [`balance`] | contiguous vs. flop-balanced vs. work-stealing local-kernel schedules: thread-level flop imbalance on skewed proxies (beyond the paper) |
 //! | [`rebalance`] | metrics-driven inter-rank rebalancing: adaptive 2D block cuts + stripe migration vs. the static uniform layout on a clustered skewed stream (beyond the paper) |
+//! | [`faults`] | fault injection & epoch-anchored recovery: crash + rollback/replay and delay-storm arms vs. the fault-free reference, bit-identical products (beyond the paper) |
 //! | [`analytics`] | maintained-view serving vs. static recomputation (the `dspgemm-analytics` layer; beyond the paper) |
 //! | [`serve`] | snapshot-isolated query serving vs. blocking baseline: query p50/p99, stale-read distance, epoch retention (beyond the paper) |
 
@@ -21,6 +22,7 @@ pub mod balance;
 pub mod commavoid;
 pub mod construction;
 pub mod copy_elim;
+pub mod faults;
 pub mod overlap;
 pub mod rebalance;
 pub mod serve;

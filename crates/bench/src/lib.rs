@@ -39,6 +39,12 @@ pub struct Config {
     pub rebalance_threshold: f64,
     /// Minimum epochs between migrations in the adaptive arm.
     pub rebalance_cooldown: u64,
+    /// Batch at which the crash arm of `repro faults` kills a rank
+    /// (`>= batches` disables the crash — the CI absence check).
+    pub crash_batch: u64,
+    /// Committed epochs between copy-on-write recovery anchors in
+    /// `repro faults`.
+    pub anchor_period: u64,
 }
 
 impl Default for Config {
@@ -58,6 +64,8 @@ impl Default for Config {
             batch_size: 4096,
             rebalance_threshold: 1.5,
             rebalance_cooldown: 2,
+            crash_batch: 1,
+            anchor_period: 2,
         }
     }
 }
@@ -75,6 +83,8 @@ impl Config {
             batch_size: 4096,
             rebalance_threshold: 1.5,
             rebalance_cooldown: 2,
+            crash_batch: 1,
+            anchor_period: 2,
         }
     }
 }

@@ -296,6 +296,31 @@ impl<V: Elem> DistMat<V> {
         self.csr_cache.is_some()
     }
 
+    /// Restores the local block from a previously published snapshot image
+    /// — the rollback primitive of epoch-anchored recovery. The dynamic
+    /// block is rebuilt from the image's triples and the image `Arc` itself
+    /// becomes the CSR cache, so the first post-rollback publish re-shares
+    /// the anchor's image by refcount increment (no rebuild, bit-identical
+    /// to the pinned epoch). Pinned snapshots of rolled-back epochs are
+    /// untouched: only the working block is replaced.
+    ///
+    /// # Panics
+    /// Panics if the image shape does not match this rank's block shape —
+    /// recovery never changes the layout, so a mismatch is a protocol bug.
+    pub fn restore_image(&mut self, image: Arc<Csr<V>>, threads: usize) {
+        assert_eq!(
+            (image.nrows(), image.ncols()),
+            (self.info.local_rows(), self.info.local_cols()),
+            "restore_image: anchor image shape does not match the local block"
+        );
+        self.block = DhbMatrix::new(self.info.local_rows(), self.info.local_cols());
+        let local = image.to_triples();
+        if !local.is_empty() {
+            crate::update::apply_local_triples_set(&mut self.block, &local, threads);
+        }
+        self.csr_cache = Some(image);
+    }
+
     /// Snapshot of the local block as a DCSR.
     pub fn block_dcsr(&self) -> Dcsr<V> {
         self.block.to_dcsr()

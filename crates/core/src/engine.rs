@@ -18,15 +18,21 @@ use crate::exec::Exec;
 use crate::grid::Grid;
 use crate::layout::Layout;
 use crate::rebalance::{imbalance, read_rank_load_gauges, RebalanceConfig, Rebalancer};
+use crate::recovery::{
+    Anchor, LoggedBatch, MatImage, RecoveryConfig, RecoveryReport, RecoveryState, ReplicaBundle,
+    TAG_ANCHOR, TAG_REBUILD, TAG_WAL,
+};
 use crate::snapshot::{Snapshot, SnapshotMat, SnapshotStore};
 use crate::summa::{summa_bloom_exec, summa_exec};
 use crate::update::{
     start_update_matrix_in, start_update_matrix_pair_in, Dedup, PendingStarPair,
     PendingUpdateMatrix,
 };
+use dspgemm_mpi::{catch_comm_mut, CommError};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Index, Triple};
 use dspgemm_util::stats::PhaseTimer;
+use dspgemm_util::WireSize;
 use std::sync::Arc;
 
 /// An algebraic batch whose redistribution row-phase `IALLTOALLV`s are in
@@ -87,6 +93,10 @@ pub struct DynSpGemm<S: Semiring> {
     /// [`DynSpGemm::enable_rebalancing`]; `None` keeps the distribution
     /// static, the pre-rebalancing behavior).
     rebalancer: Option<Rebalancer>,
+    /// Epoch-anchored recovery state (opt-in via
+    /// [`DynSpGemm::enable_recovery`]; mutually exclusive with
+    /// rebalancing).
+    recovery: Option<RecoveryState<S::Elem>>,
 }
 
 impl<S: Semiring> DynSpGemm<S> {
@@ -133,6 +143,7 @@ impl<S: Semiring> DynSpGemm<S> {
             dirty: false,
             pending: None,
             rebalancer: None,
+            recovery: None,
         };
         // Epoch 0: the initial product, queryable before any batch.
         eng.publish();
@@ -251,6 +262,19 @@ impl<S: Semiring> DynSpGemm<S> {
         b_updates: Vec<Triple<S::Elem>>,
     ) {
         self.flush(grid);
+        self.apply_algebraic_core(grid, a_updates, b_updates);
+    }
+
+    /// The collective body of an algebraic batch, shared between
+    /// [`DynSpGemm::apply_algebraic`], the fault-tolerant
+    /// [`DynSpGemm::try_apply_algebraic`], and recovery replay. Assumes any
+    /// pending submitted batch was already flushed.
+    fn apply_algebraic_core(
+        &mut self,
+        grid: &Grid,
+        a_updates: Vec<Triple<S::Elem>>,
+        b_updates: Vec<Triple<S::Elem>>,
+    ) {
         let _sp = dspgemm_obs::span("engine", "apply_algebraic")
             .attr("updates", (a_updates.len() + b_updates.len()) as u64);
         self.dirty = true;
@@ -485,6 +509,10 @@ impl<S: Semiring> DynSpGemm<S> {
             an == ac && bn == bc && an == bn,
             "rebalancing requires square operands of one size (got A {an}x{ac}, B {bn}x{bc})"
         );
+        assert!(
+            self.recovery.is_none(),
+            "rebalancing and epoch-anchored recovery are mutually exclusive (anchors pin a layout)"
+        );
         self.rebalancer = Some(Rebalancer::new(cfg));
     }
 
@@ -581,6 +609,493 @@ impl<S: Semiring> DynSpGemm<S> {
         self.publish();
         true
     }
+
+    // ------------------------------------------------------------------
+    // Epoch-anchored recovery (see `crate::recovery` for the protocol)
+    // ------------------------------------------------------------------
+
+    /// Opts this session into epoch-anchored recovery: batches applied
+    /// through [`DynSpGemm::try_apply_algebraic`] are write-ahead logged and
+    /// replicated to the buddy rank `(r + 1) mod p`, periodic anchors bound
+    /// replay, and [`DynSpGemm::recover`] /
+    /// [`DynSpGemm::recover_as_replacement`] restore the grid after a rank
+    /// failure. Collective over the grid (the initial anchor is exchanged
+    /// buddy-to-buddy). Requires a published, batch-free state — enable
+    /// right after construction or after an explicit publish.
+    ///
+    /// # Panics
+    /// Panics if recovery is already enabled, if rebalancing is enabled
+    /// (anchors pin a layout), if a submitted batch is pending, or if a
+    /// committed batch has not been published yet.
+    pub fn enable_recovery(&mut self, grid: &Grid, cfg: RecoveryConfig) {
+        assert!(self.recovery.is_none(), "recovery is already enabled");
+        assert!(
+            self.rebalancer.is_none(),
+            "rebalancing and epoch-anchored recovery are mutually exclusive (anchors pin a layout)"
+        );
+        assert!(
+            self.pending.is_none(),
+            "flush() the submitted algebraic batch before enable_recovery()"
+        );
+        assert!(
+            !self.dirty,
+            "publish() committed batches before enable_recovery()"
+        );
+        assert!(cfg.anchor_period >= 1, "anchor_period must be at least 1");
+        assert!(cfg.max_log >= 1, "max_log must be at least 1");
+        let anchor = self.capture_anchor();
+        let world = grid.world();
+        let (p, me) = (world.size(), world.rank());
+        let (succ, pred) = ((me + 1) % p, (me + p - 1) % p);
+        let got: Anchor<S::Elem> = world.sendrecv(succ, anchor.clone(), pred, TAG_ANCHOR);
+        self.recovery = Some(RecoveryState {
+            cfg,
+            newest: anchor,
+            prev: None,
+            log: Vec::new(),
+            replica: ReplicaBundle {
+                newest: got,
+                prev: None,
+                log: Vec::new(),
+            },
+        });
+    }
+
+    /// The recovery state, when enabled (anchor/log diagnostics for tests
+    /// and experiments).
+    pub fn recovery(&self) -> Option<&RecoveryState<S::Elem>> {
+        self.recovery.as_ref()
+    }
+
+    /// Fault-tolerant [`DynSpGemm::apply_algebraic`]: write-ahead logs the
+    /// batch locally and at the buddy rank, applies it, then passes a
+    /// grid-wide agreement fence — so a batch whose epoch *any* rank
+    /// publishes is guaranteed logged on *every* rank, and replay after a
+    /// failure can always reach the commit frontier. Returns `Err` when a
+    /// peer failure (or this rank's own injected crash) interrupts the
+    /// batch; the caller then runs [`DynSpGemm::recover`] (survivors) or
+    /// [`DynSpGemm::recover_as_replacement`] (the crashed rank) and
+    /// re-submits every batch the returned report says did not commit.
+    ///
+    /// Recovery mode requires the publish-per-batch discipline: call
+    /// [`DynSpGemm::publish`] after every `Ok` before the next batch (the
+    /// log keys batches by published epoch).
+    ///
+    /// # Panics
+    /// Panics if recovery is not enabled, a submitted batch is pending, or
+    /// the previous committed batch was not published.
+    pub fn try_apply_algebraic(
+        &mut self,
+        grid: &Grid,
+        a_updates: Vec<Triple<S::Elem>>,
+        b_updates: Vec<Triple<S::Elem>>,
+    ) -> Result<(), CommError> {
+        assert!(
+            self.recovery.is_some(),
+            "enable_recovery() before try_apply_algebraic()"
+        );
+        assert!(
+            self.pending.is_none(),
+            "recovery mode is incompatible with the submit/flush lookahead"
+        );
+        assert!(
+            !self.dirty,
+            "recovery mode requires publish() after every committed batch"
+        );
+        // Deterministic anchor refresh at batch boundaries: both triggers
+        // key on counters that move in lockstep across ranks, so every rank
+        // refreshes at the same batch.
+        {
+            let rec = self.recovery.as_ref().expect("checked above");
+            let window = self.snapshots.published() - rec.newest.published;
+            if window >= rec.cfg.anchor_period || rec.log.len() >= rec.cfg.max_log {
+                self.refresh_anchor(grid)?;
+            }
+        }
+        let world = grid.world();
+        let (p, me) = (world.size(), world.rank());
+        let (succ, pred) = ((me + 1) % p, (me + p - 1) % p);
+        let entry = LoggedBatch {
+            epoch: self.snapshots.published(),
+            a_ups: a_updates,
+            b_ups: b_updates,
+        };
+        // Write-ahead: ship the entry to the buddy before applying anything.
+        // Local append happens only after the exchange completes, so a rank
+        // that errors here retries the same batch cleanly after recovery.
+        let got: LoggedBatch<S::Elem> =
+            catch_comm_mut(|| world.sendrecv(succ, entry.clone(), pred, TAG_WAL))?;
+        {
+            let rec = self.recovery.as_mut().expect("checked above");
+            rec.log.push(entry.clone());
+            rec.replica.log.push(got);
+        }
+        catch_comm_mut(|| {
+            self.apply_algebraic_core(grid, entry.a_ups, entry.b_ups);
+            // Post-batch agreement fence: a failed rank cannot contribute,
+            // so completing it proves every rank logged and applied the
+            // batch — the publish that follows is then safe to count as
+            // committed.
+            let n = world.allreduce(1u64, |x, y| x + y);
+            debug_assert_eq!(n as usize, p, "agreement fence lost a contribution");
+        })
+    }
+
+    /// Captures a full rollback anchor of the current published state
+    /// (copy-on-write: warm blocks re-share their snapshot `Arc`s).
+    fn capture_anchor(&mut self) -> Anchor<S::Elem> {
+        Anchor {
+            published: self.snapshots.published(),
+            flops: self.flops,
+            a: MatImage::capture(&mut self.a),
+            b: MatImage::capture(&mut self.b),
+            c: MatImage::capture(&mut self.c),
+            f: self.f.as_mut().map(MatImage::capture),
+        }
+    }
+
+    /// Captures a new anchor and exchanges it with the buddy ring, then
+    /// commits the two-window rotation on both the own and the replica
+    /// side. Windows move only after the exchange completes: a crash racing
+    /// the refresh leaves every surviving rank holding its old windows, and
+    /// the rank-minimum rollback agreement in [`DynSpGemm::recover`] picks
+    /// the anchor all ranks still share.
+    fn refresh_anchor(&mut self, grid: &Grid) -> Result<(), CommError> {
+        let _sp = dspgemm_obs::span("engine", "anchor_refresh")
+            .attr("published", self.snapshots.published());
+        let anchor = self.capture_anchor();
+        let world = grid.world();
+        let (p, me) = (world.size(), world.rank());
+        let (succ, pred) = ((me + 1) % p, (me + p - 1) % p);
+        let got: Anchor<S::Elem> =
+            catch_comm_mut(|| world.sendrecv(succ, anchor.clone(), pred, TAG_ANCHOR))?;
+        let rec = self.recovery.as_mut().expect("recovery enabled");
+        rec.prev = Some(std::mem::replace(&mut rec.newest, anchor));
+        let keep_from = rec.prev.as_ref().expect("just set").published;
+        rec.log.retain(|e| e.epoch >= keep_from);
+        let old = std::mem::replace(&mut rec.replica.newest, got);
+        let replica_keep_from = old.published;
+        rec.replica.prev = Some(old);
+        rec.replica.log.retain(|e| e.epoch >= replica_keep_from);
+        Ok(())
+    }
+
+    /// Rolls the live matrices and counters back to an anchor. Pinned
+    /// snapshots of rolled-back epochs are untouched — only the working
+    /// blocks are replaced, and they re-share the anchor's images
+    /// copy-on-write.
+    fn restore_anchor(&mut self, anchor: &Anchor<S::Elem>) {
+        let threads = self.exec.threads;
+        anchor.a.restore_into(&mut self.a, threads);
+        anchor.b.restore_into(&mut self.b, threads);
+        anchor.c.restore_into(&mut self.c, threads);
+        match (&mut self.f, &anchor.f) {
+            (Some(f), Some(img)) => img.restore_into(f, threads),
+            (None, None) => {}
+            _ => panic!("anchor filter presence must match the session's track_filter"),
+        }
+        self.flops = anchor.flops;
+        self.dirty = false;
+    }
+
+    /// Replays logged batches in epoch order through the normal collective
+    /// apply path, publishing a catch-up epoch whenever this rank's counter
+    /// lags the entry's (so all ranks' epoch numbering realigns at the
+    /// commit frontier). Collective: every rank replays the same number of
+    /// entries.
+    fn replay(&mut self, grid: &Grid, entries: Vec<LoggedBatch<S::Elem>>) {
+        for e in entries {
+            let target = e.epoch;
+            self.apply_algebraic_core(grid, e.a_ups, e.b_ups);
+            if self.snapshots.published() <= target {
+                debug_assert_eq!(
+                    self.snapshots.published(),
+                    target,
+                    "replay publishes must stay contiguous"
+                );
+                self.publish();
+            }
+        }
+    }
+
+    /// Publishes the uniform post-recovery epoch, captures a fresh anchor
+    /// at it, exchanges anchors around the buddy ring and resets every log
+    /// window — restoring the full recovery invariant (including the
+    /// replacement rank's replica of *its* predecessor, which the crash
+    /// destroyed). Collective.
+    fn reanchor(&mut self, grid: &Grid, cfg: RecoveryConfig) {
+        self.publish();
+        let anchor = self.capture_anchor();
+        let world = grid.world();
+        let (p, me) = (world.size(), world.rank());
+        let (succ, pred) = ((me + 1) % p, (me + p - 1) % p);
+        let got: Anchor<S::Elem> = world.sendrecv(succ, anchor.clone(), pred, TAG_ANCHOR);
+        self.recovery = Some(RecoveryState {
+            cfg,
+            newest: anchor,
+            prev: None,
+            log: Vec::new(),
+            replica: ReplicaBundle {
+                newest: got,
+                prev: None,
+                log: Vec::new(),
+            },
+        });
+    }
+
+    /// Recovers a *surviving* rank after a peer failure surfaced as
+    /// `Err(CommError::PeerFailed { .. })` from
+    /// [`DynSpGemm::try_apply_algebraic`]: advances the communicator
+    /// recovery epoch, agrees on the failed set, ships the replica bundle
+    /// to the replacement (if this rank is the failed rank's buddy), rolls
+    /// back to the grid-minimum anchor and deterministically replays to the
+    /// grid-maximum commit frontier. Collective — every surviving rank
+    /// calls `recover` while the failed rank calls
+    /// [`DynSpGemm::recover_as_replacement`], in the same incident.
+    ///
+    /// Returns an allreduced [`RecoveryReport`]; the caller re-submits every
+    /// batch whose publish would be epoch `>= committed_publishes`.
+    pub fn recover(&mut self, grid: &Grid) -> RecoveryReport {
+        assert!(
+            self.recovery.is_some(),
+            "enable_recovery() before recover()"
+        );
+        // A submitted batch cannot be pending: recovery mode forbids the
+        // lookahead, and a panic-unwound batch never parks one.
+        assert!(self.pending.is_none(), "recovery found a pending batch");
+        let mut sp = dspgemm_obs::span("engine", "recover");
+        let world = grid.world();
+        let (p, me) = (world.size(), world.rank());
+        assert!(p <= 64, "failure agreement uses a 64-bit rank mask");
+        // (1) Enter the next recovery epoch and rendezvous under it: stale
+        // traffic from the interrupted batch is dropped, early traffic from
+        // ranks already recovering was buffered and now matches.
+        let recovery_epoch = grid.advance_recovery_epoch();
+        world.barrier();
+        // (2) Agree on the failed set (consumed failure markers, OR-ed).
+        let mine: u64 = world
+            .take_failed_ranks()
+            .iter()
+            .fold(0, |m, &r| m | (1u64 << r));
+        let mask = world.allreduce(mine, |a, b| a | b);
+        assert_eq!(
+            mask.count_ones(),
+            1,
+            "recovery handles one failure per incident (failed mask {mask:#x})"
+        );
+        let failed = mask.trailing_zeros() as usize;
+        assert_ne!(failed, me, "a crashed rank must recover_as_replacement()");
+        let detect_local = world.last_failure_detect_ns();
+        // (3) The failed rank's buddy ships it the replica bundle.
+        let shipped = if me == (failed + 1) % p {
+            let bundle = self
+                .recovery
+                .as_ref()
+                .expect("checked above")
+                .replica
+                .clone();
+            let bytes = bundle.wire_bytes();
+            world.send(failed, TAG_REBUILD, bundle);
+            bytes
+        } else {
+            0
+        };
+        let rebuild_bytes = world.allreduce(shipped, |a, b| a + b);
+        // (4) Commit frontier P*: the furthest published count any rank
+        // reached. The agreement fence guarantees every batch below it is
+        // logged grid-wide.
+        let p_star = world.allreduce(self.snapshots.published(), |a, b| a.max(b));
+        // (5) Rollback anchor A: the newest anchor *every* rank still holds
+        // (two-window retention covers a crash racing a refresh).
+        let a_min = world.allreduce(
+            self.recovery
+                .as_ref()
+                .expect("checked above")
+                .newest
+                .published,
+            |a, b| a.min(b),
+        );
+        // (6) Roll back.
+        let rolled_back = self.snapshots.published() - a_min;
+        let anchor = {
+            let rec = self.recovery.as_ref().expect("checked above");
+            if rec.newest.published == a_min {
+                rec.newest.clone()
+            } else {
+                let prev = rec.prev.as_ref().expect(
+                    "rollback target predates the newest anchor but no prev window is held",
+                );
+                assert_eq!(
+                    prev.published, a_min,
+                    "two-window retention must cover the agreed rollback anchor"
+                );
+                prev.clone()
+            }
+        };
+        self.restore_anchor(&anchor);
+        // (7) Deterministic replay of the committed window [A, P*).
+        let entries: Vec<LoggedBatch<S::Elem>> = self
+            .recovery
+            .as_ref()
+            .expect("checked above")
+            .log
+            .iter()
+            .filter(|e| e.epoch >= a_min && e.epoch < p_star)
+            .cloned()
+            .collect();
+        assert_eq!(
+            entries.len() as u64,
+            p_star - a_min,
+            "write-ahead log must cover every committed epoch past the rollback anchor"
+        );
+        let replayed = entries.len() as u64;
+        self.replay(grid, entries);
+        // (8) Uniform re-anchor at the recovered frontier.
+        let cfg = self.recovery.as_ref().expect("checked above").cfg;
+        self.reanchor(grid, cfg);
+        // (9) Fence, then agree on the report numbers.
+        world.barrier();
+        let detect_ns = world.allreduce(detect_local, |a, b| a.max(b));
+        let rollback_epochs = world.allreduce(rolled_back, |a, b| a.max(b));
+        sp.set_attr("failed_rank", failed as u64);
+        sp.set_attr("replayed_batches", replayed);
+        sp.set_attr("rollback_epochs", rollback_epochs);
+        record_recovery_metrics(detect_ns, rollback_epochs, replayed, rebuild_bytes);
+        RecoveryReport {
+            failed_ranks: vec![failed],
+            committed_publishes: p_star,
+            rollback_epochs,
+            replayed_batches: replayed,
+            rebuild_bytes,
+            detect_ns,
+            recovery_epoch,
+        }
+    }
+
+    /// Rebuilds the *failed* rank as a replacement after its own injected
+    /// crash surfaced as `Err(CommError::Crashed { .. })`: the old session
+    /// is gone (drop it), this constructor receives the replica bundle from
+    /// the buddy, rebuilds the matrices at the agreed rollback anchor and
+    /// replays the crashed rank's own logged inputs alongside the
+    /// survivors' [`DynSpGemm::recover`] — the identical collective
+    /// sequence, so the grid stays in lockstep. `exec` and `transpose_mode`
+    /// must match the original session's (rank-uniform settings).
+    pub fn recover_as_replacement(
+        grid: &Grid,
+        exec: Exec<S>,
+        transpose_mode: TransposeMode,
+        cfg: RecoveryConfig,
+    ) -> (Self, RecoveryReport) {
+        let mut sp = dspgemm_obs::span("engine", "recover").attr("replacement", 1);
+        let world = grid.world();
+        let (p, me) = (world.size(), world.rank());
+        assert!(p <= 64, "failure agreement uses a 64-bit rank mask");
+        // (1) Same rendezvous as the survivors.
+        let recovery_epoch = grid.advance_recovery_epoch();
+        world.barrier();
+        // (2) This rank *is* the failure.
+        let mask = world.allreduce(1u64 << me, |a, b| a | b);
+        assert_eq!(
+            mask.count_ones(),
+            1,
+            "recovery handles one failure per incident (failed mask {mask:#x})"
+        );
+        assert_eq!(
+            mask.trailing_zeros() as usize,
+            me,
+            "replacement rank disagrees with the grid about who failed"
+        );
+        // (3) Receive the replica bundle from the buddy.
+        let bundle: ReplicaBundle<S::Elem> = world.recv((me + 1) % p, TAG_REBUILD);
+        let rebuild_bytes = world.allreduce(0u64, |a, b| a + b);
+        // (4)(5) Frontier and rollback agreement: this rank's published
+        // count is lost with the crash, so it contributes the identities.
+        let p_star = world.allreduce(0u64, |a, b| a.max(b));
+        let a_min = world.allreduce(bundle.newest.published, |a, b| a.min(b));
+        // (6) Rebuild at the rollback anchor.
+        let ReplicaBundle { newest, prev, log } = bundle;
+        let anchor = if newest.published == a_min {
+            newest
+        } else {
+            let prev = prev.expect(
+                "rollback target predates the newest anchor but no prev window was shipped",
+            );
+            assert_eq!(
+                prev.published, a_min,
+                "two-window retention must cover the agreed rollback anchor"
+            );
+            prev
+        };
+        let threads = exec.threads;
+        let mut snapshots = SnapshotStore::new();
+        snapshots.resume_at(a_min);
+        let mut eng = Self {
+            a: anchor.a.build(grid, threads),
+            b: anchor.b.build(grid, threads),
+            c: anchor.c.build(grid, threads),
+            f: anchor.f.as_ref().map(|img| img.build(grid, threads)),
+            exec,
+            timer: PhaseTimer::new(),
+            flops: anchor.flops,
+            transpose_mode,
+            snapshots,
+            dirty: false,
+            pending: None,
+            rebalancer: None,
+            recovery: None,
+        };
+        // (7) Replay the crashed rank's own logged inputs.
+        let entries: Vec<LoggedBatch<S::Elem>> = log
+            .into_iter()
+            .filter(|e| e.epoch >= a_min && e.epoch < p_star)
+            .collect();
+        assert_eq!(
+            entries.len() as u64,
+            p_star - a_min,
+            "replica log must cover every committed epoch past the rollback anchor"
+        );
+        let replayed = entries.len() as u64;
+        eng.replay(grid, entries);
+        // (8) Uniform re-anchor — this also rebuilds the replica this rank
+        // should hold for its predecessor, which died with the crash.
+        eng.reanchor(grid, cfg);
+        // (9) Fence + report (this rank detected nothing and rolled back
+        // nothing it still knows about; the allreduces fill in the grid
+        // view).
+        world.barrier();
+        let detect_ns = world.allreduce(0u64, |a, b| a.max(b));
+        let rollback_epochs = world.allreduce(0u64, |a, b| a.max(b));
+        sp.set_attr("failed_rank", me as u64);
+        sp.set_attr("replayed_batches", replayed);
+        sp.set_attr("rollback_epochs", rollback_epochs);
+        record_recovery_metrics(detect_ns, rollback_epochs, replayed, rebuild_bytes);
+        let report = RecoveryReport {
+            failed_ranks: vec![me],
+            committed_publishes: p_star,
+            rollback_epochs,
+            replayed_batches: replayed,
+            rebuild_bytes,
+            detect_ns,
+            recovery_epoch,
+        };
+        (eng, report)
+    }
+}
+
+/// Publishes the `engine.recovery.*` metrics one completed recovery emits
+/// (each rank records the allreduced, grid-agreed values).
+fn record_recovery_metrics(
+    detect_ns: u64,
+    rollback_epochs: u64,
+    replayed: u64,
+    rebuild_bytes: u64,
+) {
+    let reg = dspgemm_obs::global();
+    reg.counter_add("engine.recovery.count", 1);
+    reg.gauge_set("engine.recovery.detect_ns", detect_ns as f64);
+    reg.gauge_set("engine.recovery.rollback_epochs", rollback_epochs as f64);
+    reg.gauge_set("engine.recovery.replayed_batches", replayed as f64);
+    reg.gauge_set("engine.recovery.rebuild_bytes", rebuild_bytes as f64);
 }
 
 #[cfg(test)]

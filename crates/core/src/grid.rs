@@ -100,6 +100,19 @@ impl Grid {
     pub fn transpose_rank(&self) -> usize {
         self.rank_of(self.j, self.i)
     }
+
+    /// Advances this rank into the next recovery epoch on every grid
+    /// communicator after a detected failure: the endpoint-level advance
+    /// (buffered-traffic purge + progress-table clear) runs once through
+    /// the world dup, and all three communicators restart their collective
+    /// sequences in lockstep. Local; callers must barrier afterwards (see
+    /// `dspgemm_mpi::Comm::advance_recovery_epoch`). Returns the new epoch.
+    pub fn advance_recovery_epoch(&self) -> u64 {
+        let epoch = self.world.advance_recovery_epoch();
+        self.row_comm.reset_collective_seq();
+        self.col_comm.reset_collective_seq();
+        epoch
+    }
 }
 
 /// Contiguous block decomposition of `0..n` into `q` near-equal ranges:

@@ -11,6 +11,10 @@
 //!   load gauges the engine publishes each epoch and, past a configurable
 //!   imbalance threshold, migrates block boundaries (stripe
 //!   re-redistribution) to a freshly solved layout.
+//! * [`recovery`] — fault tolerance for engine sessions: per-batch
+//!   write-ahead logs replicated to a buddy rank, periodic copy-on-write
+//!   epoch anchors, and deterministic rollback + replay after a rank
+//!   failure (including full replacement-rank rebuild).
 //! * [`distmat`] — dynamic distributed matrices ([`DistMat`], DHB blocks)
 //!   and hypersparse distributed update matrices ([`DistDcsr`]).
 //! * [`redistribute`] — the two-phase counting-sort/alltoall update
@@ -95,6 +99,7 @@ pub mod grid;
 pub mod layout;
 pub mod pipeline;
 pub mod rebalance;
+pub mod recovery;
 pub mod redistribute;
 pub mod snapshot;
 pub mod spmv;
@@ -107,6 +112,7 @@ pub use exec::Exec;
 pub use grid::Grid;
 pub use layout::Layout;
 pub use rebalance::{RebalanceConfig, Rebalancer};
+pub use recovery::{RecoveryConfig, RecoveryReport};
 pub use snapshot::{Snapshot, SnapshotMat, SnapshotStore};
 
 /// Phase names used by the SpGEMM breakdown (the paper's Fig. 12 series).

@@ -1,0 +1,338 @@
+//! Epoch-anchored recovery: write-ahead logging, buddy replication and
+//! deterministic replay for [`crate::engine::DynSpGemm`] sessions.
+//!
+//! ## Failure model
+//!
+//! One rank fail-stops per incident (a simulated crash injected by
+//! [`dspgemm_mpi::FaultPlan`]); every other rank survives and observes the
+//! failure as a typed [`dspgemm_mpi::CommError`] raised out of whatever
+//! communication call it was blocked in. The failed rank's *thread* is still
+//! alive in the simulator — it catches its own `Crashed` error and rejoins
+//! the grid as the **replacement** for itself, rebuilding its lost state from
+//! its buddy's replica.
+//!
+//! ## Protocol invariants
+//!
+//! * **Write-ahead discipline** — a batch is applied only after its inputs
+//!   are logged locally *and* at the buddy rank `(r + 1) mod p`; a post-batch
+//!   agreement fence (an allreduce no failed rank can complete) guarantees
+//!   that a *committed* batch — one whose epoch any rank published — is
+//!   logged everywhere. Replay therefore always finds the inputs it needs.
+//! * **Epoch anchors** — every `anchor_period` committed batches each rank
+//!   captures a full [`Anchor`] (copy-on-write `Arc` images of `A`, `B`, `C`
+//!   and `F`, plus the published-epoch counter and the flop counter) and
+//!   ships it to its buddy. The log is truncated to the window since the
+//!   *previous* anchor: two anchor windows are always retained, so a crash
+//!   racing an anchor refresh still leaves every rank holding the
+//!   rank-minimum anchor the grid agrees to roll back to.
+//! * **Deterministic replay** — recovery rolls every rank back to the agreed
+//!   anchor `A` and re-applies the logged batches up to the agreed commit
+//!   frontier `P*` (the maximum published count any rank reached). Each rank
+//!   replays its *own* original inputs, so the collective schedule and the
+//!   resulting matrices are bit-identical to the fault-free execution.
+//!   Rolled-back epochs that readers still pin stay untouched (the snapshot
+//!   layer is immutable), and catch-up publishes realign every rank's epoch
+//!   counter at `P*`.
+//!
+//! Scope (asserted, not silently assumed): one failure per incident, the
+//! buddy of a failed rank alive, recovery mutually exclusive with dynamic
+//! rebalancing (anchors pin a layout) and with the submit/flush lookahead
+//! (the log records committed batch boundaries only).
+
+use crate::distmat::{DistMat, Elem};
+use crate::grid::Grid;
+use crate::layout::Layout;
+use dspgemm_sparse::{Csr, Index, Triple};
+use dspgemm_util::WireSize;
+use std::sync::Arc;
+
+/// User tag of the per-batch write-ahead-log buddy exchange.
+pub(crate) const TAG_WAL: u64 = 110;
+/// User tag of the anchor-refresh buddy exchange.
+pub(crate) const TAG_ANCHOR: u64 = 111;
+/// User tag of the replica shipment that rebuilds a replacement rank.
+pub(crate) const TAG_REBUILD: u64 = 112;
+
+/// Tuning knobs of the recovery layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Committed batches between anchor captures. Smaller = cheaper replay,
+    /// more anchor traffic.
+    pub anchor_period: u64,
+    /// Hard bound on the retained log window (entries since the previous
+    /// anchor); reaching it forces an anchor refresh even mid-period.
+    pub max_log: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            anchor_period: 4,
+            max_log: 16,
+        }
+    }
+}
+
+/// One write-ahead-logged algebraic batch: the rank's *own* original inputs,
+/// tagged with the epoch its commit publishes (the published-epoch counter at
+/// append time). Replaying every rank's own entries in epoch order re-runs
+/// the identical collective schedule.
+#[derive(Debug, Clone)]
+pub struct LoggedBatch<V> {
+    /// The epoch this batch's publish produces.
+    pub epoch: u64,
+    /// This rank's share of the `A` updates, exactly as passed in.
+    pub a_ups: Vec<Triple<V>>,
+    /// This rank's share of the `B` updates, exactly as passed in.
+    pub b_ups: Vec<Triple<V>>,
+}
+
+impl<V: WireSize> WireSize for LoggedBatch<V> {
+    fn wire_bytes(&self) -> u64 {
+        self.epoch.wire_bytes() + self.a_ups.wire_bytes() + self.b_ups.wire_bytes()
+    }
+}
+
+/// A shippable copy-on-write image of one rank's block of a distributed
+/// matrix: the shared CSR the snapshot layer already maintains, plus enough
+/// layout to rebuild the [`DistMat`] from nothing on a replacement rank.
+#[derive(Debug, Clone)]
+pub struct MatImage<V> {
+    /// Global row count.
+    pub nrows: Index,
+    /// Global column count.
+    pub ncols: Index,
+    /// Row cut points of the layout the image was captured under.
+    pub row_cuts: Vec<Index>,
+    /// Column cut points of the layout the image was captured under.
+    pub col_cuts: Vec<Index>,
+    /// The rank's block content (shared — capture is a refcount increment
+    /// whenever the snapshot cache is warm).
+    pub image: Arc<Csr<V>>,
+}
+
+impl<V: WireSize> WireSize for MatImage<V> {
+    fn wire_bytes(&self) -> u64 {
+        self.nrows.wire_bytes()
+            + self.ncols.wire_bytes()
+            + self.row_cuts.wire_bytes()
+            + self.col_cuts.wire_bytes()
+            + self.image.wire_bytes()
+    }
+}
+
+impl<V: Elem> MatImage<V> {
+    /// Captures the matrix's current block image (copy-on-write: warms the
+    /// CSR cache if the last batch touched the block, re-shares it
+    /// otherwise).
+    pub(crate) fn capture(mat: &mut DistMat<V>) -> Self {
+        let image = mat.snapshot_csr();
+        let info = mat.info();
+        let layout = info.layout();
+        Self {
+            nrows: info.nrows,
+            ncols: info.ncols,
+            row_cuts: layout.row_cuts().to_vec(),
+            col_cuts: layout.col_cuts().to_vec(),
+            image,
+        }
+    }
+
+    /// Rolls an existing matrix back to this image. Recovery never migrates
+    /// layouts, so the image's cuts must match the matrix's current ones.
+    pub(crate) fn restore_into(&self, mat: &mut DistMat<V>, threads: usize) {
+        let layout = mat.info().layout();
+        assert!(
+            layout.row_cuts() == &self.row_cuts[..] && layout.col_cuts() == &self.col_cuts[..],
+            "anchor layout does not match the live matrix (recovery excludes rebalancing)"
+        );
+        mat.restore_image(Arc::clone(&self.image), threads);
+    }
+
+    /// Builds a fresh [`DistMat`] holding this image — the replacement-rank
+    /// rebuild path, which has no prior matrix to roll back.
+    pub(crate) fn build(&self, grid: &Grid, threads: usize) -> DistMat<V> {
+        let layout = Arc::new(Layout::from_cuts(
+            self.row_cuts.clone(),
+            self.col_cuts.clone(),
+        ));
+        assert_eq!(
+            (layout.nrows(), layout.ncols()),
+            (self.nrows, self.ncols),
+            "anchor image cuts inconsistent with its global shape"
+        );
+        let mut mat = DistMat::empty_in(grid, &layout);
+        mat.restore_image(Arc::clone(&self.image), threads);
+        mat
+    }
+}
+
+/// A full rollback point: copy-on-write images of all session matrices plus
+/// the counters replay must restart from. `published` is the value of the
+/// published-epoch counter at capture — i.e. the epoch the *next* publish
+/// produces — so replaying entries with `epoch >= published` on top of the
+/// anchor reproduces the fault-free state exactly.
+#[derive(Debug, Clone)]
+pub struct Anchor<V> {
+    /// Published-epoch counter at capture (= next epoch number).
+    pub published: u64,
+    /// Accumulated local flop counter at capture (replay re-adds the rest,
+    /// so post-recovery totals match the fault-free run).
+    pub flops: u64,
+    /// Image of the rank's `A` block.
+    pub a: MatImage<V>,
+    /// Image of the rank's `B` block.
+    pub b: MatImage<V>,
+    /// Image of the rank's `C` block.
+    pub c: MatImage<V>,
+    /// Image of the rank's Bloom filter block (iff the session tracks one).
+    pub f: Option<MatImage<u64>>,
+}
+
+impl<V: WireSize> WireSize for Anchor<V> {
+    fn wire_bytes(&self) -> u64 {
+        self.published.wire_bytes()
+            + self.flops.wire_bytes()
+            + self.a.wire_bytes()
+            + self.b.wire_bytes()
+            + self.c.wire_bytes()
+            + self.f.wire_bytes()
+    }
+}
+
+/// Everything rank `r` holds on behalf of its predecessor `(r - 1) mod p`:
+/// the predecessor's two anchor windows and its log entries since the older
+/// one. Shipping this bundle to a replacement rank restores exactly the
+/// state the crashed rank would have recovered from locally.
+#[derive(Debug, Clone)]
+pub struct ReplicaBundle<V> {
+    /// The predecessor's newest anchor.
+    pub newest: Anchor<V>,
+    /// The predecessor's previous anchor (two-window retention), if any.
+    pub prev: Option<Anchor<V>>,
+    /// The predecessor's log entries since the older retained anchor.
+    pub log: Vec<LoggedBatch<V>>,
+}
+
+impl<V: WireSize> WireSize for ReplicaBundle<V> {
+    fn wire_bytes(&self) -> u64 {
+        self.newest.wire_bytes() + self.prev.wire_bytes() + self.log.wire_bytes()
+    }
+}
+
+/// Per-session recovery state: this rank's own anchor windows and log, plus
+/// the replica it keeps for its predecessor in the buddy ring.
+#[derive(Debug)]
+pub struct RecoveryState<V> {
+    pub(crate) cfg: RecoveryConfig,
+    /// Own newest anchor.
+    pub(crate) newest: Anchor<V>,
+    /// Own previous anchor (two-window retention across refreshes).
+    pub(crate) prev: Option<Anchor<V>>,
+    /// Own write-ahead log since the older retained anchor.
+    pub(crate) log: Vec<LoggedBatch<V>>,
+    /// Replica of the predecessor rank `(r - 1) mod p`.
+    pub(crate) replica: ReplicaBundle<V>,
+}
+
+impl<V> RecoveryState<V> {
+    /// The configured tuning knobs.
+    pub fn config(&self) -> RecoveryConfig {
+        self.cfg
+    }
+
+    /// Published-epoch counter of the newest own anchor.
+    pub fn anchor_published(&self) -> u64 {
+        self.newest.published
+    }
+
+    /// Published-epoch counter of the previous own anchor, if retained.
+    pub fn prev_anchor_published(&self) -> Option<u64> {
+        self.prev.as_ref().map(|a| a.published)
+    }
+
+    /// Own log length (bounded by two anchor windows).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Replicated predecessor log length.
+    pub fn replica_log_len(&self) -> usize {
+        self.replica.log.len()
+    }
+}
+
+/// What a completed recovery did — allreduced, so every rank (including the
+/// replacement) returns identical numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The ranks that failed this incident (exactly one under the current
+    /// single-failure scope).
+    pub failed_ranks: Vec<usize>,
+    /// The agreed commit frontier `P*`: the number of published epochs the
+    /// recovered state reflects. Batches whose publish would be epoch
+    /// `>= P*` did not commit and must be re-submitted by the caller.
+    pub committed_publishes: u64,
+    /// Maximum number of published epochs any rank rolled back (`P* - A`
+    /// for the furthest-ahead rank).
+    pub rollback_epochs: u64,
+    /// Logged batches each rank replayed (`P* - A`, rank-uniform).
+    pub replayed_batches: u64,
+    /// Wire bytes of the replica bundle shipped to the replacement.
+    pub rebuild_bytes: u64,
+    /// Maximum failure-detection latency any rank observed (time from the
+    /// crashed rank's failure marker send to its consumption), nanoseconds.
+    pub detect_ns: u64,
+    /// The communicator recovery epoch the grid advanced into.
+    pub recovery_epoch: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspgemm_sparse::semiring::U64Plus;
+
+    #[test]
+    fn config_default_is_sane() {
+        let cfg = RecoveryConfig::default();
+        assert!(cfg.anchor_period >= 1);
+        assert!(cfg.max_log >= cfg.anchor_period as usize);
+    }
+
+    #[test]
+    fn wire_sizes_compose() {
+        let batch = LoggedBatch {
+            epoch: 3,
+            a_ups: vec![Triple::new(0, 0, 1u64)],
+            b_ups: vec![],
+        };
+        // epoch (8) + a_ups (8 header + 16-byte triple) + b_ups (8 header).
+        assert_eq!(batch.wire_bytes(), 8 + (8 + 16) + 8);
+        let img = MatImage {
+            nrows: 4,
+            ncols: 4,
+            row_cuts: vec![0, 2, 4],
+            col_cuts: vec![0, 2, 4],
+            image: Arc::new(Csr::<u64>::from_triples::<U64Plus>(2, 2, vec![])),
+        };
+        let anchor = Anchor {
+            published: 1,
+            flops: 0,
+            a: img.clone(),
+            b: img.clone(),
+            c: img.clone(),
+            f: None,
+        };
+        let bundle = ReplicaBundle {
+            newest: anchor.clone(),
+            prev: None,
+            log: vec![batch],
+        };
+        // Sanity: nesting adds headers, never loses payload.
+        assert!(bundle.wire_bytes() > anchor.wire_bytes());
+        assert_eq!(
+            anchor.wire_bytes(),
+            8 + 8 + 3 * img.wire_bytes() + 1 // Option<None> = 1 byte
+        );
+    }
+}

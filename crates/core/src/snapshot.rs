@@ -331,6 +331,22 @@ impl<T> SnapshotStore<T> {
         self.latest.as_ref()
     }
 
+    /// Fast-forwards a *fresh* store's publish counter to `published`, so
+    /// a replacement rank rebuilt from a recovery anchor numbers its
+    /// replayed epochs exactly like the epochs the crashed rank published.
+    /// (Pre-crash pins died with the crashed rank; its history starts
+    /// empty.)
+    ///
+    /// # Panics
+    /// Panics if the store has already published anything.
+    pub fn resume_at(&mut self, published: u64) {
+        assert!(
+            self.latest.is_none() && self.published == 0 && self.history.is_empty(),
+            "resume_at requires a fresh store"
+        );
+        self.published = published;
+    }
+
     /// Number of epochs still alive: the latest plus every older epoch some
     /// reader still pins. The retention bound: with no outstanding pins this
     /// is at most 1 regardless of how many epochs were published.

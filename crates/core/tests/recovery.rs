@@ -1,0 +1,309 @@
+//! End-to-end epoch-anchored recovery: a rank crashes mid-batch, the
+//! survivors roll back to the agreed anchor, the crashed rank rebuilds as a
+//! replacement from its buddy's replica, and deterministic replay makes the
+//! final state bit-identical to the fault-free execution.
+
+use dspgemm_core::dyn_algebraic::TransposeMode;
+use dspgemm_core::engine::DynSpGemm;
+use dspgemm_core::exec::Exec;
+use dspgemm_core::recovery::RecoveryConfig;
+use dspgemm_core::{DistMat, Grid, RebalanceConfig};
+use dspgemm_mpi::{run, Comm, CommError};
+use dspgemm_sparse::semiring::U64Plus;
+use dspgemm_sparse::{Index, Triple};
+use dspgemm_util::rng::{Rng, SplitMix64};
+use dspgemm_util::stats::PhaseTimer;
+
+const N: Index = 20;
+
+fn triples(seed: u64, count: usize) -> Vec<Triple<u64>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count)
+        .map(|_| {
+            Triple::new(
+                rng.gen_range(N as u64) as Index,
+                rng.gen_range(N as u64) as Index,
+                rng.gen_range(5) + 1,
+            )
+        })
+        .collect()
+}
+
+/// Rank-local update feed for one batch — a pure function of
+/// `(batch, rank)`, so a replayed or re-submitted batch gets bit-identical
+/// inputs.
+fn batch_updates(batch: u64, rank: usize) -> (Vec<Triple<u64>>, Vec<Triple<u64>>) {
+    let s = batch * 97 + rank as u64;
+    (triples(1_000 + s, 5), triples(2_000 + s, 5))
+}
+
+/// What one rank observed over a full driven run.
+type Outcome = (
+    Vec<(u64, Vec<Triple<u64>>)>, // (batch, local C block) at each local commit
+    Option<Vec<Triple<u64>>>,     // root-gathered final C
+    u64,                          // final local flop counter
+    u64,                          // final latest epoch number
+    Vec<Triple<u64>>,             // pinned pre-crash snapshot's local C content at run end
+    u64,                          // pinned epoch number
+    u64,                          // recoveries this rank performed
+);
+
+/// Drives `batches` algebraic batches through the fault-tolerant path,
+/// optionally arming a crash on `crash = (rank, batch)`, recovering and
+/// re-submitting uncommitted batches until all commit.
+fn drive(comm: &Comm, batches: u64, crash: Option<(usize, u64)>, cfg: RecoveryConfig) -> Outcome {
+    let grid = Grid::new(comm);
+    let me = comm.rank();
+    let mut timer = PhaseTimer::new();
+    let feed = |s: u64| if me == 0 { triples(s, 60) } else { vec![] };
+    let a = DistMat::from_global_triples(&grid, N, N, feed(1), 1, &mut timer);
+    let b = DistMat::from_global_triples(&grid, N, N, feed(2), 1, &mut timer);
+    let mut session = DynSpGemm::<U64Plus>::new(&grid, a, b, 1, false);
+    session.enable_recovery(&grid, cfg);
+    let mut eng = Some(session);
+
+    let mut per_batch = Vec::new();
+    let mut pinned = None;
+    let mut armed = false;
+    let mut recoveries = 0u64;
+    let mut b_idx = 0u64;
+    while b_idx < batches {
+        if let Some((crank, cbatch)) = crash {
+            if me == crank && b_idx == cbatch && !armed {
+                comm.arm_crash(1);
+                armed = true;
+            }
+        }
+        let (a_ups, b_ups) = batch_updates(b_idx, me);
+        let mut e = eng.take().expect("engine present between batches");
+        match e.try_apply_algebraic(&grid, a_ups, b_ups) {
+            Ok(()) => {
+                e.publish();
+                // Observe each committed batch from the published snapshot:
+                // a local, bit-stable read. (A cross-rank gather here would
+                // race the asynchronous failure notification — collectives
+                // between batches must sit inside a failure-aware region,
+                // which is exactly the serving-path reason reads go through
+                // snapshots.) A rank interrupted mid-batch never locally
+                // publishes that epoch — replay realigns its state, but the
+                // observation for that one batch is genuinely absent, so
+                // entries carry their batch index.
+                let snap = e.snapshot();
+                per_batch.push((b_idx, snap.c().block().to_triples()));
+                drop(snap);
+                if b_idx == 0 {
+                    // Pin the epoch of batch 0: it must stay bit-stable
+                    // through the crash, rollback and replay.
+                    pinned = Some(e.snapshot());
+                }
+                eng = Some(e);
+                b_idx += 1;
+            }
+            Err(CommError::PeerFailed { rank }) => {
+                assert_eq!(rank, crash.expect("injected failure").0);
+                let report = e.recover(&grid);
+                assert_eq!(report.failed_ranks, vec![rank]);
+                // The furthest-ahead rank rolled back exactly the window
+                // replay re-applies.
+                assert_eq!(report.replayed_batches, report.rollback_epochs);
+                recoveries += 1;
+                b_idx = report.committed_publishes - 1;
+                eng = Some(e);
+            }
+            Err(CommError::Crashed { rank }) => {
+                assert_eq!(rank, me);
+                drop(e); // the crashed session is unrecoverable state
+                let (e2, report) = DynSpGemm::<U64Plus>::recover_as_replacement(
+                    &grid,
+                    Exec::new(1),
+                    TransposeMode::default(),
+                    cfg,
+                );
+                assert_eq!(report.failed_ranks, vec![me]);
+                recoveries += 1;
+                b_idx = report.committed_publishes - 1;
+                eng = Some(e2);
+            }
+            Err(other) => panic!("unexpected comm error: {other}"),
+        }
+    }
+    let e = eng.take().expect("engine present at end");
+    let final_c = e.c.gather_to_root(comm);
+    let flops = e.flops;
+    let epoch = e.epoch().expect("published");
+    let pinned = pinned.expect("batch 0 always commits before any crash at batch >= 1");
+    // Retention: the pin keeps exactly one extra epoch alive on ranks whose
+    // store survived; the replacement's fresh store holds only its latest
+    // (the pinned Arc outlives the old store independently).
+    let crashed_here = crash.map(|(r, _)| r == me).unwrap_or(false);
+    assert_eq!(e.snapshots().retained(), if crashed_here { 1 } else { 2 });
+    let pin_content = pinned.c().block().to_triples();
+    let pin_epoch = pinned.epoch();
+    drop(pinned);
+    assert_eq!(
+        e.snapshots().retained(),
+        1,
+        "dropping the pin frees the epoch"
+    );
+    (
+        per_batch,
+        final_c,
+        flops,
+        epoch,
+        pin_content,
+        pin_epoch,
+        recoveries,
+    )
+}
+
+/// Crash vs. fault-free must agree bit-for-bit: per-batch root-gathered C,
+/// final C, flop counters, and pinned pre-crash epochs. Exercised both with
+/// the crash landing on a write-ahead-log exchange (anchor_period large) and
+/// on an anchor refresh (anchor_period small, two-window rollback).
+#[test]
+fn crash_recovery_matches_fault_free_run() {
+    for (p, crash_rank) in [(4usize, 2usize), (9, 4)] {
+        for anchor_period in [2u64, 4] {
+            let batches = 6u64;
+            let cfg = RecoveryConfig {
+                anchor_period,
+                max_log: 16,
+            };
+            let baseline = run(p, move |comm| drive(comm, batches, None, cfg));
+            let crashed = run(p, move |comm| {
+                drive(comm, batches, Some((crash_rank, 2)), cfg)
+            });
+            for rank in 0..p {
+                let (pb_ff, fc_ff, fl_ff, ep_ff, pin_ff, pe_ff, rec_ff) = &baseline.results[rank];
+                let (pb_cr, fc_cr, fl_cr, ep_cr, pin_cr, pe_cr, rec_cr) = &crashed.results[rank];
+                // The fault-free arm observed every batch; the crash arm may
+                // lack at most one observation per recovery (a survivor
+                // interrupted mid-batch never locally publishes that epoch),
+                // and every observation it did make must match bit-for-bit.
+                assert_eq!(pb_ff.len() as u64, batches);
+                assert!(
+                    pb_cr.len() as u64 >= batches - rec_cr,
+                    "p={p} ap={anchor_period} rank={rank}: more than one observation lost per recovery"
+                );
+                for (b, c_cr) in pb_cr {
+                    let (_, c_ff) = &pb_ff[*b as usize];
+                    assert_eq!(
+                        c_ff, c_cr,
+                        "p={p} ap={anchor_period} rank={rank} batch={b}: per-batch C diverged"
+                    );
+                }
+                assert_eq!(pb_cr.last().map(|(b, _)| *b), Some(batches - 1));
+                assert_eq!(
+                    fc_ff, fc_cr,
+                    "p={p} ap={anchor_period} rank={rank}: final C diverged"
+                );
+                assert_eq!(
+                    fl_ff, fl_cr,
+                    "p={p} ap={anchor_period} rank={rank}: flops diverged"
+                );
+                // Recovery inserts exactly one uniform extra epoch.
+                assert_eq!(*ep_cr, ep_ff + 1, "p={p} ap={anchor_period} rank={rank}");
+                assert_eq!(
+                    pin_ff, pin_cr,
+                    "p={p} ap={anchor_period} rank={rank}: pinned epoch content diverged"
+                );
+                assert_eq!(pe_ff, pe_cr);
+                assert_eq!(*rec_ff, 0);
+                assert_eq!(*rec_cr, 1);
+            }
+            // The fault-free arm sent no failure traffic at all.
+            assert_eq!(baseline.results.len(), p);
+        }
+    }
+}
+
+/// The write-ahead discipline is asserted, not assumed: applying a second
+/// batch without publishing the first panics.
+#[test]
+fn try_apply_requires_publish_between_batches() {
+    let out = run(1, |comm| {
+        let grid = Grid::new(comm);
+        let a = DistMat::<u64>::empty(&grid, 8, 8);
+        let b = DistMat::<u64>::empty(&grid, 8, 8);
+        let mut eng = DynSpGemm::<U64Plus>::new(&grid, a, b, 1, false);
+        eng.enable_recovery(&grid, RecoveryConfig::default());
+        eng.try_apply_algebraic(&grid, vec![Triple::new(0, 0, 1u64)], vec![])
+            .expect("fault-free");
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = eng.try_apply_algebraic(&grid, vec![], vec![]);
+        }))
+        .is_err()
+    });
+    assert!(out.results[0]);
+}
+
+/// Recovery and dynamic rebalancing are mutually exclusive, both ways.
+#[test]
+fn recovery_excludes_rebalancing() {
+    let out = run(1, |comm| {
+        let grid = Grid::new(comm);
+        let mk = |grid: &Grid| {
+            let a = DistMat::<u64>::empty(grid, 8, 8);
+            let b = DistMat::<u64>::empty(grid, 8, 8);
+            DynSpGemm::<U64Plus>::new(grid, a, b, 1, false)
+        };
+        let mut eng = mk(&grid);
+        eng.enable_recovery(&grid, RecoveryConfig::default());
+        let a = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eng.enable_rebalancing(RebalanceConfig::default());
+        }))
+        .is_err();
+        let mut eng2 = mk(&grid);
+        eng2.enable_rebalancing(RebalanceConfig::default());
+        let b = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eng2.enable_recovery(&grid, RecoveryConfig::default());
+        }))
+        .is_err();
+        a && b
+    });
+    assert!(out.results[0]);
+}
+
+/// The log stays bounded by the two-anchor window: after many batches with a
+/// small anchor period, both the own log and the replica log hold at most
+/// two windows of entries.
+#[test]
+fn log_stays_bounded_by_anchor_windows() {
+    let out = run(4, |comm| {
+        let grid = Grid::new(comm);
+        let me = comm.rank();
+        let mut timer = PhaseTimer::new();
+        let feed = |s: u64| if me == 0 { triples(s, 60) } else { vec![] };
+        let a = DistMat::from_global_triples(&grid, N, N, feed(1), 1, &mut timer);
+        let b = DistMat::from_global_triples(&grid, N, N, feed(2), 1, &mut timer);
+        let mut eng = DynSpGemm::<U64Plus>::new(&grid, a, b, 1, false);
+        let cfg = RecoveryConfig {
+            anchor_period: 3,
+            max_log: 64,
+        };
+        eng.enable_recovery(&grid, cfg);
+        let mut max_log = 0usize;
+        for batch in 0..20u64 {
+            let (a_ups, b_ups) = batch_updates(batch, me);
+            eng.try_apply_algebraic(&grid, a_ups, b_ups)
+                .expect("fault-free");
+            eng.publish();
+            let rec = eng.recovery().expect("enabled");
+            max_log = max_log.max(rec.log_len()).max(rec.replica_log_len());
+        }
+        let rec = eng.recovery().expect("enabled");
+        // Anchors advanced with the batches (initial anchor is at counter 1).
+        (
+            max_log,
+            rec.anchor_published() > 1,
+            rec.prev_anchor_published().is_some(),
+        )
+    });
+    for (max_log, advanced, has_prev) in out.results {
+        assert!(
+            max_log <= 2 * 3,
+            "log grew past two anchor windows: {max_log}"
+        );
+        assert!(advanced && has_prev);
+    }
+}

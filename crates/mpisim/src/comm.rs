@@ -722,6 +722,95 @@ impl Comm {
         self.io.endpoint.borrow().poison_all();
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection & recovery (see `crate::fault`)
+    // ------------------------------------------------------------------
+
+    /// Arms a simulated crash of *this* rank `after_sends` sends from now
+    /// (1 = the very next send). On trigger the rank broadcasts `Failed`
+    /// markers and unwinds with [`crate::CommError::Crashed`]; peers'
+    /// drains surface [`crate::CommError::PeerFailed`]. Counted across all
+    /// of this rank's communicators. Re-arming replaces a prior trigger.
+    pub fn arm_crash(&self, after_sends: u64) {
+        self.io.endpoint.borrow().arm_crash(after_sends);
+    }
+
+    /// Disarms a crash previously armed with [`Comm::arm_crash`] (or
+    /// scheduled by the run's [`crate::FaultPlan`]) if it has not fired.
+    pub fn disarm_crash(&self) {
+        self.io.endpoint.borrow().disarm_crash();
+    }
+
+    /// Whether this rank's thread already simulated a crash (true on the
+    /// thread that caught [`crate::CommError::Crashed`] and is rejoining
+    /// as the replacement rank).
+    pub fn has_crashed(&self) -> bool {
+        self.io.endpoint.borrow().has_crashed()
+    }
+
+    /// Peers whose failure this rank has detected (drained `Failed`
+    /// markers) since the last [`Comm::take_failed_ranks`].
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.io.endpoint.borrow().failed_ranks()
+    }
+
+    /// Drains the detected-failure set. Recovery protocols consume it once
+    /// per incident so a later failure starts from a clean slate.
+    pub fn take_failed_ranks(&self) -> Vec<usize> {
+        self.io.endpoint.borrow().take_failed_ranks()
+    }
+
+    /// Marker-to-detection latency (ns) of this rank's most recent
+    /// [`crate::CommError::PeerFailed`] — how long the failure marker sat
+    /// in the inbox before a drain surfaced it.
+    pub fn last_failure_detect_ns(&self) -> u64 {
+        self.io.endpoint.borrow().last_detect_ns()
+    }
+
+    /// Current recovery epoch of this rank (0 until a recovery runs).
+    pub fn recovery_epoch(&self) -> u64 {
+        self.io.endpoint.borrow().recovery_epoch()
+    }
+
+    /// Network-wide count of transient send retries injected by the fault
+    /// plan (never part of [`crate::CommStats`] — retries model wasted
+    /// time, not logical wire volume).
+    pub fn transient_retries(&self) -> u64 {
+        self.io.endpoint.borrow().transient_retries_total()
+    }
+
+    /// Advances this rank into the next recovery epoch after a detected
+    /// failure: purges buffered traffic of aborted rounds, clears the
+    /// progress engine (pending actions and posted receives of the aborted
+    /// round must never fire again), and resets this communicator's
+    /// collective sequence so post-recovery collectives match across ranks
+    /// that aborted at different points. **Local**; every rank of the job
+    /// must call it (followed by a barrier) before communicating again, and
+    /// every *other* live communicator of this rank must be resynced with
+    /// [`Comm::reset_collective_seq`]. Returns the new epoch.
+    ///
+    /// Epoch hygiene is what makes the resets safe: envelopes are stamped
+    /// with the sender's epoch and matched epoch-exactly, so a straggler
+    /// from the aborted round can never satisfy a post-recovery receive
+    /// even though sequence numbers restart.
+    pub fn advance_recovery_epoch(&self) -> u64 {
+        let epoch = self.io.endpoint.borrow_mut().advance_epoch();
+        self.io.progress.borrow_mut().clear();
+        self.coll_seq.set(0);
+        epoch
+    }
+
+    /// Resets this communicator's collective sequence number to zero.
+    /// Companion of [`Comm::advance_recovery_epoch`] for the *other*
+    /// communicators sharing the rank (e.g. a grid's row/column splits):
+    /// ranks abort an in-flight round at different collective positions,
+    /// so after an epoch advance every communicator restarts its sequence
+    /// in lockstep. Split sequence numbers are deliberately *not* reset —
+    /// communicator ids derived by future splits must stay unique.
+    pub fn reset_collective_seq(&self) {
+        self.coll_seq.set(0);
+    }
+
     /// Snapshot of the *whole network's* communication counters — all ranks,
     /// all categories. Taken between synchronization points (e.g. around a
     /// barrier-fenced measurement region) the delta of two snapshots is the

@@ -1,0 +1,219 @@
+//! Deterministic fault injection and the recoverable failure surface.
+//!
+//! The simulator's historical failure semantics is *fail-stop*: a panicking
+//! rank poisons every inbox and peers die in their own panics. That models
+//! "the job is lost" — useless for recovery protocols. This module adds a
+//! second, *recoverable* failure mode driven by a seeded [`FaultPlan`]:
+//!
+//! * **Crashes** — a chosen rank stops before its k-th send (absolute, or
+//!   armed mid-run via `Comm::arm_crash`), broadcasts a `Failed` marker to
+//!   every peer, and unwinds with [`CommError::Crashed`]. Peers that drain
+//!   the marker unwind with [`CommError::PeerFailed`] instead of a plain
+//!   panic, so a harness can [`catch_comm`] the error, run a recovery
+//!   protocol, and resume.
+//! * **Delay storms** — a deterministic, seed-derived subset of sends
+//!   sleeps a bounded jitter before delivery. Message *order between a
+//!   pair* is unchanged (channels are FIFO); only interleaving across
+//!   pairs moves, which is exactly the nondeterminism a real fabric has.
+//! * **Transient drops** — a seed-derived subset of sends is "dropped and
+//!   retried" a fixed number of times before delivering. Retries are
+//!   counted on the meter (never in [`crate::CommStats`], whose
+//!   byte-parity across arms the ablations assert) and back off
+//!   deterministically.
+//!
+//! Everything is a pure function of `(seed, rank, operation index)`, so a
+//! faulty run is exactly reproducible — the property the `repro faults`
+//! ablation's bit-identity asserts rely on.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe, UnwindSafe};
+use std::time::Duration;
+
+/// A typed communication failure, surfaced to harnesses via [`catch_comm`].
+///
+/// Internally these travel as panic payloads: the collective call tree is
+/// deep and infallible by signature, so the error unwinds to the nearest
+/// [`catch_comm`] (batch granularity in the engine) instead of threading
+/// `Result` through every send. An uncaught `CommError` behaves like any
+/// panic: the runtime poisons the network and the job fails fast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer rank failed; the in-flight round on this rank was aborted.
+    /// Survivors should run a recovery protocol before communicating again.
+    PeerFailed {
+        /// World rank of the failed peer.
+        rank: usize,
+    },
+    /// *This* rank was chosen by the fault plan to crash. The harness's
+    /// rank closure can catch this, rejoin as the replacement rank, and
+    /// rebuild state from its peers.
+    Crashed {
+        /// World rank that crashed (the caller's own rank).
+        rank: usize,
+    },
+    /// A deadline wait elapsed with the operation still incomplete. The
+    /// operation is *still in flight* — the caller may retry the wait —
+    /// which is what distinguishes a slow peer from a dead one.
+    Timeout {
+        /// How long the caller was blocked before giving up.
+        waited: Duration,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PeerFailed { rank } => write!(f, "peer rank {rank} failed"),
+            CommError::Crashed { rank } => write!(f, "rank {rank} crashed (fault injection)"),
+            CommError::Timeout { waited } => write!(f, "communication timed out after {waited:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Runs `f`, converting an unwinding [`CommError`] into `Err`. Panics that
+/// are *not* `CommError`s (genuine bugs) are re-raised unchanged, so
+/// fail-stop semantics and test assertions keep working through this.
+pub fn catch_comm<R>(f: impl FnOnce() -> R + UnwindSafe) -> Result<R, CommError> {
+    match catch_unwind(f) {
+        Ok(v) => Ok(v),
+        Err(payload) => match payload.downcast::<CommError>() {
+            Ok(err) => Err(*err),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
+}
+
+/// [`catch_comm`] without the `UnwindSafe` bound, for closures that borrow
+/// engine state mutably. The caller asserts that the borrowed state is left
+/// consistent-enough on unwind for its own recovery path (the engine's
+/// rollback discards and rebuilds everything the aborted batch touched).
+pub fn catch_comm_mut<R>(f: impl FnOnce() -> R) -> Result<R, CommError> {
+    catch_comm(AssertUnwindSafe(f))
+}
+
+/// Deterministic jitter schedule: every `every`-th eligible send (selected
+/// by hash, not stride) sleeps up to `max_micros` before delivering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelaySpec {
+    /// Expected selection period (a send is delayed with probability
+    /// `1/every`, chosen by seeded hash).
+    pub every: u64,
+    /// Upper bound on the injected sleep, in microseconds.
+    pub max_micros: u64,
+}
+
+/// Deterministic transient-failure schedule: selected sends are dropped
+/// and retried `retries` times (with a deterministic backoff) before the
+/// delivery that sticks. Bytes are metered once — the retries model wasted
+/// *time*, not extra application wire volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransientSpec {
+    /// Expected selection period (hash-chosen, like [`DelaySpec::every`]).
+    pub every: u64,
+    /// How many failed attempts precede the successful delivery.
+    pub retries: u32,
+    /// Sleep between attempts, in microseconds.
+    pub backoff_micros: u64,
+}
+
+/// A seeded, deterministic fault schedule for one simulated run.
+///
+/// Build one with the fluent methods and hand it to
+/// [`crate::run_with_faults`]. The same plan against the same program
+/// produces the same fault sequence, byte counts, and (for a deterministic
+/// program) the same results — fault runs are replayable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every per-send selection hash.
+    pub seed: u64,
+    /// Crash `rank` immediately before its `k`-th send (1-based, counted
+    /// across all communicators). `None` injects no crash at start; a
+    /// crash can still be armed mid-run via `Comm::arm_crash`.
+    pub crash: Option<(usize, u64)>,
+    /// Deterministic delay jitter applied to every rank's sends.
+    pub delay: Option<DelaySpec>,
+    /// Deterministic drop-then-retry schedule applied to every rank's sends.
+    pub transient: Option<TransientSpec>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults scheduled (crashes may still be armed at
+    /// runtime); `seed` drives any schedule added later.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Crashes `rank` immediately before its `k`-th send (1-based).
+    pub fn crash_before_send(mut self, rank: usize, k: u64) -> Self {
+        assert!(k >= 1, "send indices are 1-based");
+        self.crash = Some((rank, k));
+        self
+    }
+
+    /// Adds deterministic delay jitter: roughly one in `every` sends
+    /// sleeps up to `max_micros` microseconds.
+    pub fn delay_storm(mut self, every: u64, max_micros: u64) -> Self {
+        assert!(every >= 1);
+        self.delay = Some(DelaySpec { every, max_micros });
+        self
+    }
+
+    /// Adds deterministic transient send failures: roughly one in `every`
+    /// sends fails `retries` times (backing off `backoff_micros` between
+    /// attempts) before delivering.
+    pub fn transient_drops(mut self, every: u64, retries: u32, backoff_micros: u64) -> Self {
+        assert!(every >= 1);
+        self.transient = Some(TransientSpec {
+            every,
+            retries,
+            backoff_micros,
+        });
+        self
+    }
+
+    /// Whether this plan injects anything at all by itself.
+    pub fn is_empty(&self) -> bool {
+        self.crash.is_none() && self.delay.is_none() && self.transient.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catch_comm_converts_comm_errors_only() {
+        let err = catch_comm(|| std::panic::panic_any(CommError::PeerFailed { rank: 3 }));
+        assert_eq!(err, Err(CommError::PeerFailed { rank: 3 }));
+        let ok = catch_comm(|| 7u32);
+        assert_eq!(ok, Ok(7));
+        // A non-CommError panic passes through untouched.
+        let passthrough = catch_unwind(|| {
+            let _ = catch_comm(|| panic!("plain bug"));
+        });
+        assert!(passthrough.is_err());
+    }
+
+    #[test]
+    fn plan_builders_compose() {
+        let plan = FaultPlan::new(42)
+            .crash_before_send(1, 10)
+            .delay_storm(3, 50)
+            .transient_drops(5, 2, 10);
+        assert_eq!(plan.crash, Some((1, 10)));
+        assert_eq!(
+            plan.delay,
+            Some(DelaySpec {
+                every: 3,
+                max_micros: 50
+            })
+        );
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new(42).is_empty());
+    }
+}

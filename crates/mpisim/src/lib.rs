@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod comm;
+mod fault;
 mod message;
 mod network;
 mod request;
@@ -55,7 +56,8 @@ mod runtime;
 mod stats;
 
 pub use comm::Comm;
+pub use fault::{catch_comm, catch_comm_mut, CommError, DelaySpec, FaultPlan, TransientSpec};
 pub use message::Tag;
 pub use request::{Overlap, Request};
-pub use runtime::{run, run_on, SimOutput};
+pub use runtime::{run, run_on, run_with_faults, SimOutput};
 pub use stats::{CommCategory, CommStats, RankCommStats, NUM_CATEGORIES};

@@ -41,6 +41,13 @@ pub(crate) enum Payload {
     Value(Box<dyn Any + Send>),
     /// The source rank panicked; receivers must fail fast.
     Poison,
+    /// The source rank crashed under fault injection; receivers abort the
+    /// in-flight round with a recoverable [`crate::CommError::PeerFailed`]
+    /// instead of dying (the fail-stop `Poison` behaviour).
+    Failed {
+        /// World rank of the crashed sender.
+        rank: usize,
+    },
 }
 
 /// A routed message.
@@ -51,7 +58,13 @@ pub(crate) struct Envelope {
     pub comm_id: u64,
     /// Tag within the communicator.
     pub tag: Tag,
-    /// The value (or poison marker).
+    /// The sender's recovery epoch when the message was pushed. Matching is
+    /// epoch-exact: after a recovery, stragglers from the aborted round
+    /// (previous epoch) are silently dropped at drain time, and traffic
+    /// from peers that already advanced is buffered until this rank
+    /// catches up. Always 0 in fault-free runs.
+    pub epoch: u64,
+    /// The value (or a poison/failure marker).
     pub payload: Payload,
     /// When the sender pushed the envelope — in-process transfer is
     /// instantaneous, so this is the moment the data became *available* to

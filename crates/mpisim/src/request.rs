@@ -45,6 +45,7 @@
 //! completion and then **panics** — never deadlocks — because an abandoned
 //! in-flight collective would leave peers waiting forever.
 
+use crate::fault::CommError;
 use crate::message::{Envelope, Payload, Tag};
 use crate::network::Endpoint;
 use std::any::Any;
@@ -111,6 +112,14 @@ impl ProgressTable {
     fn is_posted(&self, key: (usize, u64, Tag)) -> bool {
         self.posted.contains(&key)
     }
+
+    /// Drops every pending action and posted-receive key. Part of a
+    /// recovery epoch advance: actions registered by the aborted round
+    /// must never fire on next-epoch traffic.
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.posted.clear();
+    }
 }
 
 /// One rank's I/O handles: the endpoint plus the progress table. Cloned
@@ -142,6 +151,13 @@ impl RankIo {
 /// forward tree edges while no endpoint borrow is held), else buffers it
 /// for a later direct receive.
 pub(crate) fn route_envelope(io: &RankIo, env: Envelope) {
+    // Drain screening already dropped stale-epoch traffic; an envelope from
+    // a *future* epoch (a peer that finished recovering first) must wait in
+    // the buffer — the actions registered here belong to the current epoch.
+    if env.epoch != io.endpoint.borrow().recovery_epoch() {
+        io.endpoint.borrow_mut().buffer(env);
+        return;
+    }
     let action = io
         .progress
         .borrow_mut()
@@ -149,7 +165,10 @@ pub(crate) fn route_envelope(io: &RankIo, env: Envelope) {
     match action {
         Some(entry) => match env.payload {
             Payload::Value(v) => (entry.action)(v, env.sent_at),
-            Payload::Poison => panic!("peer rank {} panicked", env.src_world),
+            // `screen` at the drain sites already handled the markers.
+            Payload::Poison | Payload::Failed { .. } => {
+                unreachable!("markers are handled at drain")
+            }
         },
         None => io.endpoint.borrow_mut().buffer(env),
     }
@@ -182,11 +201,18 @@ pub(crate) fn recv_match(
     loop {
         let (env, d) = io.endpoint.borrow_mut().blocking_next(expose);
         blocked += d;
-        if env.src_world == src_world && env.comm_id == comm_id && env.tag == tag {
+        let epoch = io.endpoint.borrow().recovery_epoch();
+        if env.src_world == src_world
+            && env.comm_id == comm_id
+            && env.tag == tag
+            && env.epoch == epoch
+        {
             match env.payload {
                 Payload::Value(v) => return (v, env.sent_at, blocked),
-                // `blocking_next` already panics on poison.
-                Payload::Poison => unreachable!("poison is handled at drain"),
+                // `blocking_next` already handles the markers.
+                Payload::Poison | Payload::Failed { .. } => {
+                    unreachable!("markers are handled at drain")
+                }
             }
         }
         route_envelope(io, env);
@@ -500,6 +526,48 @@ impl<T: 'static> Request<T> {
             sp.set_attr("overlapped_ns", ns(timing.overlapped()));
         }
         (value, timing)
+    }
+
+    /// Bounded-blocking completion: waits up to `timeout` for the
+    /// operation, returning `Err(CommError::Timeout)` if it is still in
+    /// flight when the deadline passes. The request stays alive and armed
+    /// across a timeout — call `wait_deadline` again (or [`Request::wait`])
+    /// to keep waiting — which is what lets recovery code distinguish a
+    /// *slow* peer (later wait succeeds) from a *dead* one (the wait
+    /// surfaces [`CommError::PeerFailed`] once the failure marker arrives).
+    ///
+    /// On success the value is returned and the request is spent; a second
+    /// call after `Ok` would find no result, so take `Ok` once.
+    pub fn wait_deadline(&mut self, timeout: Duration) -> Result<(T, Overlap), CommError> {
+        let mut sp = dspgemm_obs::span("comm", self.what);
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.try_complete() {
+                let (value, timing) = self.result.take().expect("completed request has a result");
+                if dspgemm_obs::enabled() {
+                    let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+                    sp.set_attr("window_ns", ns(timing.window));
+                    sp.set_attr("exposed_ns", ns(timing.exposed));
+                    sp.set_attr("overlapped_ns", ns(timing.overlapped()));
+                }
+                return Ok((value, timing));
+            }
+            let drained = self
+                .io
+                .endpoint
+                .borrow_mut()
+                .blocking_next_deadline(true, Some(deadline));
+            match drained {
+                Ok((env, d)) => {
+                    self.blocked += d;
+                    route_envelope(&self.io, env);
+                }
+                Err(err) => {
+                    sp.set_attr("timed_out", 1);
+                    return Err(err);
+                }
+            }
+        }
     }
 }
 

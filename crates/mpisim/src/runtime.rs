@@ -1,6 +1,7 @@
 //! The rank-per-thread runtime.
 
 use crate::comm::Comm;
+use crate::fault::FaultPlan;
 use crate::network::Network;
 use crate::stats::CommStats;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -17,6 +18,9 @@ pub struct SimOutput<R> {
     /// run. The `*_shared` collectives never deep-clone, so this is the
     /// clone-counting hook for asserting a run was zero-copy.
     pub payload_clones: u64,
+    /// Transient send retries injected by the run's fault plan (0 outside
+    /// [`run_with_faults`]).
+    pub transient_retries: u64,
 }
 
 /// Default stack size per rank thread. Local SpGEMM on skewed graphs can
@@ -43,13 +47,35 @@ where
     run_on(p, DEFAULT_STACK, f)
 }
 
+/// Like [`run`] with a deterministic [`FaultPlan`] driving the network:
+/// seeded crash/delay/transient-failure injection plus the *recoverable*
+/// failure surface (typed [`crate::CommError`]s instead of poison-panic;
+/// see [`crate::catch_comm`]). `f` is responsible for catching the errors
+/// and running a recovery protocol — an uncaught `CommError` unwinds the
+/// rank like any panic and fail-stops the job.
+pub fn run_with_faults<R, F>(p: usize, plan: FaultPlan, f: F) -> SimOutput<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    run_inner(p, DEFAULT_STACK, plan, f)
+}
+
 /// Like [`run`] with an explicit per-rank stack size in bytes.
 pub fn run_on<R, F>(p: usize, stack_bytes: usize, f: F) -> SimOutput<R>
 where
     R: Send,
     F: Fn(&Comm) -> R + Send + Sync,
 {
-    let mut network = Network::new(p);
+    run_inner(p, stack_bytes, FaultPlan::default(), f)
+}
+
+fn run_inner<R, F>(p: usize, stack_bytes: usize, plan: FaultPlan, f: F) -> SimOutput<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    let mut network = Network::new_with_plan(p, plan);
     let endpoints: Vec<_> = (0..p).map(|r| network.endpoint(r)).collect();
 
     let mut results: Vec<Option<R>> = Vec::with_capacity(p);
@@ -98,6 +124,7 @@ where
         results: results.into_iter().map(|o| o.expect("result")).collect(),
         stats: network.stats(),
         payload_clones: network.payload_clones(),
+        transient_retries: network.transient_retries(),
     }
 }
 

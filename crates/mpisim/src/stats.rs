@@ -89,6 +89,12 @@ pub(crate) struct Meter {
     /// deep copy) are exempt. Kept outside [`CommStats`]: it meters
     /// *transport implementation* (memcpy work), not logical wire volume.
     payload_clones: AtomicU64,
+    /// Transient send failures injected by a fault plan (each counted once
+    /// per retried attempt). Kept outside [`CommStats`] like
+    /// `payload_clones`: retries model wasted *time* on a lossy fabric,
+    /// not extra logical wire volume — the ablations' byte-parity asserts
+    /// across fault arms depend on that.
+    transient_retries: AtomicU64,
 }
 
 impl Meter {
@@ -96,6 +102,7 @@ impl Meter {
         Arc::new(Self {
             per_rank: (0..p).map(|_| RankCounters::default()).collect(),
             payload_clones: AtomicU64::new(0),
+            transient_retries: AtomicU64::new(0),
         })
     }
 
@@ -129,6 +136,16 @@ impl Meter {
     #[inline]
     pub(crate) fn payload_clones(&self) -> u64 {
         self.payload_clones.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn record_transient_retry(&self) {
+        self.transient_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn transient_retries(&self) -> u64 {
+        self.transient_retries.load(Ordering::Relaxed)
     }
 
     pub(crate) fn snapshot(&self) -> CommStats {

@@ -40,6 +40,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived within the allowed window.
+        Timeout,
+        /// Every sender was dropped and the channel is drained.
+        Disconnected,
+    }
+
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender(self.0.clone())
@@ -65,6 +74,15 @@ pub mod channel {
             self.0.try_recv().map_err(|e| match e {
                 std::sync::mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 std::sync::mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocks until a value arrives, every sender is dropped, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                std::sync::mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                std::sync::mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
             })
         }
     }

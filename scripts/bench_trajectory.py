@@ -9,6 +9,13 @@ prints a readable trajectory — one block per PR with its headline summary
 lines — or, with --json, emits the collated records as a single document
 (e.g. for plotting).
 
+The PR sequence is allowed to have holes (a docs-only PR ships no bench
+file — PR 6, for example): gaps are reported, never fatal. An empty
+trajectory still emits the stable JSON schema
+(``{"trajectory": [], "gaps": []}``) and exits 0, so downstream tooling
+can rely on the shape unconditionally. Unreadable or malformed records
+are skipped with a warning rather than aborting the collation.
+
 Usage:
     python3 scripts/bench_trajectory.py [--json] [repo_root]
 """
@@ -22,19 +29,46 @@ import sys
 
 
 def load_records(root):
-    """All BENCH_pr*.json records under `root`, sorted by PR number."""
+    """All readable BENCH_pr*.json records under `root`, sorted by PR number.
+
+    A record that fails to parse is skipped with a warning — one corrupt
+    file must not take down the whole trajectory.
+    """
     records = []
     for path in glob.glob(os.path.join(root, "BENCH_pr*.json")):
         m = re.search(r"BENCH_pr(\d+)\.json$", os.path.basename(path))
         if not m:
             continue
-        with open(path) as f:
-            doc = json.load(f)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping {os.path.basename(path)}: {e}", file=sys.stderr)
+            continue
+        if not isinstance(doc, dict):
+            print(
+                f"warning: skipping {os.path.basename(path)}: not a JSON object",
+                file=sys.stderr,
+            )
+            continue
         doc.setdefault("pr", int(m.group(1)))
         doc["_path"] = os.path.basename(path)
         records.append(doc)
     records.sort(key=lambda d: d["pr"])
     return records
+
+
+def find_gaps(records):
+    """PR numbers missing from the (possibly non-contiguous) sequence.
+
+    Only interior holes count: the series legitimately starts wherever the
+    first benchmarked PR landed, and PRs that change no performance ship no
+    record (PR 6, the observability layer, is such a hole).
+    """
+    present = sorted({d["pr"] for d in records})
+    if len(present) < 2:
+        return []
+    return [n for n in range(present[0], present[-1]) if n not in present]
 
 
 ENVELOPE = {"pr", "title", "date", "host", "benchmark_command", "note", "_path"}
@@ -57,13 +91,15 @@ def main():
     args = ap.parse_args()
 
     records = load_records(args.root)
+    gaps = find_gaps(records)
     if not records:
+        # An empty trajectory is a valid (if young) repo state: keep the
+        # output schema stable and the exit code green.
         print("no BENCH_pr*.json records found under", args.root, file=sys.stderr)
-        return 1
 
     if args.json:
         out = [{k: v for k, v in doc.items() if k != "_path"} for doc in records]
-        json.dump({"trajectory": out}, sys.stdout, indent=2)
+        json.dump({"trajectory": out, "gaps": gaps}, sys.stdout, indent=2)
         print()
         return 0
 
@@ -81,6 +117,8 @@ def main():
             if note:
                 print(f"  {note[:300]}")
         print()
+    if gaps:
+        print(f"(no bench record for PR {', '.join(map(str, gaps))} — gap tolerated)")
     print(f"{len(records)} benchmark records collated.")
     return 0
 
