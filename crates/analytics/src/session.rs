@@ -420,7 +420,7 @@ impl<S: Semiring> AnalyticsSession<S> {
         combine: impl FnMut(T, T) -> T,
     ) -> T
     where
-        T: Clone + Send + dspgemm_util::WireSize + 'static,
+        T: Clone + Send + dspgemm_util::WireSize + dspgemm_util::WireDecode + 'static,
     {
         timed_query("product_aggregate", || {
             self.latest()

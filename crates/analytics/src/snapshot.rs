@@ -108,7 +108,7 @@ impl<S: Semiring> SessionSnapshot<S> {
         combine: impl FnMut(T, T) -> T,
     ) -> T
     where
-        T: Clone + Send + dspgemm_util::WireSize + 'static,
+        T: Clone + Send + dspgemm_util::WireSize + dspgemm_util::WireDecode + 'static,
     {
         self.inner.c().aggregate(grid, init, fold, combine)
     }

@@ -21,7 +21,7 @@ use dspgemm_core::pipeline::{await_into_phase, run_rounds, Schedule};
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Csr, Dcsr, Index, Triple};
 use dspgemm_util::stats::PhaseTimer;
-use dspgemm_util::WireSize;
+use dspgemm_util::{WireDecode, WireSize};
 use std::sync::Arc;
 
 /// Phase names for baseline breakdowns.
@@ -57,7 +57,7 @@ pub fn redistribute_global<V>(
     timer: &mut PhaseTimer,
 ) -> Vec<Triple<V>>
 where
-    V: Copy + Send + Sync + WireSize + 'static,
+    V: Copy + Send + Sync + WireSize + WireDecode + 'static,
 {
     let q = grid.q();
     let p = grid.p();

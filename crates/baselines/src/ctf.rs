@@ -17,7 +17,7 @@ use dspgemm_core::grid::Grid;
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Index, Triple};
 use dspgemm_util::stats::PhaseTimer;
-use dspgemm_util::WireSize;
+use dspgemm_util::{WireDecode, WireSize};
 
 /// Phase names for CTF breakdowns.
 pub mod phase {
@@ -56,7 +56,7 @@ fn cyclic_owner(q: usize, epoch: u64, r: Index, c: Index) -> usize {
 
 impl<V> CtfMatrix<V>
 where
-    V: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 'static,
+    V: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + WireDecode + 'static,
 {
     /// Constructs from rank-local tuples: comparison sort + global shuffle
     /// into the cyclic layout, duplicates combined with the semiring add.

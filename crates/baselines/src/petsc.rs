@@ -19,7 +19,7 @@ use dspgemm_mpi::Comm;
 use dspgemm_sparse::semiring::Semiring;
 use dspgemm_sparse::{Csr, Index, Triple};
 use dspgemm_util::stats::PhaseTimer;
-use dspgemm_util::WireSize;
+use dspgemm_util::{WireDecode, WireSize};
 use std::ops::Range;
 
 /// Phase names for PETSc breakdowns.
@@ -59,7 +59,7 @@ fn row_owner(nrows: Index, p: usize, r: Index) -> usize {
 
 impl<V> PetscMatrix<V>
 where
-    V: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 'static,
+    V: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + WireDecode + 'static,
 {
     /// An empty matrix.
     pub fn empty(comm: &Comm, nrows: Index, ncols: Index) -> Self {

@@ -5,7 +5,7 @@
 //!
 //! experiments:
 //!   table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b fig9 fig10 fig11 fig12
-//!   ablation-redist ablation-bloom ablation-agg analytics copy-elim overlap commavoid balance serve rebalance faults
+//!   ablation-redist ablation-bloom ablation-agg analytics copy-elim overlap commavoid balance serve rebalance faults transport
 //!   data        (= table1 fig3 fig4 fig5a fig5b fig6 fig7 fig8a fig8b)
 //!   spgemm      (= fig9 fig10 fig11 fig12)
 //!   ablations   (= the three ablations)
@@ -38,15 +38,30 @@
 
 use dspgemm_bench::experiments::{
     ablations, analytics, balance, commavoid, construction, copy_elim, faults, overlap, rebalance,
-    serve, spgemm, table1, updates,
+    serve, spgemm, table1, transport, updates,
 };
 use dspgemm_bench::Config;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablation-redist|ablation-bloom|ablation-agg|analytics|copy-elim|overlap|commavoid|balance|serve|rebalance|data|spgemm|ablations|all> [--divisor N] [--p N] [--threads N] [--batches N] [--instances N] [--seed N] [--batch-size N] [--rebalance-threshold X] [--rebalance-cooldown N] [--smoke] [--trace-out FILE] [--metrics-out FILE]"
+        "usage: repro <table1|fig3|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablation-redist|ablation-bloom|ablation-agg|analytics|copy-elim|overlap|commavoid|balance|serve|rebalance|faults|transport|data|spgemm|ablations|all> [--divisor N] [--p N] [--threads N] [--batches N] [--instances N] [--seed N] [--batch-size N] [--rebalance-threshold X] [--rebalance-cooldown N] [--smoke] [--trace-out FILE] [--metrics-out FILE]"
     );
     std::process::exit(2);
+}
+
+/// True when this process is a re-executed TCP rank child of the
+/// `transport` experiment (feature `tcp-transport`): parent-only output is
+/// suppressed and only the transport path runs — it routes the child to
+/// its rank body, which exits the process.
+fn tcp_child() -> bool {
+    #[cfg(feature = "tcp-transport")]
+    {
+        dspgemm_mpi::tcp::is_child()
+    }
+    #[cfg(not(feature = "tcp-transport"))]
+    {
+        false
+    }
 }
 
 fn main() {
@@ -207,16 +222,21 @@ fn main() {
             _ => expanded.push(e),
         }
     }
+    if tcp_child() {
+        expanded.retain(|e| e == "transport");
+    }
     // One switch arms the whole observability layer: spans for the trace
     // export, plus the enabled()-gated metric recordings (query-latency
     // histograms) that feed the registry export.
     if trace_out.is_some() || metrics_out.is_some() {
         dspgemm_obs::set_enabled(true);
     }
-    println!(
-        "# dspgemm repro — divisor={} p={} threads={} batches={} instances={} seed={:#x}",
-        cfg.divisor, cfg.p, cfg.threads, cfg.batches, cfg.instances, cfg.seed
-    );
+    if !tcp_child() {
+        println!(
+            "# dspgemm repro — divisor={} p={} threads={} batches={} instances={} seed={:#x}",
+            cfg.divisor, cfg.p, cfg.threads, cfg.batches, cfg.instances, cfg.seed
+        );
+    }
     for e in expanded {
         let started = std::time::Instant::now();
         let table = match e.as_str() {
@@ -240,6 +260,7 @@ fn main() {
             "balance" => balance::run(&cfg),
             "rebalance" => rebalance::run(&cfg),
             "faults" => faults::run(&cfg),
+            "transport" => transport::run(&cfg),
             "serve" => serve::run(&cfg),
             "ablation-redist" => ablations::redistribution(&cfg),
             "ablation-bloom" => ablations::bloom_filter(&cfg),

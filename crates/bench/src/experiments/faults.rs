@@ -55,7 +55,7 @@ use std::time::{Duration, Instant};
 /// `(seed, batch, rank)`, so a replayed or re-submitted batch regenerates
 /// bit-identical inputs. Unit values keep `C` integer-valued in `f64`, so
 /// cross-arm bit-identity is exact despite reordered accumulation.
-fn batch_updates(
+pub(crate) fn batch_updates(
     n: u32,
     size: usize,
     seed: u64,

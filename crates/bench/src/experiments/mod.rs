@@ -13,6 +13,7 @@
 //! | [`balance`] | contiguous vs. flop-balanced vs. work-stealing local-kernel schedules: thread-level flop imbalance on skewed proxies (beyond the paper) |
 //! | [`rebalance`] | metrics-driven inter-rank rebalancing: adaptive 2D block cuts + stripe migration vs. the static uniform layout on a clustered skewed stream (beyond the paper) |
 //! | [`faults`] | fault injection & epoch-anchored recovery: crash + rollback/replay and delay-storm arms vs. the fault-free reference, bit-identical products (beyond the paper) |
+//! | [`transport`] | transport backend parity: the dynamic batch stream on simulator threads vs. real TCP processes, bit-identical C and matching logical wire volume (beyond the paper) |
 //! | [`analytics`] | maintained-view serving vs. static recomputation (the `dspgemm-analytics` layer; beyond the paper) |
 //! | [`serve`] | snapshot-isolated query serving vs. blocking baseline: query p50/p99, stale-read distance, epoch retention (beyond the paper) |
 
@@ -28,6 +29,7 @@ pub mod rebalance;
 pub mod serve;
 pub mod spgemm;
 pub mod table1;
+pub mod transport;
 pub mod updates;
 
 use crate::Config;

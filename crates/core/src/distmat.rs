@@ -13,14 +13,20 @@ use crate::redistribute::redistribute_in;
 use dspgemm_mpi::Comm;
 use dspgemm_sparse::{Csr, Dcsr, DhbMatrix, Index, Triple};
 use dspgemm_util::stats::PhaseTimer;
-use dspgemm_util::WireSize;
+use dspgemm_util::{WireDecode, WireSize};
 use std::ops::Range;
 use std::sync::Arc;
 
 /// Bound alias for distributable element types.
-pub trait Elem: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 'static {}
+pub trait Elem:
+    Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + WireDecode + 'static
+{
+}
 
-impl<T> Elem for T where T: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 'static {}
+impl<T> Elem for T where
+    T: Copy + Send + Sync + PartialEq + std::fmt::Debug + WireSize + WireDecode + 'static
+{
+}
 
 /// Shape and placement of this rank's block of a distributed matrix.
 ///

@@ -43,7 +43,7 @@ use crate::distmat::{DistMat, Elem};
 use crate::grid::Grid;
 use crate::layout::Layout;
 use dspgemm_sparse::{Csr, Index, Triple};
-use dspgemm_util::WireSize;
+use dspgemm_util::{WireDecode, WireEncode, WireError, WireReader, WireSize};
 use std::sync::Arc;
 
 /// User tag of the per-batch write-ahead-log buddy exchange.
@@ -93,6 +93,24 @@ impl<V: WireSize> WireSize for LoggedBatch<V> {
     }
 }
 
+impl<V: WireEncode> WireEncode for LoggedBatch<V> {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.epoch.wire_encode(out);
+        self.a_ups.wire_encode(out);
+        self.b_ups.wire_encode(out);
+    }
+}
+
+impl<V: WireDecode> WireDecode for LoggedBatch<V> {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            epoch: u64::wire_decode(r)?,
+            a_ups: Vec::wire_decode(r)?,
+            b_ups: Vec::wire_decode(r)?,
+        })
+    }
+}
+
 /// A shippable copy-on-write image of one rank's block of a distributed
 /// matrix: the shared CSR the snapshot layer already maintains, plus enough
 /// layout to rebuild the [`DistMat`] from nothing on a replacement rank.
@@ -118,6 +136,28 @@ impl<V: WireSize> WireSize for MatImage<V> {
             + self.row_cuts.wire_bytes()
             + self.col_cuts.wire_bytes()
             + self.image.wire_bytes()
+    }
+}
+
+impl<V: WireEncode> WireEncode for MatImage<V> {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.nrows.wire_encode(out);
+        self.ncols.wire_encode(out);
+        self.row_cuts.wire_encode(out);
+        self.col_cuts.wire_encode(out);
+        self.image.wire_encode(out);
+    }
+}
+
+impl<V: WireDecode> WireDecode for MatImage<V> {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            nrows: Index::wire_decode(r)?,
+            ncols: Index::wire_decode(r)?,
+            row_cuts: Vec::wire_decode(r)?,
+            col_cuts: Vec::wire_decode(r)?,
+            image: Arc::wire_decode(r)?,
+        })
     }
 }
 
@@ -200,6 +240,30 @@ impl<V: WireSize> WireSize for Anchor<V> {
     }
 }
 
+impl<V: WireEncode> WireEncode for Anchor<V> {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.published.wire_encode(out);
+        self.flops.wire_encode(out);
+        self.a.wire_encode(out);
+        self.b.wire_encode(out);
+        self.c.wire_encode(out);
+        self.f.wire_encode(out);
+    }
+}
+
+impl<V: WireDecode> WireDecode for Anchor<V> {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            published: u64::wire_decode(r)?,
+            flops: u64::wire_decode(r)?,
+            a: MatImage::wire_decode(r)?,
+            b: MatImage::wire_decode(r)?,
+            c: MatImage::wire_decode(r)?,
+            f: Option::wire_decode(r)?,
+        })
+    }
+}
+
 /// Everything rank `r` holds on behalf of its predecessor `(r - 1) mod p`:
 /// the predecessor's two anchor windows and its log entries since the older
 /// one. Shipping this bundle to a replacement rank restores exactly the
@@ -217,6 +281,24 @@ pub struct ReplicaBundle<V> {
 impl<V: WireSize> WireSize for ReplicaBundle<V> {
     fn wire_bytes(&self) -> u64 {
         self.newest.wire_bytes() + self.prev.wire_bytes() + self.log.wire_bytes()
+    }
+}
+
+impl<V: WireEncode> WireEncode for ReplicaBundle<V> {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.newest.wire_encode(out);
+        self.prev.wire_encode(out);
+        self.log.wire_encode(out);
+    }
+}
+
+impl<V: WireDecode> WireDecode for ReplicaBundle<V> {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            newest: Anchor::wire_decode(r)?,
+            prev: Option::wire_decode(r)?,
+            log: Vec::wire_decode(r)?,
+        })
     }
 }
 

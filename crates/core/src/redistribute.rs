@@ -21,7 +21,7 @@ use crate::pipeline::await_into_phase;
 use dspgemm_mpi::Request;
 use dspgemm_sparse::{Index, Triple};
 use dspgemm_util::stats::PhaseTimer;
-use dspgemm_util::WireSize;
+use dspgemm_util::{WireDecode, WireSize};
 
 /// Phase-name constants for the Fig. 7 breakdown.
 pub mod phase {
@@ -45,7 +45,7 @@ pub mod phase {
 /// This is the handle behind the engine's depth-1 inter-batch lookahead:
 /// batch `k + 1`'s redistribution crosses the wire while batch `k`'s SpGEMM
 /// rounds and epoch publish run.
-pub struct InflightRedist<V: Copy + Send + Sync + WireSize + 'static> {
+pub struct InflightRedist<V: Copy + Send + Sync + WireSize + WireDecode + 'static> {
     req: Request<Vec<Vec<Triple<V>>>>,
 }
 
@@ -61,7 +61,7 @@ pub fn redistribute_start<V>(
     timer: &mut PhaseTimer,
 ) -> InflightRedist<V>
 where
-    V: Copy + Send + Sync + WireSize + 'static,
+    V: Copy + Send + Sync + WireSize + WireDecode + 'static,
 {
     let q = grid.q();
     let chunks = timer.time(phase::REDIST_SORT, || {
@@ -83,7 +83,7 @@ pub fn redistribute_finish<V>(
     timer: &mut PhaseTimer,
 ) -> Vec<Triple<V>>
 where
-    V: Copy + Send + Sync + WireSize + 'static,
+    V: Copy + Send + Sync + WireSize + WireDecode + 'static,
 {
     let q = grid.q();
     let received = await_into_phase(inflight.req, timer, phase::REDIST_COMM);
@@ -128,7 +128,7 @@ pub fn redistribute<V>(
     timer: &mut PhaseTimer,
 ) -> Vec<Triple<V>>
 where
-    V: Copy + Send + Sync + WireSize + 'static,
+    V: Copy + Send + Sync + WireSize + WireDecode + 'static,
 {
     let inflight = redistribute_start(grid, nrows, tuples, timer);
     redistribute_finish(grid, ncols, inflight, timer)
@@ -145,7 +145,7 @@ pub fn redistribute_start_in<V>(
     timer: &mut PhaseTimer,
 ) -> InflightRedist<V>
 where
-    V: Copy + Send + Sync + WireSize + 'static,
+    V: Copy + Send + Sync + WireSize + WireDecode + 'static,
 {
     let q = grid.q();
     debug_assert_eq!(layout.q(), q, "layout must target the grid side");
@@ -165,7 +165,7 @@ pub fn redistribute_finish_in<V>(
     timer: &mut PhaseTimer,
 ) -> Vec<Triple<V>>
 where
-    V: Copy + Send + Sync + WireSize + 'static,
+    V: Copy + Send + Sync + WireSize + WireDecode + 'static,
 {
     let q = grid.q();
     debug_assert_eq!(layout.q(), q, "layout must target the grid side");
@@ -204,7 +204,7 @@ pub fn redistribute_in<V>(
     timer: &mut PhaseTimer,
 ) -> Vec<Triple<V>>
 where
-    V: Copy + Send + Sync + WireSize + 'static,
+    V: Copy + Send + Sync + WireSize + WireDecode + 'static,
 {
     let inflight = redistribute_start_in(grid, layout, tuples, timer);
     redistribute_finish_in(grid, layout, inflight, timer)

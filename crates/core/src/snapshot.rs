@@ -173,7 +173,7 @@ impl<V: Elem> SnapshotMat<V> {
         combine: impl FnMut(T, T) -> T,
     ) -> T
     where
-        T: Clone + Send + dspgemm_util::WireSize + 'static,
+        T: Clone + Send + dspgemm_util::WireSize + dspgemm_util::WireDecode + 'static,
     {
         let mut acc = init;
         for lr in 0..self.block.nrows() {

@@ -41,7 +41,7 @@ type PanelFlight<V> = Option<(Request<Arc<Csr<V>>>, Request<Arc<Csr<V>>>)>;
 /// `B_{k,j}` over the process column — nonblocking under
 /// [`Schedule::Overlap`]; deferred to the completion step (legacy fully
 /// blocking broadcasts, one after the other) under [`Schedule::Blocking`].
-fn issue_panels<V: Send + Sync + dspgemm_util::WireSize + 'static>(
+fn issue_panels<V: Send + Sync + dspgemm_util::WireSize + dspgemm_util::WireDecode + 'static>(
     grid: &Grid,
     k: usize,
     a_local: &Arc<Csr<V>>,
@@ -76,7 +76,7 @@ fn issue_panels<V: Send + Sync + dspgemm_util::WireSize + 'static>(
 /// serialized legacy broadcasts (blocking schedule — `A`'s broadcast fully
 /// completes before `B`'s starts, the exact pre-pipelining cost structure).
 #[allow(clippy::type_complexity)]
-fn complete_panels<V: Send + Sync + dspgemm_util::WireSize + 'static>(
+fn complete_panels<V: Send + Sync + dspgemm_util::WireSize + dspgemm_util::WireDecode + 'static>(
     grid: &Grid,
     k: usize,
     a_local: &Arc<Csr<V>>,

@@ -5,7 +5,7 @@ use crate::network::Endpoint;
 use crate::request::{self, ProgressEntry, RankIo, Request};
 use crate::stats::CommCategory;
 use dspgemm_util::hash::mix64;
-use dspgemm_util::WireSize;
+use dspgemm_util::{decode_from_slice, encode_to_vec, WireBytes, WireDecode, WireSize};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -83,7 +83,7 @@ impl Comm {
         Tag(base.0 | round)
     }
 
-    fn send_internal<T: Send + 'static>(
+    fn send_internal<T: Send + WireSize + 'static>(
         &self,
         dst: usize,
         tag: Tag,
@@ -92,24 +92,24 @@ impl Comm {
         bytes: u64,
     ) {
         let dst_world = self.members[dst];
-        self.io.endpoint.borrow().send_envelope(
-            dst_world,
-            self.comm_id,
-            tag,
-            Payload::Value(Box::new(value)),
-            category,
-            bytes,
-        );
+        let ep = self.io.endpoint.borrow();
+        let payload = pack_payload(&ep, dst_world, value);
+        ep.send_envelope(dst_world, self.comm_id, tag, payload, category, bytes);
     }
 
-    fn recv_internal<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
+    fn recv_internal<T: Send + WireDecode + 'static>(&self, src: usize, tag: Tag) -> T {
         self.recv_internal_with(src, tag, true)
     }
 
     /// `expose = false` skips exposed-time metering: used by pure
     /// synchronization (the barrier), whose waiting is load-imbalance skew
     /// rather than communication cost.
-    fn recv_internal_with<T: Send + 'static>(&self, src: usize, tag: Tag, expose: bool) -> T {
+    fn recv_internal_with<T: Send + WireDecode + 'static>(
+        &self,
+        src: usize,
+        tag: Tag,
+        expose: bool,
+    ) -> T {
         let src_world = self.members[src];
         let (boxed, _sent_at, _blocked) =
             request::recv_match(&self.io, src_world, self.comm_id, tag, expose);
@@ -131,7 +131,7 @@ impl Comm {
     }
 
     /// Blocking receive of a `T` from group rank `src` under user `tag`.
-    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+    pub fn recv<T: Send + WireDecode + 'static>(&self, src: usize, tag: u64) -> T {
         let mut sp = dspgemm_obs::span("comm", "recv");
         let user_tag = Tag::user(tag);
         let src_world = self.members[src];
@@ -151,7 +151,7 @@ impl Comm {
     /// Implemented in prepost-irecv form: the receive is posted before the
     /// send, so both directions of the exchange are in flight at once and
     /// the wait is pure arrival time.
-    pub fn sendrecv<T: Send + WireSize + 'static, U: Send + 'static>(
+    pub fn sendrecv<T: Send + WireSize + 'static, U: Send + WireDecode + 'static>(
         &self,
         dst: usize,
         send_value: T,
@@ -168,7 +168,7 @@ impl Comm {
     /// The meter still charges the pointee's full packed size ([`WireSize`]
     /// is transparent over `Arc`), so logical communication volume is
     /// byte-identical to the clone-based path.
-    pub fn sendrecv_shared<T: Send + Sync + WireSize + 'static>(
+    pub fn sendrecv_shared<T: Send + Sync + WireSize + WireDecode + 'static>(
         &self,
         dst: usize,
         send_value: Arc<T>,
@@ -210,7 +210,7 @@ impl Comm {
 
     /// Nonblocking receive of a `T` from group rank `src` under user `tag`.
     /// Complete with [`Request::wait`]; poll with [`Request::test`].
-    pub fn irecv<T: Send + 'static>(&self, src: usize, tag: u64) -> Request<T> {
+    pub fn irecv<T: Send + WireDecode + 'static>(&self, src: usize, tag: u64) -> Request<T> {
         let src_world = self.members[src];
         let user_tag = Tag::user(tag);
         Request::from_parts(
@@ -225,7 +225,11 @@ impl Comm {
 
     /// Nonblocking zero-copy receive of an `Arc<T>` (pairs with
     /// [`Comm::isend_shared`] / [`Comm::sendrecv_shared`] senders).
-    pub fn irecv_shared<T: Send + Sync + 'static>(&self, src: usize, tag: u64) -> Request<Arc<T>> {
+    pub fn irecv_shared<T: Send + Sync + WireDecode + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+    ) -> Request<Arc<T>> {
         self.irecv(src, tag)
     }
 
@@ -240,7 +244,7 @@ impl Comm {
     /// the subtree children and the request becomes ready. This is what
     /// lets a pipelined schedule keep round `k + 1`'s panels flowing while
     /// every rank is busy multiplying round `k`.
-    pub fn ibcast_shared<T: Send + Sync + WireSize + 'static>(
+    pub fn ibcast_shared<T: Send + Sync + WireSize + WireDecode + 'static>(
         &self,
         root: usize,
         value: Option<Arc<T>>,
@@ -266,11 +270,12 @@ impl Comm {
                 let v = value.expect("root must supply the broadcast value");
                 let ep = self.io.endpoint.borrow();
                 for &dst_world in &child_worlds {
+                    let payload = pack_payload(&ep, dst_world, Arc::clone(&v));
                     ep.send_envelope(
                         dst_world,
                         self.comm_id,
                         tag,
-                        Payload::Value(Box::new(Arc::clone(&v))),
+                        payload,
                         CommCategory::Bcast,
                         v.wire_bytes(),
                     );
@@ -288,16 +293,15 @@ impl Comm {
                 let comm_id = self.comm_id;
                 let action = Box::new(
                     move |boxed: Box<dyn Any + Send>, sent_at: std::time::Instant| {
-                        let v = *boxed
-                            .downcast::<Arc<T>>()
-                            .expect("broadcast payload type mismatch");
+                        let v: Arc<T> = downcast_payload(boxed, parent_vrank, tag);
                         let ep = action_io.endpoint.borrow();
                         for &dst_world in &child_worlds {
+                            let payload = pack_payload(&ep, dst_world, Arc::clone(&v));
                             ep.send_envelope(
                                 dst_world,
                                 comm_id,
                                 tag,
-                                Payload::Value(Box::new(Arc::clone(&v))),
+                                payload,
                                 CommCategory::Bcast,
                                 v.wire_bytes(),
                             );
@@ -331,7 +335,7 @@ impl Comm {
     /// Nonblocking personalized all-to-all: sends go out at issue (buffered),
     /// the `p - 1` receives complete at `wait`/`test`. Result layout and
     /// metering are identical to [`Comm::alltoallv`].
-    pub fn ialltoallv<T: Send + WireSize + 'static>(
+    pub fn ialltoallv<T: Send + WireSize + WireDecode + 'static>(
         &self,
         mut out: Vec<Vec<T>>,
     ) -> Request<Vec<Vec<T>>> {
@@ -406,11 +410,15 @@ impl Comm {
     /// counted in the network's payload-clone meter (see
     /// [`crate::SimOutput::payload_clones`]). Hot paths that broadcast
     /// matrix blocks should use [`Comm::bcast_shared`] instead.
-    pub fn bcast<T: Clone + Send + WireSize + 'static>(&self, root: usize, value: Option<T>) -> T {
+    pub fn bcast<T: Clone + Send + WireSize + WireDecode + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> T {
         self.bcast_impl(root, value, true)
     }
 
-    fn bcast_impl<T: Clone + Send + WireSize + 'static>(
+    fn bcast_impl<T: Clone + Send + WireSize + WireDecode + 'static>(
         &self,
         root: usize,
         value: Option<T>,
@@ -434,7 +442,7 @@ impl Comm {
     /// recorded communication volume (the paper's Fig. 7/12 metric) is
     /// byte-identical to the clone-based path; see `DESIGN.md` on what the
     /// simulator meters versus what it moves.
-    pub fn bcast_shared<T: Send + Sync + WireSize + 'static>(
+    pub fn bcast_shared<T: Send + Sync + WireSize + WireDecode + 'static>(
         &self,
         root: usize,
         value: Option<Arc<T>>,
@@ -446,7 +454,7 @@ impl Comm {
     /// `duplicate` produces the copy forwarded along each tree edge — a deep
     /// clone on the legacy path, an `Arc` refcount increment on the shared
     /// path — so tags, rounds and metering cannot drift apart between them.
-    fn bcast_tree<T: Send + WireSize + 'static>(
+    fn bcast_tree<T: Send + WireSize + WireDecode + 'static>(
         &self,
         root: usize,
         value: Option<T>,
@@ -484,7 +492,11 @@ impl Comm {
 
     /// Gathers one value per rank at `root` (group-rank order). Returns
     /// `Some(values)` at the root, `None` elsewhere.
-    pub fn gather<T: Send + WireSize + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+    pub fn gather<T: Send + WireSize + WireDecode + 'static>(
+        &self,
+        root: usize,
+        value: T,
+    ) -> Option<Vec<T>> {
         let _sp = dspgemm_obs::span("comm", "gather");
         let tag = self.next_coll_tag(0);
         if self.my_rank == root {
@@ -508,7 +520,7 @@ impl Comm {
     ///
     /// Each ring round forwards `value.clone()`; payload-sized values should
     /// use [`Comm::allgather_shared`], which moves `Arc` handles instead.
-    pub fn allgather<T: Clone + Send + WireSize + 'static>(&self, value: T) -> Vec<T> {
+    pub fn allgather<T: Clone + Send + WireSize + WireDecode + 'static>(&self, value: T) -> Vec<T> {
         self.allgather_ring(value, T::clone)
     }
 
@@ -518,7 +530,7 @@ impl Comm {
     /// which statically guarantees this collective cannot copy the payload.
     /// Each ring edge is metered at the pointee's packed size, so recorded
     /// wire volume is byte-identical to the clone-based path.
-    pub fn allgather_shared<T: Send + Sync + WireSize + 'static>(
+    pub fn allgather_shared<T: Send + Sync + WireSize + WireDecode + 'static>(
         &self,
         value: Arc<T>,
     ) -> Vec<Arc<T>> {
@@ -529,7 +541,7 @@ impl Comm {
     /// produces the copy forwarded each round — a deep clone on the legacy
     /// path, an `Arc` refcount increment on the shared path — so tags,
     /// rounds and metering cannot drift apart between them.
-    fn allgather_ring<T: Send + WireSize + 'static>(
+    fn allgather_ring<T: Send + WireSize + WireDecode + 'static>(
         &self,
         value: T,
         mut duplicate: impl FnMut(&T) -> T,
@@ -568,7 +580,10 @@ impl Comm {
     /// returns the received chunks indexed by source rank (own chunk is moved
     /// through locally without touching the meter, matching MPI self-sends
     /// being free in practice).
-    pub fn alltoallv<T: Send + WireSize + 'static>(&self, mut out: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    pub fn alltoallv<T: Send + WireSize + WireDecode + 'static>(
+        &self,
+        mut out: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
         let p = self.size();
         assert_eq!(out.len(), p, "alltoallv needs one chunk per destination");
         let mut sp = dspgemm_obs::span("comm", "alltoallv");
@@ -606,7 +621,7 @@ impl Comm {
     /// "(log p)-round parallel reduction … for aggregation".
     pub fn reduce<T, F>(&self, root: usize, value: T, mut op: F) -> Option<T>
     where
-        T: Send + WireSize + 'static,
+        T: Send + WireSize + WireDecode + 'static,
         F: FnMut(T, T) -> T,
     {
         let p = self.size();
@@ -648,7 +663,7 @@ impl Comm {
     /// general algorithm's filter vector) use `reduce` + [`Comm::bcast_shared`].
     pub fn allreduce<T, F>(&self, value: T, op: F) -> T
     where
-        T: Clone + Send + WireSize + 'static,
+        T: Clone + Send + WireSize + WireDecode + 'static,
         F: FnMut(T, T) -> T,
     {
         let reduced = self.reduce(0, value, op);
@@ -660,7 +675,7 @@ impl Comm {
     /// in setup paths, never in inner loops).
     pub fn exscan<T, F>(&self, value: T, identity: T, mut op: F) -> T
     where
-        T: Clone + Send + WireSize + 'static,
+        T: Clone + Send + WireSize + WireDecode + 'static,
         F: FnMut(T, T) -> T,
     {
         let p = self.size();
@@ -843,15 +858,47 @@ impl Comm {
     }
 }
 
+/// Packs a value for delivery to `dst_world`: remote peers of a real-wire
+/// transport get the wire-encoded bytes (one serialization per
+/// destination), everything else moves the typed value by pointer — the
+/// simulator's zero-copy contract, and the TCP backend's self-send
+/// short-circuit.
+fn pack_payload<T: Send + WireSize + 'static>(
+    ep: &Endpoint,
+    dst_world: usize,
+    value: T,
+) -> Payload {
+    if ep.encodes_to(dst_world) {
+        Payload::Value(Box::new(WireBytes(encode_to_vec(&value))))
+    } else {
+        Payload::Value(Box::new(value))
+    }
+}
+
 /// Downcasts a received payload, with the same diagnostic as the blocking
-/// receive path on type mismatch.
-fn downcast_payload<T: Send + 'static>(boxed: Box<dyn Any + Send>, src: usize, tag: Tag) -> T {
-    *boxed.downcast::<T>().unwrap_or_else(|_| {
-        panic!(
-            "type mismatch receiving from rank {src} tag {tag:?}: expected {}",
-            std::any::type_name::<T>()
-        )
-    })
+/// receive path on type mismatch. A payload that arrived over a real wire
+/// is a [`WireBytes`] buffer instead of the typed value; it is decoded
+/// here, at the matched receive — the one place the expected type is known.
+fn downcast_payload<T: Send + WireDecode + 'static>(
+    boxed: Box<dyn Any + Send>,
+    src: usize,
+    tag: Tag,
+) -> T {
+    match boxed.downcast::<T>() {
+        Ok(v) => *v,
+        Err(boxed) => match boxed.downcast::<WireBytes>() {
+            Ok(bytes) => decode_from_slice::<T>(&bytes.0).unwrap_or_else(|e| {
+                panic!(
+                    "wire decode failed receiving from rank {src} tag {tag:?} as {}: {e}",
+                    std::any::type_name::<T>()
+                )
+            }),
+            Err(_) => panic!(
+                "type mismatch receiving from rank {src} tag {tag:?}: expected {}",
+                std::any::type_name::<T>()
+            ),
+        },
+    }
 }
 
 /// Shape of the binomial broadcast tree at virtual rank `vrank` in a group

@@ -54,6 +54,9 @@ mod network;
 mod request;
 mod runtime;
 mod stats;
+#[cfg(feature = "tcp-transport")]
+pub mod tcp;
+mod transport;
 
 pub use comm::Comm;
 pub use fault::{catch_comm, catch_comm_mut, CommError, DelaySpec, FaultPlan, TransientSpec};

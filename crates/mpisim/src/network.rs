@@ -1,8 +1,10 @@
-//! The shared transport: one inbox channel per rank plus the meter.
+//! Rank endpoints: the inbox, metering, and fault machinery over a
+//! [`Transport`].
 
 use crate::fault::{CommError, FaultPlan};
 use crate::message::{Envelope, Payload, Tag};
 use crate::stats::{CommCategory, CommStats, Meter};
+use crate::transport::Transport;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dspgemm_util::hash::mix64;
 use std::cell::{Cell, RefCell};
@@ -36,28 +38,18 @@ impl Network {
         }
     }
 
-    /// Takes rank `r`'s endpoint (inbox receiver plus fan-out senders).
-    /// Each rank's endpoint can be taken exactly once.
+    /// Takes rank `r`'s endpoint (inbox receiver plus the channel-mesh
+    /// transport). Each rank's endpoint can be taken exactly once.
     pub(crate) fn endpoint(&mut self, rank: usize) -> Endpoint {
-        let crash_at = match self.plan.crash {
-            Some((r, k)) if r == rank => Some(k),
-            _ => None,
-        };
-        Endpoint {
+        Endpoint::with_transport(
             rank,
-            inbox: self.receivers[rank].take().expect("endpoint taken twice"),
-            peers: self.senders.clone(),
-            meter: Arc::clone(&self.meter),
-            pending: Vec::new(),
-            blocked_ns: 0,
-            plan: Arc::clone(&self.plan),
-            sends: Cell::new(0),
-            crash_at: Cell::new(crash_at),
-            crashed: Cell::new(false),
-            epoch: Cell::new(0),
-            failed: RefCell::new(Vec::new()),
-            last_detect_ns: Cell::new(0),
-        }
+            self.receivers[rank].take().expect("endpoint taken twice"),
+            Transport::Local {
+                peers: self.senders.clone(),
+            },
+            Arc::clone(&self.meter),
+            Arc::clone(&self.plan),
+        )
     }
 
     pub(crate) fn stats(&self) -> CommStats {
@@ -82,7 +74,7 @@ impl Network {
 pub(crate) struct Endpoint {
     pub(crate) rank: usize,
     inbox: Receiver<Envelope>,
-    peers: Vec<Sender<Envelope>>,
+    transport: Transport,
     meter: Arc<Meter>,
     /// Messages received but not yet matched (out-of-order arrivals).
     pending: Vec<Envelope>,
@@ -112,6 +104,44 @@ pub(crate) struct Endpoint {
 }
 
 impl Endpoint {
+    /// Builds an endpoint from its receive inbox and outgoing transport.
+    /// Used by [`Network::endpoint`] (channel mesh) and the TCP backend's
+    /// per-process bootstrap.
+    pub(crate) fn with_transport(
+        rank: usize,
+        inbox: Receiver<Envelope>,
+        transport: Transport,
+        meter: Arc<Meter>,
+        plan: Arc<FaultPlan>,
+    ) -> Endpoint {
+        let crash_at = match plan.crash {
+            Some((r, k)) if r == rank => Some(k),
+            _ => None,
+        };
+        Endpoint {
+            rank,
+            inbox,
+            transport,
+            meter,
+            pending: Vec::new(),
+            blocked_ns: 0,
+            plan,
+            sends: Cell::new(0),
+            crash_at: Cell::new(crash_at),
+            crashed: Cell::new(false),
+            epoch: Cell::new(0),
+            failed: RefCell::new(Vec::new()),
+            last_detect_ns: Cell::new(0),
+        }
+    }
+
+    /// Whether payloads to world rank `dst` must be wire-encoded before
+    /// sending (true only for remote peers of a real-wire transport).
+    #[inline]
+    pub(crate) fn encodes_to(&self, dst_world: usize) -> bool {
+        self.transport.encodes_to(dst_world)
+    }
+
     /// Snapshot of the whole network's counters (benchmark instrumentation).
     pub(crate) fn stats_snapshot(&self) -> CommStats {
         self.meter.snapshot()
@@ -247,16 +277,19 @@ impl Endpoint {
         self.crashed.set(true);
         self.crash_at.set(None);
         let now = Instant::now();
-        for (dst, tx) in self.peers.iter().enumerate() {
+        for dst in 0..self.transport.len() {
             if dst != self.rank {
-                let _ = tx.send(Envelope {
-                    src_world: self.rank,
-                    comm_id: 0,
-                    tag: Tag(0),
-                    epoch: self.epoch.get(),
-                    payload: Payload::Failed { rank: self.rank },
-                    sent_at: now,
-                });
+                let _ = self.transport.deliver(
+                    dst,
+                    Envelope {
+                        src_world: self.rank,
+                        comm_id: 0,
+                        tag: Tag(0),
+                        epoch: self.epoch.get(),
+                        payload: Payload::Failed { rank: self.rank },
+                        sent_at: now,
+                    },
+                );
             }
         }
         dspgemm_obs::instant("comm", "simulated_crash", &[("rank", self.rank as u64)]);
@@ -283,26 +316,36 @@ impl Endpoint {
             payload,
             sent_at: Instant::now(),
         };
-        // A closed inbox means the peer already exited; with poison-on-panic
-        // this only happens after a failure elsewhere, so fail loudly.
-        self.peers[dst_world]
-            .send(env)
-            .expect("peer rank inbox closed (peer exited early)");
+        if self.transport.deliver(dst_world, env).is_err() {
+            // On the channel mesh a closed inbox only happens after a
+            // poison-panic elsewhere — fail loudly. On a real wire a dead
+            // peer process is a *detected failure*: surface the same typed
+            // error the marker path raises so recovery handles both.
+            if self.transport.encodes_to(dst_world) {
+                self.note_failed(dst_world);
+                dspgemm_obs::instant("comm", "peer_failed", &[("rank", dst_world as u64)]);
+                panic_any(CommError::PeerFailed { rank: dst_world });
+            }
+            panic!("peer rank inbox closed (peer exited early)");
+        }
     }
 
     /// Broadcasts a poison marker to every other rank (called on panic).
     pub(crate) fn poison_all(&self) {
-        for (dst, tx) in self.peers.iter().enumerate() {
+        for dst in 0..self.transport.len() {
             if dst != self.rank {
-                // Ignore closed inboxes; peers may have already exited.
-                let _ = tx.send(Envelope {
-                    src_world: self.rank,
-                    comm_id: 0,
-                    tag: Tag(0),
-                    epoch: self.epoch.get(),
-                    payload: Payload::Poison,
-                    sent_at: Instant::now(),
-                });
+                // Ignore unreachable peers; they may have already exited.
+                let _ = self.transport.deliver(
+                    dst,
+                    Envelope {
+                        src_world: self.rank,
+                        comm_id: 0,
+                        tag: Tag(0),
+                        epoch: self.epoch.get(),
+                        payload: Payload::Poison,
+                        sent_at: Instant::now(),
+                    },
+                );
             }
         }
     }

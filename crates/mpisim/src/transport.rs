@@ -1,0 +1,69 @@
+//! The transport seam: how envelopes leave a rank.
+//!
+//! Everything above this seam — tag/communicator matching, the progress
+//! engine, collective trees, epoch screening, metering — is
+//! backend-agnostic: an [`crate::network::Endpoint`] always *receives* from
+//! a local channel inbox, and a [`Transport`] decides how a sent envelope
+//! reaches the destination's inbox. The simulator's transport pushes the
+//! envelope straight into the peer thread's channel; the TCP transport
+//! (feature `tcp-transport`) writes a length-prefixed frame to the peer
+//! process's socket, whose reader thread feeds the remote inbox.
+//!
+//! The seam also answers one policy question: [`Transport::encodes_to`]
+//! tells the communicator layer whether a payload must be packed into
+//! [`dspgemm_util::WireBytes`] before delivery. In-process delivery moves
+//! the typed value by pointer (the simulator's zero-copy contract); a
+//! remote process needs real bytes.
+
+use crate::message::Envelope;
+use crossbeam::channel::Sender;
+
+/// Delivery failed because the destination rank is gone.
+///
+/// On the simulator this is fatal bookkeeping (a peer's inbox only closes
+/// after a poison-panic elsewhere); on the TCP backend it is a live failure
+/// signal that surfaces as [`crate::CommError::PeerFailed`].
+#[derive(Debug)]
+pub(crate) struct PeerGone;
+
+/// The outgoing half of a rank's connection to the world.
+pub(crate) enum Transport {
+    /// In-process channel mesh: one sender handle per peer inbox.
+    Local { peers: Vec<Sender<Envelope>> },
+    /// Socket mesh to peer rank *processes* (feature `tcp-transport`).
+    #[cfg(feature = "tcp-transport")]
+    Tcp(crate::tcp::TcpLink),
+}
+
+impl Transport {
+    /// Number of world ranks this transport can reach (including self).
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Transport::Local { peers } => peers.len(),
+            #[cfg(feature = "tcp-transport")]
+            Transport::Tcp(link) => link.world(),
+        }
+    }
+
+    /// Whether payloads destined for world rank `dst` must be wire-encoded
+    /// ([`dspgemm_util::WireBytes`]) before [`Transport::deliver`].
+    /// In-process delivery (the whole simulator, and a TCP rank's sends to
+    /// itself) moves typed values by pointer and never encodes.
+    pub(crate) fn encodes_to(&self, dst: usize) -> bool {
+        let _ = dst;
+        match self {
+            Transport::Local { .. } => false,
+            #[cfg(feature = "tcp-transport")]
+            Transport::Tcp(link) => !link.is_self(dst),
+        }
+    }
+
+    /// Delivers `env` to world rank `dst`'s inbox.
+    pub(crate) fn deliver(&self, dst: usize, env: Envelope) -> Result<(), PeerGone> {
+        match self {
+            Transport::Local { peers } => peers[dst].send(env).map_err(|_| PeerGone),
+            #[cfg(feature = "tcp-transport")]
+            Transport::Tcp(link) => link.deliver(dst, env),
+        }
+    }
+}

@@ -3,7 +3,7 @@
 
 use dspgemm_mpi::{run, CommCategory};
 use dspgemm_util::rng::{Rng, SplitMix64};
-use dspgemm_util::WireSize;
+use dspgemm_util::{WireDecode, WireEncode, WireError, WireReader, WireSize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -15,6 +15,18 @@ struct NoClone(Vec<u64>);
 impl WireSize for NoClone {
     fn wire_bytes(&self) -> u64 {
         self.0.wire_bytes()
+    }
+}
+
+impl WireEncode for NoClone {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.0.wire_encode(out);
+    }
+}
+
+impl WireDecode for NoClone {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(NoClone(Vec::wire_decode(r)?))
     }
 }
 
@@ -33,6 +45,21 @@ impl Clone for CloneSpy {
 impl WireSize for CloneSpy {
     fn wire_bytes(&self) -> u64 {
         8
+    }
+}
+
+impl WireEncode for CloneSpy {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.0.wire_encode(out);
+    }
+}
+
+// A `CloneSpy` holds a process-local counter reference, so it cannot
+// rematerialize on a remote rank. The sim backend never decodes (payloads
+// move by pointer), so this impl only satisfies the collective bounds.
+impl WireDecode for CloneSpy {
+    fn wire_decode(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Err(WireError::Invalid("CloneSpy is process-local"))
     }
 }
 

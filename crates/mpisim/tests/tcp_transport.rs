@@ -1,0 +1,117 @@
+//! TCP-backend-specific behaviour: failure detection over real sockets and
+//! the single-rank loopback short-circuit. (Cross-backend semantics parity
+//! lives in `backend_matrix.rs`.)
+#![cfg(feature = "tcp-transport")]
+
+use dspgemm_mpi::tcp::{detect_deadline, run_tcp, test_path, Reexec, TcpConfig};
+use dspgemm_mpi::{catch_comm_mut, CommError};
+use std::time::{Duration, Instant};
+
+/// Kill a rank process mid-job: every survivor must surface a typed
+/// `PeerFailed { rank: 2 }` from its `wait_deadline` polling loop within
+/// the detection budget — no hang, no untyped crash. Detection is driven
+/// by the broken socket (the reader thread synthesizes a failure marker on
+/// EOF), with `wait_deadline`'s timeout as the bounded fallback that keeps
+/// the loop from blocking forever.
+#[test]
+fn killed_peer_raises_peer_failed_on_survivors() {
+    let out = run_tcp(
+        Reexec::Test(test_path(
+            module_path!(),
+            "killed_peer_raises_peer_failed_on_survivors",
+        )),
+        TcpConfig::new(4).expect_failures(),
+        |comm| {
+            // Make sure everyone is past bootstrap before the kill.
+            comm.barrier();
+            if comm.rank() == 2 {
+                // Die without poison, FIN, or any goodbye: survivors must
+                // detect this from the transport alone.
+                std::process::abort();
+            }
+            let budget = detect_deadline();
+            let t0 = Instant::now();
+            let outcome = catch_comm_mut(|| {
+                // A message from rank 2 that will never arrive.
+                let mut req = comm.irecv::<u64>(2, 77);
+                loop {
+                    match req.wait_deadline(Duration::from_millis(50)) {
+                        Ok(_) => panic!("received a message from a dead rank"),
+                        Err(CommError::Timeout { .. }) => {
+                            assert!(
+                                t0.elapsed() < budget,
+                                "no failure detected within the detection budget"
+                            );
+                        }
+                        // A typed failure normally unwinds out of the
+                        // drain; re-raise if it ever arrives by value so
+                        // `catch_comm_mut` sees one uniform signal.
+                        Err(other) => std::panic::panic_any(other),
+                    }
+                }
+            });
+            match outcome {
+                Err(CommError::PeerFailed { rank }) => {
+                    assert_eq!(rank, 2, "wrong failed rank reported");
+                    assert!(t0.elapsed() < budget, "detection exceeded the budget");
+                }
+                Err(other) => panic!("expected PeerFailed, got {other}"),
+                Ok(_) => unreachable!("the polling loop only exits by unwinding"),
+            }
+            assert_eq!(comm.failed_ranks(), vec![2]);
+            comm.rank() as u64
+        },
+    );
+    assert_eq!(out.results.len(), 4);
+    assert!(
+        out.results[2].is_none(),
+        "the killed rank reported a result"
+    );
+    for r in [0usize, 1, 3] {
+        assert_eq!(
+            out.results[r],
+            Some(r as u64),
+            "survivor {r} did not finish"
+        );
+    }
+}
+
+/// p = 1 regression: a single-rank TCP job must take the same channel-free
+/// short-circuits as the simulator — bcast and friends resolve locally and
+/// self-sends go through the loopback inbox, so *zero* socket frames are
+/// written and nothing is wire-encoded (the payload round-trips by
+/// pointer, not through the codec).
+#[test]
+fn single_rank_loopback_short_circuit() {
+    let out = run_tcp(
+        Reexec::Test(test_path(
+            module_path!(),
+            "single_rank_loopback_short_circuit",
+        )),
+        TcpConfig::new(1),
+        |comm| {
+            assert_eq!((comm.rank(), comm.size()), (0, 1));
+            let b = comm.bcast(0, Some(vec![1u64, 2, 3]));
+            comm.barrier();
+            // A self-send through the explicit p2p path.
+            comm.send(0, 5, 41u64);
+            let v: u64 = comm.recv(0, 5);
+            let g = comm.allgather(v + b.iter().sum::<u64>());
+            g[0]
+        },
+    );
+    assert_eq!(out.results, vec![Some(47)]);
+    assert_eq!(out.frames, 0, "single rank wrote socket frames");
+
+    // Parity with the simulator, including metered volume.
+    let sim = dspgemm_mpi::run(1, |comm| {
+        let b = comm.bcast(0, Some(vec![1u64, 2, 3]));
+        comm.barrier();
+        comm.send(0, 5, 41u64);
+        let v: u64 = comm.recv(0, 5);
+        let g = comm.allgather(v + b.iter().sum::<u64>());
+        g[0]
+    });
+    assert_eq!(sim.results, vec![47]);
+    assert_eq!(out.stats.volume(), sim.stats.volume());
+}

@@ -4,7 +4,7 @@ use crate::semiring::Semiring;
 use crate::triple::{self, Triple};
 use crate::workspace::TransposeWorkspace;
 use crate::{Index, RowRead, RowScan};
-use dspgemm_util::WireSize;
+use dspgemm_util::{WireDecode, WireEncode, WireError, WireReader, WireSize};
 
 /// A static sparse matrix in CSR layout.
 ///
@@ -287,6 +287,45 @@ impl<V: WireSize> WireSize for Csr<V> {
         16 + 8 * self.row_ptr.len() as u64
             + 4 * self.cols.len() as u64
             + self.vals.iter().map(WireSize::wire_bytes).sum::<u64>()
+    }
+}
+
+impl<V: WireEncode> WireEncode for Csr<V> {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.nrows.wire_encode(out);
+        self.ncols.wire_encode(out);
+        self.row_ptr.wire_encode(out);
+        self.cols.wire_encode(out);
+        self.vals.wire_encode(out);
+    }
+}
+
+impl<V: WireDecode> WireDecode for Csr<V> {
+    /// Decoding validates the CSR invariants before constructing, so a
+    /// corrupt or mismatched stream surfaces as a [`WireError`] instead of
+    /// an out-of-bounds panic deep inside a kernel.
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let nrows = Index::wire_decode(r)?;
+        let ncols = Index::wire_decode(r)?;
+        let row_ptr = Vec::<usize>::wire_decode(r)?;
+        let cols = Vec::<Index>::wire_decode(r)?;
+        let vals = Vec::<V>::wire_decode(r)?;
+        if row_ptr.len() != nrows as usize + 1
+            || cols.len() != vals.len()
+            || row_ptr.first() != Some(&0)
+            || row_ptr.last() != Some(&cols.len())
+            || row_ptr.windows(2).any(|w| w[0] > w[1])
+            || cols.iter().any(|&c| c >= ncols)
+        {
+            return Err(WireError::Invalid("csr invariants"));
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            row_ptr,
+            cols,
+            vals,
+        })
     }
 }
 

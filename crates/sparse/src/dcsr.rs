@@ -15,7 +15,7 @@ use crate::semiring::Semiring;
 use crate::triple::{self, Triple};
 use crate::workspace::TransposeWorkspace;
 use crate::{Index, RowScan};
-use dspgemm_util::WireSize;
+use dspgemm_util::{WireDecode, WireEncode, WireError, WireReader, WireSize};
 
 /// A hypersparse matrix: row ids + compressed row pointers + column/value
 /// arrays.
@@ -517,6 +517,50 @@ impl<V: WireSize> WireSize for Dcsr<V> {
             + 8 * self.row_ptr.len() as u64
             + 4 * self.cols.len() as u64
             + self.vals.iter().map(WireSize::wire_bytes).sum::<u64>()
+    }
+}
+
+impl<V: WireEncode> WireEncode for Dcsr<V> {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.nrows.wire_encode(out);
+        self.ncols.wire_encode(out);
+        self.rows.wire_encode(out);
+        self.row_ptr.wire_encode(out);
+        self.cols.wire_encode(out);
+        self.vals.wire_encode(out);
+    }
+}
+
+impl<V: WireDecode> WireDecode for Dcsr<V> {
+    /// Decoding validates the DCSR invariants (strictly increasing stored
+    /// row ids, strictly increasing compressed pointers) before
+    /// constructing, so a corrupt stream errors instead of panicking later.
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let nrows = Index::wire_decode(r)?;
+        let ncols = Index::wire_decode(r)?;
+        let rows = Vec::<Index>::wire_decode(r)?;
+        let row_ptr = Vec::<usize>::wire_decode(r)?;
+        let cols = Vec::<Index>::wire_decode(r)?;
+        let vals = Vec::<V>::wire_decode(r)?;
+        if row_ptr.len() != rows.len() + 1
+            || cols.len() != vals.len()
+            || row_ptr.first() != Some(&0)
+            || row_ptr.last() != Some(&cols.len())
+            || row_ptr.windows(2).any(|w| w[0] >= w[1])
+            || rows.windows(2).any(|w| w[0] >= w[1])
+            || rows.iter().any(|&i| i >= nrows)
+            || cols.iter().any(|&c| c >= ncols)
+        {
+            return Err(WireError::Invalid("dcsr invariants"));
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            rows,
+            row_ptr,
+            cols,
+            vals,
+        })
     }
 }
 

@@ -9,7 +9,7 @@
 //! Semirings are zero-sized type-level markers: operations are associated
 //! functions, so kernels monomorphize with no per-element indirection.
 
-use dspgemm_util::WireSize;
+use dspgemm_util::{WireDecode, WireSize};
 
 /// A semiring over element type [`Semiring::Elem`].
 ///
@@ -24,7 +24,15 @@ use dspgemm_util::WireSize;
 /// *general update* path (Algorithm 2) needs no such property.
 pub trait Semiring: Copy + Clone + Send + Sync + std::fmt::Debug + 'static {
     /// The scalar type.
-    type Elem: Copy + Clone + Send + Sync + PartialEq + std::fmt::Debug + WireSize + 'static;
+    type Elem: Copy
+        + Clone
+        + Send
+        + Sync
+        + PartialEq
+        + std::fmt::Debug
+        + WireSize
+        + WireDecode
+        + 'static;
 
     /// Additive neutral element (the implicit value of structural zeros).
     fn zero() -> Self::Elem;

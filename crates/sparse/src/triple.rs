@@ -7,7 +7,7 @@
 use crate::semiring::Semiring;
 use crate::Index;
 use dspgemm_util::sort::radix_sort_by_key;
-use dspgemm_util::WireSize;
+use dspgemm_util::{WireDecode, WireEncode, WireError, WireReader, WireSize};
 
 /// A single non-zero entry (or update tuple).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +38,26 @@ impl<V: WireSize> WireSize for Triple<V> {
     #[inline]
     fn wire_bytes(&self) -> u64 {
         4 + 4 + self.val.wire_bytes()
+    }
+}
+
+impl<V: WireEncode> WireEncode for Triple<V> {
+    #[inline]
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.row.wire_encode(out);
+        self.col.wire_encode(out);
+        self.val.wire_encode(out);
+    }
+}
+
+impl<V: WireDecode> WireDecode for Triple<V> {
+    #[inline]
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            row: Index::wire_decode(r)?,
+            col: Index::wire_decode(r)?,
+            val: V::wire_decode(r)?,
+        })
     }
 }
 

@@ -18,7 +18,9 @@
 //!   by the benchmark harness.
 //! * [`wire`] — the [`wire::WireSize`] trait: how many bytes a value would
 //!   occupy on an MPI wire. The simulator moves values in memory but meters
-//!   exact communication volume through this trait.
+//!   exact communication volume through this trait. Its supertrait
+//!   [`wire::WireEncode`] and the inverse [`wire::WireDecode`] form the
+//!   length-prefixed codec the real TCP transport moves those bytes with.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,4 +37,7 @@ pub use bitset::BitSet;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::{Rng, SplitMix64, Xoshiro256};
 pub use stats::{PhaseTimer, Timer};
-pub use wire::WireSize;
+pub use wire::{
+    decode_from_slice, encode_to_vec, WireBytes, WireDecode, WireEncode, WireError, WireReader,
+    WireSize,
+};

@@ -1,4 +1,4 @@
-//! Wire-size accounting.
+//! Wire-size accounting and the wire codec.
 //!
 //! The MPI simulator transfers values by moving them in memory, but the
 //! experiments must report *communication volume* — the central quantity the
@@ -6,30 +6,290 @@
 //! significantly"). [`WireSize`] computes the number of bytes a value would
 //! occupy in a packed MPI message: fixed-width scalars at their natural size,
 //! sequences as element payload plus an 8-byte length header.
+//!
+//! The TCP transport backend additionally needs to *move* those bytes, so
+//! every metered type is also encodable: [`WireEncode`] is a supertrait of
+//! [`WireSize`] (a value whose packed size we meter is a value we can pack),
+//! and [`WireDecode`] is the receive-side inverse for owned (`Sized`) types.
+//! The split is deliberate: borrowed payloads like `&[T]` have a wire size
+//! and an encoding but no owned decoding, which the type system then rejects
+//! at the receive call sites instead of at runtime.
+//!
+//! The format is little-endian and self-delimiting per field: scalars at
+//! their natural width (`usize`/`isize` always as 8 bytes), sequences as a
+//! `u64` length followed by the elements, `Option` as a one-byte tag. No
+//! framing, versioning or field names — both ends are the same binary, and
+//! the transport's envelope header carries the routing metadata.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Error produced by [`WireDecode`] on malformed or truncated input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes that were actually left.
+        remaining: usize,
+    },
+    /// The bytes were present but do not form a valid value.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => {
+                write!(
+                    f,
+                    "wire input truncated: needed {needed} B, had {remaining} B"
+                )
+            }
+            WireError::Invalid(what) => write!(f, "invalid wire input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A cursor over a received byte buffer for [`WireDecode`] implementations.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    #[inline]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes the next `n` bytes, or errors if fewer remain.
+    #[inline]
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decodes a `u64` length prefix and sanity-checks it against the bytes
+    /// left: a sequence of `len` elements needs at least `len * min_elem`
+    /// more bytes, so a corrupt length cannot drive a huge allocation.
+    #[inline]
+    pub fn take_len(&mut self, min_elem: usize) -> Result<usize, WireError> {
+        let len = u64::wire_decode(self)?;
+        let len = usize::try_from(len).map_err(|_| WireError::Invalid("length overflow"))?;
+        if len
+            .checked_mul(min_elem)
+            .is_none_or(|b| b > self.remaining())
+            && min_elem > 0
+        {
+            return Err(WireError::Truncated {
+                needed: len.saturating_mul(min_elem),
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+}
+
+/// Packs a value into the byte form the TCP transport moves.
+///
+/// Supertrait of [`WireSize`]: every type the simulator meters is a type the
+/// real wire can carry, so the send-side trait bounds of the communicator
+/// never change between backends.
+pub trait WireEncode {
+    /// Appends the packed encoding of `self` to `out`.
+    fn wire_encode(&self, out: &mut Vec<u8>);
+}
+
+/// Unpacks a value previously packed with [`WireEncode`].
+///
+/// Deliberately *not* a supertrait of [`WireSize`]: borrowed types (`&[T]`)
+/// are metered and encodable but have no owned decoding, and receive call
+/// sites carry this bound explicitly.
+pub trait WireDecode: Sized {
+    /// Reads one packed value from `r`.
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
 
 /// Number of bytes a value would occupy in a packed MPI message.
-pub trait WireSize {
+pub trait WireSize: WireEncode {
     /// Packed byte size of `self`.
     fn wire_bytes(&self) -> u64;
 }
 
-macro_rules! impl_wiresize_scalar {
+/// Packs `value` into a fresh buffer.
+pub fn encode_to_vec<T: WireEncode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.wire_encode(&mut out);
+    out
+}
+
+/// Unpacks one `T` from `buf`, requiring the buffer to be fully consumed
+/// (trailing bytes mean the sender and receiver disagree about the type —
+/// exactly the bug class this check exists to catch).
+pub fn decode_from_slice<T: WireDecode>(buf: &[u8]) -> Result<T, WireError> {
+    let mut r = WireReader::new(buf);
+    let v = T::wire_decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::Invalid("trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+/// An already-encoded payload travelling through a transport.
+///
+/// The TCP backend packs typed values into `WireBytes` at the communicator
+/// layer (once per destination) and unpacks them at the matched receive; the
+/// in-process simulator never constructs one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireBytes(pub Vec<u8>);
+
+macro_rules! impl_wire_scalar {
     ($($t:ty),*) => {
-        $(impl WireSize for $t {
-            #[inline]
-            fn wire_bytes(&self) -> u64 {
-                std::mem::size_of::<$t>() as u64
+        $(
+            impl WireEncode for $t {
+                #[inline]
+                fn wire_encode(&self, out: &mut Vec<u8>) {
+                    out.extend_from_slice(&self.to_le_bytes());
+                }
             }
-        })*
+            impl WireDecode for $t {
+                #[inline]
+                fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                    let b = r.take(std::mem::size_of::<$t>())?;
+                    Ok(<$t>::from_le_bytes(b.try_into().expect("sized take")))
+                }
+            }
+            impl WireSize for $t {
+                #[inline]
+                fn wire_bytes(&self) -> u64 {
+                    std::mem::size_of::<$t>() as u64
+                }
+            }
+        )*
     };
 }
 
-impl_wiresize_scalar!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+impl_wire_scalar!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+// `usize`/`isize` travel as fixed 8-byte integers: the wire format must not
+// depend on the host's pointer width.
+impl WireEncode for usize {
+    #[inline]
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).wire_encode(out);
+    }
+}
+
+impl WireDecode for usize {
+    #[inline]
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        usize::try_from(u64::wire_decode(r)?).map_err(|_| WireError::Invalid("usize overflow"))
+    }
+}
+
+impl WireSize for usize {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        std::mem::size_of::<usize>() as u64
+    }
+}
+
+impl WireEncode for isize {
+    #[inline]
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        (*self as i64).wire_encode(out);
+    }
+}
+
+impl WireDecode for isize {
+    #[inline]
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        isize::try_from(i64::wire_decode(r)?).map_err(|_| WireError::Invalid("isize overflow"))
+    }
+}
+
+impl WireSize for isize {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        std::mem::size_of::<isize>() as u64
+    }
+}
+
+impl WireEncode for bool {
+    #[inline]
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+
+impl WireDecode for bool {
+    #[inline]
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::wire_decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Invalid("bool byte")),
+        }
+    }
+}
+
+impl WireSize for bool {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        1
+    }
+}
+
+impl WireEncode for () {
+    #[inline]
+    fn wire_encode(&self, _out: &mut Vec<u8>) {}
+}
+
+impl WireDecode for () {
+    #[inline]
+    fn wire_decode(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
 
 impl WireSize for () {
     #[inline]
     fn wire_bytes(&self) -> u64 {
         0
+    }
+}
+
+impl<A: WireEncode, B: WireEncode> WireEncode for (A, B) {
+    #[inline]
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.0.wire_encode(out);
+        self.1.wire_encode(out);
+    }
+}
+
+impl<A: WireDecode, B: WireDecode> WireDecode for (A, B) {
+    #[inline]
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::wire_decode(r)?, B::wire_decode(r)?))
     }
 }
 
@@ -40,10 +300,50 @@ impl<A: WireSize, B: WireSize> WireSize for (A, B) {
     }
 }
 
+impl<A: WireEncode, B: WireEncode, C: WireEncode> WireEncode for (A, B, C) {
+    #[inline]
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.0.wire_encode(out);
+        self.1.wire_encode(out);
+        self.2.wire_encode(out);
+    }
+}
+
+impl<A: WireDecode, B: WireDecode, C: WireDecode> WireDecode for (A, B, C) {
+    #[inline]
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::wire_decode(r)?, B::wire_decode(r)?, C::wire_decode(r)?))
+    }
+}
+
 impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
     #[inline]
     fn wire_bytes(&self) -> u64 {
         self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+impl<T: WireEncode> WireEncode for Option<T> {
+    #[inline]
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.wire_encode(out);
+            }
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Option<T> {
+    #[inline]
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::wire_decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::wire_decode(r)?)),
+            _ => Err(WireError::Invalid("option tag")),
+        }
     }
 }
 
@@ -54,10 +354,57 @@ impl<T: WireSize> WireSize for Option<T> {
     }
 }
 
+impl<T: WireEncode, const N: usize> WireEncode for [T; N] {
+    #[inline]
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        for v in self {
+            v.wire_encode(out);
+        }
+    }
+}
+
+impl<T: WireDecode, const N: usize> WireDecode for [T; N] {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let mut v = Vec::with_capacity(N);
+        for _ in 0..N {
+            v.push(T::wire_decode(r)?);
+        }
+        v.try_into().map_err(|_| WireError::Invalid("array length"))
+    }
+}
+
 impl<T: WireSize, const N: usize> WireSize for [T; N] {
     #[inline]
     fn wire_bytes(&self) -> u64 {
         self.iter().map(WireSize::wire_bytes).sum()
+    }
+}
+
+fn encode_seq<T: WireEncode>(items: &[T], out: &mut Vec<u8>) {
+    (items.len() as u64).wire_encode(out);
+    for v in items {
+        v.wire_encode(out);
+    }
+}
+
+impl<T: WireEncode> WireEncode for Vec<T> {
+    #[inline]
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        encode_seq(self, out);
+    }
+}
+
+impl<T: WireDecode> WireDecode for Vec<T> {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        // Elements can encode to zero bytes (`()`), so the length guard uses
+        // a zero minimum only for them; everything else needs ≥ 1 B each.
+        let min = usize::from(std::mem::size_of::<T>() != 0);
+        let len = r.take_len(min)?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(T::wire_decode(r)?);
+        }
+        Ok(v)
     }
 }
 
@@ -68,10 +415,31 @@ impl<T: WireSize> WireSize for Vec<T> {
     }
 }
 
+impl<T: WireEncode> WireEncode for &[T] {
+    #[inline]
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        encode_seq(self, out);
+    }
+}
+
 impl<T: WireSize> WireSize for &[T] {
     #[inline]
     fn wire_bytes(&self) -> u64 {
         8 + self.iter().map(WireSize::wire_bytes).sum::<u64>()
+    }
+}
+
+impl<T: WireEncode> WireEncode for Box<T> {
+    #[inline]
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        (**self).wire_encode(out);
+    }
+}
+
+impl<T: WireDecode> WireDecode for Box<T> {
+    #[inline]
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Box::new(T::wire_decode(r)?))
     }
 }
 
@@ -82,7 +450,24 @@ impl<T: WireSize> WireSize for Box<T> {
     }
 }
 
-impl<T: WireSize + ?Sized> WireSize for std::sync::Arc<T> {
+impl<T: WireEncode + ?Sized> WireEncode for Arc<T> {
+    /// Encoding an `Arc` packs the pointee — serialization is where the
+    /// zero-copy sharing of the simulated collectives genuinely ends.
+    #[inline]
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        (**self).wire_encode(out);
+    }
+}
+
+impl<T: WireDecode> WireDecode for Arc<T> {
+    /// Decoding rebuilds a fresh, unshared `Arc` around the pointee.
+    #[inline]
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Arc::new(T::wire_decode(r)?))
+    }
+}
+
+impl<T: WireSize + ?Sized> WireSize for Arc<T> {
     /// An `Arc` payload is a *transport* artifact of the zero-copy simulated
     /// collectives: on a real wire the pointee would be packed and sent, so
     /// the wire size is the pointee's. This keeps metered communication
@@ -90,6 +475,21 @@ impl<T: WireSize + ?Sized> WireSize for std::sync::Arc<T> {
     #[inline]
     fn wire_bytes(&self) -> u64 {
         (**self).wire_bytes()
+    }
+}
+
+impl WireEncode for String {
+    #[inline]
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        encode_seq(self.as_bytes(), out);
+    }
+}
+
+impl WireDecode for String {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.take_len(1)?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid("utf-8 string"))
     }
 }
 
@@ -103,6 +503,11 @@ impl WireSize for String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn round_trip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode_to_vec(&v);
+        assert_eq!(decode_from_slice::<T>(&bytes).expect("decode"), v);
+    }
 
     #[test]
     fn scalar_sizes() {
@@ -134,7 +539,104 @@ mod tests {
     fn arc_is_transparent() {
         let v = vec![1u32; 10];
         let inner = v.wire_bytes();
-        assert_eq!(std::sync::Arc::new(v).wire_bytes(), inner);
-        assert_eq!(std::sync::Arc::new(7u64).wire_bytes(), 8);
+        assert_eq!(Arc::new(v).wire_bytes(), inner);
+        assert_eq!(Arc::new(7u64).wire_bytes(), 8);
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        round_trip(0x0123_4567_89ab_cdefu64);
+        round_trip(-42i64);
+        round_trip(7usize);
+        round_trip(-7isize);
+        round_trip(1.5f32);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(true);
+        round_trip(());
+    }
+
+    #[test]
+    fn composite_round_trips() {
+        round_trip((1u32, 2u64));
+        round_trip((1u8, -2i32, 3.0f64));
+        round_trip(Some(vec![1u16, 2, 3]));
+        round_trip(None::<u64>);
+        round_trip([1u64, 2, 3]);
+        round_trip("héllo wïre".to_string());
+        round_trip(Box::new((9usize, false)));
+        round_trip(Vec::<()>::from([(), (), ()]));
+    }
+
+    #[test]
+    fn arc_round_trip_rebuilds_pointee() {
+        let v = Arc::new(vec![3u32, 1, 4]);
+        let bytes = encode_to_vec(&v);
+        let back: Arc<Vec<u32>> = decode_from_slice(&bytes).expect("decode");
+        assert_eq!(*back, *v);
+        assert_eq!(Arc::strong_count(&back), 1);
+    }
+
+    #[test]
+    fn encoded_length_matches_wire_bytes_for_packed_types() {
+        // For owned, packed types the codec emits exactly the metered bytes:
+        // the logical volume the simulator reports is the physical volume
+        // the TCP backend moves.
+        let samples: Vec<Vec<u8>> = vec![
+            encode_to_vec(&7u64),
+            encode_to_vec(&vec![1u32, 2, 3]),
+            encode_to_vec(&(1u32, 2u32, 3.0f64)),
+            encode_to_vec(&Some(4u8)),
+            encode_to_vec(&"abc".to_string()),
+        ];
+        let sizes = [
+            7u64.wire_bytes(),
+            vec![1u32, 2, 3].wire_bytes(),
+            (1u32, 2u32, 3.0f64).wire_bytes(),
+            Some(4u8).wire_bytes(),
+            "abc".to_string().wire_bytes(),
+        ];
+        for (bytes, size) in samples.iter().zip(sizes) {
+            assert_eq!(bytes.len() as u64, size);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let bytes = encode_to_vec(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            assert!(decode_from_slice::<Vec<u64>>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_to_vec(&5u32);
+        bytes.push(0);
+        assert_eq!(
+            decode_from_slice::<u32>(&bytes),
+            Err(WireError::Invalid("trailing bytes after value"))
+        );
+    }
+
+    #[test]
+    fn corrupt_length_prefix_cannot_overallocate() {
+        let mut bytes = Vec::new();
+        u64::MAX.wire_encode(&mut bytes);
+        assert!(matches!(
+            decode_from_slice::<Vec<u64>>(&bytes),
+            Err(WireError::Truncated { .. }) | Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags_rejected() {
+        assert_eq!(
+            decode_from_slice::<bool>(&[2]),
+            Err(WireError::Invalid("bool byte"))
+        );
+        assert_eq!(
+            decode_from_slice::<Option<u8>>(&[9, 1]),
+            Err(WireError::Invalid("option tag"))
+        );
     }
 }
